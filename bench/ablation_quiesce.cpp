@@ -1,0 +1,86 @@
+// Ablation: the cost of quiescence (privatization safety).
+//
+// The paper's Figure 1 story: a writer's commit must wait for every
+// concurrently active transaction, so one long-running reader drags every
+// writer. This bench measures writer throughput with and without
+// quiescence while long read-only transactions run — the mechanism that
+// makes deferring dedup's Compress profitable for STM.
+//
+// Disabling quiescence is unsafe for programs that privatize (see
+// DESIGN.md); the runtime exposes the switch precisely for this ablation.
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+using namespace adtm;  // NOLINT
+
+double writer_ops_per_sec(bool quiescence, std::uint64_t writer_ops,
+                          std::size_t reader_footprint) {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::TL2;
+  cfg.quiescence = quiescence;
+  stm::init(cfg);
+  stats().reset();
+
+  // Long read-only transactions: scan a large array of tvars.
+  std::vector<std::unique_ptr<stm::tvar<long>>> big;
+  for (std::size_t i = 0; i < reader_footprint; ++i) {
+    big.push_back(std::make_unique<stm::tvar<long>>(1));
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const long sum = stm::atomic([&](stm::Tx& tx) {
+        long s = 0;
+        for (auto& v : big) s += v->get(tx);
+        return s;
+      });
+      if (sum < 0) std::abort();  // keep the value alive
+    }
+  });
+
+  stm::tvar<long> counter{0};
+  Timer timer;
+  for (std::uint64_t i = 0; i < writer_ops; ++i) {
+    stm::atomic([&](stm::Tx& tx) { counter.set(tx, counter.get(tx) + 1); });
+  }
+  const double secs = timer.elapsed_s();
+  stop.store(true);
+  reader.join();
+  return static_cast<double>(writer_ops) / secs;
+}
+
+}  // namespace
+
+double median3(bool quiescence, std::uint64_t ops, std::size_t footprint) {
+  std::array<double, 3> runs{};
+  for (auto& r : runs) r = writer_ops_per_sec(quiescence, ops, footprint);
+  std::sort(runs.begin(), runs.end());
+  return runs[1];
+}
+
+int main() {
+  const std::uint64_t ops = env_u64("ADTM_ABLATION_OPS", 20000);
+  std::printf(
+      "ablation_quiesce: writer throughput vs one long-running reader "
+      "(median of 3)\n");
+  std::printf("%18s  %16s  %16s  %10s\n", "reader_footprint",
+              "quiesce on(op/s)", "quiesce off(op/s)", "ratio");
+  for (const std::size_t footprint : {256u, 2048u, 16384u}) {
+    const double on = median3(true, ops, footprint);
+    const double off = median3(false, ops, footprint);
+    std::printf("%18zu  %16.0f  %16.0f  %9.2fx\n", footprint, on, off,
+                off / on);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: the serialize-after-N contention-management threshold.
+//
+// §2 of the paper notes GCC serializes software transactions after 100
+// attempts (hardware after 2) and that tuning this parameter has a large
+// impact (Diegues et al.). This bench sweeps the threshold on a contended
+// counter workload and reports both time and how many transactions ended
+// up serialized.
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+using namespace adtm;         // NOLINT
+using namespace adtm::bench;  // NOLINT
+
+struct Result {
+  double seconds;
+  std::uint64_t serializations;
+  std::uint64_t aborts;
+};
+
+Result run_one(std::uint32_t threshold, unsigned threads,
+               std::uint64_t ops_per_thread) {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::TL2;
+  cfg.serialize_after = threshold;
+  cfg.lock_spin_limit = 16;  // aggressive aborts to create CM pressure
+  stm::init(cfg);
+  stats().reset();
+
+  stm::tvar<long> hot{0};
+  const double secs = timed_threads(threads, [&](unsigned) {
+    for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+      stm::atomic([&](stm::Tx& tx) {
+        const long v = hot.get(tx);
+        // Widen the read->write window so concurrent threads actually
+        // conflict even on machines with few cores (where preemption
+        // inside short transactions is rare).
+        std::this_thread::yield();
+        hot.set(tx, v + 1);
+      });
+    }
+  });
+  return {secs, stats().total(Counter::TxIrrevocable),
+          stats().total(Counter::TxAbortConflict)};
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t ops = env_u64("ADTM_ABLATION_OPS", 3000);
+  const unsigned threads = 4;
+
+  std::printf(
+      "ablation_serialize_threshold: contended counter, %u threads, "
+      "%llu ops/thread\n",
+      threads, static_cast<unsigned long long>(ops));
+  std::printf("%12s  %10s  %14s  %12s\n", "threshold", "time(s)",
+              "serialized", "aborts");
+  for (const std::uint32_t threshold : {2u, 10u, 100u, 1000u}) {
+    const Result r = run_one(threshold, threads, ops);
+    std::printf("%12u  %10.4f  %14llu  %12llu\n", threshold, r.seconds,
+                static_cast<unsigned long long>(r.serializations),
+                static_cast<unsigned long long>(r.aborts));
+  }
+  return 0;
+}

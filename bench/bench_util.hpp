@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timing.hpp"
+
+namespace adtm::bench {
+
+// Run `body(thread_index)` on `threads` threads; returns wall seconds for
+// all of them to finish.
+inline double timed_threads(unsigned threads,
+                            const std::function<void(unsigned)>& body) {
+  Timer timer;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&body, t] { body(t); });
+  }
+  for (auto& t : pool) t.join();
+  return timer.elapsed_s();
+}
+
+// Paper-style series table: one row per thread count, one column per
+// configuration, cells in seconds.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(unsigned threads, const std::vector<double>& seconds) {
+    rows_.push_back({threads, seconds});
+  }
+
+  void print(const std::string& title) const {
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%8s", "threads");
+    for (const auto& c : columns_) std::printf("  %12s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("%8u", row.threads);
+      for (const double s : row.seconds) std::printf("  %12.4f", s);
+      std::printf("\n");
+    }
+  }
+
+ private:
+  struct Row {
+    unsigned threads;
+    std::vector<double> seconds;
+  };
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace adtm::bench

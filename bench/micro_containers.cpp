@@ -1,0 +1,104 @@
+// Component bench: transactional containers vs lock-based baselines — the
+// red-black tree is the paper's own motivating example for TM.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "containers/hashmap.hpp"
+#include "containers/queue.hpp"
+#include "containers/rbtree.hpp"
+#include "stm/api.hpp"
+
+namespace {
+
+using namespace adtm;  // NOLINT
+
+void init_algo(const benchmark::State& state) {
+  stm::Config cfg;
+  cfg.algo = static_cast<stm::Algo>(state.range(0));
+  stm::init(cfg);
+}
+
+void set_label(benchmark::State& state) {
+  state.SetLabel(stm::algo_name(static_cast<stm::Algo>(state.range(0))));
+}
+
+void BM_RbTreeInsertErase(benchmark::State& state) {
+  init_algo(state);
+  containers::TxRbTree<long, long> tree;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 512; k += 2) tree.insert(tx, k, k);
+  });
+  Xoshiro256 rng{5};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(512));
+    stm::atomic([&](stm::Tx& tx) {
+      if (!tree.erase(tx, key)) tree.insert(tx, key, key);
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_RbTreeInsertErase)->DenseRange(0, 4);
+
+void BM_RbTreeLookup(benchmark::State& state) {
+  init_algo(state);
+  containers::TxRbTree<long, long> tree;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 1024; ++k) tree.insert(tx, k, k);
+  });
+  Xoshiro256 rng{6};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(1024));
+    const auto v =
+        stm::atomic([&](stm::Tx& tx) { return tree.find(tx, key); });
+    benchmark::DoNotOptimize(v);
+  }
+  set_label(state);
+}
+BENCHMARK(BM_RbTreeLookup)->DenseRange(0, 4);
+
+void BM_StdMapMutexBaseline(benchmark::State& state) {
+  std::map<long, long> tree;
+  std::mutex m;
+  for (long k = 0; k < 512; k += 2) tree[k] = k;
+  Xoshiro256 rng{5};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(512));
+    std::lock_guard<std::mutex> lk(m);
+    if (tree.erase(key) == 0) tree[key] = key;
+  }
+}
+BENCHMARK(BM_StdMapMutexBaseline);
+
+void BM_HashMapPutGet(benchmark::State& state) {
+  init_algo(state);
+  containers::TxHashMap<long, long> map(1024);
+  Xoshiro256 rng{7};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(2048));
+    stm::atomic([&](stm::Tx& tx) {
+      map.put(tx, key, key);
+      benchmark::DoNotOptimize(map.get(tx, key ^ 1));
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_HashMapPutGet)->DenseRange(0, 4);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  init_algo(state);
+  containers::TxQueue<long> q;
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) { q.push(tx, 1); });
+    const auto v = stm::atomic([&](stm::Tx& tx) { return q.pop(tx); });
+    benchmark::DoNotOptimize(v);
+  }
+  set_label(state);
+}
+BENCHMARK(BM_QueuePushPop)->DenseRange(0, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Component bench: the per-transaction cost of atomic_defer — the
+// "constant overhead per transaction to support rollback" plus lambda and
+// lock management that the paper measures in Figure 2(a).
+#include <benchmark/benchmark.h>
+
+#include "defer/atomic_defer.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+using namespace adtm;  // NOLINT
+
+void init_algo(const benchmark::State& state) {
+  stm::Config cfg;
+  cfg.algo = static_cast<stm::Algo>(state.range(0));
+  stm::init(cfg);
+}
+
+void set_label(benchmark::State& state) {
+  state.SetLabel(stm::algo_name(static_cast<stm::Algo>(state.range(0))));
+}
+
+void BM_PlainTx(benchmark::State& state) {
+  init_algo(state);
+  stm::tvar<long> x{0};
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_PlainTx)->DenseRange(0, 4);
+
+void BM_TxPlusNoopDefer(benchmark::State& state) {
+  // The paper's "pass nil" variant: deferral machinery, no locks.
+  init_algo(state);
+  stm::tvar<long> x{0};
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) {
+      x.set(tx, x.get(tx) + 1);
+      atomic_defer(tx, [] { benchmark::ClobberMemory(); });
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_TxPlusNoopDefer)->DenseRange(0, 4);
+
+void BM_TxPlusDeferOneObject(benchmark::State& state) {
+  init_algo(state);
+  stm::tvar<long> x{0};
+  Deferrable obj;
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) {
+      x.set(tx, x.get(tx) + 1);
+      atomic_defer(tx, [] { benchmark::ClobberMemory(); }, obj);
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_TxPlusDeferOneObject)->DenseRange(0, 4);
+
+void BM_TxPlusDeferThreeObjects(benchmark::State& state) {
+  init_algo(state);
+  stm::tvar<long> x{0};
+  Deferrable a, b, c;
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) {
+      x.set(tx, x.get(tx) + 1);
+      atomic_defer(tx, [] { benchmark::ClobberMemory(); }, a, b, c);
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_TxPlusDeferThreeObjects)->DenseRange(0, 4);
+
+void BM_SubscribeGuardedAccess(benchmark::State& state) {
+  // Cost of the per-accessor subscribe guard on a deferrable object.
+  init_algo(state);
+  struct Cell : Deferrable {
+    stm::tvar<long> v{0};
+  } cell;
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) {
+      cell.subscribe(tx);
+      cell.v.set(tx, cell.v.get(tx) + 1);
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_SubscribeGuardedAccess)->DenseRange(0, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Component bench: raw STM operation costs per algorithm — the
+// per-transaction instrumentation overhead the paper cites to explain
+// defer's single-thread latency in Figure 2(a).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace {
+
+using namespace adtm;  // NOLINT
+
+stm::Algo algo_of(const benchmark::State& state) {
+  return static_cast<stm::Algo>(state.range(0));
+}
+
+void init_algo(const benchmark::State& state) {
+  stm::Config cfg;
+  cfg.algo = algo_of(state);
+  stm::init(cfg);
+}
+
+void set_label(benchmark::State& state) {
+  state.SetLabel(stm::algo_name(algo_of(state)));
+}
+
+void BM_EmptyTransaction(benchmark::State& state) {
+  init_algo(state);
+  for (auto _ : state) {
+    stm::atomic([](stm::Tx&) {});
+  }
+  set_label(state);
+}
+BENCHMARK(BM_EmptyTransaction)->DenseRange(0, 4);
+
+void BM_ReadOnlyTx(benchmark::State& state) {
+  init_algo(state);
+  constexpr int kVars = 16;
+  std::vector<std::unique_ptr<stm::tvar<long>>> vars;
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(std::make_unique<stm::tvar<long>>(i));
+  }
+  for (auto _ : state) {
+    const long sum = stm::atomic([&](stm::Tx& tx) {
+      long s = 0;
+      for (auto& v : vars) s += v->get(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  set_label(state);
+}
+BENCHMARK(BM_ReadOnlyTx)->DenseRange(0, 4);
+
+void BM_WriterTx(benchmark::State& state) {
+  init_algo(state);
+  constexpr int kVars = 8;
+  std::vector<std::unique_ptr<stm::tvar<long>>> vars;
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(std::make_unique<stm::tvar<long>>(0));
+  }
+  long n = 0;
+  for (auto _ : state) {
+    ++n;
+    stm::atomic([&](stm::Tx& tx) {
+      for (auto& v : vars) v->set(tx, n);
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_WriterTx)->DenseRange(0, 4);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  init_algo(state);
+  stm::tvar<long> counter{0};
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) { counter.set(tx, counter.get(tx) + 1); });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_CounterIncrement)->DenseRange(0, 4);
+
+void BM_UninstrumentedBaseline(benchmark::State& state) {
+  // The cost floor: the same counter increment with no TM at all.
+  long counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++counter);
+  }
+}
+BENCHMARK(BM_UninstrumentedBaseline);
+
+void BM_LargeReadFootprint(benchmark::State& state) {
+  // Read-set scaling: cost of a transaction reading state.range(1) vars.
+  init_algo(state);
+  const auto count = static_cast<std::size_t>(state.range(1));
+  std::vector<std::unique_ptr<stm::tvar<long>>> vars;
+  for (std::size_t i = 0; i < count; ++i) {
+    vars.push_back(std::make_unique<stm::tvar<long>>(1));
+  }
+  for (auto _ : state) {
+    const long sum = stm::atomic([&](stm::Tx& tx) {
+      long s = 0;
+      for (auto& v : vars) s += v->get(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(std::string(stm::algo_name(algo_of(state))) + "/" +
+                 std::to_string(count) + "vars");
+}
+BENCHMARK(BM_LargeReadFootprint)
+    ->ArgsProduct({{0, 1, 4}, {64, 512, 4096}});  // TL2, Eager, NOrec
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Component bench: TxLock vs std::mutex, and subscription cost — the price
+// of making locks transaction-friendly (paper §4.2).
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "defer/txlock.hpp"
+#include "stm/api.hpp"
+
+namespace {
+
+using namespace adtm;  // NOLINT
+
+void init_tl2() {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::TL2;
+  stm::init(cfg);
+}
+
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  std::mutex m;
+  for (auto _ : state) {
+    m.lock();
+    m.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_TxLockAcquireRelease(benchmark::State& state) {
+  init_tl2();
+  TxLock lock;
+  for (auto _ : state) {
+    lock.acquire();
+    lock.release();
+  }
+}
+BENCHMARK(BM_TxLockAcquireRelease);
+
+void BM_TxLockAcquireReleaseInsideTx(benchmark::State& state) {
+  init_tl2();
+  TxLock lock;
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) {
+      lock.acquire(tx);
+      lock.release(tx);
+    });
+  }
+}
+BENCHMARK(BM_TxLockAcquireReleaseInsideTx);
+
+void BM_TxLockReentrantAcquire(benchmark::State& state) {
+  init_tl2();
+  TxLock lock;
+  lock.acquire();
+  for (auto _ : state) {
+    lock.acquire();
+    lock.release();
+  }
+  lock.release();
+}
+BENCHMARK(BM_TxLockReentrantAcquire);
+
+void BM_SubscribeUnheldLock(benchmark::State& state) {
+  // Subscription is the per-method overhead injected into every accessor
+  // of a deferrable class: one transactional read of the owner field.
+  init_tl2();
+  TxLock lock;
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) { lock.subscribe(tx); });
+  }
+}
+BENCHMARK(BM_SubscribeUnheldLock);
+
+void BM_SubscribeInsideLargerTx(benchmark::State& state) {
+  init_tl2();
+  TxLock lock;
+  stm::tvar<long> x{0};
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) {
+      lock.subscribe(tx);
+      x.set(tx, x.get(tx) + 1);
+    });
+  }
+}
+BENCHMARK(BM_SubscribeInsideLargerTx);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Durable output with guaranteed cross-file ordering (paper §5.2,
+// Listing 4).
+//
+//   ./durable_output
+//
+// A write-ahead pattern: the "data" file must not be updated until the
+// "journal" entry is durable (fsync'd). The journal's durability flag
+// lives in a Deferrable buffer and is set inside the deferred
+// write+fsync, so the data writer can simply wait on it transactionally.
+#include <cstdio>
+#include <thread>
+
+#include "durable/durable.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+#include "stm/api.hpp"
+
+using namespace adtm;  // NOLINT: example brevity
+
+int main() {
+  stm::init({.algo = stm::Algo::TL2});
+  io::TempDir dir("durable-demo");
+
+  durable::DurableFile journal(dir.file("journal"));
+  durable::DurableFile data(dir.file("data"));
+  durable::DurableBuffer journal_entry("BEGIN update #42\n");
+  durable::DurableBuffer data_payload("record 42: the actual update\n");
+
+  // T2: applies the data update, but only after the journal entry has
+  // reached the disk. wait_durable blocks via transactional retry.
+  std::thread applier([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      durable::wait_durable(tx, journal_entry);
+      durable::durable_write(tx, data, data_payload);
+    });
+    std::printf("applier: data write issued after journal was durable\n");
+  });
+
+  // Give the applier a head start so the ordering is actually exercised.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // T1: journal entry, durably.
+  stm::atomic([&](stm::Tx& tx) {
+    durable::durable_write(tx, journal, journal_entry);
+  });
+  std::printf("journal entry written and fsync'd\n");
+
+  applier.join();
+
+  std::printf("journal: %s", io::read_file(dir.file("journal")).c_str());
+  std::printf("data:    %s", io::read_file(dir.file("data")).c_str());
+
+  const bool ok =
+      io::read_file(dir.file("journal")) == journal_entry.raw_payload() &&
+      io::read_file(dir.file("data")) == data_payload.raw_payload();
+  std::printf("ordering invariant held: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Memcached-style cache demo (paper §5.1): many client threads hammer a
+// TxCache while eviction diagnostics are logged via atomic deferral —
+// robust logging without serializing a single transaction.
+//
+//   ./kvcache_demo [threads] [ops-per-thread]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+#include "kvcache/tx_cache.hpp"
+#include "stm/api.hpp"
+#include "txlog/txlog.hpp"
+
+using namespace adtm;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const unsigned ops = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2000;
+
+  stm::init({.algo = stm::Algo::TL2});
+
+  io::TempDir dir("kvcache-demo");
+  txlog::TxLogger evict_log(dir.file("evictions.log"));
+  kvcache::TxCache cache(/*capacity=*/256, /*buckets=*/1024, &evict_log);
+
+  // Seed a counter the clients bump atomically.
+  cache.set("stats:requests", "0");
+
+  Timer timer;
+  std::vector<std::thread> clients;
+  for (unsigned t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      Xoshiro256 rng{t + 101};
+      for (unsigned i = 0; i < ops; ++i) {
+        const std::string key = "user:" + std::to_string(rng.next_below(512));
+        switch (rng.next_below(10)) {
+          case 0:
+            cache.del(key);
+            break;
+          case 1:
+          case 2:
+          case 3:
+            cache.set(key, "profile-of-" + key);
+            break;
+          default:
+            (void)cache.get(key);
+            break;
+        }
+        cache.incr("stats:requests", 1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double secs = timer.elapsed_s();
+
+  const kvcache::CacheStats s = cache.stats_snapshot();
+  const auto requests = cache.get("stats:requests");
+  const unsigned long expected =
+      static_cast<unsigned long>(threads) * ops;
+
+  std::printf("kvcache_demo: %u threads x %u ops in %.3fs (%.0f op/s)\n",
+              threads, ops, secs, 2.0 * expected / secs);
+  std::printf("hits=%llu misses=%llu sets=%llu evictions=%llu items=%zu\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.sets),
+              static_cast<unsigned long long>(s.evictions), cache.size());
+  std::printf("request counter (transactional incr): %s, expected %lu\n",
+              requests.value_or("<missing>").c_str(), expected);
+  std::printf("eviction log records: %llu (deferred, never serialized)\n",
+              static_cast<unsigned long long>(evict_log.records_written()));
+
+  const bool ok = requests == std::to_string(expected) &&
+                  evict_log.records_written() == s.evictions &&
+                  cache.size() <= 256;
+  std::printf("consistency: %s\n", ok ? "ok" : "BROKEN");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Deferred transactional logging (paper §5.1): many threads log from
+// inside transactions without serializing the program.
+//
+//   ./txlog_demo [threads] [ops]
+//
+// Each thread runs transactions over a shared table and logs a formatted
+// record per transaction. The record is formatted *inside* the transaction
+// (so it sees a consistent snapshot of mutable shared data) and the write
+// syscall is deferred past commit — printf debugging without
+// irrevocability.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "io/temp_dir.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+#include "txlog/txlog.hpp"
+
+using namespace adtm;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const unsigned ops = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+
+  stm::init({.algo = stm::Algo::TL2});
+
+  io::TempDir dir("txlog-demo");
+  txlog::TxLogger logger(dir.file("audit.log"));
+
+  constexpr int kSlots = 8;
+  stm::tvar<long> table[kSlots];
+
+  Timer timer;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (unsigned i = 0; i < ops; ++i) {
+        stm::atomic([&](stm::Tx& tx) {
+          const int slot = static_cast<int>((t + i) % kSlots);
+          const long v = table[slot].get(tx) + 1;
+          table[slot].set(tx, v);
+          // The log line captures transactional state; the write happens
+          // after commit, ordered on this descriptor, atomic with us.
+          logger.log(tx, "thread " + std::to_string(t) + " set slot " +
+                             std::to_string(slot) + " to " +
+                             std::to_string(v));
+        });
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  long total = 0;
+  for (const auto& slot : table) total += slot.load_direct();
+
+  std::printf("txlog_demo: %u threads x %u ops in %.3fs\n", threads, ops,
+              timer.elapsed_s());
+  std::printf("table total = %ld (expected %u)\n", total, threads * ops);
+  std::printf("log records written = %llu (expected %u) at %s\n",
+              static_cast<unsigned long long>(logger.records_written()),
+              threads * ops, dir.file("audit.log").c_str());
+  return total == static_cast<long>(threads) * ops &&
+                 logger.records_written() == std::uint64_t{threads} * ops
+             ? 0
+             : 1;
+}

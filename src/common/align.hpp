@@ -1,0 +1,32 @@
+// Cache-line alignment helpers shared by all concurrent modules.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace adtm {
+
+// Destructive interference size. We hard-code 64 rather than using
+// std::hardware_destructive_interference_size because the latter is an
+// ABI-unstable constant on GCC (warns under -Winterference-size) and 64
+// is correct for every x86-64 and most AArch64 parts.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Wraps a T so that distinct instances never share a cache line.
+// Used for per-thread registry slots and global hot counters.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace adtm

@@ -1,0 +1,47 @@
+// Randomized exponential backoff for contention management.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace adtm {
+
+// Pause hint for spin loops; compiles to `pause` on x86.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Exponential randomized backoff. Each call to pause() spins for a random
+// duration whose ceiling doubles, then yields the CPU once the ceiling is
+// large — important on machines with fewer cores than threads, where pure
+// spinning starves the lock holder.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_spins = 16,
+                   std::uint32_t max_spins = 64 * 1024) noexcept
+      : ceiling_(min_spins), max_(max_spins) {}
+
+  void pause() noexcept {
+    const std::uint64_t spins = thread_rng().next_below(ceiling_) + 1;
+    for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+    if (ceiling_ >= kYieldThreshold) std::this_thread::yield();
+    if (ceiling_ < max_) ceiling_ *= 2;
+  }
+
+  void reset(std::uint32_t min_spins = 16) noexcept { ceiling_ = min_spins; }
+
+  std::uint32_t ceiling() const noexcept { return ceiling_; }
+
+ private:
+  static constexpr std::uint32_t kYieldThreshold = 1024;
+  std::uint32_t ceiling_;
+  std::uint32_t max_;
+};
+
+}  // namespace adtm

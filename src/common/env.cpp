@@ -1,0 +1,31 @@
+#include "common/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace adtm {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 0);
+  if (errno != 0 || end == raw) return fallback;
+  switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k': v <<= 10; ++end; break;
+    case 'm': v <<= 20; ++end; break;
+    case 'g': v <<= 30; ++end; break;
+    default: break;
+  }
+  if (*end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw != nullptr && *raw != '\0') ? std::string(raw) : fallback;
+}
+
+}  // namespace adtm

@@ -1,0 +1,16 @@
+// Environment-variable overrides for bench and test workload sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adtm {
+
+// Returns the integer value of `name`, or `fallback` when unset or
+// unparsable. Accepts optional k/m/g suffixes (powers of 1024).
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) noexcept;
+
+// Returns the string value of `name`, or `fallback` when unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace adtm

@@ -1,0 +1,27 @@
+// Fatal-error and invariant-check helpers.
+//
+// ADTM_INVARIANT is used for conditions that indicate a broken runtime
+// invariant (never for user errors, which throw std::logic_error from the
+// public API). It is active in all build types: a TM runtime with a
+// silently broken invariant produces data corruption, which is strictly
+// worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace adtm::detail {
+
+[[noreturn]] inline void panic(const char* cond, const char* file, int line,
+                               const char* msg) {
+  std::fprintf(stderr, "adtm: invariant violated: %s (%s) at %s:%d\n", msg,
+               cond, file, line);
+  std::abort();
+}
+
+}  // namespace adtm::detail
+
+#define ADTM_INVARIANT(cond, msg)                                  \
+  do {                                                             \
+    if (!(cond)) ::adtm::detail::panic(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,35 @@
+// Small, fast PRNGs for workload generation and randomized backoff.
+//
+// Not cryptographic. Deterministic for a given seed, which the tests and
+// the synthetic-input generators rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace adtm {
+
+// xoshiro256** by Blackman & Vigna: excellent statistical quality, four
+// words of state, no multiplication on the critical path of next().
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Per-thread generator seeded from the thread's small id; cheap to grab in
+// hot paths (backoff, contention management).
+Xoshiro256& thread_rng() noexcept;
+
+}  // namespace adtm

@@ -1,0 +1,57 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace adtm {
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::TxStart: return "tx_start";
+    case Counter::TxCommit: return "tx_commit";
+    case Counter::TxAbortConflict: return "tx_abort_conflict";
+    case Counter::TxAbortCapacity: return "tx_abort_capacity";
+    case Counter::TxAbortExplicit: return "tx_abort_explicit";
+    case Counter::TxRetry: return "tx_retry";
+    case Counter::TxIrrevocable: return "tx_irrevocable";
+    case Counter::TxHtmFallback: return "tx_htm_fallback";
+    case Counter::QuiesceWaits: return "quiesce_waits";
+    case Counter::DeferredOps: return "deferred_ops";
+    case Counter::TxLockAcquires: return "txlock_acquires";
+    case Counter::TxLockSubscribes: return "txlock_subscribes";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t StatsRegistry::total(Counter c) const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->at(static_cast<std::uint32_t>(c))
+               .load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void StatsRegistry::reset() noexcept {
+  for (auto& shard : shards_) {
+    for (auto& counter : *shard) counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string StatsRegistry::report() const {
+  std::ostringstream out;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(Counter::kCount);
+       ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = total(c);
+    if (v != 0) out << counter_name(c) << " = " << v << '\n';
+  }
+  return out.str();
+}
+
+StatsRegistry& stats() noexcept {
+  static StatsRegistry registry;
+  return registry;
+}
+
+}  // namespace adtm

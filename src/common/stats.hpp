@@ -1,0 +1,61 @@
+// Low-overhead event counters for the TM runtime.
+//
+// Counters are sharded per thread (one cache line per thread per group) so
+// that hot-path increments never contend; reads sum across shards and are
+// approximate while threads are running, exact at quiescent points (which
+// is when tests and benches read them).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/align.hpp"
+#include "common/thread_id.hpp"
+
+namespace adtm {
+
+enum class Counter : std::uint32_t {
+  TxStart,
+  TxCommit,
+  TxAbortConflict,   // validation / lock-acquire failure
+  TxAbortCapacity,   // HTM-sim footprint overflow
+  TxAbortExplicit,   // user-requested abort
+  TxRetry,           // Harris retry invocations
+  TxIrrevocable,     // entries into serial-irrevocable mode
+  TxHtmFallback,     // HTM-sim retries exhausted -> global lock
+  QuiesceWaits,      // commits that had to wait for a concurrent tx
+  DeferredOps,       // operations executed via atomic_defer
+  TxLockAcquires,
+  TxLockSubscribes,
+  kCount
+};
+
+const char* counter_name(Counter c) noexcept;
+
+class StatsRegistry {
+ public:
+  void add(Counter c, std::uint64_t n = 1) noexcept {
+    shards_[thread_id()]
+        ->at(static_cast<std::uint32_t>(c))
+        .fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total(Counter c) const noexcept;
+
+  void reset() noexcept;
+
+  // Multi-line human-readable dump of all nonzero counters.
+  std::string report() const;
+
+ private:
+  using Shard =
+      std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Counter::kCount)>;
+  CacheAligned<Shard> shards_[kMaxThreads];
+};
+
+// Global registry used by the STM runtime and deferral machinery.
+StatsRegistry& stats() noexcept;
+
+}  // namespace adtm

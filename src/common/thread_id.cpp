@@ -1,0 +1,49 @@
+#include "common/thread_id.hpp"
+
+#include <atomic>
+
+#include "common/align.hpp"
+#include "common/panic.hpp"
+
+namespace adtm {
+namespace {
+
+// One flag per slot; true while a live thread owns it.
+CacheAligned<std::atomic<bool>> g_slot_used[kMaxThreads];
+std::atomic<std::uint32_t> g_high_water{0};
+
+struct SlotOwner {
+  std::uint32_t id;
+
+  SlotOwner() noexcept : id(kNoThread) {
+    for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (g_slot_used[i]->compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        id = i;
+        break;
+      }
+    }
+    ADTM_INVARIANT(id != kNoThread,
+                   "more than kMaxThreads concurrent threads use adtm");
+    std::uint32_t hw = g_high_water.load(std::memory_order_relaxed);
+    while (hw < id + 1 && !g_high_water.compare_exchange_weak(
+                              hw, id + 1, std::memory_order_relaxed)) {
+    }
+  }
+
+  ~SlotOwner() { g_slot_used[id]->store(false, std::memory_order_release); }
+};
+
+}  // namespace
+
+std::uint32_t thread_id() noexcept {
+  thread_local SlotOwner owner;
+  return owner.id;
+}
+
+std::uint32_t thread_high_water() noexcept {
+  return g_high_water.load(std::memory_order_relaxed);
+}
+
+}  // namespace adtm

@@ -1,0 +1,28 @@
+// Small dense per-thread identifiers.
+//
+// The STM runtime, TxLock ownership, and the quiescence machinery all need
+// a compact thread id that can be stored in a word and used to index
+// fixed-size registries. Slots are recycled when threads exit, so an
+// application may create any number of threads over its lifetime as long
+// as at most kMaxThreads are *concurrently* using the library.
+#pragma once
+
+#include <cstdint>
+
+namespace adtm {
+
+inline constexpr std::uint32_t kMaxThreads = 128;
+
+// Sentinel meaning "no thread" (e.g. an unheld TxLock's owner).
+inline constexpr std::uint32_t kNoThread = ~std::uint32_t{0};
+
+// Returns this thread's dense id in [0, kMaxThreads). Allocates a slot on
+// first call; the slot is released when the thread exits. Aborts the
+// process if more than kMaxThreads threads are concurrently registered.
+std::uint32_t thread_id() noexcept;
+
+// Number of slots ever handed out concurrently (high-water mark). Used by
+// diagnostics only.
+std::uint32_t thread_high_water() noexcept;
+
+}  // namespace adtm

@@ -1,0 +1,34 @@
+// Monotonic timing helpers for benches and internal statistics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace adtm {
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Stopwatch measuring wall-clock time on the steady clock.
+class Timer {
+ public:
+  Timer() noexcept : start_(now_ns()) {}
+
+  void restart() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace adtm

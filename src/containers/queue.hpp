@@ -1,0 +1,95 @@
+// Transactional FIFO queue with blocking pop.
+//
+// pop_wait composes the queue with the runtime's retry: a consumer of an
+// empty queue aborts and sleeps until a producer's commit changes the head
+// — the condition-synchronization pattern of Harris et al. that the
+// paper's TxLock subscription is built from.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm::containers {
+
+template <typename T>
+class TxQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "TxQueue requires a trivially copyable element type");
+
+ public:
+  TxQueue() = default;
+
+  ~TxQueue() {
+    Node* n = head_.load_direct();
+    while (n != nullptr) {
+      Node* next = n->next.load_direct();
+      n->~Node();
+      std::free(n);
+      n = next;
+    }
+  }
+
+  TxQueue(const TxQueue&) = delete;
+  TxQueue& operator=(const TxQueue&) = delete;
+
+  void push(stm::Tx& tx, const T& value) {
+    Node* node = static_cast<Node*>(tx.alloc(sizeof(Node)));
+    ::new (node) Node;
+    node->value.store_direct(value);
+    Node* tail = tail_.get(tx);
+    if (tail == nullptr) {
+      head_.set(tx, node);
+    } else {
+      tail->next.set(tx, node);
+    }
+    tail_.set(tx, node);
+    size_.set(tx, size_.get(tx) + 1);
+  }
+
+  // Non-blocking pop.
+  std::optional<T> pop(stm::Tx& tx) {
+    Node* head = head_.get(tx);
+    if (head == nullptr) return std::nullopt;
+    return do_pop(tx, head);
+  }
+
+  // Blocking pop: retries (sleeping) until an element is available.
+  T pop_wait(stm::Tx& tx) {
+    Node* head = head_.get(tx);
+    if (head == nullptr) stm::retry(tx);
+    return do_pop(tx, head);
+  }
+
+  std::size_t size(stm::Tx& tx) const { return size_.get(tx); }
+  std::size_t size_direct() const { return size_.load_direct(); }
+  bool empty(stm::Tx& tx) const { return head_.get(tx) == nullptr; }
+
+ private:
+  struct Node {
+    stm::tvar<T> value{};
+    stm::tvar<Node*> next{nullptr};
+  };
+
+  T do_pop(stm::Tx& tx, Node* head) {
+    const T value = head->value.get(tx);
+    Node* next = head->next.get(tx);
+    head_.set(tx, next);
+    if (next == nullptr) tail_.set(tx, nullptr);
+    size_.set(tx, size_.get(tx) - 1);
+    tx.on_commit([head] {
+      head->~Node();
+      std::free(head);
+    });
+    return value;
+  }
+
+  stm::tvar<Node*> head_{nullptr};
+  stm::tvar<Node*> tail_{nullptr};
+  stm::tvar<std::size_t> size_{0};
+};
+
+}  // namespace adtm::containers

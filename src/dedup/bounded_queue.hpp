@@ -1,0 +1,65 @@
+// Bounded MPMC queue for pipeline stages (PARSEC dedup's inter-stage
+// queues). Plain mutex/condvar: the queues are not the contended resource
+// under study, the critical sections inside the stages are.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace adtm::dedup {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  // Blocks while full. Returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. Empty optional once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // No more pushes; pending items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace adtm::dedup

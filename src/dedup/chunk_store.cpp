@@ -1,0 +1,130 @@
+#include "dedup/chunk_store.hpp"
+
+#include "stm/api.hpp"
+
+namespace adtm::dedup {
+
+const char* sync_mode_name(SyncMode m) noexcept {
+  switch (m) {
+    case SyncMode::Pthread: return "Pthread";
+    case SyncMode::TmIrrevoc: return "TM";
+    case SyncMode::TmDeferIO: return "TM+DeferIO";
+    case SyncMode::TmDeferAll: return "TM+DeferAll";
+  }
+  return "?";
+}
+
+bool is_tm(SyncMode m) noexcept { return m != SyncMode::Pthread; }
+
+ChunkStore::ChunkStore(SyncMode mode, std::size_t buckets)
+    : mode_(mode), heads_(buckets) {
+  if (mode_ == SyncMode::Pthread) {
+    bucket_mutexes_.reserve(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      bucket_mutexes_.push_back(std::make_unique<std::mutex>());
+    }
+  }
+}
+
+ChunkStore::~ChunkStore() {
+  for (auto& head : heads_) {
+    Entry* e = head.load_direct();
+    while (e != nullptr) {
+      Entry* next = e->next_;
+      delete e;
+      e = next;
+    }
+  }
+}
+
+ChunkStore::Entry* ChunkStore::find_in_chain(Entry* head,
+                                             const Sha1Digest& digest) const {
+  // Chain links and digests are immutable once an entry is published via
+  // the bucket head, so traversal needs no per-node synchronization.
+  for (Entry* e = head; e != nullptr; e = e->next_) {
+    if (e->digest() == digest) return e;
+  }
+  return nullptr;
+}
+
+ChunkStore::LookupResult ChunkStore::lookup_or_insert(
+    const Sha1Digest& digest) {
+  const std::size_t bucket = digest.prefix64() % heads_.size();
+  auto& head = heads_[bucket];
+
+  if (mode_ == SyncMode::Pthread) {
+    std::lock_guard<std::mutex> lk(*bucket_mutexes_[bucket]);
+    if (Entry* found = find_in_chain(head.load_direct(), digest)) {
+      return {found, false};
+    }
+    auto* e = new Entry;
+    e->digest_ = digest;
+    e->next_ = head.load_direct();
+    head.store_direct(e);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    return {e, true};
+  }
+
+  // TM modes: the bucket head is the only mutable shared word.
+  Entry* prepared = nullptr;
+  const LookupResult result = stm::atomic([&](stm::Tx& tx) -> LookupResult {
+    if (Entry* found = find_in_chain(head.get(tx), digest)) {
+      return {found, false};
+    }
+    if (prepared == nullptr) {  // reuse across re-executions
+      prepared = new Entry;
+      prepared->digest_ = digest;
+    }
+    prepared->next_ = head.get(tx);
+    head.set(tx, prepared);
+    return {prepared, true};
+  });
+  if (result.inserted) {
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    delete prepared;  // lost the race on a re-execution
+  }
+  return result;
+}
+
+void ChunkStore::publish_compressed(Entry& entry,
+                                    std::vector<std::byte> data) {
+  entry.compressed_ = std::move(data);
+  if (mode_ == SyncMode::Pthread) {
+    {
+      std::lock_guard<std::mutex> lk(flags_mutex_);
+      entry.ready_.store_direct(true);
+    }
+    ready_cv_.notify_all();
+    return;
+  }
+  // The flag flip must be transactional so output-stage retry waiters wake.
+  stm::atomic([&](stm::Tx& tx) { entry.ready_.set(tx, true); });
+}
+
+bool ChunkStore::claim_write(Entry& entry) {
+  if (mode_ == SyncMode::Pthread) {
+    std::unique_lock<std::mutex> lk(flags_mutex_);
+    if (entry.written_.load_direct()) return false;
+    ready_cv_.wait(lk, [&] { return entry.ready_.load_direct(); });
+    entry.written_.store_direct(true);
+    return true;
+  }
+  return stm::atomic([&](stm::Tx& tx) { return claim_write_in(tx, entry); });
+}
+
+bool ChunkStore::claim_write_in(stm::Tx& tx, Entry& entry) {
+  // In TmDeferAll mode a deferred compression may hold the entry's
+  // implicit lock; subscribing suspends us until it completes (§6.2).
+  entry.subscribe(tx);
+  if (entry.written_.get(tx)) return false;
+  if (!entry.ready_.get(tx)) stm::retry(tx);
+  entry.written_.set(tx, true);
+  return true;
+}
+
+std::uint64_t ChunkStore::entry_count() const noexcept {
+  return entries_.load(std::memory_order_relaxed);
+}
+
+}  // namespace adtm::dedup

@@ -1,0 +1,105 @@
+// The deduplication hash table (PARSEC dedup's global chunk database).
+//
+// Maps SHA-1 digests to chunk entries. The first packet to insert a digest
+// becomes responsible for compressing the chunk; at output time, the first
+// packet (in emission order) to *claim* an entry writes the full
+// compressed data, and every later packet writes a fingerprint reference.
+//
+// Two synchronization families share one structure:
+//  * Lock mode: per-bucket mutexes plus a store-wide mutex/condvar for the
+//    ready/written flags — the paper's well-designed pthread baseline.
+//  * TM mode: bucket heads and flags are transactional variables; the
+//    ready-wait uses subscribe/retry, so a buffer locked for deferred
+//    compression suspends exactly the transactions that touch it (§6.2).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "defer/deferrable.hpp"
+#include "dedup/sha1.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm::dedup {
+
+// How pipeline critical sections are synchronized.
+enum class SyncMode : std::uint8_t {
+  Pthread,     // fine-grained locks (the paper's pthread baseline)
+  TmIrrevoc,   // transactions; output via irrevocability; compress inside tx
+  TmDeferIO,   // + output deferred with atomic_defer (Listing 7)
+  TmDeferAll,  // + pure Compress deferred on the chunk entry as well
+};
+
+const char* sync_mode_name(SyncMode m) noexcept;
+bool is_tm(SyncMode m) noexcept;
+
+class ChunkStore {
+ public:
+  // A chunk database entry. Deferrable: in TmDeferAll mode the deferred
+  // compression holds the entry's implicit lock, and any transaction that
+  // touches the entry (the output stage's claim) subscribes first.
+  class Entry : public Deferrable {
+   public:
+    const Sha1Digest& digest() const noexcept { return digest_; }
+
+    // Compressed payload; stable once ready. Written exactly once by the
+    // compressing thread before the ready flag is raised.
+    const std::vector<std::byte>& compressed() const noexcept {
+      return compressed_;
+    }
+
+   private:
+    friend class ChunkStore;
+    Sha1Digest digest_{};
+    stm::tvar<bool> ready_{false};
+    stm::tvar<bool> written_{false};
+    std::vector<std::byte> compressed_;
+    Entry* next_ = nullptr;               // bucket chain (stable once linked)
+  };
+
+  explicit ChunkStore(SyncMode mode, std::size_t buckets = 1 << 14);
+  ~ChunkStore();
+
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+
+  struct LookupResult {
+    Entry* entry;
+    bool inserted;  // true -> caller owns compression of this chunk
+  };
+
+  // Dedup-stage critical section: find or insert the digest.
+  LookupResult lookup_or_insert(const Sha1Digest& digest);
+
+  // Compress-stage publication: store the compressed payload and raise the
+  // ready flag. Caller must be the inserter.
+  void publish_compressed(Entry& entry, std::vector<std::byte> data);
+
+  // Output-stage critical section: returns true exactly once per entry —
+  // the caller that gets true writes the full data (blocking first until
+  // the compressed payload is ready); all others write a reference.
+  bool claim_write(Entry& entry);
+
+  // Transactional form, for callers that need the claim to be part of a
+  // larger transaction (e.g. atomic with a deferred output operation).
+  // TM modes only.
+  bool claim_write_in(stm::Tx& tx, Entry& entry);
+
+  SyncMode mode() const noexcept { return mode_; }
+  std::uint64_t entry_count() const noexcept;
+
+ private:
+  Entry* find_in_chain(Entry* head, const Sha1Digest& digest) const;
+
+  SyncMode mode_;
+  std::vector<stm::tvar<Entry*>> heads_;
+  std::vector<std::unique_ptr<std::mutex>> bucket_mutexes_;  // Pthread mode
+  std::mutex flags_mutex_;              // Pthread mode: guards flags
+  std::condition_variable ready_cv_;    // Pthread mode: compress completion
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace adtm::dedup

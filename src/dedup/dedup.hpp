@@ -1,0 +1,10 @@
+// Umbrella header for the dedup kernel reimplementation.
+#pragma once
+
+#include "dedup/chunk_store.hpp"   // IWYU pragma: export
+#include "dedup/format.hpp"        // IWYU pragma: export
+#include "dedup/lzss.hpp"          // IWYU pragma: export
+#include "dedup/pipeline.hpp"      // IWYU pragma: export
+#include "dedup/rabin.hpp"         // IWYU pragma: export
+#include "dedup/sha1.hpp"          // IWYU pragma: export
+#include "dedup/synth_input.hpp"   // IWYU pragma: export

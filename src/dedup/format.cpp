@@ -1,0 +1,102 @@
+#include "dedup/format.hpp"
+
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "dedup/lzss.hpp"
+
+namespace adtm::dedup {
+namespace {
+
+constexpr std::uint8_t kTypeUnique = 0;
+constexpr std::uint8_t kTypeRef = 1;
+
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + len);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_unique(const Sha1Digest& digest,
+                                     std::span<const std::byte> compressed) {
+  std::vector<std::byte> out;
+  out.reserve(1 + 4 + 20 + compressed.size());
+  out.push_back(static_cast<std::byte>(kTypeUnique));
+  const auto len = static_cast<std::uint32_t>(compressed.size());
+  append_bytes(out, &len, 4);
+  append_bytes(out, digest.bytes.data(), digest.bytes.size());
+  append_bytes(out, compressed.data(), compressed.size());
+  return out;
+}
+
+std::vector<std::byte> encode_ref(const Sha1Digest& digest) {
+  std::vector<std::byte> out;
+  out.reserve(1 + 20);
+  out.push_back(static_cast<std::byte>(kTypeRef));
+  append_bytes(out, digest.bytes.data(), digest.bytes.size());
+  return out;
+}
+
+std::vector<std::byte> restore(std::span<const std::byte> container) {
+  if (container.size() < sizeof(kMagic) ||
+      std::memcmp(container.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("restore: bad magic");
+  }
+
+  std::map<Sha1Digest, std::vector<std::byte>> seen;
+  std::vector<std::byte> out;
+
+  std::size_t i = sizeof(kMagic);
+  const std::size_t n = container.size();
+  const auto need = [&](std::size_t k) {
+    if (i + k > n) throw std::runtime_error("restore: truncated record");
+  };
+
+  while (i < n) {
+    const auto type = static_cast<std::uint8_t>(container[i]);
+    ++i;
+    if (type == kTypeUnique) {
+      need(4 + 20);
+      std::uint32_t comp_len;
+      std::memcpy(&comp_len, container.data() + i, 4);
+      i += 4;
+      Sha1Digest digest;
+      std::memcpy(digest.bytes.data(), container.data() + i, 20);
+      i += 20;
+      need(comp_len);
+      std::vector<std::byte> raw =
+          lzss_decompress(container.subspan(i, comp_len));
+      i += comp_len;
+      if (sha1(std::span<const std::byte>(raw)) != digest) {
+        throw std::runtime_error("restore: digest mismatch");
+      }
+      out.insert(out.end(), raw.begin(), raw.end());
+      seen.emplace(digest, std::move(raw));
+    } else if (type == kTypeRef) {
+      need(20);
+      Sha1Digest digest;
+      std::memcpy(digest.bytes.data(), container.data() + i, 20);
+      i += 20;
+      const auto it = seen.find(digest);
+      if (it == seen.end()) {
+        throw std::runtime_error("restore: reference to unseen chunk");
+      }
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    } else {
+      throw std::runtime_error("restore: unknown record type");
+    }
+  }
+  return out;
+}
+
+std::string restore_str(const std::string& container) {
+  const auto out = restore(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(container.data()),
+      container.size()));
+  return std::string(reinterpret_cast<const char*>(out.data()), out.size());
+}
+
+}  // namespace adtm::dedup

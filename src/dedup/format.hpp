@@ -1,0 +1,36 @@
+// Container format of the deduplicated/compressed output stream, plus the
+// restore (decompression) path used to verify round trips.
+//
+// Layout (little-endian):
+//   8-byte magic "ADTMDDP1"
+//   records until EOF:
+//     u8 type
+//     type 0 (unique): u32 comp_len, 20-byte SHA-1, comp_len bytes of LZSS
+//     type 1 (ref):    20-byte SHA-1 of an earlier unique record
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dedup/sha1.hpp"
+
+namespace adtm::dedup {
+
+inline constexpr char kMagic[8] = {'A', 'D', 'T', 'M', 'D', 'D', 'P', '1'};
+
+// Serialize one unique-chunk record.
+std::vector<std::byte> encode_unique(const Sha1Digest& digest,
+                                     std::span<const std::byte> compressed);
+
+// Serialize one reference record.
+std::vector<std::byte> encode_ref(const Sha1Digest& digest);
+
+// Reconstruct the original stream from a complete container. Throws
+// std::runtime_error on malformed input (bad magic, truncated record,
+// reference to an unseen digest, digest mismatch after decompression).
+std::vector<std::byte> restore(std::span<const std::byte> container);
+std::string restore_str(const std::string& container);
+
+}  // namespace adtm::dedup

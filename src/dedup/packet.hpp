@@ -1,0 +1,32 @@
+// Packet: one chunk flowing through the dedup pipeline (PARSEC's chunk
+// struct, made deferrable as in the paper's Listing 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "defer/deferrable.hpp"
+#include "dedup/chunk_store.hpp"
+#include "dedup/sha1.hpp"
+#include "stm/tbytes.hpp"
+
+namespace adtm::dedup {
+
+struct Packet : Deferrable {
+  // Position in the stream: fragment number from the coarse Fragment
+  // stage, chunk index within the fragment from Refine. The output stage
+  // reorders lexicographically by (frag, idx); last_in_frag tells it when
+  // to advance to the next fragment.
+  std::uint64_t frag = 0;
+  std::uint32_t idx = 0;
+  bool last_in_frag = false;
+
+  stm::tbytes data;                 // raw chunk payload
+  Sha1Digest digest;                // content fingerprint
+  ChunkStore::Entry* entry = nullptr;
+  bool compressor = false;          // this packet inserted the entry
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+}  // namespace adtm::dedup

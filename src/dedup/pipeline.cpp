@@ -1,0 +1,261 @@
+#include "dedup/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "defer/atomic_defer.hpp"
+#include "dedup/bounded_queue.hpp"
+#include "dedup/format.hpp"
+#include "dedup/lzss.hpp"
+#include "dedup/packet.hpp"
+#include "io/posix_file.hpp"
+#include "stm/api.hpp"
+
+namespace adtm::dedup {
+namespace {
+
+// Coarse unit of work from the Fragment stage: a fixed-size slice of the
+// input that a worker refines into content-defined chunks.
+struct Fragment {
+  std::uint64_t seq = 0;
+  std::span<const std::byte> bytes;
+};
+
+struct PipelineCtx {
+  explicit PipelineCtx(const Options& o, const std::string& output_path)
+      : opts(o),
+        store(o.mode),
+        fragments(o.queue_capacity),
+        done(o.queue_capacity),
+        out(io::PosixFile::create(output_path)) {}
+
+  const Options& opts;
+  ChunkStore store;
+  BoundedQueue<Fragment> fragments;
+  BoundedQueue<PacketPtr> done;
+  io::PosixFile out;
+  std::mutex output_mutex;  // Pthread mode: the original output-stage lock
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> unique{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+};
+
+// ---------------------------------------------------------------------------
+// Compress stage (unique chunks only)
+// ---------------------------------------------------------------------------
+
+void compress_chunk(PipelineCtx& ctx, Packet& pkt) {
+  switch (ctx.opts.mode) {
+    case SyncMode::Pthread: {
+      // Plain reads, no instrumentation: the lock-based baseline.
+      const std::vector<std::byte> raw = pkt.data.read_direct();
+      ctx.store.publish_compressed(*pkt.entry, lzss_compress(raw));
+      return;
+    }
+    case SyncMode::TmIrrevoc:
+    case SyncMode::TmDeferIO: {
+      // Wang et al.'s transactionalization: Compress runs *inside* a
+      // transaction. The chunk bytes are read through the instrumented
+      // path, so the transaction's footprint covers the whole chunk —
+      // in STM this long transaction delays every concurrent writer's
+      // quiescence; in (simulated) HTM it overflows capacity and
+      // serializes (paper §6.2).
+      std::vector<std::byte> compressed;
+      stm::atomic([&](stm::Tx& tx) {
+        const std::vector<std::byte> raw = pkt.data.read(tx);
+        compressed = lzss_compress(raw);
+      });
+      ctx.store.publish_compressed(*pkt.entry, std::move(compressed));
+      return;
+    }
+    case SyncMode::TmDeferAll: {
+      // The paper's fix: Compress is pure, so defer it. The chunk buffer
+      // and its entry are locked for the duration; transactions that
+      // touch them suspend, everyone else proceeds — and the transaction
+      // itself is tiny (no capacity overflow, no quiescence drag).
+      stm::atomic([&](stm::Tx& tx) {
+        atomic_defer(
+            tx,
+            [&ctx, &pkt] {
+              const std::vector<std::byte> raw = pkt.data.read_direct();
+              ctx.store.publish_compressed(*pkt.entry, lzss_compress(raw));
+            },
+            pkt, *pkt.entry);
+      });
+      return;
+    }
+  }
+}
+
+// Refine + Deduplicate + Compress, fused in each worker (the heavy,
+// parallel part of the pipeline).
+void worker_loop(PipelineCtx& ctx) {
+  while (auto item = ctx.fragments.pop()) {
+    const Fragment frag = *item;
+    // Refine stage: content-defined chunking within the fragment.
+    const std::vector<std::size_t> lengths =
+        chunk_lengths(frag.bytes, ctx.opts.chunking);
+    ctx.chunks.fetch_add(lengths.size(), std::memory_order_relaxed);
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+      auto pkt = std::make_unique<Packet>();
+      pkt->frag = frag.seq;
+      pkt->idx = static_cast<std::uint32_t>(i);
+      pkt->last_in_frag = (i + 1 == lengths.size());
+      pkt->data.assign(frag.bytes.subspan(offset, lengths[i]));
+      offset += lengths[i];
+
+      // Fingerprint, then the Deduplicate stage's critical section.
+      const std::vector<std::byte> raw = pkt->data.read_direct();
+      pkt->digest = sha1(std::span<const std::byte>(raw));
+      const auto [entry, inserted] = ctx.store.lookup_or_insert(pkt->digest);
+      pkt->entry = entry;
+      pkt->compressor = inserted;
+      if (inserted) {
+        ctx.unique.fetch_add(1, std::memory_order_relaxed);
+        compress_chunk(ctx, *pkt);
+      }
+      ctx.done.push(std::move(pkt));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reorder + write stage
+// ---------------------------------------------------------------------------
+
+void emit_packet(PipelineCtx& ctx, Packet& pkt, bool do_sync) {
+  switch (ctx.opts.mode) {
+    case SyncMode::Pthread: {
+      const bool full = ctx.store.claim_write(*pkt.entry);
+      const std::vector<std::byte> record =
+          full ? encode_unique(pkt.digest, pkt.entry->compressed())
+               : encode_ref(pkt.digest);
+      // The original dedup performs output while holding a lock (§6.2).
+      std::lock_guard<std::mutex> lk(ctx.output_mutex);
+      ctx.out.write_fully(record.data(), record.size());
+      if (do_sync) ctx.out.sync();
+      ctx.bytes_out.fetch_add(record.size(), std::memory_order_relaxed);
+      return;
+    }
+    case SyncMode::TmIrrevoc: {
+      // Lock -> transaction: the write forces irrevocability, which
+      // serializes every concurrent transaction in the program.
+      stm::atomic([&](stm::Tx& tx) {
+        const bool full = ctx.store.claim_write_in(tx, *pkt.entry);
+        stm::become_irrevocable(tx);
+        const std::vector<std::byte> record =
+            full ? encode_unique(pkt.digest, pkt.entry->compressed())
+                 : encode_ref(pkt.digest);
+        ctx.out.write_fully(record.data(), record.size());
+        if (do_sync) ctx.out.sync();
+        ctx.bytes_out.fetch_add(record.size(), std::memory_order_relaxed);
+      });
+      return;
+    }
+    case SyncMode::TmDeferIO:
+    case SyncMode::TmDeferAll: {
+      // Listing 7: the packet is deferrable; moving pipeline_out into a
+      // deferred operation is a one-line change that preserves fsync
+      // ordering and error handling without serializing anyone.
+      stm::atomic([&](stm::Tx& tx) {
+        const bool full = ctx.store.claim_write_in(tx, *pkt.entry);
+        atomic_defer(
+            tx,
+            [&ctx, &pkt, full, do_sync] {
+              const std::vector<std::byte> record =
+                  full ? encode_unique(pkt.digest, pkt.entry->compressed())
+                       : encode_ref(pkt.digest);
+              ctx.out.write_fully(record.data(), record.size());
+              if (do_sync) ctx.out.sync();
+              ctx.bytes_out.fetch_add(record.size(),
+                                      std::memory_order_relaxed);
+            },
+            pkt);
+      });
+      return;
+    }
+  }
+}
+
+void output_loop(PipelineCtx& ctx) {
+  // Reorder by (fragment, chunk index); last_in_frag advances fragments.
+  using Key = std::pair<std::uint64_t, std::uint32_t>;
+  std::map<Key, PacketPtr> reorder;
+  Key expected{0, 0};
+  std::uint64_t records = 0;
+  while (auto item = ctx.done.pop()) {
+    const Key key{(*item)->frag, (*item)->idx};
+    reorder.emplace(key, std::move(*item));
+    while (!reorder.empty() && reorder.begin()->first == expected) {
+      PacketPtr pkt = std::move(reorder.begin()->second);
+      reorder.erase(reorder.begin());
+      ++records;
+      const bool do_sync = ctx.opts.fsync_every != 0 &&
+                           records % ctx.opts.fsync_every == 0;
+      emit_packet(ctx, *pkt, do_sync);
+      expected = pkt->last_in_frag ? Key{pkt->frag + 1, 0}
+                                   : Key{pkt->frag, pkt->idx + 1};
+    }
+  }
+  ctx.out.sync();
+}
+
+}  // namespace
+
+PipelineStats dedup_stream(std::span<const std::byte> input,
+                           const std::string& output_path,
+                           const Options& opts) {
+  Timer timer;
+  PipelineCtx ctx(opts, output_path);
+
+  // Magic header first, before any records.
+  ctx.out.write_fully(kMagic, sizeof(kMagic));
+
+  std::vector<std::thread> workers;
+  const unsigned n_workers = opts.workers == 0 ? 1 : opts.workers;
+  workers.reserve(n_workers);
+  for (unsigned i = 0; i < n_workers; ++i) {
+    workers.emplace_back([&ctx] { worker_loop(ctx); });
+  }
+  std::thread output([&ctx] { output_loop(ctx); });
+
+  // Fragment stage: coarse fixed-size slices feed the parallel refiners.
+  PipelineStats stats;
+  stats.bytes_in = input.size();
+  const std::size_t frag_bytes =
+      opts.fragment_bytes == 0 ? (1u << 20) : opts.fragment_bytes;
+  std::uint64_t frag_seq = 0;
+  for (std::size_t offset = 0; offset < input.size();
+       offset += frag_bytes) {
+    const std::size_t len = std::min(frag_bytes, input.size() - offset);
+    ctx.fragments.push(Fragment{frag_seq++, input.subspan(offset, len)});
+  }
+  ctx.fragments.close();
+  for (auto& w : workers) w.join();
+  ctx.done.close();
+  output.join();
+
+  stats.chunks = ctx.chunks.load();
+  stats.unique_chunks = ctx.unique.load();
+  stats.dup_chunks = stats.chunks - stats.unique_chunks;
+  stats.bytes_out = ctx.bytes_out.load() + sizeof(kMagic);
+  stats.seconds = timer.elapsed_s();
+  return stats;
+}
+
+PipelineStats dedup_stream(const std::string& input,
+                           const std::string& output_path,
+                           const Options& opts) {
+  return dedup_stream(
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(input.data()), input.size()),
+      output_path, opts);
+}
+
+}  // namespace adtm::dedup

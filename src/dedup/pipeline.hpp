@@ -1,0 +1,54 @@
+// The dedup pipeline (PARSEC dedup kernel reimplementation).
+//
+// Stages, as in the original benchmark:
+//   Fragment/Refine  — content-defined chunking (producer)
+//   Deduplicate      — global chunk-store lookup/insert   [critical section]
+//   Compress         — LZSS of unique chunks              [long / pure]
+//   Reorder + Write  — emit records in input order        [output section]
+//
+// Four synchronization variants (SyncMode) reproduce the paper's Figure 3
+// configurations; see chunk_store.hpp. For TM variants, select the STM or
+// simulated-HTM algorithm with stm::init() before calling dedup_stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "dedup/chunk_store.hpp"
+#include "dedup/rabin.hpp"
+
+namespace adtm::dedup {
+
+struct Options {
+  SyncMode mode = SyncMode::Pthread;
+  unsigned workers = 4;           // refine/dedup/compress stage threads
+  ChunkParams chunking{};
+  // Coarse Fragment-stage granularity: the producer splits the input into
+  // fragments of this size, and the parallel workers refine each into
+  // content-defined chunks (chunks never span fragments, as in PARSEC).
+  std::size_t fragment_bytes = 1 << 20;
+  std::size_t queue_capacity = 128;
+  std::size_t fsync_every = 16;   // fsync after every N records (0 = end only)
+};
+
+struct PipelineStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t unique_chunks = 0;
+  std::uint64_t dup_chunks = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  double seconds = 0.0;
+};
+
+// Deduplicate + compress `input` into the container file at `output_path`.
+PipelineStats dedup_stream(std::span<const std::byte> input,
+                           const std::string& output_path,
+                           const Options& opts = {});
+
+// Convenience for strings (tests/examples).
+PipelineStats dedup_stream(const std::string& input,
+                           const std::string& output_path,
+                           const Options& opts = {});
+
+}  // namespace adtm::dedup

@@ -1,0 +1,79 @@
+#include "dedup/rabin.hpp"
+
+namespace adtm::dedup {
+namespace {
+
+// Karp–Rabin rolling hash: fp = sum(win[i] * P^(W-1-i)) mod 2^64. An odd
+// multiplier makes the map over Z/2^64 well-mixed in the low bits we test
+// against the boundary mask.
+constexpr std::uint64_t kPrime = 0x3B9ACA07'D2D848A5ULL | 1;
+
+std::uint64_t pow_prime(std::size_t e) noexcept {
+  std::uint64_t r = 1, b = kPrime;
+  while (e > 0) {
+    if (e & 1) r *= b;
+    b *= b;
+    e >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+RabinRoller::RabinRoller(std::size_t window) noexcept
+    : win_(window == 0 ? 1 : window, 0) {
+  pop_ = pow_prime(win_.size() - 1);
+}
+
+void RabinRoller::reset() noexcept {
+  fp_ = 0;
+  pos_ = 0;
+  filled_ = 0;
+  win_.assign(win_.size(), 0);
+}
+
+std::uint64_t RabinRoller::roll(std::uint8_t in) noexcept {
+  if (filled_ == win_.size()) {
+    const std::uint8_t out = win_[pos_];
+    fp_ -= static_cast<std::uint64_t>(out + 1) * pop_;
+  } else {
+    ++filled_;
+  }
+  win_[pos_] = in;
+  pos_ = (pos_ + 1) % win_.size();
+  // +1 biases away from the all-zeros fixed point (runs of 0x00 would
+  // otherwise keep fp == 0 forever and either always or never match).
+  fp_ = fp_ * kPrime + (static_cast<std::uint64_t>(in) + 1);
+  return fp_;
+}
+
+std::vector<std::size_t> chunk_lengths(std::span<const std::byte> data,
+                                       const ChunkParams& params) {
+  std::vector<std::size_t> lengths;
+  if (data.empty()) return lengths;
+
+  RabinRoller roller(params.window);
+  std::size_t chunk_start = 0;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t fp = roller.roll(static_cast<std::uint8_t>(data[i]));
+    ++i;
+    const std::size_t len = i - chunk_start;
+    const bool at_boundary =
+        len >= params.min_chunk && (fp & params.mask) == params.magic;
+    if (at_boundary || len >= params.max_chunk) {
+      lengths.push_back(len);
+      chunk_start = i;
+      // Restart the window so each chunk's boundaries depend only on its
+      // own content — required for identical chunks to split identically
+      // wherever they appear.
+      roller.reset();
+    }
+  }
+  if (chunk_start < data.size()) {
+    lengths.push_back(data.size() - chunk_start);
+  }
+  return lengths;
+}
+
+}  // namespace adtm::dedup

@@ -1,0 +1,152 @@
+#include "dedup/sha1.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace adtm::dedup {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+std::uint64_t Sha1Digest::prefix64() const noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::string Sha1Digest::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+void Sha1::reset() noexcept {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_len_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[i * 4]} << 24) |
+           (std::uint32_t{block[i * 4 + 1]} << 16) |
+           (std::uint32_t{block[i * 4 + 2]} << 8) |
+           std::uint32_t{block[i * 4 + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(len, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (len >= 64) {
+    process_block(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffered_ = len;
+  }
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  // Bypass total_len_ accounting for the length field itself (it is
+  // already included in bit_len captured above, and update() counting it
+  // is harmless since we are done), then flush.
+  update(len_be, 8);
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[static_cast<std::size_t>(i * 4)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest sha1(const void* data, std::size_t len) noexcept {
+  Sha1 h;
+  h.update(data, len);
+  return h.finish();
+}
+
+Sha1Digest sha1(std::span<const std::byte> data) noexcept {
+  return sha1(data.data(), data.size());
+}
+
+Sha1Digest sha1(const std::string& data) noexcept {
+  return sha1(data.data(), data.size());
+}
+
+}  // namespace adtm::dedup

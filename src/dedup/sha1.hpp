@@ -1,0 +1,55 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// PARSEC dedup fingerprints chunks with SHA-1 to detect duplicates; we do
+// the same. SHA-1 is not collision-resistant enough for adversarial inputs
+// anymore, but for content-addressed deduplication of benign data it is
+// exactly what the original benchmark uses.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace adtm::dedup {
+
+struct Sha1Digest {
+  std::array<std::uint8_t, 20> bytes{};
+
+  bool operator==(const Sha1Digest&) const = default;
+  auto operator<=>(const Sha1Digest&) const = default;
+
+  // First 8 bytes as an integer — used as the dedup hash-table index.
+  std::uint64_t prefix64() const noexcept;
+
+  std::string hex() const;
+};
+
+// Incremental hasher.
+class Sha1 {
+ public:
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(const void* data, std::size_t len) noexcept;
+  void update(std::span<const std::byte> data) noexcept {
+    update(data.data(), data.size());
+  }
+  Sha1Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[5];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+// One-shot convenience.
+Sha1Digest sha1(const void* data, std::size_t len) noexcept;
+Sha1Digest sha1(std::span<const std::byte> data) noexcept;
+Sha1Digest sha1(const std::string& data) noexcept;
+
+}  // namespace adtm::dedup

@@ -1,0 +1,61 @@
+#include "dedup/synth_input.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace adtm::dedup {
+namespace {
+
+// A small dictionary gives text-like statistics: LZSS finds plenty of
+// matches, like the mixed text/media content of the PARSEC input.
+constexpr const char* kWords[] = {
+    "transaction", "memory",   "deferral",  "atomic",    "commit",
+    "abort",       "retry",    "lock",      "subscribe", "quiesce",
+    "pipeline",    "chunk",    "compress",  "output",    "serializable",
+    "concurrent",  "thread",   "buffer",    "stream",    "fsync",
+    "the",         "a",        "of",        "and",       "with",
+};
+
+std::string make_block(Xoshiro256& rng, std::size_t len) {
+  std::string block;
+  block.reserve(len + 16);
+  while (block.size() < len) {
+    block += kWords[rng.next_below(std::size(kWords))];
+    block.push_back(rng.next_below(16) == 0 ? '\n' : ' ');
+    // Sprinkle low-compressibility runs so ratios are not uniform.
+    if (rng.next_below(64) == 0) {
+      for (int i = 0; i < 24; ++i) {
+        block.push_back(static_cast<char>(rng.next()));
+      }
+    }
+  }
+  block.resize(len);
+  return block;
+}
+
+}  // namespace
+
+std::string make_synthetic_input(const SynthParams& params) {
+  Xoshiro256 rng{params.seed};
+  std::string out;
+  out.reserve(params.total_bytes + params.block_bytes);
+
+  std::vector<std::string> history;
+  while (out.size() < params.total_bytes) {
+    const bool repeat =
+        !history.empty() &&
+        rng.next_double() < params.dup_fraction;
+    if (repeat) {
+      out += history[rng.next_below(history.size())];
+    } else {
+      std::string block = make_block(rng, params.block_bytes);
+      out += block;
+      history.push_back(std::move(block));
+    }
+  }
+  out.resize(params.total_bytes);
+  return out;
+}
+
+}  // namespace adtm::dedup

@@ -1,0 +1,29 @@
+// Synthetic workload generator for the dedup pipeline.
+//
+// The paper evaluates on PARSEC dedup's native input (an archive of mixed
+// content); that data set is not redistributable here, so we synthesize
+// inputs with the two properties the pipeline cares about — see DESIGN.md's
+// substitution table:
+//  * compressibility: text-like data built from a word dictionary, so the
+//    LZSS stage does real work with realistic ratios;
+//  * duplication: a configurable fraction of the stream repeats earlier
+//    blocks, so the chunk store sees both hits and misses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adtm::dedup {
+
+struct SynthParams {
+  std::size_t total_bytes = 1 << 20;
+  double dup_fraction = 0.4;      // fraction of blocks repeating earlier ones
+  std::size_t block_bytes = 16 * 1024;  // granularity of repetition
+  std::uint64_t seed = 42;
+};
+
+// Deterministic for given params.
+std::string make_synthetic_input(const SynthParams& params = {});
+
+}  // namespace adtm::dedup

@@ -1,0 +1,41 @@
+#include "defer/atomic_defer.hpp"
+
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace adtm {
+
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::vector<const Deferrable*> objs) {
+  // Acquire the implicit lock of every object the operation may touch, as
+  // part of the enclosing transaction (Listing 1's atomic_defer uses a
+  // nested transaction, which flattens into the parent — so the lock
+  // writes commit atomically with the parent, and if any lock is held by
+  // another thread the whole parent retries, making multi-lock acquisition
+  // deadlock-free).
+  for (const Deferrable* o : objs) {
+    o->txlock().acquire(tx);
+  }
+  tx.on_commit([op = std::move(op), objs = std::move(objs)]() {
+    stats().add(Counter::DeferredOps);
+    try {
+      op();
+    } catch (...) {
+      for (const Deferrable* o : objs) o->txlock().release();
+      throw;
+    }
+    // Release after the operation completes; reentrancy ensures an object
+    // shared by several deferred operations stays locked until the last
+    // one finishes (paper §4.1).
+    for (const Deferrable* o : objs) o->txlock().release();
+  });
+}
+
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::initializer_list<const Deferrable*> objs) {
+  atomic_defer(tx, std::move(op),
+               std::vector<const Deferrable*>(objs.begin(), objs.end()));
+}
+
+}  // namespace adtm

@@ -1,0 +1,49 @@
+// atomic_defer: atomically defer an operation past transaction commit
+// (the paper's core contribution, §4 / Listing 1).
+//
+//   stm::atomic([&](stm::Tx& tx) {
+//     ...transactional work...
+//     atomic_defer(tx, [&] { obj.expensive(); }, {&obj});
+//   });
+//
+// The deferred operation runs immediately after the enclosing transaction
+// commits (and quiesces), in registration order when deferred multiple
+// times. Before the transaction commits, the implicit TxLock of every
+// listed object is acquired *inside* the transaction; transactions that
+// subscribe to those objects therefore conflict with the commit and wait
+// until the deferred operation completes and releases the locks — two-phase
+// locking composed with the TM, which is what makes the transaction plus
+// its deferred operation appear atomic.
+//
+// The programmer must list every shared object the operation may access
+// (anything unlisted is a potential data race, paper §4.1). An empty list
+// is the paper's "pass nil" variant: plain post-commit deferral with no
+// atomicity protection beyond ordering after the commit.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "defer/deferrable.hpp"
+#include "stm/api.hpp"
+
+namespace adtm {
+
+// Core form: explicit object list.
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::initializer_list<const Deferrable*> objs);
+
+// Vector form for dynamically computed object sets.
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::vector<const Deferrable*> objs);
+
+// Convenience form: atomic_defer(tx, op, obj1, obj2, ...).
+template <typename... Objs>
+  requires(std::is_base_of_v<Deferrable, std::remove_cvref_t<Objs>> && ...)
+void atomic_defer(stm::Tx& tx, std::function<void()> op, const Objs&... objs) {
+  atomic_defer(tx, std::move(op),
+               std::initializer_list<const Deferrable*>{&objs...});
+}
+
+}  // namespace adtm

@@ -1,0 +1,34 @@
+// Deferrable: base class for objects that deferred operations may access
+// (the paper's `deferrable class` annotation, Listing 1).
+//
+// Each instance carries an implicit TxLock. The paper's compiler extension
+// injects TxLock.Subscribe as the first instruction of every
+// transaction-safe member function; without compiler support, derived
+// classes follow the same convention by calling subscribe(tx) (or using
+// guard(tx)) at the top of every transactional accessor — see DESIGN.md's
+// substitution table.
+#pragma once
+
+#include "defer/txlock.hpp"
+
+namespace adtm {
+
+class Deferrable {
+ public:
+  Deferrable() = default;
+  virtual ~Deferrable() = default;
+  Deferrable(const Deferrable&) = delete;
+  Deferrable& operator=(const Deferrable&) = delete;
+
+  // The implicit per-instance lock.
+  TxLock& txlock() const noexcept { return lock_; }
+
+  // Block (via transactional retry) until no deferred operation holds this
+  // object. Call first in every transaction-safe accessor.
+  void subscribe(stm::Tx& tx) const { lock_.subscribe(tx); }
+
+ private:
+  mutable TxLock lock_;
+};
+
+}  // namespace adtm

@@ -1,0 +1,64 @@
+// Transaction-friendly condition variables.
+//
+// Wang et al. (SPAA 2014) showed that transactionalizing pthread programs
+// (dedup among them) requires condition synchronization that composes with
+// transactions. This is that facility built on the runtime's retry: a
+// waiter reads the condition's generation inside its transaction and
+// retries; a notifier bumps the generation transactionally, waking every
+// waiter, which re-executes and re-checks its predicate — the standard
+// "while (!pred) wait" loop collapses into straight-line transactional
+// code:
+//
+//   stm::atomic([&](stm::Tx& tx) {
+//     if (!predicate(tx)) cv.wait(tx);   // aborts; re-runs after notify
+//     ...consume...
+//   });
+//
+// Because retry() wakes on *any* read-set change, waiters also wake when
+// the predicate's own data changes, even without an explicit notify —
+// notify exists for conditions whose data is not transactional.
+#pragma once
+
+#include <cstdint>
+
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+
+class TxCondVar {
+ public:
+  TxCondVar() = default;
+  TxCondVar(const TxCondVar&) = delete;
+  TxCondVar& operator=(const TxCondVar&) = delete;
+
+  // Abort the enclosing transaction and re-execute it once this condition
+  // is notified (or anything else in the read set changes). Call after
+  // observing a false predicate.
+  [[noreturn]] void wait(stm::Tx& tx) const {
+    (void)gen_.get(tx);  // join the wake-up set
+    stm::retry(tx);
+  }
+
+  // Wake all current waiters, as part of the enclosing transaction (the
+  // notification is atomic with the transaction's other effects and is
+  // discarded if it aborts).
+  void notify_all(stm::Tx& tx) { gen_.set(tx, gen_.get(tx) + 1); }
+
+  // Non-transactional convenience (e.g. from a deferred operation).
+  void notify_all() {
+    stm::atomic([this](stm::Tx& tx) { notify_all(tx); });
+  }
+
+  // Retry wakes every waiter, so notify_one has at-least-one semantics:
+  // all waiters re-run, losers re-wait. Provided for pthread-API parity.
+  void notify_one(stm::Tx& tx) { notify_all(tx); }
+
+  // Number of notifications so far (diagnostics).
+  std::uint64_t generation(stm::Tx& tx) const { return gen_.get(tx); }
+
+ private:
+  mutable stm::tvar<std::uint64_t> gen_{0};
+};
+
+}  // namespace adtm

@@ -1,0 +1,88 @@
+#include "defer/txlock.hpp"
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "common/thread_id.hpp"
+#include "stm/api.hpp"
+#include "stm/registry.hpp"
+
+namespace adtm {
+
+void TxLock::acquire(stm::Tx& tx) {
+  const std::uint32_t me = thread_id();
+  const std::uint32_t owner = owner_.get(tx);
+  if (owner == kNoThread) {
+    owner_.set(tx, me);
+    depth_.set(tx, 1);
+  } else if (owner == me) {
+    depth_.set(tx, depth_.get(tx) + 1);
+  } else {
+    // Held by another thread: wait via retry. The enclosing transaction
+    // aborts (discarding any locks acquired so far in it, which is what
+    // makes multi-lock acquisition deadlock-free) and re-executes once the
+    // owner field changes.
+    stm::retry(tx);
+  }
+  // The hold can outlive this transaction (deferred operations release
+  // after commit), so register it with the serial gate's locker
+  // accounting; a transaction abort revokes the registration along with
+  // the speculative ownership write.
+  stm::detail::locker_enter();
+  tx.on_abort([] { stm::detail::locker_exit(); });
+  stats().add(Counter::TxLockAcquires);
+}
+
+void TxLock::acquire() {
+  stm::atomic([this](stm::Tx& tx) { acquire(tx); });
+}
+
+bool TxLock::try_acquire(stm::Tx& tx) {
+  const std::uint32_t owner = owner_.get(tx);
+  if (owner != kNoThread && owner != thread_id()) return false;
+  acquire(tx);  // free or reentrant: cannot retry
+  return true;
+}
+
+bool TxLock::try_acquire() {
+  return stm::atomic([this](stm::Tx& tx) { return try_acquire(tx); });
+}
+
+void TxLock::release(stm::Tx& tx) {
+  const std::uint32_t me = thread_id();
+  if (owner_.get(tx) != me) {
+    throw std::logic_error("TxLock::release: calling thread is not the owner");
+  }
+  const std::uint32_t d = depth_.get(tx);
+  if (d > 1) {
+    depth_.set(tx, d - 1);
+  } else {
+    depth_.set(tx, 0);
+    owner_.set(tx, kNoThread);
+  }
+  // Drop the locker registration only once the release commits; until
+  // then the hold is still real.
+  tx.on_commit([] { stm::detail::locker_exit(); });
+}
+
+void TxLock::release() {
+  stm::atomic([this](stm::Tx& tx) { release(tx); });
+}
+
+void TxLock::subscribe(stm::Tx& tx) const {
+  const std::uint32_t owner = owner_.get(tx);
+  if (owner != kNoThread && owner != thread_id()) {
+    stm::retry(tx);
+  }
+  stats().add(Counter::TxLockSubscribes);
+}
+
+bool TxLock::held_by_me(stm::Tx& tx) const {
+  return owner_.get(tx) == thread_id();
+}
+
+bool TxLock::held_by_me() const {
+  return owner_.load_direct() == thread_id();
+}
+
+}  // namespace adtm

@@ -1,0 +1,83 @@
+// Transaction-friendly reentrant mutex (paper §4.2, Listing 2).
+//
+// A TxLock can be acquired and released both inside and outside
+// transactions; because its owner/depth fields are transactional variables,
+// acquiring several TxLocks inside one transaction is deadlock-free without
+// a global lock order (the enclosing transaction aborts and retries instead
+// of blocking while holding).
+//
+// Transactions that merely need the lock to be free *subscribe* to it:
+// subscription reads only the owner field, so any number of transactions
+// can subscribe concurrently, and all of them conflict with (and wait out)
+// a thread that acquires the lock — this is how deferred operations are
+// kept atomic with their transaction.
+#pragma once
+
+#include <cstdint>
+
+#include "stm/tvar.hpp"
+
+namespace adtm {
+
+class TxLock {
+ public:
+  TxLock() = default;
+  TxLock(const TxLock&) = delete;
+  TxLock& operator=(const TxLock&) = delete;
+
+  // Acquire inside a transaction. If the lock is held by another thread,
+  // the enclosing transaction retries (aborts and waits for a change of
+  // the owner field). Reentrant: the owner may re-acquire, incrementing
+  // the depth.
+  void acquire(stm::Tx& tx);
+
+  // Acquire outside a transaction: runs acquire() in its own transaction
+  // (the paper's Listing 2 Acquire, whose spin/retry loop our stm::retry
+  // provides).
+  void acquire();
+
+  // Non-blocking acquire: returns false (without retrying) if the lock is
+  // held by another thread. Composes with the enclosing transaction like
+  // acquire(tx).
+  bool try_acquire(stm::Tx& tx);
+  bool try_acquire();
+
+  // Release inside a transaction. Throws std::logic_error if the calling
+  // thread does not hold the lock (the paper's optional "forbid handoff"
+  // check, which we always enforce).
+  void release(stm::Tx& tx);
+
+  // Release outside a transaction (used after a deferred operation runs).
+  void release();
+
+  // Block (via transactional retry) until the lock is free or held by the
+  // calling thread. Must be called inside a transaction; reads only the
+  // owner field so concurrent subscribers do not conflict with each other.
+  void subscribe(stm::Tx& tx) const;
+
+  // True if the calling thread currently owns the lock. Transactional
+  // variant for use inside transactions; direct variant for use outside.
+  bool held_by_me(stm::Tx& tx) const;
+  bool held_by_me() const;
+
+  // Current reentrancy depth as seen by the owner (0 when unheld).
+  std::uint32_t depth(stm::Tx& tx) const { return depth_.get(tx); }
+
+ private:
+  stm::tvar<std::uint32_t> owner_{kNoThread};
+  stm::tvar<std::uint32_t> depth_{0};
+};
+
+// RAII acquire/release around a non-transactional critical section.
+class TxLockGuard {
+ public:
+  explicit TxLockGuard(TxLock& lock) : lock_(lock) { lock_.acquire(); }
+  ~TxLockGuard() { lock_.release(); }
+  TxLockGuard(const TxLockGuard&) = delete;
+  TxLockGuard& operator=(const TxLockGuard&) = delete;
+
+ private:
+  TxLock& lock_;
+};
+
+}  // namespace adtm

@@ -1,0 +1,23 @@
+#include "durable/durable.hpp"
+
+namespace adtm::durable {
+
+void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer) {
+  // Listing 4, lines 1-6: defer {write, fsync, flag <- true} holding the
+  // implicit locks of both the descriptor and the buffer.
+  atomic_defer(
+      tx,
+      [&file, &buffer] {
+        const std::string& data = buffer.raw_payload();
+        file.raw_file().write_fully(data.data(), data.size());
+        file.raw_file().sync();
+        buffer.mark_durable();
+      },
+      file, buffer);
+}
+
+void wait_durable(stm::Tx& tx, const DurableBuffer& buffer) {
+  if (!buffer.durable(tx)) stm::retry(tx);
+}
+
+}  // namespace adtm::durable

@@ -1,0 +1,87 @@
+// Durable output with guaranteed order (paper §5.2, Listing 4).
+//
+// Programs that persist data with fsync sometimes need cross-file ordering:
+// file F2 must not be updated until F1's update has reached the disk.
+// Deferring the fsync alone cannot express this; the trick is to
+// encapsulate the *completion status* of the deferred fsync in a
+// Deferrable object. The flag is set inside the deferred operation, while
+// the buffer's implicit lock is still held — so a transaction that
+// subscribes to the buffer and sees flag==true knows the data is durable,
+// and one that runs while the fsync is in flight waits (retry) rather than
+// observing the intermediate state.
+//
+//   // T1: durable write of buf1 to f1
+//   stm::atomic([&](stm::Tx& tx) { durable_write(tx, f1, buf1); });
+//
+//   // T2: write buf2 to f2 only after buf1 is durable
+//   stm::atomic([&](stm::Tx& tx) {
+//     if (is_durable(tx, buf1)) durable_write(tx, f2, buf2);
+//   });
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "defer/atomic_defer.hpp"
+#include "io/posix_file.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm::durable {
+
+// Deferrable wrapper for an output file descriptor (Listing 4 defer_fd).
+class DurableFile : public Deferrable {
+ public:
+  explicit DurableFile(const std::string& path)
+      : file_(io::PosixFile::open_append(path)) {}
+
+  // Raw access for deferred operations (implicit lock held).
+  io::PosixFile& raw_file() noexcept { return file_; }
+
+ private:
+  io::PosixFile file_;
+};
+
+// Deferrable wrapper for an output buffer plus its durability flag
+// (Listing 4 defer_buffer).
+class DurableBuffer : public Deferrable {
+ public:
+  explicit DurableBuffer(std::string payload) : payload_(std::move(payload)) {}
+
+  // Transactional view of the durability flag (subscribes first, so a
+  // reader blocks while a deferred write/fsync pair is in flight).
+  bool durable(stm::Tx& tx) const {
+    subscribe(tx);
+    return flag_.get(tx);
+  }
+
+  // For deferred operations (implicit lock held).
+  const std::string& raw_payload() const noexcept { return payload_; }
+
+ private:
+  friend void durable_write(stm::Tx&, DurableFile&, DurableBuffer&);
+
+  void mark_durable() {
+    // Runs inside the deferred operation, under the implicit lock. The
+    // flag update must be transactional so subscribers waiting in retry
+    // observe the change.
+    stm::atomic([this](stm::Tx& tx) { flag_.set(tx, true); });
+  }
+
+  std::string payload_;
+  stm::tvar<bool> flag_{false};
+};
+
+// Atomically: commit the transaction, then (still appearing atomic to
+// subscribers of `file` and `buffer`) write the buffer, fsync, and set the
+// durability flag. Must be called inside a transaction.
+void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer);
+
+// Convenience: subscribe + flag test (Listing 4, lines 7-8).
+inline bool is_durable(stm::Tx& tx, const DurableBuffer& buffer) {
+  return buffer.durable(tx);
+}
+
+// Block (via retry) until the buffer is durable.
+void wait_durable(stm::Tx& tx, const DurableBuffer& buffer);
+
+}  // namespace adtm::durable

@@ -1,0 +1,88 @@
+#include "fdpool/async_io.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace adtm::fdpool {
+
+AsyncIOEngine::AsyncIOEngine(unsigned workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AsyncIOEngine::~AsyncIOEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+  }
+  have_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void AsyncIOEngine::submit_write(int fd, std::uint64_t offset,
+                                 std::string data,
+                                 std::function<void()> done) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(Request{fd, offset, std::move(data), std::move(done)});
+  }
+  have_work_.notify_one();
+}
+
+void AsyncIOEngine::drain() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  drained_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::uint64_t AsyncIOEngine::completed() const noexcept {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return completed_;
+}
+
+void AsyncIOEngine::worker_loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      have_work_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    const char* p = req.data.data();
+    std::size_t remaining = req.data.size();
+    std::uint64_t off = req.offset;
+    while (remaining > 0) {
+      const ssize_t rv = ::pwrite(req.fd, p, remaining,
+                                  static_cast<off_t>(off));
+      if (rv < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        // Report and drop: an async engine cannot throw into the
+        // submitter. The completion callback still runs so metadata
+        // (pending counts) stays consistent.
+        break;
+      }
+      p += rv;
+      remaining -= static_cast<std::size_t>(rv);
+      off += static_cast<std::uint64_t>(rv);
+    }
+
+    if (req.done) req.done();
+
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --in_flight_;
+      ++completed_;
+      if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace adtm::fdpool

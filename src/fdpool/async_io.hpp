@@ -1,0 +1,59 @@
+// Minimal asynchronous I/O engine (substrate for the fd-pool use case).
+//
+// MySQL InnoDB performs file updates via asynchronous I/O: critical
+// sections only touch pool metadata, and the data transfer happens outside
+// any lock. We reproduce that structure with a submission queue drained by
+// background worker threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace adtm::fdpool {
+
+class AsyncIOEngine {
+ public:
+  explicit AsyncIOEngine(unsigned workers = 1);
+  ~AsyncIOEngine();
+
+  AsyncIOEngine(const AsyncIOEngine&) = delete;
+  AsyncIOEngine& operator=(const AsyncIOEngine&) = delete;
+
+  // Queue a positional write of `data` to `fd` at `offset`. `done` (if
+  // any) runs on a worker thread after the write completes; it may start
+  // transactions.
+  void submit_write(int fd, std::uint64_t offset, std::string data,
+                    std::function<void()> done = {});
+
+  // Block until every submitted request has completed.
+  void drain();
+
+  std::uint64_t completed() const noexcept;
+
+ private:
+  struct Request {
+    int fd;
+    std::uint64_t offset;
+    std::string data;
+    std::function<void()> done;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable have_work_;
+  std::condition_variable drained_;
+  std::deque<Request> queue_;
+  unsigned in_flight_ = 0;
+  bool stopping_ = false;
+  std::uint64_t completed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adtm::fdpool

@@ -1,0 +1,201 @@
+#include "fdpool/fd_pool.hpp"
+
+#include <stdexcept>
+
+namespace adtm::fdpool {
+
+FilePool::FilePool(std::string dir, std::size_t max_open,
+                   AsyncIOEngine& engine)
+    : dir_(std::move(dir)), max_open_(max_open), engine_(engine) {
+  if (max_open_ == 0) {
+    throw std::invalid_argument("FilePool: max_open must be positive");
+  }
+}
+
+FilePool::~FilePool() {
+  engine_.drain();
+  // Descriptors close via PosixFile destructors.
+}
+
+std::size_t FilePool::add_node(const std::string& name) {
+  auto node = std::make_unique<Node>();
+  node->path = dir_ + "/" + name;
+  // Create the file eagerly so open_read/open_rw never races on existence.
+  io::PosixFile::open_append(node->path);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+void FilePool::plan_open(stm::Tx& tx, std::size_t id,
+                         std::vector<std::size_t>& to_close,
+                         bool& needs_open) {
+  // Read-only planning phase: any retry() must happen before the first
+  // transactional write so the pool also works under direct-mode (CGL /
+  // serial) execution, which cannot roll writes back.
+  Node& node = *nodes_[id];
+  needs_open = false;
+  if (node.open.get(tx)) return;
+
+  std::uint64_t open_now = open_count_.get(tx);
+  // Evict least-recently-used victims with no in-flight I/O until there is
+  // room (Listing 5's close_more loop, folded into one transaction).
+  std::uint64_t planned_closes = 0;
+  while (open_now - planned_closes >= max_open_) {
+    std::size_t victim = nodes_.size();
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == id) continue;
+      Node& cand = *nodes_[i];
+      if (!cand.open.get(tx)) continue;
+      if (cand.pending.get(tx) != 0) continue;  // outstanding accesses
+      bool already_chosen = false;
+      for (const std::size_t c : to_close) already_chosen |= (c == i);
+      if (already_chosen) continue;
+      const std::uint64_t use = cand.last_use.get(tx);
+      if (use < oldest) {
+        oldest = use;
+        victim = i;
+      }
+    }
+    if (victim == nodes_.size()) {
+      // Every open file has I/O in flight: wait for a completion (the
+      // pending counters are transactional, so retry wakes us).
+      stm::retry(tx);
+    }
+    to_close.push_back(victim);
+    ++planned_closes;
+  }
+  needs_open = true;
+}
+
+void FilePool::prepare_io(stm::Tx& tx, std::size_t id) {
+  if (id >= nodes_.size()) throw std::out_of_range("FilePool: bad node id");
+  subscribe(tx);  // pool metadata access: wait out deferred open/close
+
+  std::vector<std::size_t> to_close;
+  bool needs_open = false;
+  plan_open(tx, id, to_close, needs_open);
+
+  // Write phase: apply the plan.
+  const std::uint64_t tick = clock_.get(tx) + 1;
+  clock_.set(tx, tick);
+  nodes_[id]->last_use.set(tx, tick);
+  if (!needs_open) return;
+
+  for (const std::size_t v : to_close) nodes_[v]->open.set(tx, false);
+  nodes_[id]->open.set(tx, true);
+  open_count_.set(tx, open_count_.get(tx) - to_close.size() + 1);
+
+  // The system calls run after commit while the pool's implicit lock is
+  // held; concurrent transactions that subscribe to the pool stall until
+  // the pool is back in a usable state (paper §5.3).
+  atomic_defer(
+      tx,
+      [this, id, to_close = std::move(to_close)] {
+        for (const std::size_t v : to_close) nodes_[v]->file.close();
+        nodes_[id]->file = io::PosixFile::open_rw(nodes_[id]->path);
+      },
+      *this);
+}
+
+std::uint64_t FilePool::append_async(std::size_t id, std::string data) {
+  if (id >= nodes_.size()) throw std::out_of_range("FilePool: bad node id");
+  Node& node = *nodes_[id];
+  const auto len = static_cast<std::uint64_t>(data.size());
+
+  // Critical section (a transaction): ensure the file is open, reserve the
+  // offset, and count the write as in-flight so the node cannot be chosen
+  // as an eviction victim until it completes.
+  const std::uint64_t offset = stm::atomic([&](stm::Tx& tx) {
+    prepare_io(tx, id);
+    const std::uint64_t off = node.size.get(tx);
+    node.size.set(tx, off + len);
+    node.pending.set(tx, node.pending.get(tx) + 1);
+    return off;
+  });
+
+  // Data transfer outside any critical section, via async I/O. The fd is
+  // stable: pending > 0 forbids eviction, and the deferred open (if any)
+  // completed before our transaction could commit (it subscribes).
+  engine_.submit_write(node.file.fd(), offset, std::move(data), [&node] {
+    stm::atomic([&](stm::Tx& tx) {
+      node.pending.set(tx, node.pending.get(tx) - 1);
+    });
+  });
+  return offset;
+}
+
+void FilePool::open_initial() {
+  // Listing 5 mySQL_initialize: the loop over tablespace nodes runs as a
+  // deferred operation while the pool's implicit lock is held; the
+  // transaction only flips metadata.
+  stm::atomic([&](stm::Tx& tx) {
+    subscribe(tx);
+    const std::uint64_t already_open = open_count_.get(tx);
+    if (already_open >= max_open_) return;
+    const std::size_t room =
+        max_open_ - static_cast<std::size_t>(already_open);
+    std::vector<std::size_t> to_open;
+    for (std::size_t i = 0; i < nodes_.size() && to_open.size() < room; ++i) {
+      if (!nodes_[i]->open.get(tx)) to_open.push_back(i);
+    }
+    if (to_open.empty()) return;
+    for (const std::size_t i : to_open) nodes_[i]->open.set(tx, true);
+    open_count_.set(tx, open_count_.get(tx) + to_open.size());
+    atomic_defer(
+        tx,
+        [this, to_open = std::move(to_open)] {
+          for (const std::size_t i : to_open) {
+            nodes_[i]->file = io::PosixFile::open_rw(nodes_[i]->path);
+          }
+        },
+        *this);
+  });
+}
+
+void FilePool::close_all() {
+  // Listing 5 mySQL_destroy. Nodes with in-flight I/O make the
+  // transaction retry until their completions land.
+  stm::atomic([&](stm::Tx& tx) {
+    subscribe(tx);
+    std::vector<std::size_t> to_close;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i]->open.get(tx)) continue;
+      if (nodes_[i]->pending.get(tx) != 0) stm::retry(tx);
+      to_close.push_back(i);
+    }
+    if (to_close.empty()) return;
+    for (const std::size_t i : to_close) nodes_[i]->open.set(tx, false);
+    open_count_.set(tx, open_count_.get(tx) - to_close.size());
+    atomic_defer(
+        tx,
+        [this, to_close = std::move(to_close)] {
+          for (const std::size_t i : to_close) nodes_[i]->file.close();
+        },
+        *this);
+  });
+}
+
+void FilePool::drain() { engine_.drain(); }
+
+std::size_t FilePool::open_count_direct() const {
+  return static_cast<std::size_t>(open_count_.load_direct());
+}
+
+bool FilePool::node_open_direct(std::size_t id) const {
+  return nodes_.at(id)->open.load_direct();
+}
+
+std::uint64_t FilePool::node_size_direct(std::size_t id) const {
+  return nodes_.at(id)->size.load_direct();
+}
+
+std::uint64_t FilePool::node_pending_direct(std::size_t id) const {
+  return nodes_.at(id)->pending.load_direct();
+}
+
+const std::string& FilePool::node_path(std::size_t id) const {
+  return nodes_.at(id)->path;
+}
+
+}  // namespace adtm::fdpool

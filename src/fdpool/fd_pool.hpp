@@ -1,0 +1,97 @@
+// Transactional file-descriptor pool (paper §5.3, Listing 5).
+//
+// Models MySQL InnoDB's tablespace file pool: a bounded set of open file
+// descriptors with per-file metadata, where appends reserve their offset
+// under the pool's synchronization and transfer data via asynchronous I/O.
+// Opening a file when the pool is at capacity requires closing victims —
+// open/close system calls that would force irrevocability under plain TM.
+//
+// With atomic deferral the pool is a Deferrable object: metadata updates
+// are transactions that subscribe to the pool, so they run fully in
+// parallel on disjoint files; in the uncommon open/close case the system
+// calls are deferred from the transaction while concurrent pool accesses
+// stall via retry, and resume once the pool is usable again.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defer/atomic_defer.hpp"
+#include "fdpool/async_io.hpp"
+#include "io/posix_file.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm::fdpool {
+
+class FilePool : public Deferrable {
+ public:
+  // Files are created under `dir`; at most `max_open` may be open at once.
+  FilePool(std::string dir, std::size_t max_open, AsyncIOEngine& engine);
+  ~FilePool();
+
+  // Register a pool file (an InnoDB "node"). Returns its id. Not
+  // transactional: call during setup.
+  std::size_t add_node(const std::string& name);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  // The InnoDB append protocol: transactionally reserve `data.size()`
+  // bytes at the end of `node` (opening it first if needed, possibly
+  // deferring open/close system calls), then issue the write
+  // asynchronously at the reserved offset. Returns the offset.
+  std::uint64_t append_async(std::size_t node, std::string data);
+
+  // Ensure `node` is open, transactionally. If the pool is at capacity,
+  // victims without in-flight I/O are closed; both the closes and the open
+  // are deferred system calls executed while the pool's implicit lock is
+  // held (Listing 5 mySQL_io_prepare). Retries if every open file has
+  // in-flight I/O.
+  void prepare_io(stm::Tx& tx, std::size_t node);
+
+  // Listing 5's mySQL_initialize: transactionally mark up to max_open
+  // nodes open and defer the actual open() system calls on the pool.
+  void open_initial();
+
+  // Listing 5's mySQL_destroy: transactionally mark every node closed and
+  // defer the close() system calls. In-flight async I/O is waited out
+  // (via retry on the pending counters) before a node is closed.
+  void close_all();
+
+  // Wait for all submitted I/O to complete.
+  void drain();
+
+  // --- direct (non-transactional) observers for tests & diagnostics ---
+  std::size_t open_count_direct() const;
+  bool node_open_direct(std::size_t node) const;
+  std::uint64_t node_size_direct(std::size_t node) const;
+  std::uint64_t node_pending_direct(std::size_t node) const;
+  const std::string& node_path(std::size_t node) const;
+
+  std::size_t max_open() const noexcept { return max_open_; }
+
+ private:
+  struct Node {
+    std::string path;
+    stm::tvar<bool> open{false};
+    stm::tvar<std::uint64_t> size{0};     // reserved logical size
+    stm::tvar<std::uint64_t> pending{0};  // in-flight async writes
+    stm::tvar<std::uint64_t> last_use{0};
+    io::PosixFile file;  // only touched in deferred ops (pool lock held)
+  };
+
+  // Transactional part of prepare_io; fills `to_close`/`to_open` with the
+  // deferred system-call work.
+  void plan_open(stm::Tx& tx, std::size_t node,
+                 std::vector<std::size_t>& to_close, bool& needs_open);
+
+  std::string dir_;
+  std::size_t max_open_;
+  AsyncIOEngine& engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  stm::tvar<std::uint64_t> open_count_{0};
+  stm::tvar<std::uint64_t> clock_{0};  // LRU tick
+};
+
+}  // namespace adtm::fdpool

@@ -1,0 +1,30 @@
+#include "io/defer_file.hpp"
+
+namespace adtm::io {
+
+void DeferFile::append_with_length(const std::string& content) {
+  // Read phase: open, measure, close (Listing 6 lines 1-4).
+  std::uint64_t len = 0;
+  {
+    PosixFile in = PosixFile::open_rw(path_);
+    len = in.seek_end();
+  }
+  // Write phase: format and append (lines 5-8).
+  const std::string record = content + ":" + std::to_string(len) + "\n";
+  PosixFile out = PosixFile::open_append(path_);
+  out.write_fully(record.data(), record.size());
+}
+
+void DeferFile::append_keep_open(const std::string& content) {
+  if (!persistent_.has_value()) {
+    persistent_.emplace(PosixFile::open_rw(path_));
+    persistent_->seek_end();
+  }
+  const std::string record =
+      content + ":" + std::to_string(persistent_->size()) + "\n";
+  persistent_->write_fully(record.data(), record.size());
+}
+
+void DeferFile::close_persistent() { persistent_.reset(); }
+
+}  // namespace adtm::io

@@ -1,0 +1,42 @@
+// DeferFile: the deferrable file-stream wrapper of the paper's Listing 6.
+//
+// Encapsulates a file path whose read+append operation ("open the file,
+// read its length, append formatted data, close") is either deferred via
+// atomic_defer or executed inside an irrevocable transaction — the two
+// configurations compared in Figure 2.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "defer/deferrable.hpp"
+#include "io/posix_file.hpp"
+
+namespace adtm::io {
+
+class DeferFile : public Deferrable {
+ public:
+  explicit DeferFile(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const noexcept { return path_; }
+
+  // The microbenchmark operation (Listing 6's λ): open the file, read its
+  // length, then append "content:<len>\n" and close. Real system calls —
+  // call this only from a deferred operation, an irrevocable transaction,
+  // or under an external lock (the CGL/FGL baselines).
+  void append_with_length(const std::string& content);
+
+  // Figure 2(d) variant: the file is opened once and kept open; each
+  // operation reads the size via fstat and appends, with no open/close
+  // system calls in the critical section.
+  void append_keep_open(const std::string& content);
+
+  // Close the persistent descriptor (if any).
+  void close_persistent();
+
+ private:
+  std::string path_;
+  std::optional<PosixFile> persistent_;
+};
+
+}  // namespace adtm::io

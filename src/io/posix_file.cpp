@@ -1,0 +1,187 @@
+#include "io/posix_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace adtm::io {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int open_or_throw(const std::string& path, int flags, mode_t mode = 0644) {
+  const int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0) throw_errno("open");
+  return fd;
+}
+
+}  // namespace
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+PosixFile::PosixFile(PosixFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+PosixFile& PosixFile::operator=(PosixFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+PosixFile PosixFile::open_read(const std::string& path) {
+  return PosixFile(open_or_throw(path, O_RDONLY));
+}
+
+PosixFile PosixFile::open_append(const std::string& path) {
+  return PosixFile(open_or_throw(path, O_WRONLY | O_CREAT | O_APPEND));
+}
+
+PosixFile PosixFile::create(const std::string& path) {
+  return PosixFile(open_or_throw(path, O_WRONLY | O_CREAT | O_TRUNC));
+}
+
+PosixFile PosixFile::open_rw(const std::string& path) {
+  return PosixFile(open_or_throw(path, O_RDWR | O_CREAT));
+}
+
+void PosixFile::write_fully(std::span<const std::byte> data) {
+  write_fully(data.data(), data.size());
+}
+
+void PosixFile::write_fully(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t rv = ::write(fd_, p + sent, len - sent);
+    if (rv < 0) {
+      if (errno == EINTR) continue;  // transient
+      if (errno == EAGAIN) {
+        // Non-blocking descriptor with a full buffer: let the consumer
+        // run (essential on machines with fewer cores than threads).
+        std::this_thread::yield();
+        continue;
+      }
+      throw_errno("write");  // fatal
+    }
+    sent += static_cast<std::size_t>(rv);
+  }
+}
+
+void PosixFile::pwrite_fully(const void* data, std::size_t len,
+                             std::uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t rv = ::pwrite(fd_, p + sent, len - sent,
+                                static_cast<off_t>(offset + sent));
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN) {
+        std::this_thread::yield();
+        continue;
+      }
+      throw_errno("pwrite");
+    }
+    sent += static_cast<std::size_t>(rv);
+  }
+}
+
+std::size_t PosixFile::read_some(void* out, std::size_t len) {
+  for (;;) {
+    const ssize_t rv = ::read(fd_, out, len);
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    return static_cast<std::size_t>(rv);
+  }
+}
+
+void PosixFile::read_fully(void* out, std::size_t len) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < len) {
+    const std::size_t rv = read_some(p + got, len - got);
+    if (rv == 0) {
+      throw std::system_error(EIO, std::generic_category(),
+                              "read_fully: premature EOF");
+    }
+    got += rv;
+  }
+}
+
+std::size_t PosixFile::pread_some(void* out, std::size_t len,
+                                  std::uint64_t offset) {
+  for (;;) {
+    const ssize_t rv = ::pread(fd_, out, len, static_cast<off_t>(offset));
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread");
+    }
+    return static_cast<std::size_t>(rv);
+  }
+}
+
+std::uint64_t PosixFile::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::uint64_t PosixFile::seek_end() {
+  const off_t off = ::lseek(fd_, 0, SEEK_END);
+  if (off < 0) throw_errno("lseek");
+  return static_cast<std::uint64_t>(off);
+}
+
+void PosixFile::seek_set(std::uint64_t offset) {
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    throw_errno("lseek");
+  }
+}
+
+void PosixFile::sync() {
+  if (::fsync(fd_) != 0) throw_errno("fsync");
+}
+
+void PosixFile::close() {
+  if (fd_ >= 0) {
+    const int fd = std::exchange(fd_, -1);
+    if (::close(fd) != 0) throw_errno("close");
+  }
+}
+
+std::string read_file(const std::string& path) {
+  PosixFile f = PosixFile::open_read(path);
+  std::string out;
+  char buf[64 * 1024];
+  for (;;) {
+    const std::size_t n = f.read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    out.append(buf, n);
+  }
+  return out;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> data) {
+  PosixFile f = PosixFile::create(path);
+  f.write_fully(data);
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  PosixFile f = PosixFile::create(path);
+  f.write_fully(data.data(), data.size());
+}
+
+}  // namespace adtm::io

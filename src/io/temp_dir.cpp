@@ -1,0 +1,28 @@
+#include "io/temp_dir.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+namespace adtm::io {
+
+TempDir::TempDir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
+                     prefix + ".XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    throw std::system_error(errno, std::generic_category(), "mkdtemp");
+  }
+  path_ = tmpl;
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;  // best-effort cleanup; never throw from a dtor
+  std::filesystem::remove_all(path_, ec);
+}
+
+std::string TempDir::file(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+}  // namespace adtm::io

@@ -1,0 +1,26 @@
+// RAII temporary directory for tests, benches, and examples.
+#pragma once
+
+#include <string>
+
+namespace adtm::io {
+
+class TempDir {
+ public:
+  // Creates a fresh directory under $TMPDIR (default /tmp).
+  explicit TempDir(const std::string& prefix = "adtm");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+  // path()/name
+  std::string file(const std::string& name) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace adtm::io

@@ -1,0 +1,350 @@
+#include "stm/api.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/backoff.hpp"
+#include "common/panic.hpp"
+#include "common/stats.hpp"
+#include "stm/control.hpp"
+#include "stm/orec.hpp"
+#include "stm/registry.hpp"
+
+namespace adtm::stm {
+
+const char* algo_name(Algo a) noexcept {
+  switch (a) {
+    case Algo::TL2: return "TL2";
+    case Algo::Eager: return "Eager";
+    case Algo::CGL: return "CGL";
+    case Algo::HTMSim: return "HTMSim";
+    case Algo::NOrec: return "NOrec";
+  }
+  return "?";
+}
+
+namespace detail {
+
+Orec g_orecs[kOrecCount];
+CacheAligned<std::atomic<std::uint64_t>> g_clock{1};
+
+RuntimeState& runtime() noexcept {
+  static RuntimeState state;
+  return state;
+}
+
+// All privileged access to Tx internals funnels through this friend.
+struct Driver {
+  static Tx& tls() noexcept {
+    thread_local Tx tx;
+    return tx;
+  }
+
+  static bool active(const Tx& tx) noexcept { return tx.in_tx_; }
+
+  static Tx::NestedCheckpoint nested_checkpoint(const Tx& tx) {
+    return tx.nested_checkpoint();
+  }
+  static void nested_abort(Tx& tx, const Tx::NestedCheckpoint& cp) noexcept {
+    tx.nested_abort(cp);
+  }
+
+  // Release resources of a failed direct-mode attempt (retry-before-write
+  // or cancel-before-write). Direct modes have no speculative state.
+  static void discard_direct_attempt(Tx& tx) noexcept {
+    for (void* p : tx.allocs_) std::free(p);
+    tx.allocs_.clear();
+    tx.frees_.clear();
+    tx.epilogues_.clear();
+    tx.in_tx_ = false;
+    for (auto it = tx.abort_hooks_.rbegin(); it != tx.abort_hooks_.rend();
+         ++it) {
+      (*it)();
+    }
+    tx.abort_hooks_.clear();
+  }
+
+  // Run commit epilogues (deferred operations) and then process deferred
+  // frees — the tail of the paper's TxEnd (Listing 1). The lists are moved
+  // out first so epilogues may start new transactions.
+  static void run_epilogues(Tx& tx) {
+    auto epilogues = std::move(tx.epilogues_);
+    tx.epilogues_.clear();
+    auto frees = std::move(tx.frees_);
+    tx.frees_.clear();
+    tx.allocs_.clear();  // committed: ownership passed to the program
+    tx.abort_hooks_.clear();  // committed: abort bookkeeping is moot
+    for (auto& fn : epilogues) fn();
+    for (void* p : frees) std::free(p);
+  }
+
+  // Block until a location in the retry watch set may have changed.
+  static void wait_for_change(Tx& tx) {
+    if (tx.retry_watch_.empty() && tx.retry_value_watch_.empty()) {
+      throw std::logic_error(
+          "stm::retry(): transaction has an empty read set; "
+          "nothing can wake it");
+    }
+    Backoff bo;
+    for (;;) {
+      for (const auto& e : tx.retry_watch_) {
+        if (e.orec->load(std::memory_order_acquire) != e.seen) return;
+      }
+      // NOrec: any committed change bumps the sequence lock, so watching
+      // it covers every value in the read set without touching user
+      // memory (which might be reclaimed while we sleep). Spurious
+      // wake-ups just re-run the body and re-wait.
+      if (!tx.retry_value_watch_.empty() &&
+          runtime().norec_seq.load(std::memory_order_acquire) !=
+              tx.retry_norec_snap_) {
+        return;
+      }
+      // Serial-irrevocable commits do not touch orecs; the counter (and
+      // the gate, to avoid sitting out a long serial section) cover them.
+      if (runtime().serial_commits.load(std::memory_order_acquire) !=
+          tx.retry_serial_snap_) {
+        return;
+      }
+      if (g_serial_gate.busy()) return;
+      bo.pause();
+    }
+  }
+
+  static void run_serial(Tx& tx, FunctionRef<void(Tx&)> body, Algo algo) {
+    Backoff retry_bo;
+    for (;;) {
+      acquire_serial_gate();
+      tx.begin(algo, Tx::Mode::Serial, tx.attempt_ + 1);
+      try {
+        body(tx);
+      } catch (RetryRequest&) {
+        if (tx.wrote_direct_) {
+          discard_direct_attempt(tx);
+          release_serial_gate();
+          throw std::logic_error(
+              "stm::retry() after a write in serial-irrevocable mode "
+              "(direct-mode writes cannot be rolled back)");
+        }
+        discard_direct_attempt(tx);
+        release_serial_gate();
+        stats().add(Counter::TxRetry);
+        // No read set to watch in direct mode: back off and re-execute.
+        retry_bo.pause();
+        continue;
+      } catch (UserAbort&) {
+        if (tx.wrote_direct_) {
+          discard_direct_attempt(tx);
+          release_serial_gate();
+          throw std::logic_error(
+              "stm::cancel() after a write in serial-irrevocable mode");
+        }
+        discard_direct_attempt(tx);
+        release_serial_gate();
+        stats().add(Counter::TxAbortExplicit);
+        return;
+      } catch (...) {
+        // Direct-mode effects are retained (GCC `synchronized` semantics);
+        // the transaction is considered committed at the throw point, so
+        // its deferred operations still run (they must, to release the
+        // TxLocks acquired by atomic_defer).
+        tx.commit();
+        runtime().serial_commits.fetch_add(1, std::memory_order_acq_rel);
+        release_serial_gate();
+        stats().add(Counter::TxCommit);
+        run_epilogues(tx);
+        throw;
+      }
+      tx.commit();
+      runtime().serial_commits.fetch_add(1, std::memory_order_acq_rel);
+      release_serial_gate();
+      stats().add(Counter::TxCommit);
+      run_epilogues(tx);
+      return;
+    }
+  }
+
+  static void run_cgl(Tx& tx, FunctionRef<void(Tx&)> body) {
+    RuntimeState& rt = runtime();
+    std::unique_lock<std::mutex> lk(rt.cgl_mutex);
+    for (;;) {
+      tx.begin(Algo::CGL, Tx::Mode::CGL, tx.attempt_ + 1);
+      try {
+        body(tx);
+      } catch (RetryRequest&) {
+        if (tx.wrote_direct_) {
+          discard_direct_attempt(tx);
+          throw std::logic_error(
+              "stm::retry() after a write under CGL "
+              "(direct-mode writes cannot be rolled back)");
+        }
+        discard_direct_attempt(tx);
+        stats().add(Counter::TxRetry);
+        const std::uint64_t gen = rt.cgl_commit_gen;
+        rt.cgl_cv.wait(lk, [&] { return rt.cgl_commit_gen != gen; });
+        continue;
+      } catch (UserAbort&) {
+        if (tx.wrote_direct_) {
+          discard_direct_attempt(tx);
+          throw std::logic_error("stm::cancel() after a write under CGL");
+        }
+        discard_direct_attempt(tx);
+        stats().add(Counter::TxAbortExplicit);
+        return;
+      } catch (...) {
+        tx.commit();
+        ++rt.cgl_commit_gen;
+        lk.unlock();
+        rt.cgl_cv.notify_all();
+        stats().add(Counter::TxCommit);
+        run_epilogues(tx);
+        throw;
+      }
+      tx.commit();
+      ++rt.cgl_commit_gen;
+      lk.unlock();
+      rt.cgl_cv.notify_all();
+      stats().add(Counter::TxCommit);
+      run_epilogues(tx);
+      return;
+    }
+  }
+
+  static void run_speculative(Tx& tx, FunctionRef<void(Tx&)> body,
+                              const Config& cfg) {
+    const std::uint32_t budget = (cfg.algo == Algo::HTMSim)
+                                     ? cfg.htm_retries
+                                     : cfg.serialize_after;
+    std::uint32_t attempt = 0;
+    Backoff bo;
+    for (;;) {
+      if (attempt >= budget) {
+        // Contention management of last resort: serialize (paper §2).
+        stats().add(cfg.algo == Algo::HTMSim ? Counter::TxHtmFallback
+                                             : Counter::TxIrrevocable);
+        run_serial(tx, body, cfg.algo);
+        return;
+      }
+      ++attempt;
+      tx.begin(cfg.algo, Tx::Mode::Speculative, attempt);
+      try {
+        body(tx);
+        tx.commit();
+      } catch (ConflictAbort&) {
+        tx.rollback();
+        stats().add(Counter::TxAbortConflict);
+        bo.pause();
+        continue;
+      } catch (CapacityAbort&) {
+        tx.rollback();
+        stats().add(Counter::TxAbortCapacity);
+        continue;
+      } catch (RetryRequest&) {
+        tx.capture_watch();
+        tx.rollback();
+        stats().add(Counter::TxRetry);
+        if (cfg.retry_wait) {
+          wait_for_change(tx);
+        } else {
+          // The paper's own retry implementation: abort and immediately
+          // re-execute (with backoff so we do not starve the thread that
+          // must make the condition true).
+          bo.pause();
+        }
+        --attempt;  // waiting for a condition is not contention
+        continue;
+      } catch (SerialRestart&) {
+        tx.rollback();
+        stats().add(Counter::TxIrrevocable);
+        run_serial(tx, body, cfg.algo);
+        return;
+      } catch (UserAbort&) {
+        tx.rollback();
+        stats().add(Counter::TxAbortExplicit);
+        return;
+      } catch (...) {
+        tx.rollback();
+        throw;
+      }
+      stats().add(Counter::TxCommit);
+      run_epilogues(tx);
+      return;
+    }
+  }
+};
+
+Tx& tls_tx() noexcept { return Driver::tls(); }
+
+void run_atomic_nested(FunctionRef<void(Tx&)> body) {
+  Tx& tx = Driver::tls();
+  if (!Driver::active(tx)) {
+    run_atomic(body);
+    return;
+  }
+  if (tx.irrevocable()) {
+    // Direct modes cannot partially roll back: flatten (documented).
+    body(tx);
+    return;
+  }
+  const auto cp = Driver::nested_checkpoint(tx);
+  try {
+    body(tx);
+  } catch (ConflictAbort&) {
+    throw;  // whole-transaction control flow: the driver handles these
+  } catch (CapacityAbort&) {
+    throw;
+  } catch (RetryRequest&) {
+    throw;  // condition waits restart the whole transaction
+  } catch (SerialRestart&) {
+    throw;
+  } catch (UserAbort&) {
+    // cancel() inside a closed-nested scope aborts just the scope.
+    Driver::nested_abort(tx, cp);
+    stats().add(Counter::TxAbortExplicit);
+  } catch (...) {
+    Driver::nested_abort(tx, cp);
+    throw;  // the enclosing code may catch and take an alternative path
+  }
+}
+
+void run_atomic(FunctionRef<void(Tx&)> body) {
+  Tx& tx = Driver::tls();
+  if (Driver::active(tx)) {
+    // Flat nesting: join the enclosing transaction.
+    body(tx);
+    return;
+  }
+  const Config cfg = runtime().config;
+  if (cfg.algo == Algo::CGL) {
+    Driver::run_cgl(tx, body);
+  } else {
+    Driver::run_speculative(tx, body, cfg);
+  }
+}
+
+}  // namespace detail
+
+void init(const Config& cfg) {
+  ADTM_INVARIANT(!in_transaction(), "stm::init inside a transaction");
+  Config c = cfg;
+  if (c.htm_capacity < 4) c.htm_capacity = 4;
+  if (c.serialize_after == 0) c.serialize_after = 1;
+  if (c.htm_retries == 0) c.htm_retries = 1;
+  detail::runtime().config = c;
+}
+
+const Config& config() noexcept { return detail::runtime().config; }
+
+bool in_transaction() noexcept {
+  return detail::Driver::active(detail::Driver::tls());
+}
+
+void retry(Tx&) { throw detail::RetryRequest{}; }
+
+void cancel(Tx&) { throw detail::UserAbort{}; }
+
+void become_irrevocable(Tx& tx) {
+  if (tx.irrevocable()) return;
+  throw detail::SerialRestart{};
+}
+
+}  // namespace adtm::stm

@@ -1,0 +1,128 @@
+// Public software-transactional-memory API.
+//
+//   stm::init({.algo = stm::Algo::TL2});
+//   stm::tvar<int> x{0};
+//   stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+//
+// Semantics:
+//  * atomic() bodies may re-execute; they must be idempotent up to their
+//    transactional effects (the standard TM contract).
+//  * Nesting is flat: an atomic() inside an atomic() joins the enclosing
+//    transaction (paper §4.2: "it is correct in C++ to nest transactions").
+//  * An exception escaping the body of a *speculative* transaction rolls
+//    the transaction back and propagates. Under CGL or serial-irrevocable
+//    execution effects cannot be undone: the exception propagates with
+//    effects retained (GCC `synchronized` behaves the same way).
+//  * retry(tx) aborts and re-executes once a location in the read set may
+//    have changed (Harris-style condition synchronization, paper §4.2).
+//    Under CGL/serial modes it is only legal before the transaction's
+//    first write, because direct-mode writes cannot be rolled back.
+#pragma once
+
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+#include "stm/config.hpp"
+#include "stm/runtime.hpp"
+#include "stm/tx.hpp"
+
+namespace adtm::stm {
+
+// Install a runtime configuration. Must be called while no transactions
+// are in flight. May be called repeatedly (e.g. between bench phases) to
+// switch algorithms. Thread registries, orecs, and the global clock
+// persist across calls, so transactional data stays valid.
+void init(const Config& config);
+
+// Current configuration.
+const Config& config() noexcept;
+
+// True if the calling thread is inside a transaction.
+bool in_transaction() noexcept;
+
+// Run `body` (callable taking Tx&) as a transaction; returns its result.
+template <typename F>
+auto atomic(F&& body) -> std::invoke_result_t<F&, Tx&> {
+  using R = std::invoke_result_t<F&, Tx&>;
+  if constexpr (std::is_void_v<R>) {
+    detail::run_atomic(detail::FunctionRef<void(Tx&)>(body));
+  } else {
+    // Default-constructibility is not required: stash the result.
+    alignas(R) unsigned char storage[sizeof(R)];
+    R* slot = nullptr;
+    auto wrapper = [&](Tx& tx) {
+      // A re-executed body overwrites the previous attempt's result.
+      if (slot != nullptr) {
+        slot->~R();
+        slot = nullptr;
+      }
+      slot = ::new (static_cast<void*>(storage)) R(body(tx));
+    };
+    detail::run_atomic(detail::FunctionRef<void(Tx&)>(wrapper));
+    if (slot == nullptr) {
+      // cancel() aborted the transaction before the body produced a value.
+      throw std::logic_error(
+          "stm::atomic: cancelled transaction has no result "
+          "(use a void body with cancel())");
+    }
+    R result = std::move(*slot);
+    slot->~R();
+    return result;
+  }
+}
+
+// Run `body` as a closed-nested scope (paper §8's future-work question,
+// answered): inside an enclosing transaction, a cancel() or exception in
+// the body rolls back ONLY the scope's effects — tvar writes, TxLock
+// acquisitions, deferred operations registered via atomic_defer,
+// allocations — and the enclosing transaction continues (partial
+// rollback). Outside a transaction it behaves exactly like atomic().
+// In direct modes (CGL / serial-irrevocable) the scope flattens.
+// Conflict aborts and retry() always restart the whole transaction.
+template <typename F>
+auto atomic_nested(F&& body) -> std::invoke_result_t<F&, Tx&> {
+  using R = std::invoke_result_t<F&, Tx&>;
+  if constexpr (std::is_void_v<R>) {
+    detail::run_atomic_nested(detail::FunctionRef<void(Tx&)>(body));
+  } else {
+    alignas(R) unsigned char storage[sizeof(R)];
+    R* slot = nullptr;
+    auto wrapper = [&](Tx& tx) {
+      if (slot != nullptr) {
+        slot->~R();
+        slot = nullptr;
+      }
+      slot = ::new (static_cast<void*>(storage)) R(body(tx));
+    };
+    detail::run_atomic_nested(detail::FunctionRef<void(Tx&)>(wrapper));
+    if (slot == nullptr) {
+      throw std::logic_error(
+          "stm::atomic_nested: cancelled scope has no result "
+          "(use a void body with cancel())");
+    }
+    R result = std::move(*slot);
+    slot->~R();
+    return result;
+  }
+}
+
+// Condition synchronization: abort the transaction and re-execute once a
+// read-set location may have changed. Must be called inside a transaction.
+[[noreturn]] void retry(Tx& tx);
+
+// Abort the transaction, discarding all effects; atomic() returns normally
+// without re-executing. Illegal in CGL/serial modes (cannot roll back).
+[[noreturn]] void cancel(Tx& tx);
+
+// Restart this transaction in serial-irrevocable mode (models the TMTS
+// `synchronized` escalation GCC performs on unsafe operations). After this
+// returns, tx.irrevocable() is true and the body cannot abort.
+void become_irrevocable(Tx& tx);
+
+// Transactional allocation helpers (free is deferred past quiescence and
+// commit epilogues, per Listing 1).
+inline void* tx_alloc(Tx& tx, std::size_t bytes) { return tx.alloc(bytes); }
+inline void tx_free(Tx& tx, void* ptr) { tx.free(ptr); }
+
+}  // namespace adtm::stm

@@ -1,0 +1,63 @@
+// Runtime configuration for the adtm software TM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adtm::stm {
+
+// Which TM algorithm executes transactions.
+//
+// TL2    — lazy versioning: writes are buffered in a redo log and published
+//          at commit under per-orec locks (Dice/Shalev/Shavit TL2 with
+//          TinySTM-style timestamp extension on reads).
+// Eager  — encounter-time locking with an undo log (TinySTM write-through).
+// CGL    — a single global lock; no instrumentation, no aborts. This is
+//          both a correctness oracle and the paper's coarse-grained-lock
+//          baseline.
+// HTMSim — simulated best-effort hardware TM: eager conflict detection with
+//          immediate abort, a capacity budget on the transaction footprint,
+//          a small retry budget, and a global-lock fallback that all
+//          hardware transactions subscribe to (Intel TSX + lock elision
+//          structure). See DESIGN.md for the substitution rationale.
+// NOrec  — no ownership records (Dalessandro/Spear/Scott PPoPP 2010): one
+//          global sequence lock, value-based read validation, redo log.
+//          Minimal metadata, strong privatization behaviour, commits
+//          serialized on the sequence lock.
+enum class Algo : std::uint8_t { TL2, Eager, CGL, HTMSim, NOrec };
+
+const char* algo_name(Algo a) noexcept;
+
+struct Config {
+  Algo algo = Algo::TL2;
+
+  // Attempts before a transaction escalates to serial-irrevocable mode
+  // (GCC libitm defaults: 100 for software, 2 for hardware).
+  std::uint32_t serialize_after = 100;
+
+  // HTMSim: attempts before falling back to the serial gate.
+  std::uint32_t htm_retries = 2;
+
+  // HTMSim: maximum footprint (distinct ownership records touched, which
+  // at line granularity approximates cache lines) before a CAPACITY abort.
+  // 512 lines = a 32 KiB L1 write-set budget, TSX-class.
+  std::size_t htm_capacity = 512;
+
+  // Whether writer commits quiesce (wait for all concurrently active
+  // transactions) for privatization safety. STM algorithms only; HTMSim
+  // models strong isolation and CGL is trivially safe.
+  bool quiescence = true;
+
+  // Bounded spin iterations when a read/write encounters a locked orec
+  // before conflict-aborting (ignored by HTMSim, which aborts immediately).
+  std::uint32_t lock_spin_limit = 128;
+
+  // retry() strategy. true (default): wait until a read-set location may
+  // have changed before re-executing. false: abort and immediately
+  // re-execute with randomized backoff — the paper's own workaround
+  // implementation (§4.2), whose cost it measures in Figure 2 ("aborting
+  // and immediately retrying, instead of de-scheduling the transaction").
+  bool retry_wait = true;
+};
+
+}  // namespace adtm::stm

@@ -1,0 +1,29 @@
+// Control-flow signals used inside the transaction execution loop.
+//
+// These are internal exception types thrown by the runtime (never across
+// the public API boundary): the atomic() driver catches them, rolls the
+// transaction back, and reacts. Using exceptions gives correct unwinding
+// of user RAII objects constructed inside the transaction body.
+#pragma once
+
+namespace adtm::stm::detail {
+
+// Conflict detected (validation failure, lock-acquire timeout): roll back
+// and re-execute after contention-manager backoff.
+struct ConflictAbort {};
+
+// HTM-sim footprint exceeded the capacity budget: roll back; counts
+// against the hardware retry budget.
+struct CapacityAbort {};
+
+// Harris-style retry(): roll back, wait until a location in the read set
+// changes, then re-execute.
+struct RetryRequest {};
+
+// become_irrevocable(): roll back and re-execute in serial mode.
+struct SerialRestart {};
+
+// Explicit user abort: roll back and give up (no re-execution).
+struct UserAbort {};
+
+}  // namespace adtm::stm::detail

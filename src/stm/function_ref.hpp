@@ -1,0 +1,38 @@
+// Minimal non-owning callable reference (std::function_ref is C++26).
+//
+// The transaction driver takes the body by reference: the closure lives in
+// the caller's frame for the whole call, so no ownership or allocation is
+// needed — important because atomic() is the hottest path in the library.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace adtm::stm::detail {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f) noexcept  // NOLINT: implicit by design
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace adtm::stm::detail

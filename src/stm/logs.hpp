@@ -1,0 +1,255 @@
+// Per-transaction logs: read set, redo-log write set, undo log, lock log.
+//
+// All containers are reused across transaction attempts (clear() keeps
+// capacity), so steady-state transactions allocate nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "stm/orec.hpp"
+
+namespace adtm::stm::detail {
+
+// The unit of transactional data. All tvar storage is made of these, which
+// keeps every speculative access a well-defined atomic operation.
+using Word = std::atomic<std::uint64_t>;
+
+struct ReadEntry {
+  Orec* orec;
+  OrecWord seen;  // orec sample the read was validated against
+};
+
+class ReadSet {
+ public:
+  void push(Orec* o, OrecWord seen) {
+    // Cheap filter: consecutive reads of the same line (sequential scans)
+    // produce one entry. Keeps validation and HTM-sim capacity accounting
+    // proportional to the footprint, not the access count.
+    if (!entries_.empty() && entries_.back().orec == o) return;
+    entries_.push_back({o, seen});
+  }
+  void clear() noexcept { entries_.clear(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<ReadEntry>& entries() const noexcept { return entries_; }
+
+  // Closed nesting: forget reads performed after a checkpoint.
+  void truncate(std::size_t n) noexcept { entries_.resize(n); }
+
+ private:
+  std::vector<ReadEntry> entries_;
+};
+
+// Redo-log write set with open-addressing lookup by word address (TL2).
+class WriteSet {
+ public:
+  WriteSet() { rehash(64); }
+
+  void insert(Word* addr, std::uint64_t value) {
+    if (std::size_t* slot = find_slot(addr); *slot != kEmpty) {
+      // Record the overwritten value so closed-nested scopes can revert
+      // buffered writes belonging to their parent.
+      overwrites_.push_back({*slot, entries_[*slot].value});
+      entries_[*slot].value = value;
+      return;
+    }
+    entries_.push_back({addr, value});
+    if ((entries_.size() + 1) * 2 > index_.size()) {
+      rehash(index_.size() * 2);
+    } else {
+      *find_slot(addr) = entries_.size() - 1;
+    }
+  }
+
+  // Returns true and fills *out when addr has a buffered value.
+  bool lookup(const Word* addr, std::uint64_t* out) const noexcept {
+    if (entries_.empty()) return false;
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t i = hash(addr) & mask;; i = (i + 1) & mask) {
+      const std::size_t e = index_[i];
+      if (e == kEmpty) return false;
+      if (entries_[e].addr == addr) {
+        *out = entries_[e].value;
+        return true;
+      }
+    }
+  }
+
+  void clear() noexcept {
+    if (!entries_.empty()) {
+      entries_.clear();
+      std::memset(index_.data(), 0xff, index_.size() * sizeof(index_[0]));
+    }
+    overwrites_.clear();
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t overwrite_count() const noexcept { return overwrites_.size(); }
+
+  // Closed nesting: revert to a checkpoint taken as (size(),
+  // overwrite_count()). Overwrites of surviving entries are undone in
+  // reverse; entries added after the checkpoint are dropped.
+  void revert_to(std::size_t n_entries, std::size_t n_overwrites) {
+    for (std::size_t i = overwrites_.size(); i > n_overwrites; --i) {
+      const Overwrite& o = overwrites_[i - 1];
+      if (o.entry_index < n_entries) {
+        entries_[o.entry_index].value = o.old_value;
+      }
+    }
+    overwrites_.resize(n_overwrites);
+    if (entries_.size() != n_entries) {
+      entries_.resize(n_entries);
+      rehash(index_.size());  // rebuild the index over surviving entries
+    }
+  }
+
+  struct Entry {
+    Word* addr;
+    std::uint64_t value;
+  };
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  static constexpr std::size_t kEmpty = ~std::size_t{0};
+
+  static std::size_t hash(const Word* addr) noexcept {
+    auto a = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    a *= 0x9e3779b97f4a7c15ULL;
+    return a ^ (a >> 29);
+  }
+
+  std::size_t* find_slot(const Word* addr) noexcept {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = hash(addr) & mask;
+    while (index_[i] != kEmpty && entries_[index_[i]].addr != addr) {
+      i = (i + 1) & mask;
+    }
+    return &index_[i];
+  }
+
+  void rehash(std::size_t n) {
+    index_.assign(n, kEmpty);
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      *find_slot(entries_[e].addr) = e;
+    }
+  }
+
+  struct Overwrite {
+    std::size_t entry_index;
+    std::uint64_t old_value;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> index_;
+  std::vector<Overwrite> overwrites_;
+};
+
+// Value-based read set (NOrec): the address and the value observed. Reads
+// are consistent as long as every recorded address still holds its
+// recorded value at a moment when the global sequence lock is even.
+struct ValueReadEntry {
+  const Word* addr;
+  std::uint64_t value;
+};
+
+class ValueReadSet {
+ public:
+  void push(const Word* addr, std::uint64_t value) {
+    entries_.push_back({addr, value});
+  }
+  void clear() noexcept { entries_.clear(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<ValueReadEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  // Closed nesting: forget reads performed after a checkpoint.
+  void truncate(std::size_t n) noexcept { entries_.resize(n); }
+
+ private:
+  std::vector<ValueReadEntry> entries_;
+};
+
+// Old values for in-place (Eager/HTMSim) writes, replayed backwards on
+// abort. Duplicate addresses are fine: reverse replay restores the oldest.
+class UndoLog {
+ public:
+  void push(Word* addr, std::uint64_t old_value) {
+    entries_.push_back({addr, old_value});
+  }
+  void rollback() noexcept { rollback_from(0); }
+
+  // Closed nesting: undo (in reverse) only the writes performed after a
+  // checkpoint, then forget them.
+  void rollback_from(std::size_t n) noexcept {
+    for (std::size_t i = entries_.size(); i > n; --i) {
+      entries_[i - 1].addr->store(entries_[i - 1].value,
+                                  std::memory_order_relaxed);
+    }
+    entries_.resize(n);
+  }
+
+  void clear() noexcept { entries_.clear(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Word* addr;
+    std::uint64_t value;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Orecs this transaction holds locked, with their pre-lock version words.
+class LockLog {
+ public:
+  void push(Orec* o, OrecWord prev) { entries_.push_back({o, prev}); }
+
+  // Pre-lock version of an orec we hold; used by read-set validation.
+  bool prev_of(const Orec* o, OrecWord* out) const noexcept {
+    for (const auto& e : entries_) {
+      if (e.orec == o) {
+        *out = e.prev;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void release_all(OrecWord new_word) noexcept {
+    for (const auto& e : entries_) {
+      e.orec->store(new_word, std::memory_order_release);
+    }
+  }
+
+  void restore_all() noexcept { restore_from(0); }
+
+  // Closed nesting: release (restoring pre-lock words) only the orecs
+  // acquired after a checkpoint, then forget them.
+  void restore_from(std::size_t n) noexcept {
+    for (std::size_t i = entries_.size(); i > n; --i) {
+      entries_[i - 1].orec->store(entries_[i - 1].prev,
+                                  std::memory_order_release);
+    }
+    entries_.resize(n);
+  }
+
+  void clear() noexcept { entries_.clear(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Orec* orec;
+    OrecWord prev;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace adtm::stm::detail

@@ -1,0 +1,67 @@
+// Ownership records (orecs) and the global version clock.
+//
+// Every transactional word maps (by address hash) to one orec in a global
+// table. An orec packs either a version timestamp or a lock word:
+//
+//   unlocked: [ version : 63 | 0 ]   version taken from the global clock
+//   locked:   [ owner   : 63 | 1 ]   owner = small thread id of the locker
+//
+// Readers sample the orec around the data load; writers lock it (lazily at
+// commit for TL2, at first write for Eager/HTMSim).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "common/thread_id.hpp"
+
+namespace adtm::stm {
+
+using OrecWord = std::uint64_t;
+
+inline constexpr OrecWord kOrecLockBit = 1;
+
+constexpr bool orec_locked(OrecWord s) noexcept { return (s & kOrecLockBit) != 0; }
+constexpr std::uint64_t orec_version(OrecWord s) noexcept { return s >> 1; }
+constexpr std::uint32_t orec_owner(OrecWord s) noexcept {
+  return static_cast<std::uint32_t>(s >> 1);
+}
+constexpr OrecWord make_orec_version(std::uint64_t v) noexcept { return v << 1; }
+constexpr OrecWord make_orec_locked(std::uint32_t owner) noexcept {
+  return (static_cast<OrecWord>(owner) << 1) | kOrecLockBit;
+}
+constexpr bool orec_locked_by(OrecWord s, std::uint32_t tid) noexcept {
+  return orec_locked(s) && orec_owner(s) == tid;
+}
+
+using Orec = std::atomic<OrecWord>;
+
+// 2^20 orecs (8 MiB). Collisions are benign (false conflicts only).
+inline constexpr std::size_t kOrecCountLog2 = 20;
+inline constexpr std::size_t kOrecCount = std::size_t{1} << kOrecCountLog2;
+
+namespace detail {
+extern Orec g_orecs[kOrecCount];
+extern CacheAligned<std::atomic<std::uint64_t>> g_clock;
+}  // namespace detail
+
+// Address-to-orec mapping at 64-byte (cache line) granularity. Line
+// granularity matches hardware conflict detection for the HTM simulation
+// and keeps sequential scans cheap for the software algorithms; the cost
+// is word-level false sharing inside one line, which real HTM has too.
+inline Orec& orec_for(const void* addr) noexcept {
+  auto a = reinterpret_cast<std::uintptr_t>(addr) >> 6;
+  a ^= a >> kOrecCountLog2;  // fold high bits so heap strides spread out
+  return detail::g_orecs[a & (kOrecCount - 1)];
+}
+
+inline std::uint64_t clock_now() noexcept {
+  return detail::g_clock->load(std::memory_order_acquire);
+}
+
+inline std::uint64_t clock_advance() noexcept {
+  return detail::g_clock->fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+}  // namespace adtm::stm

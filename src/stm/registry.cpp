@@ -1,0 +1,95 @@
+#include "stm/registry.hpp"
+
+#include "common/backoff.hpp"
+#include "common/panic.hpp"
+#include "common/stats.hpp"
+
+namespace adtm::stm::detail {
+
+CacheAligned<RegistrySlot> g_registry[kMaxThreads];
+SerialGate g_serial_gate;
+std::atomic<std::uint32_t> g_lockers{0};
+
+std::uint32_t& locker_depth() noexcept {
+  thread_local std::uint32_t depth = 0;
+  return depth;
+}
+
+void registry_enter(std::uint64_t start_ts) noexcept {
+  RegistrySlot& slot = my_slot();
+  if (locker_depth() > 0) {
+    // This thread holds a TxLock across transactions; its (small) lock
+    // management transactions must be able to run while a serial writer
+    // waits, or the writer could never drain the lockers. The writer does
+    // not start executing until g_lockers hits zero, so this cannot run
+    // concurrently with serial execution.
+    slot.active_since.store(start_ts, std::memory_order_seq_cst);
+    return;
+  }
+  Backoff bo;
+  for (;;) {
+    while (g_serial_gate.busy()) bo.pause();
+    slot.active_since.store(start_ts, std::memory_order_seq_cst);
+    // Re-check: a serial writer that set `writer` before our publish may
+    // already have scanned our (then-idle) slot. If the gate is busy now,
+    // withdraw and wait; otherwise any later writer will see our slot.
+    if (!g_serial_gate.busy()) return;
+    slot.active_since.store(0, std::memory_order_seq_cst);
+  }
+}
+
+void quiesce_until(std::uint64_t commit_ts) noexcept {
+  const std::uint32_t me = thread_id();
+  ADTM_INVARIANT(g_registry[me]->active_since.load() == 0,
+                 "quiesce with own slot still active");
+  bool waited = false;
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+    if (i == me) continue;
+    Backoff bo;
+    for (;;) {
+      const std::uint64_t a =
+          g_registry[i]->active_since.load(std::memory_order_acquire);
+      if (a == 0 || a >= commit_ts) break;
+      waited = true;
+      bo.pause();
+    }
+  }
+  if (waited) stats().add(Counter::QuiesceWaits);
+}
+
+void acquire_serial_gate() noexcept {
+  const std::uint32_t me = thread_id();
+  Backoff bo;
+  std::uint32_t expected = kNoThread;
+  while (!g_serial_gate.writer.compare_exchange_weak(
+      expected, me, std::memory_order_acq_rel)) {
+    expected = kNoThread;
+    bo.pause();
+  }
+  // Drain every other speculative transaction. They complete on their own
+  // (commit, conflict-abort, or retry-wait, all of which clear the slot);
+  // new ones are blocked by registry_enter.
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+    if (i == me) continue;
+    Backoff drain;
+    while (g_registry[i]->active_since.load(std::memory_order_acquire) != 0) {
+      drain.pause();
+    }
+  }
+  // Drain cross-transaction lock holders (other threads' deferred
+  // operations and TxLockGuard sections), so the serial body can never
+  // block on a TxLock it does not own. Our own holds are fine: TxLocks
+  // are reentrant.
+  Backoff drain;
+  while (g_lockers.load(std::memory_order_seq_cst) != locker_depth()) {
+    drain.pause();
+  }
+}
+
+void release_serial_gate() noexcept {
+  ADTM_INVARIANT(g_serial_gate.writer.load() == thread_id(),
+                 "releasing a serial gate this thread does not hold");
+  g_serial_gate.writer.store(kNoThread, std::memory_order_release);
+}
+
+}  // namespace adtm::stm::detail

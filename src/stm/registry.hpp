@@ -1,0 +1,85 @@
+// Active-transaction registry (quiescence) and the serial gate
+// (irrevocability / HTM-sim fallback).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "common/thread_id.hpp"
+
+namespace adtm::stm::detail {
+
+// One slot per thread. active_since holds the start timestamp of the
+// thread's in-flight transaction, or 0 when the thread has no speculative
+// state. Writers quiesce by waiting for every slot that was active with a
+// start time earlier than their commit timestamp (privatization safety,
+// paper §2 / Listing 1).
+struct RegistrySlot {
+  std::atomic<std::uint64_t> active_since{0};
+};
+
+extern CacheAligned<RegistrySlot> g_registry[kMaxThreads];
+
+inline RegistrySlot& my_slot() noexcept { return *g_registry[thread_id()]; }
+
+// Serial gate: at most one thread runs in serial-irrevocable mode; while
+// it does (or is waiting to), no speculative transaction may start.
+// The holder waits for all speculative transactions to drain before
+// executing, so it runs in complete isolation — this is both GCC-style
+// serial-mode irrevocability and the HTM lock-elision fallback path.
+struct SerialGate {
+  std::atomic<std::uint32_t> writer{kNoThread};
+
+  bool busy() const noexcept {
+    return writer.load(std::memory_order_acquire) != kNoThread;
+  }
+};
+
+extern SerialGate g_serial_gate;
+
+// --- locker accounting -----------------------------------------------------
+//
+// A TxLock can be held *across* transactions (by an in-flight deferred
+// operation, or a TxLockGuard critical section). Releasing it requires a
+// small transaction; if the serial gate blocked that transaction while a
+// serial writer waited for the lock, the system would deadlock. So:
+//  * every cross-transaction lock hold counts as a "locker" (global count
+//    + per-thread depth),
+//  * threads with locker depth > 0 are exempt from gate blocking in
+//    registry_enter (they only run while the writer is still *waiting*),
+//  * the writer drains all other lockers before executing, so a serial
+//    transaction never observes a held TxLock it does not own.
+extern std::atomic<std::uint32_t> g_lockers;
+
+// This thread's count of cross-transaction lock holds.
+std::uint32_t& locker_depth() noexcept;
+
+inline void locker_enter() noexcept {
+  ++locker_depth();
+  g_lockers.fetch_add(1, std::memory_order_seq_cst);
+}
+
+inline void locker_exit() noexcept {
+  --locker_depth();
+  g_lockers.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// Blocks until the gate is free, then publishes this thread's transaction
+// start. Handles the publish/check race with a pending serial writer.
+void registry_enter(std::uint64_t start_ts) noexcept;
+
+inline void registry_leave() noexcept {
+  my_slot().active_since.store(0, std::memory_order_release);
+}
+
+// Waits until no transaction that started before `commit_ts` is still
+// active. Callers must have already cleared their own slot.
+void quiesce_until(std::uint64_t commit_ts) noexcept;
+
+// Acquire/release of the serial gate. acquire_serial_gate returns once all
+// other speculative transactions have drained.
+void acquire_serial_gate() noexcept;
+void release_serial_gate() noexcept;
+
+}  // namespace adtm::stm::detail

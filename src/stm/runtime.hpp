@@ -1,0 +1,51 @@
+// Internal runtime globals and the transaction driver. Not a public header.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "stm/config.hpp"
+#include "stm/function_ref.hpp"
+#include "stm/tx.hpp"
+
+namespace adtm::stm::detail {
+
+struct RuntimeState {
+  Config config{};
+
+  // CGL algorithm: the single global lock, plus a broadcast channel that
+  // wakes retry() waiters on every CGL commit.
+  std::mutex cgl_mutex;
+  std::condition_variable cgl_cv;
+  std::uint64_t cgl_commit_gen = 0;  // guarded by cgl_mutex
+
+  // Serial-irrevocable commits do not bump orec versions (they run in
+  // isolation), so retry() waiters additionally watch this counter.
+  std::atomic<std::uint64_t> serial_commits{0};
+
+  // NOrec's global sequence lock: odd while a writer is publishing its
+  // redo log. Starts at 2 so registry timestamps derived from it are
+  // always nonzero.
+  alignas(64) std::atomic<std::uint64_t> norec_seq{2};
+};
+
+RuntimeState& runtime() noexcept;
+
+// The calling thread's reusable transaction descriptor.
+Tx& tls_tx() noexcept;
+
+// Executes `body` as one transaction with the configured algorithm,
+// handling flat nesting, contention management, serialization, retry
+// waiting, and post-commit epilogues.
+void run_atomic(FunctionRef<void(Tx&)> body);
+
+// Executes `body` as a closed-nested scope of the enclosing transaction:
+// cancel() or an exception inside the body rolls back only the scope's
+// effects (partial rollback); the enclosing transaction continues.
+// Outside a transaction this is just run_atomic; in direct (CGL/serial)
+// modes the scope flattens, as direct writes cannot be rolled back.
+void run_atomic_nested(FunctionRef<void(Tx&)> body);
+
+}  // namespace adtm::stm::detail

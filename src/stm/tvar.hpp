@@ -1,0 +1,86 @@
+// tvar<T>: a transactionally-shared variable.
+//
+// All transactional data lives in tvar instances; their storage is made of
+// atomic 64-bit words, so every speculative access in the runtime is a
+// well-defined atomic operation (no undefined-behaviour racing loads).
+//
+// Access inside a transaction goes through get(tx)/set(tx, v); direct
+// (non-transactional) access is provided for initialization and for data
+// that has been privatized — the privatization safety of direct access
+// after a transactional unlink is exactly what the runtime's quiescence
+// guarantees (paper §2).
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <type_traits>
+
+#include "stm/tx.hpp"
+
+namespace adtm::stm {
+
+template <typename T>
+class tvar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "tvar<T> requires a trivially copyable T");
+  static_assert(std::is_default_constructible_v<T>,
+                "tvar<T> requires a default-constructible T");
+
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+ public:
+  tvar() : tvar(T{}) {}
+  explicit tvar(const T& v) { store_direct(v); }
+
+  tvar(const tvar&) = delete;
+  tvar& operator=(const tvar&) = delete;
+
+  // Transactional read.
+  T get(Tx& tx) const {
+    std::uint64_t buf[kWords];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      buf[i] = tx.read_word(&words_[i]);
+    }
+    return from_words(buf);
+  }
+
+  // Transactional write.
+  void set(Tx& tx, const T& v) {
+    std::uint64_t buf[kWords] = {};
+    std::memcpy(buf, &v, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i) {
+      tx.write_word(&words_[i], buf[i]);
+    }
+  }
+
+  // Non-transactional read. Only safe when no concurrent transaction can
+  // be writing this variable (initialization, single-threaded phases, or
+  // after privatization + quiescence).
+  T load_direct() const {
+    std::uint64_t buf[kWords];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      buf[i] = words_[i].load(std::memory_order_acquire);
+    }
+    return from_words(buf);
+  }
+
+  // Non-transactional write; same safety requirements as load_direct.
+  void store_direct(const T& v) {
+    std::uint64_t buf[kWords] = {};
+    std::memcpy(buf, &v, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i) {
+      words_[i].store(buf[i], std::memory_order_release);
+    }
+  }
+
+ private:
+  static T from_words(const std::uint64_t* buf) {
+    T out{};
+    std::memcpy(&out, buf, sizeof(T));
+    return out;
+  }
+
+  mutable std::array<detail::Word, kWords> words_{};
+};
+
+}  // namespace adtm::stm

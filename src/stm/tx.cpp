@@ -1,0 +1,426 @@
+#include "stm/tx.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "common/backoff.hpp"
+#include "common/panic.hpp"
+#include "common/stats.hpp"
+#include "stm/control.hpp"
+#include "stm/orec.hpp"
+#include "stm/registry.hpp"
+#include "stm/runtime.hpp"
+
+namespace adtm::stm {
+
+using detail::ConflictAbort;
+using detail::CapacityAbort;
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// NOrec: wait until the global sequence lock is even (no writer
+// publishing) and return it.
+std::uint64_t norec_snapshot() noexcept {
+  auto& seq = detail::runtime().norec_seq;
+  for (;;) {
+    const std::uint64_t s = seq.load(std::memory_order_acquire);
+    if ((s & 1) == 0) return s;
+    cpu_relax();
+  }
+}
+
+}  // namespace
+
+void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
+  ADTM_INVARIANT(!in_tx_, "begin() on an active transaction");
+  mode_ = mode;
+  algo_ = algo;
+  attempt_ = attempt;
+  tid_ = thread_id();
+  wrote_direct_ = false;
+  reads_.clear();
+  writes_.clear();
+  undo_.clear();
+  locks_.clear();
+  norec_reads_.clear();
+  if (mode_ == Mode::Speculative) {
+    const bool norec = (algo_ == Algo::NOrec);
+    start_ = norec ? norec_snapshot() : clock_now();
+    detail::registry_enter(start_);
+    // registry_enter may have waited for a serial writer; refresh the
+    // snapshot so we do not start in the past relative to its effects.
+    start_ = norec ? norec_snapshot() : clock_now();
+    detail::my_slot().active_since.store(start_, std::memory_order_seq_cst);
+  }
+  // Snapshot for retry's serial-commit watch: taken before any read so a
+  // serial commit overlapping this attempt always wakes the waiter.
+  retry_serial_snap_ =
+      detail::runtime().serial_commits.load(std::memory_order_acquire);
+  in_tx_ = true;
+  stats().add(Counter::TxStart);
+}
+
+void Tx::commit() {
+  if (mode_ != Mode::Speculative) {
+    // Direct modes have already applied their effects.
+    in_tx_ = false;
+    return;
+  }
+  if (algo_ == Algo::NOrec) {
+    commit_norec();
+    return;
+  }
+  const Config& cfg = detail::runtime().config;
+  const bool read_only = (algo_ == Algo::TL2) ? writes_.empty() : locks_.empty();
+  if (read_only) {
+    // Commit-time validation: the transaction linearizes at commit, not at
+    // its start timestamp. Incremental (start-time) validity is not enough
+    // for the paper's subscribe pattern — a deferred operation may write
+    // lock-protected data *directly* (no orec updates), and the only
+    // conflict trace it leaves is the lock owner's orec changing when the
+    // lock was acquired. Re-validating the read set here catches that:
+    // a subscriber whose lock word changed after it subscribed aborts
+    // instead of returning a view mixing old transactional state with new
+    // directly-written state. Skipped when nothing committed since our
+    // snapshot (direct writes only happen after a lock-acquiring commit).
+    if (clock_now() != start_) {
+      validate_reads();  // throws ConflictAbort; rollback() cleans up
+    }
+    reads_.clear();
+    detail::registry_leave();
+    in_tx_ = false;
+    return;
+  }
+
+  if (algo_ == Algo::TL2) {
+    // Lazy versioning: acquire all write locks now, then publish.
+    for (const auto& e : writes_.entries()) {
+      lock_orec_for_write(orec_for(e.addr));
+    }
+  }
+
+  const std::uint64_t wt = clock_advance();
+  if (wt != start_ + 1) {
+    validate_reads();  // throws ConflictAbort; rollback() cleans up
+  }
+
+  if (algo_ == Algo::TL2) {
+    for (const auto& e : writes_.entries()) {
+      e.addr->store(e.value, std::memory_order_relaxed);
+    }
+  }
+  locks_.release_all(make_orec_version(wt));
+  locks_.clear();
+  undo_.clear();
+  writes_.clear();
+  reads_.clear();
+
+  detail::registry_leave();
+  // Privatization safety (paper §2): a writer must wait for every
+  // transaction that was concurrently active before its caller may touch
+  // privatized memory non-transactionally. The paper's Listing 1 marks
+  // Quiesce() as STM-only because hardware commits are instantaneous;
+  // our HTM *simulation* has a commit/abort cleanup window, so it must
+  // quiesce too to preserve the strong isolation real HTM provides.
+  if (cfg.quiescence) {
+    detail::quiesce_until(wt);
+  }
+  in_tx_ = false;
+}
+
+void Tx::commit_norec() {
+  const Config& cfg = detail::runtime().config;
+  auto& seq = detail::runtime().norec_seq;
+  if (writes_.empty()) {
+    // Read-only: linearize at commit (see the orec-path comment); here
+    // the validation is by value, so even a direct (lock-protected) write
+    // by a deferred operation is caught.
+    if (seq.load(std::memory_order_acquire) != start_) {
+      (void)norec_validate();  // throws ConflictAbort on mismatch
+    }
+    norec_reads_.clear();
+    detail::registry_leave();
+    in_tx_ = false;
+    return;
+  }
+
+  // Acquire the sequence lock at a snapshot we are valid at.
+  std::uint64_t s = start_;
+  while (!seq.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel)) {
+    s = norec_validate();  // adopt a newer consistent snapshot (or abort)
+  }
+  for (const auto& e : writes_.entries()) {
+    e.addr->store(e.value, std::memory_order_relaxed);
+  }
+  seq.store(s + 2, std::memory_order_release);
+
+  norec_reads_.clear();
+  writes_.clear();
+  detail::registry_leave();
+  if (cfg.quiescence) {
+    detail::quiesce_until(s + 2);
+  }
+  in_tx_ = false;
+}
+
+std::uint64_t Tx::norec_validate() {
+  auto& seq = detail::runtime().norec_seq;
+  for (;;) {
+    const std::uint64_t s = seq.load(std::memory_order_acquire);
+    if ((s & 1) != 0) {
+      cpu_relax();
+      continue;
+    }
+    for (const auto& e : norec_reads_.entries()) {
+      if (e.addr->load(std::memory_order_relaxed) != e.value) {
+        throw detail::ConflictAbort{};
+      }
+    }
+    if (seq.load(std::memory_order_acquire) == s) {
+      start_ = s;
+      return s;
+    }
+  }
+}
+
+std::uint64_t Tx::read_word_norec(const detail::Word* addr) {
+  std::uint64_t buffered;
+  if (writes_.lookup(addr, &buffered)) return buffered;
+  auto& seq = detail::runtime().norec_seq;
+  std::uint64_t v = addr->load(std::memory_order_acquire);
+  while (seq.load(std::memory_order_acquire) != start_) {
+    (void)norec_validate();  // re-snapshot; aborts if a prior read changed
+    v = addr->load(std::memory_order_acquire);
+  }
+  norec_reads_.push(addr, v);
+  return v;
+}
+
+void Tx::rollback() noexcept {
+  undo_.rollback();
+  undo_.clear();
+  locks_.restore_all();
+  locks_.clear();
+  reads_.clear();
+  norec_reads_.clear();
+  writes_.clear();
+  for (void* p : allocs_) std::free(p);
+  allocs_.clear();
+  frees_.clear();
+  epilogues_.clear();
+  if (mode_ == Mode::Speculative) detail::registry_leave();
+  in_tx_ = false;
+  // Undo non-transactional bookkeeping registered by this attempt.
+  for (auto it = abort_hooks_.rbegin(); it != abort_hooks_.rend(); ++it) {
+    (*it)();
+  }
+  abort_hooks_.clear();
+}
+
+void Tx::capture_watch() {
+  retry_watch_ = reads_.entries();
+  retry_value_watch_ = norec_reads_.entries();
+  // The wake-up snapshots must predate every read the retry decision was
+  // based on, or a commit landing between the failed predicate check and
+  // this capture is lost. start_ is the seq all NOrec reads are valid at;
+  // the serial counter was snapshotted at begin().
+  retry_norec_snap_ = start_;
+}
+
+// ---------------------------------------------------------------------------
+// Access paths
+// ---------------------------------------------------------------------------
+
+std::uint64_t Tx::read_word(const detail::Word* addr) {
+  ADTM_INVARIANT(in_tx_, "read_word outside a transaction");
+  if (mode_ != Mode::Speculative) {
+    return addr->load(std::memory_order_relaxed);
+  }
+  if (algo_ == Algo::NOrec) return read_word_norec(addr);
+  return read_word_speculative(addr);
+}
+
+std::uint64_t Tx::read_word_speculative(const detail::Word* addr) {
+  std::uint64_t buffered;
+  if (algo_ == Algo::TL2 && writes_.lookup(addr, &buffered)) {
+    return buffered;
+  }
+  Orec& o = orec_for(addr);
+  const Config& cfg = detail::runtime().config;
+  std::uint32_t spins = 0;
+  for (;;) {
+    const OrecWord s1 = o.load(std::memory_order_acquire);
+    if (orec_locked(s1)) {
+      if (orec_locked_by(s1, tid_)) {
+        // Eager/HTMSim own the line: the in-place value is ours (the
+        // write-lock path extended the snapshot past the line's version).
+        return addr->load(std::memory_order_relaxed);
+      }
+      if (algo_ == Algo::HTMSim || ++spins > cfg.lock_spin_limit) {
+        conflict_abort();
+      }
+      cpu_relax();
+      continue;
+    }
+    if (orec_version(s1) > start_) {
+      if (!extend()) conflict_abort();
+      continue;  // resample under the extended snapshot
+    }
+    const std::uint64_t v = addr->load(std::memory_order_acquire);
+    if (o.load(std::memory_order_acquire) != s1) continue;
+    reads_.push(&o, s1);
+    if (algo_ == Algo::HTMSim) check_htm_budget();
+    return v;
+  }
+}
+
+void Tx::write_word(detail::Word* addr, std::uint64_t value) {
+  ADTM_INVARIANT(in_tx_, "write_word outside a transaction");
+  if (mode_ != Mode::Speculative) {
+    wrote_direct_ = true;
+    addr->store(value, std::memory_order_relaxed);
+    return;
+  }
+  if (algo_ == Algo::TL2 || algo_ == Algo::NOrec) {
+    writes_.insert(addr, value);
+    return;
+  }
+  // Eager / HTMSim: encounter-time lock, log old value, write in place.
+  Orec& o = orec_for(addr);
+  lock_orec_for_write(o);
+  undo_.push(addr, addr->load(std::memory_order_relaxed));
+  addr->store(value, std::memory_order_relaxed);
+}
+
+void Tx::lock_orec_for_write(Orec& o) {
+  const Config& cfg = detail::runtime().config;
+  std::uint32_t spins = 0;
+  for (;;) {
+    OrecWord s = o.load(std::memory_order_acquire);
+    if (orec_locked(s)) {
+      if (orec_locked_by(s, tid_)) return;  // already ours
+      if (algo_ == Algo::HTMSim || ++spins > cfg.lock_spin_limit) {
+        conflict_abort();
+      }
+      cpu_relax();
+      continue;
+    }
+    if (orec_version(s) > start_) {
+      // Owning a line makes all of its words readable in place, so the
+      // snapshot must cover the line's current version (TinySTM rule).
+      if (!extend()) conflict_abort();
+      continue;
+    }
+    if (o.compare_exchange_weak(s, make_orec_locked(tid_),
+                                std::memory_order_acq_rel)) {
+      locks_.push(&o, s);
+      if (algo_ == Algo::HTMSim) check_htm_budget();
+      return;
+    }
+  }
+}
+
+bool Tx::extend() {
+  const std::uint64_t now = clock_now();
+  for (const auto& e : reads_.entries()) {
+    const OrecWord cur = e.orec->load(std::memory_order_acquire);
+    if (cur == e.seen) continue;
+    OrecWord prev;
+    if (orec_locked_by(cur, tid_) && locks_.prev_of(e.orec, &prev) &&
+        prev == e.seen) {
+      continue;
+    }
+    return false;
+  }
+  start_ = now;
+  return true;
+}
+
+void Tx::validate_reads() {
+  for (const auto& e : reads_.entries()) {
+    const OrecWord cur = e.orec->load(std::memory_order_acquire);
+    if (cur == e.seen) continue;
+    OrecWord prev;
+    if (orec_locked_by(cur, tid_) && locks_.prev_of(e.orec, &prev) &&
+        prev == e.seen) {
+      continue;
+    }
+    throw ConflictAbort{};
+  }
+}
+
+void Tx::check_htm_budget() {
+  const Config& cfg = detail::runtime().config;
+  if (reads_.size() + locks_.size() > cfg.htm_capacity) {
+    throw CapacityAbort{};
+  }
+}
+
+void Tx::conflict_abort() { throw ConflictAbort{}; }
+
+// ---------------------------------------------------------------------------
+// Services
+// ---------------------------------------------------------------------------
+
+Tx::NestedCheckpoint Tx::nested_checkpoint() const {
+  return NestedCheckpoint{
+      reads_.size(),         norec_reads_.size(),
+      writes_.size(),        writes_.overwrite_count(),
+      undo_.size(),          locks_.size(),
+      allocs_.size(),        frees_.size(),
+      epilogues_.size(),     abort_hooks_.size(),
+  };
+}
+
+void Tx::nested_abort(const NestedCheckpoint& cp) noexcept {
+  // Order matters, mirroring full rollback: undo in-place values first,
+  // then release the orecs acquired by the nested scope.
+  undo_.rollback_from(cp.undo);
+  locks_.restore_from(cp.locks);
+  // Deliberately NOT truncated: reads_/norec_reads_. Values observed in
+  // the aborted scope can leak into the parent's control flow (a caught
+  // exception, a captured local), so they must stay validated until the
+  // whole transaction commits. The only cost is possible false conflicts.
+  writes_.revert_to(cp.write_entries, cp.write_overwrites);
+  for (std::size_t i = allocs_.size(); i > cp.allocs; --i) {
+    std::free(allocs_[i - 1]);
+  }
+  allocs_.resize(cp.allocs);
+  frees_.resize(cp.frees);
+  epilogues_.resize(cp.epilogues);
+  // Compensate non-transactional bookkeeping done by the nested scope
+  // (e.g. TxLock locker accounting), newest first.
+  for (std::size_t i = abort_hooks_.size(); i > cp.abort_hooks; --i) {
+    abort_hooks_[i - 1]();
+  }
+  abort_hooks_.resize(cp.abort_hooks);
+}
+
+void Tx::on_commit(std::function<void()> fn) {
+  ADTM_INVARIANT(in_tx_, "on_commit outside a transaction");
+  epilogues_.push_back(std::move(fn));
+}
+
+void Tx::on_abort(std::function<void()> fn) {
+  ADTM_INVARIANT(in_tx_, "on_abort outside a transaction");
+  abort_hooks_.push_back(std::move(fn));
+}
+
+void* Tx::alloc(std::size_t bytes) {
+  ADTM_INVARIANT(in_tx_, "tx alloc outside a transaction");
+  void* p = std::malloc(bytes);
+  if (p == nullptr) throw std::bad_alloc{};
+  allocs_.push_back(p);
+  return p;
+}
+
+void Tx::free(void* ptr) {
+  ADTM_INVARIANT(in_tx_, "tx free outside a transaction");
+  if (ptr != nullptr) frees_.push_back(ptr);
+}
+
+}  // namespace adtm::stm

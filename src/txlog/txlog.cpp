@@ -1,0 +1,53 @@
+#include "txlog/txlog.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+namespace adtm::txlog {
+
+TxLogger::TxLogger(const std::string& path)
+    : owned_(io::PosixFile::open_append(path)), fd_(owned_.fd()) {}
+
+TxLogger::TxLogger(int raw_fd) : fd_(raw_fd) {}
+
+TxLogger::~TxLogger() = default;
+
+void TxLogger::write_record(std::string& message) {
+  if (message.empty() || message.back() != '\n') message.push_back('\n');
+  const char* p = message.data();
+  std::size_t remaining = message.size();
+  while (remaining > 0) {
+    const ssize_t rv = ::write(fd_, p, remaining);
+    if (rv < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      throw std::system_error(errno, std::generic_category(), "txlog write");
+    }
+    p += rv;
+    remaining -= static_cast<std::size_t>(rv);
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TxLogger::log(stm::Tx& tx, std::string message) {
+  // The message was fully formatted inside the transaction (the paper's
+  // sprintf step); only the output syscall is deferred, protected by this
+  // logger's implicit lock so records on one descriptor are ordered.
+  atomic_defer(
+      tx, [this, msg = std::move(message)]() mutable { write_record(msg); },
+      *this);
+}
+
+void TxLogger::log_unordered(stm::Tx& tx, std::string message) {
+  atomic_defer(tx, [this, msg = std::move(message)]() mutable {
+    write_record(msg);
+  });
+}
+
+std::uint64_t TxLogger::records_written() const noexcept {
+  return records_.load(std::memory_order_relaxed);
+}
+
+}  // namespace adtm::txlog

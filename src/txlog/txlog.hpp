@@ -1,0 +1,60 @@
+// Transactional logging (paper §5.1, Listing 3).
+//
+// Critical sections occasionally need diagnostic output. Under plain TM
+// that forces irrevocability (serializing every transaction in the
+// program) or the log line is dropped. With atomic deferral the message is
+// formatted *inside* the transaction — so it can safely read mutable
+// shared data — and the write to the descriptor is deferred:
+//
+//   logger.log(tx, "balance=" + std::to_string(acct.get(tx)));
+//
+// Two modes, as in the paper:
+//  * ordered (default): the logger object is passed to atomic_defer, so
+//    writes to this descriptor are totally ordered and atomic with their
+//    transactions; concurrent transactions that log to the same descriptor
+//    serialize only against each other.
+//  * unordered (log_unordered): the paper's "pass nil" variant — the write
+//    is still deferred past commit but takes no lock; callers must not
+//    assume any ordering among log records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "defer/atomic_defer.hpp"
+#include "io/posix_file.hpp"
+
+namespace adtm::txlog {
+
+class TxLogger : public Deferrable {
+ public:
+  // Appends to `path`, creating it if needed.
+  explicit TxLogger(const std::string& path);
+
+  // Log to an already-open descriptor (e.g. stderr). Does not close it.
+  explicit TxLogger(int raw_fd);
+
+  ~TxLogger();
+  TxLogger(const TxLogger&) = delete;
+  TxLogger& operator=(const TxLogger&) = delete;
+
+  // Defer an ordered write of `message` (a trailing newline is appended if
+  // missing). Must be called inside a transaction.
+  void log(stm::Tx& tx, std::string message);
+
+  // The "pass nil" variant: deferred, unordered, lock-free.
+  void log_unordered(stm::Tx& tx, std::string message);
+
+  // Number of records written so far (for tests; read outside tx).
+  std::uint64_t records_written() const noexcept;
+
+ private:
+  void write_record(std::string& message);
+
+  io::PosixFile owned_;
+  int fd_ = -1;
+  std::atomic<std::uint64_t> records_{0};
+};
+
+}  // namespace adtm::txlog

@@ -1,0 +1,47 @@
+#include "wal/crc32.hpp"
+
+#include <array>
+
+namespace adtm::wal {
+namespace {
+
+// Reflected table for polynomial 0xEDB88320 (bit-reversed 0x04C11DB7).
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+  return crc32_update(0, data, len);
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  return crc32(data.data(), data.size());
+}
+
+std::uint32_t crc32(const std::string& data) noexcept {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace adtm::wal

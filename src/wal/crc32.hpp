@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant), from scratch.
+// Used by the write-ahead log to detect torn and corrupted records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace adtm::wal {
+
+// One-shot CRC of a buffer.
+std::uint32_t crc32(const void* data, std::size_t len) noexcept;
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+std::uint32_t crc32(const std::string& data) noexcept;
+
+// Incremental: feed `crc` from a previous call (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t len) noexcept;
+
+}  // namespace adtm::wal

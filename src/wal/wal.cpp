@@ -1,0 +1,186 @@
+#include "wal/wal.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "common/backoff.hpp"
+#include "stm/api.hpp"
+#include "wal/crc32.hpp"
+
+namespace adtm::wal {
+namespace {
+
+// On-disk record: u32 payload length (LE), u32 CRC-32 of the payload
+// (LE), payload bytes.
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 30;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
+  // Crash recovery on open: cut any torn tail, then resume numbering
+  // after the valid prefix.
+  const RecoveryResult recovered = recover_and_truncate(path_);
+  file_ = io::PosixFile::open_append(path_);
+  const Lsn base = recovered.records.size();
+  next_lsn_.store_direct(base + 1);
+  durable_lsn_.store_direct(base);
+  next_to_write_ = base + 1;
+}
+
+Lsn WriteAheadLog::append(stm::Tx& tx, std::string payload) {
+  const Lsn lsn = next_lsn_.get(tx);
+  next_lsn_.set(tx, lsn + 1);
+  // The paper's "pass nil" deferral: no lock is needed — ordering comes
+  // from the LSNs and durability from the staged group flush.
+  atomic_defer(tx, [this, lsn, p = std::move(payload)]() mutable {
+    stage_and_flush(lsn, std::move(p));
+  });
+  return lsn;
+}
+
+Lsn WriteAheadLog::append(std::string payload) {
+  return stm::atomic([&](stm::Tx& tx) { return append(tx, std::move(payload)); });
+}
+
+bool WriteAheadLog::is_durable(stm::Tx& tx, Lsn lsn) const {
+  return durable_lsn_.get(tx) >= lsn;
+}
+
+void WriteAheadLog::wait_durable(stm::Tx& tx, Lsn lsn) const {
+  if (!is_durable(tx, lsn)) stm::retry(tx);
+}
+
+void WriteAheadLog::flush() {
+  // Committed horizon (a transaction: a speculative in-place reservation
+  // must not inflate the target).
+  const Lsn target =
+      stm::atomic([&](stm::Tx& tx) { return next_lsn_.get(tx); }) - 1;
+  Backoff bo;
+  while (durable_lsn_.load_direct() < target) {
+    if (flush_mutex_.try_lock()) {
+      // Drain whatever is staged (the helper expects the lock held).
+      stage_and_flush_locked_drain();
+      flush_mutex_.unlock();
+    }
+    if (durable_lsn_.load_direct() >= target) return;
+    bo.pause();  // an epilogue on another thread is about to stage/flush
+  }
+}
+
+void WriteAheadLog::stage_and_flush(Lsn lsn, std::string payload) {
+  {
+    std::lock_guard<std::mutex> lk(staging_mutex_);
+    staged_.emplace(lsn, std::move(payload));
+  }
+  // Group commit: whoever holds the flush lock drains the whole staged
+  // prefix with one write+fsync. Everyone leaves only once their own
+  // record is durable — that is the atomic-deferral contract: the
+  // deferred operation *is* the durable write.
+  Backoff bo;
+  for (;;) {
+    if (durable_lsn_.load_direct() >= lsn) return;
+    if (flush_mutex_.try_lock()) {
+      stage_and_flush_locked_drain();
+      flush_mutex_.unlock();
+    } else {
+      bo.pause();  // another thread is flushing; it may cover us
+    }
+  }
+}
+
+void WriteAheadLog::stage_and_flush_locked_drain() {
+  for (;;) {
+    // Collect the contiguous LSN prefix. A gap means an earlier
+    // committer has not staged yet; its own deferred op will flush it
+    // (and anything after) shortly.
+    std::string buffer;
+    Lsn last = 0;
+    {
+      std::lock_guard<std::mutex> lk(staging_mutex_);
+      for (;;) {
+        const auto it = staged_.find(next_to_write_);
+        if (it == staged_.end()) break;
+        const std::string& payload = it->second;
+        put_u32(buffer, static_cast<std::uint32_t>(payload.size()));
+        put_u32(buffer, crc32(payload));
+        buffer += payload;
+        last = next_to_write_;
+        staged_.erase(it);
+        ++next_to_write_;
+      }
+    }
+    if (buffer.empty()) return;
+    file_.write_fully(buffer.data(), buffer.size());
+    file_.sync();
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    // Publish the new durable horizon transactionally so wait_durable
+    // retry-waiters wake.
+    stm::atomic([&](stm::Tx& tx) {
+      if (durable_lsn_.get(tx) < last) durable_lsn_.set(tx, last);
+    });
+  }
+}
+
+WriteAheadLog::RecoveryResult WriteAheadLog::recover(
+    const std::string& path) {
+  RecoveryResult result;
+  std::string data;
+  try {
+    data = io::read_file(path);
+  } catch (const std::system_error&) {
+    return result;  // no log yet: empty, clean
+  }
+
+  std::size_t off = 0;
+  while (off + kHeaderBytes <= data.size()) {
+    const std::uint32_t len = get_u32(data.data() + off);
+    const std::uint32_t crc = get_u32(data.data() + off + 4);
+    if (len > kMaxRecordBytes || off + kHeaderBytes + len > data.size()) {
+      result.clean = false;  // torn tail
+      break;
+    }
+    const char* payload = data.data() + off + kHeaderBytes;
+    if (crc32(payload, len) != crc) {
+      result.clean = false;  // corrupt record
+      break;
+    }
+    result.records.emplace_back(payload, len);
+    off += kHeaderBytes + len;
+  }
+  if (off != data.size() && result.clean) {
+    result.clean = false;  // trailing garbage shorter than a header
+  }
+  result.valid_bytes = off;
+  return result;
+}
+
+WriteAheadLog::RecoveryResult WriteAheadLog::recover_and_truncate(
+    const std::string& path) {
+  RecoveryResult result = recover(path);
+  if (!result.clean) {
+    if (::truncate(path.c_str(), static_cast<off_t>(result.valid_bytes)) !=
+        0) {
+      throw std::system_error(errno, std::generic_category(),
+                              "wal truncate");
+    }
+  }
+  return result;
+}
+
+}  // namespace adtm::wal

@@ -1,0 +1,36 @@
+#include "common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adtm {
+namespace {
+
+TEST(Backoff, CeilingDoublesUpToMax) {
+  Backoff bo{16, 256};
+  EXPECT_EQ(bo.ceiling(), 16u);
+  bo.pause();
+  EXPECT_EQ(bo.ceiling(), 32u);
+  bo.pause();
+  bo.pause();
+  bo.pause();
+  EXPECT_EQ(bo.ceiling(), 256u);
+  bo.pause();  // saturates
+  EXPECT_EQ(bo.ceiling(), 256u);
+}
+
+TEST(Backoff, ResetRestoresFloor) {
+  Backoff bo{16, 1024};
+  for (int i = 0; i < 10; ++i) bo.pause();
+  bo.reset(16);
+  EXPECT_EQ(bo.ceiling(), 16u);
+}
+
+TEST(Backoff, PauseTerminates) {
+  // Smoke test: a long backoff sequence completes in bounded time.
+  Backoff bo;
+  for (int i = 0; i < 50; ++i) bo.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,49 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace adtm {
+namespace {
+
+TEST(Env, FallbackWhenUnset) {
+  ::unsetenv("ADTM_TEST_ENV_VAR");
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 7), 7u);
+  EXPECT_EQ(env_str("ADTM_TEST_ENV_VAR", "dflt"), "dflt");
+}
+
+TEST(Env, ParsesPlainInteger) {
+  ::setenv("ADTM_TEST_ENV_VAR", "1234", 1);
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 0), 1234u);
+}
+
+TEST(Env, ParsesSuffixes) {
+  ::setenv("ADTM_TEST_ENV_VAR", "4k", 1);
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 0), 4096u);
+  ::setenv("ADTM_TEST_ENV_VAR", "2M", 1);
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 0), 2u << 20);
+  ::setenv("ADTM_TEST_ENV_VAR", "1g", 1);
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 0), 1u << 30);
+}
+
+TEST(Env, RejectsGarbage) {
+  ::setenv("ADTM_TEST_ENV_VAR", "12x34", 1);
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 5), 5u);
+  ::setenv("ADTM_TEST_ENV_VAR", "zzz", 1);
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 5), 5u);
+}
+
+TEST(Env, EmptyStringIsUnset) {
+  ::setenv("ADTM_TEST_ENV_VAR", "", 1);
+  EXPECT_EQ(env_u64("ADTM_TEST_ENV_VAR", 9), 9u);
+  EXPECT_EQ(env_str("ADTM_TEST_ENV_VAR", "d"), "d");
+}
+
+TEST(Env, StringValue) {
+  ::setenv("ADTM_TEST_ENV_VAR", "hello", 1);
+  EXPECT_EQ(env_str("ADTM_TEST_ENV_VAR", "d"), "hello");
+}
+
+}  // namespace
+}  // namespace adtm

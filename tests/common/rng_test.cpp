@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace adtm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Xoshiro256 a{7};
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 a{99};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(a.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 a{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 a{123};
+  for (int i = 0; i < 1000; ++i) {
+    const double d = a.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughUniformityOverBuckets) {
+  Xoshiro256 a{2024};
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 64000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[a.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets / 2);
+    EXPECT_LT(c, kDraws / kBuckets * 2);
+  }
+}
+
+TEST(Rng, ThreadRngsAreIndependentObjects) {
+  Xoshiro256* main_rng = &thread_rng();
+  Xoshiro256* other = nullptr;
+  std::thread t([&] { other = &thread_rng(); });
+  t.join();
+  EXPECT_NE(main_rng, other);
+}
+
+TEST(Rng, NoShortCycle) {
+  Xoshiro256 a{3};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(a.next());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,64 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace adtm {
+namespace {
+
+TEST(Stats, AddAndTotal) {
+  StatsRegistry reg;
+  EXPECT_EQ(reg.total(Counter::TxCommit), 0u);
+  reg.add(Counter::TxCommit);
+  reg.add(Counter::TxCommit, 4);
+  EXPECT_EQ(reg.total(Counter::TxCommit), 5u);
+  EXPECT_EQ(reg.total(Counter::TxAbortConflict), 0u);
+}
+
+TEST(Stats, ResetClearsEverything) {
+  StatsRegistry reg;
+  reg.add(Counter::TxStart, 10);
+  reg.add(Counter::TxRetry, 3);
+  reg.reset();
+  EXPECT_EQ(reg.total(Counter::TxStart), 0u);
+  EXPECT_EQ(reg.total(Counter::TxRetry), 0u);
+}
+
+TEST(Stats, SumsAcrossThreads) {
+  StatsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kPerThread; ++j) reg.add(Counter::DeferredOps);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.total(Counter::DeferredOps),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Stats, ReportListsNonzeroCounters) {
+  StatsRegistry reg;
+  reg.add(Counter::TxCommit, 2);
+  const std::string r = reg.report();
+  EXPECT_NE(r.find("tx_commit = 2"), std::string::npos);
+  EXPECT_EQ(r.find("tx_retry"), std::string::npos);
+}
+
+TEST(Stats, CounterNamesAreUnique) {
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(Counter::kCount);
+       ++i) {
+    for (std::uint32_t j = i + 1;
+         j < static_cast<std::uint32_t>(Counter::kCount); ++j) {
+      EXPECT_STRNE(counter_name(static_cast<Counter>(i)),
+                   counter_name(static_cast<Counter>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,58 @@
+#include "common/thread_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace adtm {
+namespace {
+
+TEST(ThreadId, StableWithinThread) {
+  const std::uint32_t a = thread_id();
+  const std::uint32_t b = thread_id();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, kMaxThreads);
+}
+
+TEST(ThreadId, DistinctAcrossConcurrentThreads) {
+  // Slots recycle on thread exit, so ids are only guaranteed distinct for
+  // threads that are alive simultaneously: hold them all at a latch.
+  constexpr int kThreads = 8;
+  std::mutex m;
+  std::set<std::uint32_t> ids;
+  std::latch all_started{kThreads};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      const std::uint32_t id = thread_id();
+      all_started.arrive_and_wait();
+      std::lock_guard<std::mutex> lk(m);
+      ids.insert(id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadId, SlotsRecycleAfterThreadExit) {
+  // Run many more sequential threads than kMaxThreads: slots must recycle.
+  for (std::uint32_t i = 0; i < kMaxThreads + 16; ++i) {
+    std::thread t([] {
+      EXPECT_LT(thread_id(), kMaxThreads);
+    });
+    t.join();
+  }
+}
+
+TEST(ThreadId, HighWaterReflectsUsage) {
+  (void)thread_id();
+  EXPECT_GE(thread_high_water(), 1u);
+  EXPECT_LE(thread_high_water(), kMaxThreads);
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,134 @@
+// Transactional hash map: oracle equivalence and concurrent workloads.
+#include "containers/hashmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm::containers {
+namespace {
+
+using test::AlgoTest;
+
+class HashMapTest : public AlgoTest {};
+
+TEST_P(HashMapTest, PutGetErase) {
+  TxHashMap<long, long> map;
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(map.put(tx, 1, 10));
+    EXPECT_TRUE(map.put(tx, 2, 20));
+    EXPECT_FALSE(map.put(tx, 1, 11));  // update
+    EXPECT_EQ(map.get(tx, 1), 11);
+    EXPECT_EQ(map.get(tx, 2), 20);
+    EXPECT_FALSE(map.get(tx, 3).has_value());
+    EXPECT_TRUE(map.erase(tx, 1));
+    EXPECT_FALSE(map.erase(tx, 1));
+    EXPECT_EQ(map.size(tx), 1u);
+  });
+}
+
+TEST_P(HashMapTest, ChainsWorkWithOneBucket) {
+  TxHashMap<long, long> map(1);  // everything collides
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 64; ++k) EXPECT_TRUE(map.put(tx, k, k * 2));
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 64; ++k) EXPECT_EQ(map.get(tx, k), k * 2);
+    EXPECT_EQ(map.size(tx), 64u);
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 64; k += 2) EXPECT_TRUE(map.erase(tx, k));
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 64; ++k) {
+      EXPECT_EQ(map.contains(tx, k), k % 2 == 1);
+    }
+  });
+}
+
+TEST_P(HashMapTest, SequentialOracleEquivalence) {
+  TxHashMap<long, long> map(64);
+  std::unordered_map<long, long> oracle;
+  Xoshiro256 rng{7};
+  for (int step = 0; step < 4000; ++step) {
+    const long key = static_cast<long>(rng.next_below(300));
+    const int op = static_cast<int>(rng.next_below(3));
+    stm::atomic([&](stm::Tx& tx) {
+      if (op == 0) {
+        const long value = static_cast<long>(rng.next());
+        EXPECT_EQ(map.put(tx, key, value), !oracle.count(key));
+        oracle[key] = value;
+      } else if (op == 1) {
+        EXPECT_EQ(map.erase(tx, key), oracle.erase(key) == 1);
+      } else {
+        const auto got = map.get(tx, key);
+        const auto it = oracle.find(key);
+        EXPECT_EQ(got.has_value(), it != oracle.end());
+        if (got && it != oracle.end()) EXPECT_EQ(*got, it->second);
+      }
+      EXPECT_EQ(map.size(tx), oracle.size());
+    });
+  }
+}
+
+TEST_P(HashMapTest, ConcurrentDisjointKeyRanges) {
+  TxHashMap<long, long> map(256);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const long key = static_cast<long>(t) * kPerThread + i;
+        stm::atomic([&](stm::Tx& tx) { map.put(tx, key, key); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(map.size_direct(), static_cast<std::size_t>(kThreads) * kPerThread);
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < kThreads * kPerThread; ++k) {
+      EXPECT_EQ(map.get(tx, k), k);
+    }
+  });
+}
+
+TEST_P(HashMapTest, ConcurrentMixedOnSharedKeys) {
+  TxHashMap<long, long> map(32);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) + 3};
+      for (int i = 0; i < 400; ++i) {
+        const long key = static_cast<long>(rng.next_below(48));
+        stm::atomic([&](stm::Tx& tx) {
+          if (rng.next_below(2) == 0) {
+            map.put(tx, key, key);
+          } else {
+            map.erase(tx, key);
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Internal consistency: size matches a full scan.
+  std::size_t counted = 0;
+  stm::atomic([&](stm::Tx& tx) {
+    counted = 0;
+    for (long k = 0; k < 48; ++k) counted += map.contains(tx, k);
+  });
+  EXPECT_EQ(counted, map.size_direct());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, HashMapTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::containers

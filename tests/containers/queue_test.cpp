@@ -1,0 +1,116 @@
+// Transactional FIFO queue: ordering, blocking pop, composition.
+#include "containers/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/algo_param.hpp"
+
+namespace adtm::containers {
+namespace {
+
+using test::AlgoTest;
+
+class QueueTest : public AlgoTest {};
+
+TEST_P(QueueTest, FifoOrder) {
+  TxQueue<long> q;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long i = 1; i <= 10; ++i) q.push(tx, i);
+  });
+  for (long i = 1; i <= 10; ++i) {
+    const auto v = stm::atomic([&](stm::Tx& tx) { return q.pop(tx); });
+    EXPECT_EQ(v, i);
+  }
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(q.empty(tx));
+    EXPECT_FALSE(q.pop(tx).has_value());
+  });
+}
+
+TEST_P(QueueTest, SizeTracksOperations) {
+  TxQueue<long> q;
+  stm::atomic([&](stm::Tx& tx) {
+    q.push(tx, 1);
+    q.push(tx, 2);
+    EXPECT_EQ(q.size(tx), 2u);
+    (void)q.pop(tx);
+    EXPECT_EQ(q.size(tx), 1u);
+  });
+  EXPECT_EQ(q.size_direct(), 1u);
+}
+
+TEST_P(QueueTest, PopWaitBlocksUntilPush) {
+  TxQueue<long> q;
+  std::atomic<long> got{0};
+  std::thread consumer([&] {
+    const long v = stm::atomic([&](stm::Tx& tx) { return q.pop_wait(tx); });
+    got.store(v);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0);
+  stm::atomic([&](stm::Tx& tx) { q.push(tx, 77); });
+  consumer.join();
+  EXPECT_EQ(got.load(), 77);
+}
+
+TEST_P(QueueTest, MpmcNoLossNoDuplication) {
+  TxQueue<long> q;
+  constexpr int kProducers = 2, kConsumers = 2;
+  constexpr long kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<long> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (long i = 0; i < kPerProducer; ++i) {
+        const long v = p * kPerProducer + i + 1;
+        stm::atomic([&](stm::Tx& tx) { q.push(tx, v); });
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        if (consumed.load() >= kProducers * kPerProducer) return;
+        const auto v = stm::atomic([&](stm::Tx& tx) { return q.pop(tx); });
+        if (v.has_value()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  EXPECT_EQ(q.size_direct(), 0u);
+}
+
+TEST_P(QueueTest, ComposesWithOtherTransactionalState) {
+  // Atomic move between two queues: never observable in both or neither.
+  TxQueue<long> a, b;
+  stm::atomic([&](stm::Tx& tx) { a.push(tx, 42); });
+  stm::atomic([&](stm::Tx& tx) {
+    const auto v = a.pop(tx);
+    ASSERT_TRUE(v.has_value());
+    b.push(tx, *v);
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(a.empty(tx));
+    EXPECT_EQ(b.pop(tx), 42);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, QueueTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::containers

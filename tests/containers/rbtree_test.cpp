@@ -1,0 +1,191 @@
+// Transactional red-black tree: structural invariants, oracle equivalence,
+// and concurrent mixed workloads across algorithms.
+#include "containers/rbtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm::containers {
+namespace {
+
+using test::AlgoTest;
+
+class RbTreeTest : public AlgoTest {};
+
+TEST_P(RbTreeTest, InsertFindErase) {
+  TxRbTree<long, long> tree;
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(tree.insert(tx, 5, 50));
+    EXPECT_TRUE(tree.insert(tx, 3, 30));
+    EXPECT_TRUE(tree.insert(tx, 8, 80));
+    EXPECT_FALSE(tree.insert(tx, 5, 55));  // update
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_EQ(tree.find(tx, 5), 55);
+    EXPECT_EQ(tree.find(tx, 3), 30);
+    EXPECT_EQ(tree.find(tx, 8), 80);
+    EXPECT_FALSE(tree.find(tx, 4).has_value());
+    EXPECT_EQ(tree.size(tx), 3u);
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(tree.erase(tx, 3));
+    EXPECT_FALSE(tree.erase(tx, 3));
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_FALSE(tree.contains(tx, 3));
+    EXPECT_EQ(tree.size(tx), 2u);
+  });
+  EXPECT_GT(tree.validate_direct(), 0);
+  EXPECT_TRUE(tree.sorted_direct());
+}
+
+TEST_P(RbTreeTest, SequentialOracleEquivalence) {
+  // Random ops mirrored against std::map; structure validated throughout.
+  TxRbTree<long, long> tree;
+  std::map<long, long> oracle;
+  Xoshiro256 rng{2024};
+  for (int step = 0; step < 3000; ++step) {
+    const long key = static_cast<long>(rng.next_below(200));
+    const int op = static_cast<int>(rng.next_below(3));
+    stm::atomic([&](stm::Tx& tx) {
+      switch (op) {
+        case 0: {
+          const long value = static_cast<long>(rng.next());
+          const bool inserted = tree.insert(tx, key, value);
+          EXPECT_EQ(inserted, oracle.find(key) == oracle.end());
+          oracle[key] = value;
+          break;
+        }
+        case 1: {
+          const bool erased = tree.erase(tx, key);
+          EXPECT_EQ(erased, oracle.erase(key) == 1);
+          break;
+        }
+        default: {
+          const auto found = tree.find(tx, key);
+          const auto it = oracle.find(key);
+          EXPECT_EQ(found.has_value(), it != oracle.end());
+          if (found && it != oracle.end()) EXPECT_EQ(*found, it->second);
+          break;
+        }
+      }
+      EXPECT_EQ(tree.size(tx), oracle.size());
+    });
+    if (step % 256 == 0) {
+      EXPECT_GT(tree.validate_direct(), 0) << "step " << step;
+      EXPECT_TRUE(tree.sorted_direct());
+    }
+  }
+  EXPECT_GT(tree.validate_direct(), 0);
+
+  // Full-content comparison via in-order traversal.
+  std::vector<std::pair<long, long>> contents;
+  stm::atomic([&](stm::Tx& tx) {
+    contents.clear();
+    tree.for_each(tx, [&](const long& k, const long& v) {
+      contents.emplace_back(k, v);
+    });
+  });
+  ASSERT_EQ(contents.size(), oracle.size());
+  auto it = oracle.begin();
+  for (const auto& [k, v] : contents) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST_P(RbTreeTest, AbortRollsBackStructure) {
+  if (GetParam() == stm::Algo::CGL) GTEST_SKIP() << "CGL cannot roll back";
+  TxRbTree<long, long> tree;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 20; ++k) tree.insert(tx, k, k);
+  });
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 for (long k = 20; k < 40; ++k) tree.insert(tx, k, k);
+                 tree.erase(tx, 5);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(tree.size_direct(), 20u);
+  EXPECT_GT(tree.validate_direct(), 0);
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(tree.contains(tx, 5));
+    EXPECT_FALSE(tree.contains(tx, 25));
+  });
+}
+
+TEST_P(RbTreeTest, ConcurrentDisjointInserts) {
+  TxRbTree<long, long> tree;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const long key = static_cast<long>(t) * kPerThread + i;
+        stm::atomic([&](stm::Tx& tx) { tree.insert(tx, key, key * 10); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tree.size_direct(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_GT(tree.validate_direct(), 0);
+  EXPECT_TRUE(tree.sorted_direct());
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < kThreads * kPerThread; ++k) {
+      EXPECT_EQ(tree.find(tx, k), k * 10);
+    }
+  });
+}
+
+TEST_P(RbTreeTest, ConcurrentMixedWorkloadKeepsInvariants) {
+  TxRbTree<long, long> tree;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  constexpr long kKeySpace = 64;  // small: force overlap and rebalancing
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) + 31};
+      for (int i = 0; i < kOps; ++i) {
+        const long key = static_cast<long>(rng.next_below(kKeySpace));
+        const int op = static_cast<int>(rng.next_below(3));
+        stm::atomic([&](stm::Tx& tx) {
+          if (op == 0) {
+            tree.insert(tx, key, key);
+          } else if (op == 1) {
+            tree.erase(tx, key);
+          } else {
+            (void)tree.find(tx, key);
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(tree.validate_direct(), 0);
+  EXPECT_TRUE(tree.sorted_direct());
+
+  // size_ matches actual node count.
+  std::size_t counted = 0;
+  stm::atomic([&](stm::Tx& tx) {
+    counted = 0;
+    tree.for_each(tx, [&](const long&, const long&) { ++counted; });
+  });
+  EXPECT_EQ(counted, tree.size_direct());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, RbTreeTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::containers

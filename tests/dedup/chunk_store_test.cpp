@@ -1,0 +1,171 @@
+// ChunkStore semantics across all sync modes x TM algorithms.
+#include "dedup/chunk_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dedup/sha1.hpp"
+#include "stm/api.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm::dedup {
+namespace {
+
+Sha1Digest digest_of(int n) { return sha1(std::to_string(n)); }
+
+std::vector<std::byte> payload_of(int n) {
+  const std::string s = "payload-" + std::to_string(n);
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+class ChunkStoreTest
+    : public ::testing::TestWithParam<std::tuple<SyncMode, stm::Algo>> {
+ protected:
+  void SetUp() override {
+    stm::Config cfg;
+    cfg.algo = std::get<1>(GetParam());
+    stm::init(cfg);
+    mode_ = std::get<0>(GetParam());
+  }
+  SyncMode mode_{};
+};
+
+TEST_P(ChunkStoreTest, FirstInsertWins) {
+  ChunkStore store(mode_);
+  const auto r1 = store.lookup_or_insert(digest_of(1));
+  EXPECT_TRUE(r1.inserted);
+  const auto r2 = store.lookup_or_insert(digest_of(1));
+  EXPECT_FALSE(r2.inserted);
+  EXPECT_EQ(r1.entry, r2.entry);
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST_P(ChunkStoreTest, DistinctDigestsGetDistinctEntries) {
+  ChunkStore store(mode_);
+  const auto a = store.lookup_or_insert(digest_of(1));
+  const auto b = store.lookup_or_insert(digest_of(2));
+  EXPECT_TRUE(a.inserted);
+  EXPECT_TRUE(b.inserted);
+  EXPECT_NE(a.entry, b.entry);
+  EXPECT_EQ(store.entry_count(), 2u);
+}
+
+TEST_P(ChunkStoreTest, ClaimWriteReturnsTrueExactlyOnce) {
+  ChunkStore store(mode_);
+  const auto r = store.lookup_or_insert(digest_of(7));
+  store.publish_compressed(*r.entry, payload_of(7));
+  EXPECT_TRUE(store.claim_write(*r.entry));
+  EXPECT_FALSE(store.claim_write(*r.entry));
+  EXPECT_FALSE(store.claim_write(*r.entry));
+}
+
+TEST_P(ChunkStoreTest, ClaimWaitsForPublication) {
+  ChunkStore store(mode_);
+  const auto r = store.lookup_or_insert(digest_of(3));
+  std::atomic<bool> claimed{false};
+  std::thread claimer([&] {
+    EXPECT_TRUE(store.claim_write(*r.entry));
+    claimed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(claimed.load());
+  store.publish_compressed(*r.entry, payload_of(3));
+  claimer.join();
+  EXPECT_TRUE(claimed.load());
+  EXPECT_EQ(r.entry->compressed(), payload_of(3));
+}
+
+TEST_P(ChunkStoreTest, ConcurrentInsertersAgreeOnOneEntry) {
+  ChunkStore store(mode_);
+  constexpr int kThreads = 4;
+  constexpr int kDigests = 40;
+  std::atomic<int> insert_counts[kDigests] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) * 99 + 1};
+      for (int i = 0; i < 300; ++i) {
+        const int d = static_cast<int>(rng.next_below(kDigests));
+        const auto r = store.lookup_or_insert(digest_of(d));
+        if (r.inserted) {
+          insert_counts[d].fetch_add(1);
+          store.publish_compressed(*r.entry, payload_of(d));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int d = 0; d < kDigests; ++d) {
+    EXPECT_LE(insert_counts[d].load(), 1) << "digest " << d;
+  }
+  EXPECT_EQ(store.entry_count(),
+            static_cast<std::uint64_t>(
+                std::count_if(std::begin(insert_counts),
+                              std::end(insert_counts),
+                              [](auto& c) { return c.load() == 1; })));
+}
+
+TEST_P(ChunkStoreTest, ConcurrentClaimersOnlyOneWins) {
+  ChunkStore store(mode_);
+  constexpr int kRounds = 30;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto r = store.lookup_or_insert(digest_of(round + 1000));
+    store.publish_compressed(*r.entry, payload_of(round));
+    std::atomic<int> wins{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        if (store.claim_write(*r.entry)) wins.fetch_add(1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(wins.load(), 1);
+  }
+}
+
+TEST_P(ChunkStoreTest, BucketCollisionsChainCorrectly) {
+  // A store with a single bucket forces every digest into one chain.
+  ChunkStore store(mode_, /*buckets=*/1);
+  std::set<const ChunkStore::Entry*> entries;
+  for (int i = 0; i < 50; ++i) {
+    const auto r = store.lookup_or_insert(digest_of(i));
+    EXPECT_TRUE(r.inserted);
+    entries.insert(r.entry);
+  }
+  EXPECT_EQ(entries.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    const auto r = store.lookup_or_insert(digest_of(i));
+    EXPECT_FALSE(r.inserted);
+    EXPECT_TRUE(entries.count(r.entry));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ChunkStoreTest,
+    ::testing::Values(
+        std::tuple{SyncMode::Pthread, stm::Algo::TL2},
+        std::tuple{SyncMode::TmIrrevoc, stm::Algo::TL2},
+        std::tuple{SyncMode::TmIrrevoc, stm::Algo::Eager},
+        std::tuple{SyncMode::TmIrrevoc, stm::Algo::HTMSim},
+        std::tuple{SyncMode::TmDeferIO, stm::Algo::TL2},
+        std::tuple{SyncMode::TmDeferAll, stm::Algo::TL2},
+        std::tuple{SyncMode::TmDeferAll, stm::Algo::HTMSim},
+        std::tuple{SyncMode::TmIrrevoc, stm::Algo::NOrec},
+        std::tuple{SyncMode::TmDeferAll, stm::Algo::NOrec}),
+    [](const auto& info) {
+      std::string name = std::string(sync_mode_name(std::get<0>(info.param))) +
+                         "_" + stm::algo_name(std::get<1>(info.param));
+      std::erase_if(name, [](char c) {
+        return !std::isalnum(static_cast<unsigned char>(c)) && c != '_';
+      });
+      return name;
+    });
+
+}  // namespace
+}  // namespace adtm::dedup

@@ -1,0 +1,97 @@
+// Corruption robustness: restore() and lzss_decompress() must never crash,
+// hang, or silently return wrong data when fed damaged input — they either
+// throw or (for damage past the read point) succeed with verified content.
+// Randomized sweeps over byte flips and truncations of valid containers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "dedup/format.hpp"
+#include "dedup/lzss.hpp"
+#include "dedup/pipeline.hpp"
+#include "dedup/synth_input.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+#include "stm/api.hpp"
+
+namespace adtm::dedup {
+namespace {
+
+std::string make_container(std::uint64_t seed) {
+  stm::init({.algo = stm::Algo::TL2});
+  const std::string input = make_synthetic_input(
+      {.total_bytes = 96 * 1024, .dup_fraction = 0.5, .seed = seed});
+  io::TempDir dir("adtm-corrupt");
+  Options opts;
+  opts.mode = SyncMode::Pthread;
+  opts.workers = 2;
+  dedup_stream(input, dir.file("c.dd"), opts);
+  return io::read_file(dir.file("c.dd"));
+}
+
+class ContainerCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainerCorruption, ByteFlipsNeverCrashOrCorruptSilently) {
+  const std::string clean = make_container(100 + GetParam());
+  const std::string expected = restore_str(clean);
+  Xoshiro256 rng{static_cast<std::uint64_t>(GetParam()) * 31 + 7};
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string damaged = clean;
+    // Flip 1-4 random bytes.
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_below(damaged.size());
+      damaged[pos] = static_cast<char>(
+          damaged[pos] ^ static_cast<char>(1 + rng.next_below(255)));
+    }
+    try {
+      const std::string out = restore_str(damaged);
+      // Accepted: then the flip must have been semantically neutral... but
+      // every payload byte is covered by SHA-1 and every structural field
+      // changes parsing, so acceptance requires identical output.
+      EXPECT_EQ(out, expected) << "silent corruption, trial " << trial;
+    } catch (const std::exception&) {
+      // Detected: the expected outcome.
+    }
+  }
+}
+
+TEST_P(ContainerCorruption, TruncationsNeverCrash) {
+  const std::string clean = make_container(200 + GetParam());
+  Xoshiro256 rng{static_cast<std::uint64_t>(GetParam()) * 17 + 3};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t keep = rng.next_below(clean.size());
+    const std::string damaged = clean.substr(0, keep);
+    try {
+      const std::string out = restore_str(damaged);
+      // A truncation exactly at a record boundary restores a prefix.
+      EXPECT_TRUE(restore_str(clean).rfind(out, 0) == 0)
+          << "not a prefix, trial " << trial;
+    } catch (const std::exception&) {
+      // Detected truncation: fine.
+    }
+  }
+}
+
+TEST_P(ContainerCorruption, LzssDecompressSurvivesGarbage) {
+  Xoshiro256 rng{static_cast<std::uint64_t>(GetParam()) + 99};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage(rng.next_below(4096), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.next());
+    try {
+      const std::string out = lzss_decompress_str(garbage);
+      // Bounded: the header caps output size at the declared raw length.
+      EXPECT_LE(out.size(), std::size_t{1} << 32);
+    } catch (const std::exception&) {
+      // Malformed input detected.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainerCorruption, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace adtm::dedup

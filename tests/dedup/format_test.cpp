@@ -1,0 +1,81 @@
+#include "dedup/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dedup/lzss.hpp"
+
+namespace adtm::dedup {
+namespace {
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+std::string container_with(const std::vector<std::vector<std::byte>>& records) {
+  std::string out(kMagic, sizeof(kMagic));
+  for (const auto& r : records) {
+    out.append(reinterpret_cast<const char*>(r.data()), r.size());
+  }
+  return out;
+}
+
+TEST(Format, UniqueRecordRestores) {
+  const std::string chunk = "the quick brown fox";
+  const auto digest = sha1(chunk);
+  const auto comp = lzss_compress(to_bytes(chunk));
+  const std::string container = container_with({encode_unique(digest, comp)});
+  EXPECT_EQ(restore_str(container), chunk);
+}
+
+TEST(Format, RefRecordExpandsToEarlierChunk) {
+  const std::string chunk = "repeated content block";
+  const auto digest = sha1(chunk);
+  const auto comp = lzss_compress(to_bytes(chunk));
+  const std::string container = container_with(
+      {encode_unique(digest, comp), encode_ref(digest), encode_ref(digest)});
+  EXPECT_EQ(restore_str(container), chunk + chunk + chunk);
+}
+
+TEST(Format, EmptyContainerRestoresEmpty) {
+  EXPECT_EQ(restore_str(std::string(kMagic, sizeof(kMagic))), "");
+}
+
+TEST(FormatErrors, BadMagicThrows) {
+  EXPECT_THROW(restore_str("NOTMAGIC"), std::runtime_error);
+  EXPECT_THROW(restore_str(""), std::runtime_error);
+}
+
+TEST(FormatErrors, RefToUnseenChunkThrows) {
+  const std::string container =
+      container_with({encode_ref(sha1(std::string{"x"}))});
+  EXPECT_THROW(restore_str(container), std::runtime_error);
+}
+
+TEST(FormatErrors, TruncatedRecordThrows) {
+  const std::string chunk = "data";
+  const auto comp = lzss_compress(to_bytes(chunk));
+  std::string container = container_with({encode_unique(sha1(chunk), comp)});
+  container.resize(container.size() - 2);
+  EXPECT_THROW(restore_str(container), std::runtime_error);
+}
+
+TEST(FormatErrors, DigestMismatchThrows) {
+  const std::string chunk = "data";
+  const auto comp = lzss_compress(to_bytes(chunk));
+  // Lie about the digest.
+  const std::string container =
+      container_with({encode_unique(sha1(std::string{"other"}), comp)});
+  EXPECT_THROW(restore_str(container), std::runtime_error);
+}
+
+TEST(FormatErrors, UnknownRecordTypeThrows) {
+  std::string container(kMagic, sizeof(kMagic));
+  container.push_back(static_cast<char>(0x7f));
+  EXPECT_THROW(restore_str(container), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adtm::dedup

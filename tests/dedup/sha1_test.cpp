@@ -1,0 +1,84 @@
+// SHA-1 against the FIPS 180-1 / NIST test vectors.
+#include "dedup/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adtm::dedup {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(sha1(std::string{}).hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(sha1(std::string{"abc"}).hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, NistTwoBlockMessage) {
+  EXPECT_EQ(
+      sha1(std::string{
+               "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})
+          .hex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  const std::string input(1000000, 'a');
+  EXPECT_EQ(sha1(input).hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(sha1(std::string{"The quick brown fox jumps over the lazy dog"})
+                .hex(),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string data(12345, 'x');
+  Sha1 h;
+  // Feed in awkward pieces crossing block boundaries.
+  std::size_t i = 0;
+  std::size_t step = 1;
+  while (i < data.size()) {
+    const std::size_t take = std::min(step, data.size() - i);
+    h.update(data.data() + i, take);
+    i += take;
+    step = (step * 7 + 3) % 200 + 1;
+  }
+  EXPECT_EQ(h.finish().hex(), sha1(data).hex());
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 h;
+  h.update("garbage", 7);
+  h.reset();
+  h.update("abc", 3);
+  EXPECT_EQ(h.finish().hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha1(std::string{"aaaa"}), sha1(std::string{"aaab"}));
+}
+
+TEST(Sha1, Prefix64BigEndianOfFirstBytes) {
+  const Sha1Digest d = sha1(std::string{"abc"});
+  // a9993e364706816a as an integer.
+  EXPECT_EQ(d.prefix64(), 0xa9993e364706816aULL);
+}
+
+TEST(Sha1, LengthBoundaryCases) {
+  // Messages around the 55/56/64 padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string data(len, 'q');
+    Sha1 h;
+    h.update(data.data(), len);
+    EXPECT_EQ(h.finish(), sha1(data)) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace adtm::dedup

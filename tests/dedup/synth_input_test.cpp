@@ -1,0 +1,50 @@
+#include "dedup/synth_input.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adtm::dedup {
+namespace {
+
+TEST(SynthInput, ExactRequestedSize) {
+  for (std::size_t size : {0u, 1u, 1000u, 1u << 20}) {
+    EXPECT_EQ(make_synthetic_input({.total_bytes = size}).size(), size);
+  }
+}
+
+TEST(SynthInput, DeterministicForSeed) {
+  const SynthParams p{.total_bytes = 100000, .seed = 5};
+  EXPECT_EQ(make_synthetic_input(p), make_synthetic_input(p));
+}
+
+TEST(SynthInput, DifferentSeedsDiffer) {
+  EXPECT_NE(make_synthetic_input({.total_bytes = 10000, .seed = 1}),
+            make_synthetic_input({.total_bytes = 10000, .seed = 2}));
+}
+
+TEST(SynthInput, DupFractionZeroHasNoRepeatedBlocks) {
+  const std::string s = make_synthetic_input(
+      {.total_bytes = 200000, .dup_fraction = 0.0, .block_bytes = 8192});
+  // Compare all block pairs: none identical.
+  const std::size_t blocks = s.size() / 8192;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    for (std::size_t j = i + 1; j < blocks; ++j) {
+      EXPECT_NE(s.substr(i * 8192, 8192), s.substr(j * 8192, 8192));
+    }
+  }
+}
+
+TEST(SynthInput, HighDupFractionRepeatsBlocks) {
+  const std::string s = make_synthetic_input(
+      {.total_bytes = 400000, .dup_fraction = 0.8, .block_bytes = 8192});
+  const std::size_t blocks = s.size() / 8192;
+  int repeats = 0;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    for (std::size_t j = i + 1; j < blocks; ++j) {
+      repeats += (s.compare(i * 8192, 8192, s, j * 8192, 8192) == 0);
+    }
+  }
+  EXPECT_GT(repeats, 0);
+}
+
+}  // namespace
+}  // namespace adtm::dedup

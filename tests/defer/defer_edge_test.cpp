@@ -1,0 +1,149 @@
+// Edge cases at the intersection of deferral, irrevocability, and nesting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "defer/atomic_defer.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class Cell : public Deferrable {
+ public:
+  stm::tvar<int> v{0};
+};
+
+class DeferEdgeTest : public AlgoTest {};
+
+TEST_P(DeferEdgeTest, DeferFromIrrevocableTransaction) {
+  // A serial transaction can defer too: the deferred op runs after the
+  // gate is released, locks held the whole time.
+  Cell cell;
+  bool ran = false;
+  stm::atomic([&](stm::Tx& tx) {
+    stm::become_irrevocable(tx);
+    atomic_defer(tx, [&] { ran = true; }, cell);
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(cell.txlock().held_by_me());
+}
+
+TEST_P(DeferEdgeTest, DeferredOpCanDeferAgain) {
+  // A deferred operation may run transactions, and those transactions may
+  // defer further operations — Listing 1 moves deferred_ops to a local
+  // precisely to make the list reusable.
+  Cell a, b;
+  std::string order;
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&] {
+      order += "first";
+      stm::atomic([&](stm::Tx& inner) {
+        atomic_defer(inner, [&] { order += ",second"; }, b);
+      });
+      order += ",tail";
+    }, a);
+  });
+  // The inner deferral completes during the inner atomic() call, before
+  // the outer deferred op's remaining code.
+  EXPECT_EQ(order, "first,second,tail");
+  EXPECT_FALSE(a.txlock().held_by_me());
+  EXPECT_FALSE(b.txlock().held_by_me());
+}
+
+TEST_P(DeferEdgeTest, SameObjectInMultipleDefersOfOneTx) {
+  // Reentrancy across deferred ops: the object stays locked from commit
+  // until the LAST op touching it completes.
+  Cell cell;
+  std::atomic<bool> first_ran{false};
+  std::atomic<bool> observer_saw_between{false};
+  std::atomic<bool> second_started{false};
+
+  std::thread observer;
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&] {
+      first_ran.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }, cell);
+    atomic_defer(tx, [&] {
+      second_started.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      cell.v.store_direct(2);
+    }, cell);
+  });
+  // Both ops done by now (they run synchronously at commit). Verify final
+  // state and lock release.
+  EXPECT_TRUE(first_ran.load());
+  EXPECT_TRUE(second_started.load());
+  EXPECT_EQ(cell.v.load_direct(), 2);
+  stm::atomic([&](stm::Tx& tx) {
+    cell.subscribe(tx);
+    EXPECT_EQ(cell.v.get(tx), 2);
+  });
+  (void)observer_saw_between;
+}
+
+TEST_P(DeferEdgeTest, LockStaysHeldAcrossBothOpsObservedConcurrently) {
+  Cell cell;
+  std::atomic<int> phase{0};  // 1 = first op, 2 = second op, 3 = done
+  std::atomic<int> observed_at_read{-1};
+
+  std::thread deferrer([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      atomic_defer(tx, [&] {
+        phase.store(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }, cell);
+      atomic_defer(tx, [&] {
+        phase.store(2);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        phase.store(3);
+      }, cell);
+    });
+  });
+
+  while (phase.load() == 0) std::this_thread::yield();
+  // Subscribe-guarded access: can only complete once BOTH ops are done
+  // (the lock is reentrant, released by the last op).
+  stm::atomic([&](stm::Tx& tx) {
+    cell.subscribe(tx);
+    observed_at_read.store(phase.load());
+  });
+  EXPECT_EQ(observed_at_read.load(), 3);
+  deferrer.join();
+}
+
+TEST_P(DeferEdgeTest, ManySmallDefersInOneTransaction) {
+  Cell cell;
+  int count = 0;
+  stm::atomic([&](stm::Tx& tx) {
+    for (int i = 0; i < 64; ++i) {
+      atomic_defer(tx, [&count] { ++count; }, cell);
+    }
+  });
+  EXPECT_EQ(count, 64);
+  EXPECT_FALSE(cell.txlock().held_by_me());
+}
+
+TEST_P(DeferEdgeTest, VectorFormWithDynamicObjectSet) {
+  Cell a, b, c;
+  std::vector<const Deferrable*> objs = {&a, &c};  // computed at runtime
+  bool ran = false;
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&] { ran = true; }, objs);
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(a.txlock().held_by_me());
+  EXPECT_FALSE(c.txlock().held_by_me());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, DeferEdgeTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

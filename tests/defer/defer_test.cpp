@@ -1,0 +1,285 @@
+// atomic_defer semantics: ordering, atomicity of transaction + deferred
+// operation, lock lifetimes, delayed frees (paper §4, Listing 1).
+#include "defer/atomic_defer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+// A deferrable object with a transactional field accessed through a
+// subscribe-guarded getter/setter, per the paper's convention.
+class Cell : public Deferrable {
+ public:
+  int get(stm::Tx& tx) const {
+    subscribe(tx);
+    return value_.get(tx);
+  }
+  void set(stm::Tx& tx, int v) {
+    subscribe(tx);
+    value_.set(tx, v);
+  }
+  // Raw access for use inside deferred operations (the lock is held).
+  int raw() const { return value_.load_direct(); }
+  void raw_set(int v) { value_.store_direct(v); }
+
+ private:
+  stm::tvar<int> value_{0};
+};
+
+class DeferTest : public AlgoTest {};
+
+TEST_P(DeferTest, DeferredOpRunsAfterCommit) {
+  Cell cell;
+  bool ran_inside = false;
+  bool ran = false;
+  stm::atomic([&](stm::Tx& tx) {
+    cell.set(tx, 1);
+    atomic_defer(tx, [&] {
+      ran = true;
+      EXPECT_FALSE(stm::in_transaction());
+      // The transaction's effects are visible to the deferred op.
+      EXPECT_EQ(cell.raw(), 1);
+    }, cell);
+    ran_inside = ran;  // must still be false here
+  });
+  EXPECT_FALSE(ran_inside);
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(DeferTest, RunsExactlyOnceDespiteBodyReexecution) {
+  Cell cell;
+  std::atomic<int> runs{0};
+  // Force re-execution pressure with a contended variable.
+  stm::tvar<long> hot{0};
+  std::atomic<bool> stop{false};
+  std::thread antagonist([&] {
+    while (!stop.load()) {
+      stm::atomic([&](stm::Tx& tx) { hot.set(tx, hot.get(tx) + 1); });
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    stm::atomic([&](stm::Tx& tx) {
+      hot.set(tx, hot.get(tx) + 1);
+      atomic_defer(tx, [&] { runs.fetch_add(1); }, cell);
+    });
+  }
+  stop.store(true);
+  antagonist.join();
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST_P(DeferTest, LocksAreHeldDuringDeferredOpAndReleasedAfter) {
+  Cell cell;
+  std::atomic<bool> in_deferred{false};
+  std::atomic<bool> deferred_done{false};
+  std::atomic<bool> observer_done{false};
+
+  std::thread deferrer([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      atomic_defer(tx, [&] {
+        in_deferred.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        cell.raw_set(7);
+        deferred_done.store(true);
+      }, cell);
+    });
+  });
+
+  while (!in_deferred.load()) std::this_thread::yield();
+  // A transaction touching the cell must wait for the deferred op.
+  std::thread observer([&] {
+    const int v = stm::atomic([&](stm::Tx& tx) { return cell.get(tx); });
+    // By the time we could read it, the deferred op had finished.
+    EXPECT_TRUE(deferred_done.load());
+    EXPECT_EQ(v, 7);
+    observer_done.store(true);
+  });
+
+  deferrer.join();
+  observer.join();
+  EXPECT_TRUE(observer_done.load());
+  EXPECT_FALSE(cell.txlock().held_by_me());
+}
+
+TEST_P(DeferTest, NoIntermediateStateIsObservable) {
+  // The transaction writes A transactionally and B in its deferred op
+  // (directly, under the implicit lock — no orec updates); concurrent
+  // readers that follow the subscribe protocol must see the two updates
+  // atomically: never A's new value with B's old value or vice versa.
+  // This is the pattern that requires commit-time read-set validation in
+  // the runtime (see Tx::commit).
+  struct Pair : Deferrable {
+    stm::tvar<long> a{0};
+    stm::tvar<long> b{0};  // written directly, only under the implicit lock
+  };
+  Pair p;
+  std::atomic<long> violations{0};
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    for (long i = 1; i <= 150; ++i) {
+      stm::atomic([&](stm::Tx& tx) {
+        p.subscribe(tx);
+        p.a.set(tx, i);
+        atomic_defer(tx, [&p, i] { p.b.store_direct(i); }, p);
+      });
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const auto [a, b] = stm::atomic([&](stm::Tx& tx) {
+          p.subscribe(tx);
+          return std::pair{p.a.get(tx), p.b.get(tx)};
+        });
+        if (a != b) violations.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_P(DeferTest, MultipleDefersRunInOrderAndSeeEarlierEffects) {
+  Cell cell;
+  std::string order;
+  int seen_by_second = -1;
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&] {
+      order += "1";
+      cell.raw_set(10);
+    }, cell);
+    atomic_defer(tx, [&] {
+      order += "2";
+      seen_by_second = cell.raw();  // effects of op 1 visible to op 2
+    }, cell);
+  });
+  EXPECT_EQ(order, "12");
+  EXPECT_EQ(seen_by_second, 10);
+  // Reentrancy: the shared cell stayed locked until the last op finished,
+  // and is free now.
+  EXPECT_FALSE(cell.txlock().held_by_me());
+  stm::atomic([&](stm::Tx& tx) { EXPECT_EQ(cell.get(tx), 10); });
+}
+
+TEST_P(DeferTest, DeferredOpSeesWritesAfterTheDeferCall) {
+  // Paper §4: "A deferred operation will see any effects of the
+  // transaction that occur after the call to atomic_defer."
+  Cell cell;
+  int seen = -1;
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&] { seen = cell.raw(); }, cell);
+    cell.set(tx, 42);  // after the defer call, before commit
+  });
+  EXPECT_EQ(seen, 42);
+}
+
+TEST_P(DeferTest, DeferWithNoObjectsIsPlainDeferral) {
+  // The paper's "pass nil" variant: ordering after commit, no locking.
+  bool ran = false;
+  stm::atomic([&](stm::Tx& tx) { atomic_defer(tx, [&] { ran = true; }); });
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(DeferTest, DeferredOpMayUseTransactions) {
+  // Listing 1 moves deferred_ops/tm_free_list to locals precisely so that
+  // deferred operations can run transactions internally.
+  Cell cell;
+  stm::tvar<int> other{0};
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&] {
+      stm::atomic([&](stm::Tx& inner) { other.set(inner, 5); });
+    }, cell);
+  });
+  EXPECT_EQ(other.load_direct(), 5);
+}
+
+TEST_P(DeferTest, FreedMemoryStaysValidForDeferredOps) {
+  // Listing 1: tm_free_list is processed after deferred ops complete.
+  Cell cell;
+  char* buf = static_cast<char*>(std::malloc(32));
+  std::strcpy(buf, "still-alive");
+  std::string observed;
+  stm::atomic([&](stm::Tx& tx) {
+    stm::tx_free(tx, buf);
+    atomic_defer(tx, [&observed, buf] { observed = buf; }, cell);
+  });
+  EXPECT_EQ(observed, "still-alive");
+}
+
+TEST_P(DeferTest, ThrowingDeferredOpStillReleasesLocks) {
+  Cell cell;
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) {
+        atomic_defer(tx, [] { throw std::runtime_error("io failed"); }, cell);
+      }),
+      std::runtime_error);
+  // The lock must have been released on the error path.
+  stm::atomic([&](stm::Tx& tx) { EXPECT_EQ(cell.get(tx), 0); });
+}
+
+TEST_P(DeferTest, ConcurrentDeferrersOnDistinctObjectsProceed) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 150;
+  std::vector<std::unique_ptr<Cell>> cells;
+  for (int i = 0; i < kThreads; ++i) cells.push_back(std::make_unique<Cell>());
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stm::atomic([&](stm::Tx& tx) {
+          atomic_defer(tx, [&, t] {
+            cells[t]->raw_set(cells[t]->raw() + 1);
+          }, *cells[t]);
+        });
+      }
+      done.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(done.load(), kThreads);
+  for (auto& c : cells) EXPECT_EQ(c->raw(), kPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, DeferTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+class DeferSpecTest : public AlgoTest {};
+
+TEST_P(DeferSpecTest, AbortDiscardsDeferredOps) {
+  Cell cell;
+  bool ran = false;
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 atomic_defer(tx, [&] { ran = true; }, cell);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_FALSE(ran);
+  // The speculative lock acquisition rolled back with the transaction.
+  EXPECT_FALSE(cell.txlock().held_by_me());
+  stm::atomic([&](stm::Tx& tx) { EXPECT_EQ(cell.get(tx), 0); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Speculative, DeferSpecTest, test::SpeculativeAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

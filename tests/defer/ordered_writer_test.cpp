@@ -1,0 +1,108 @@
+// OrderedWriter: ticket-ordered deferred output across threads.
+#include "defer/ordered_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "io/temp_dir.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+std::vector<std::string> lines_of(const std::string& path) {
+  std::istringstream in(io::read_file(path));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+class OrderedWriterTest : public AlgoTest {
+ protected:
+  io::TempDir dir_{"adtm-owriter"};
+};
+
+TEST_P(OrderedWriterTest, SingleThreadWritesInProgramOrder) {
+  OrderedWriter writer(dir_.file("log"));
+  for (int i = 0; i < 20; ++i) {
+    stm::atomic([&](stm::Tx& tx) {
+      writer.write(tx, "rec" + std::to_string(i));
+    });
+  }
+  writer.drain();
+  const auto lines = lines_of(dir_.file("log"));
+  ASSERT_EQ(lines.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(lines[i], "rec" + std::to_string(i));
+}
+
+TEST_P(OrderedWriterTest, TicketOrderMatchesCommitOrderAcrossThreads) {
+  OrderedWriter writer(dir_.file("log"));
+  // Each record embeds a global commit-order stamp taken in the same
+  // transaction as the ticket; the file must be sorted by it.
+  stm::tvar<long> commit_order{0};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 60;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stm::atomic([&](stm::Tx& tx) {
+          const long stamp = commit_order.get(tx);
+          commit_order.set(tx, stamp + 1);
+          writer.write(tx, std::to_string(stamp));
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  writer.drain();
+
+  const auto lines = lines_of(dir_.file("log"));
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i], std::to_string(i)) << "position " << i;
+  }
+}
+
+TEST_P(OrderedWriterTest, AbortedTransactionConsumesNoTicket) {
+  if (GetParam() == stm::Algo::CGL) GTEST_SKIP() << "CGL cannot roll back";
+  OrderedWriter writer(dir_.file("log"));
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 writer.write(tx, "never");
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  stm::atomic([&](stm::Tx& tx) { writer.write(tx, "only"); });
+  writer.drain();
+  EXPECT_EQ(writer.tickets_direct(), 1u);
+  const auto lines = lines_of(dir_.file("log"));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "only");
+}
+
+TEST_P(OrderedWriterTest, MultipleWritesInOneTransactionStayAdjacent) {
+  OrderedWriter writer(dir_.file("log"));
+  stm::atomic([&](stm::Tx& tx) {
+    writer.write(tx, "a1");
+    writer.write(tx, "a2");
+    writer.write(tx, "a3");
+  });
+  writer.drain();
+  const auto lines = lines_of(dir_.file("log"));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a1");
+  EXPECT_EQ(lines[1], "a2");
+  EXPECT_EQ(lines[2], "a3");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, OrderedWriterTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,126 @@
+// Transaction-friendly condition variables (Wang et al.-style) built on
+// retry.
+#include "defer/txcondvar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class TxCondVarTest : public AlgoTest {};
+
+TEST_P(TxCondVarTest, WaitWakesOnNotify) {
+  TxCondVar cv;
+  // The predicate lives OUTSIDE transactional memory (a plain atomic), so
+  // only notify can wake the waiter — the case cv exists for.
+  std::atomic<bool> ready{false};
+  std::atomic<bool> woke{false};
+
+  std::thread waiter([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      if (!ready.load()) cv.wait(tx);
+    });
+    woke.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+
+  ready.store(true);
+  stm::atomic([&](stm::Tx& tx) { cv.notify_all(tx); });
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST_P(TxCondVarTest, NotifyIsDiscardedOnAbort) {
+  if (GetParam() == stm::Algo::CGL) GTEST_SKIP() << "CGL cannot roll back";
+  TxCondVar cv;
+  std::uint64_t before = 0;
+  stm::atomic([&](stm::Tx& tx) { before = cv.generation(tx); });
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 cv.notify_all(tx);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  stm::atomic([&](stm::Tx& tx) { EXPECT_EQ(cv.generation(tx), before); });
+}
+
+TEST_P(TxCondVarTest, BoundedBufferProducerConsumer) {
+  // Classic bounded buffer with two condition variables, written as
+  // straight-line transactional code.
+  constexpr std::size_t kCap = 4;
+  constexpr long kItems = 200;
+  stm::tvar<long> buffer[kCap];
+  stm::tvar<std::size_t> count{0};
+  stm::tvar<std::size_t> head{0}, tail{0};
+  TxCondVar not_full, not_empty;
+
+  std::thread producer([&] {
+    for (long i = 1; i <= kItems; ++i) {
+      stm::atomic([&](stm::Tx& tx) {
+        if (count.get(tx) == kCap) not_full.wait(tx);
+        const std::size_t t = tail.get(tx);
+        buffer[t].set(tx, i);
+        tail.set(tx, (t + 1) % kCap);
+        count.set(tx, count.get(tx) + 1);
+        not_empty.notify_all(tx);
+      });
+    }
+  });
+
+  long sum = 0;
+  std::thread consumer([&] {
+    for (long i = 0; i < kItems; ++i) {
+      sum += stm::atomic([&](stm::Tx& tx) {
+        if (count.get(tx) == 0) not_empty.wait(tx);
+        const std::size_t h = head.get(tx);
+        const long v = buffer[h].get(tx);
+        head.set(tx, (h + 1) % kCap);
+        count.set(tx, count.get(tx) - 1);
+        not_full.notify_all(tx);
+        return v;
+      });
+    }
+  });
+
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+  EXPECT_EQ(count.load_direct(), 0u);
+}
+
+TEST_P(TxCondVarTest, ManyWaitersAllWake) {
+  TxCondVar cv;
+  std::atomic<bool> open{false};
+  std::atomic<int> woke{0};
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      stm::atomic([&](stm::Tx& tx) {
+        if (!open.load()) cv.wait(tx);
+      });
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  open.store(true);
+  cv.notify_all();  // non-transactional convenience form
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, TxCondVarTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,124 @@
+// Durable ordered output (paper §5.2, Listing 4): F2 must not be written
+// until F1's update has reached the disk.
+#include "durable/durable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "io/temp_dir.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm::durable {
+namespace {
+
+using test::AlgoTest;
+
+class DurableTest : public AlgoTest {
+ protected:
+  io::TempDir dir_{"adtm-durable"};
+};
+
+TEST_P(DurableTest, WriteBecomesDurableAfterCommit) {
+  DurableFile f(dir_.file("f1"));
+  DurableBuffer buf("payload-1");
+  stm::atomic([&](stm::Tx& tx) {
+    durable_write(tx, f, buf);
+    // Inside the transaction the deferred fsync has not run.
+    EXPECT_FALSE(stm::in_transaction() && false);
+  });
+  // After atomic() returns, the deferred op (write+fsync+flag) completed.
+  stm::atomic([&](stm::Tx& tx) { EXPECT_TRUE(is_durable(tx, buf)); });
+  EXPECT_EQ(io::read_file(dir_.file("f1")), "payload-1");
+}
+
+TEST_P(DurableTest, FlagNotSetBeforeWrite) {
+  DurableFile f(dir_.file("f1"));
+  DurableBuffer buf("data");
+  stm::atomic([&](stm::Tx& tx) { EXPECT_FALSE(is_durable(tx, buf)); });
+}
+
+TEST_P(DurableTest, ConditionalSecondWriteObservesFirst) {
+  // Listing 4's exact protocol: T2 writes buf2 to f2 only if buf1 is
+  // durable. Run T1 and T2 concurrently many times; whenever f2 was
+  // written, f1 must contain its payload (ordering).
+  constexpr int kRounds = 40;
+  for (int round = 0; round < kRounds; ++round) {
+    io::TempDir dir{"adtm-durable-round"};
+    DurableFile f1(dir.file("f1")), f2(dir.file("f2"));
+    DurableBuffer buf1("first-" + std::to_string(round));
+    DurableBuffer buf2("second-" + std::to_string(round));
+
+    std::thread t1([&] {
+      stm::atomic([&](stm::Tx& tx) { durable_write(tx, f1, buf1); });
+    });
+    bool wrote_second = false;
+    std::thread t2([&] {
+      stm::atomic([&](stm::Tx& tx) {
+        if (is_durable(tx, buf1)) {
+          durable_write(tx, f2, buf2);
+          wrote_second = true;
+        }
+      });
+    });
+    t1.join();
+    t2.join();
+
+    if (wrote_second) {
+      // Ordering: f1's payload hit the disk before f2 was written.
+      EXPECT_EQ(io::read_file(dir.file("f1")), buf1.raw_payload());
+      EXPECT_EQ(io::read_file(dir.file("f2")), buf2.raw_payload());
+    }
+  }
+}
+
+TEST_P(DurableTest, WaitDurableBlocksUntilFsyncCompletes) {
+  DurableFile f(dir_.file("f1"));
+  DurableBuffer buf("payload");
+  std::atomic<bool> waiter_done{false};
+
+  std::thread waiter([&] {
+    stm::atomic([&](stm::Tx& tx) { wait_durable(tx, buf); });
+    waiter_done.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(waiter_done.load());
+
+  stm::atomic([&](stm::Tx& tx) { durable_write(tx, f, buf); });
+  waiter.join();
+  EXPECT_TRUE(waiter_done.load());
+}
+
+TEST_P(DurableTest, ChainOfThreeOrderedWrites) {
+  DurableFile f1(dir_.file("f1")), f2(dir_.file("f2")), f3(dir_.file("f3"));
+  DurableBuffer b1("one"), b2("two"), b3("three");
+
+  std::thread t3([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      wait_durable(tx, b2);
+      durable_write(tx, f3, b3);
+    });
+  });
+  std::thread t2([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      wait_durable(tx, b1);
+      durable_write(tx, f2, b2);
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stm::atomic([&](stm::Tx& tx) { durable_write(tx, f1, b1); });
+  t2.join();
+  t3.join();
+
+  EXPECT_EQ(io::read_file(dir_.file("f1")), "one");
+  EXPECT_EQ(io::read_file(dir_.file("f2")), "two");
+  EXPECT_EQ(io::read_file(dir_.file("f3")), "three");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, DurableTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::durable

@@ -1,0 +1,83 @@
+#include "fdpool/async_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+
+namespace adtm::fdpool {
+namespace {
+
+class AsyncIOTest : public ::testing::Test {
+ protected:
+  io::TempDir dir_{"adtm-aio"};
+};
+
+TEST_F(AsyncIOTest, SingleWriteLands) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("a"));
+  AsyncIOEngine engine;
+  engine.submit_write(f.fd(), 0, "hello");
+  engine.drain();
+  EXPECT_EQ(io::read_file(dir_.file("a")), "hello");
+  EXPECT_EQ(engine.completed(), 1u);
+}
+
+TEST_F(AsyncIOTest, PositionalWritesDoNotOverlap) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("b"));
+  AsyncIOEngine engine(2);
+  // Reserve offsets 0,5,10,... and write out of submission order.
+  for (int i = 9; i >= 0; --i) {
+    std::string chunk = std::to_string(i) + "...;";
+    chunk.resize(5, '.');
+    engine.submit_write(f.fd(), static_cast<std::uint64_t>(i) * 5,
+                        std::move(chunk));
+  }
+  engine.drain();
+  const std::string data = io::read_file(dir_.file("b"));
+  ASSERT_EQ(data.size(), 50u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(data.substr(static_cast<std::size_t>(i) * 5, 1),
+              std::to_string(i));
+  }
+}
+
+TEST_F(AsyncIOTest, CompletionCallbackRuns) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("c"));
+  AsyncIOEngine engine;
+  std::atomic<int> called{0};
+  engine.submit_write(f.fd(), 0, "x", [&] { called.fetch_add(1); });
+  engine.drain();
+  EXPECT_EQ(called.load(), 1);
+}
+
+TEST_F(AsyncIOTest, ManyWritesAllComplete) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("d"));
+  AsyncIOEngine engine(3);
+  constexpr int kWrites = 500;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kWrites; ++i) {
+    engine.submit_write(f.fd(), static_cast<std::uint64_t>(i), "z",
+                        [&] { done.fetch_add(1); });
+  }
+  engine.drain();
+  EXPECT_EQ(done.load(), kWrites);
+  EXPECT_EQ(engine.completed(), static_cast<std::uint64_t>(kWrites));
+  EXPECT_EQ(f.size(), static_cast<std::uint64_t>(kWrites));
+}
+
+TEST_F(AsyncIOTest, DestructorDrainsGracefully) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("e"));
+  {
+    AsyncIOEngine engine;
+    for (int i = 0; i < 50; ++i) {
+      engine.submit_write(f.fd(), static_cast<std::uint64_t>(i), "q");
+    }
+    // No explicit drain: the destructor must not lose queued work or hang.
+  }
+  EXPECT_EQ(f.size(), 50u);
+}
+
+}  // namespace
+}  // namespace adtm::fdpool

@@ -1,0 +1,196 @@
+// FilePool: the InnoDB-style file pool of paper §5.3 (Listing 5).
+#include "fdpool/fd_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "io/temp_dir.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm::fdpool {
+namespace {
+
+using test::AlgoTest;
+
+class FdPoolTest : public AlgoTest {
+ protected:
+  io::TempDir dir_{"adtm-fdpool"};
+  AsyncIOEngine engine_{2};
+};
+
+TEST_P(FdPoolTest, OpensNodeOnFirstUse) {
+  FilePool pool(dir_.path(), 4, engine_);
+  const std::size_t n = pool.add_node("n0");
+  EXPECT_FALSE(pool.node_open_direct(n));
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, n); });
+  EXPECT_TRUE(pool.node_open_direct(n));
+  EXPECT_EQ(pool.open_count_direct(), 1u);
+}
+
+TEST_P(FdPoolTest, AppendWritesAtReservedOffsets) {
+  FilePool pool(dir_.path(), 4, engine_);
+  const std::size_t n = pool.add_node("n0");
+  EXPECT_EQ(pool.append_async(n, "aaaa"), 0u);
+  EXPECT_EQ(pool.append_async(n, "bb"), 4u);
+  EXPECT_EQ(pool.append_async(n, "cccc"), 6u);
+  pool.drain();
+  EXPECT_EQ(io::read_file(pool.node_path(n)), "aaaabbcccc");
+  EXPECT_EQ(pool.node_size_direct(n), 10u);
+  EXPECT_EQ(pool.node_pending_direct(n), 0u);
+}
+
+TEST_P(FdPoolTest, EvictsLruWhenAtCapacity) {
+  FilePool pool(dir_.path(), 2, engine_);
+  const std::size_t a = pool.add_node("a");
+  const std::size_t b = pool.add_node("b");
+  const std::size_t c = pool.add_node("c");
+
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, a); });
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, b); });
+  EXPECT_EQ(pool.open_count_direct(), 2u);
+
+  // Opening c must evict a (the least recently used).
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, c); });
+  EXPECT_EQ(pool.open_count_direct(), 2u);
+  EXPECT_FALSE(pool.node_open_direct(a));
+  EXPECT_TRUE(pool.node_open_direct(b));
+  EXPECT_TRUE(pool.node_open_direct(c));
+}
+
+TEST_P(FdPoolTest, TouchRefreshesLru) {
+  FilePool pool(dir_.path(), 2, engine_);
+  const std::size_t a = pool.add_node("a");
+  const std::size_t b = pool.add_node("b");
+  const std::size_t c = pool.add_node("c");
+
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, a); });
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, b); });
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, a); });  // refresh a
+
+  stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, c); });
+  EXPECT_TRUE(pool.node_open_direct(a));
+  EXPECT_FALSE(pool.node_open_direct(b));  // b was LRU
+  EXPECT_TRUE(pool.node_open_direct(c));
+}
+
+TEST_P(FdPoolTest, MaxOpenInvariantHoldsUnderChurn) {
+  constexpr std::size_t kMaxOpen = 3;
+  FilePool pool(dir_.path(), kMaxOpen, engine_);
+  constexpr std::size_t kNodes = 8;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    pool.add_node("n" + std::to_string(i));
+  }
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 120;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) + 17};
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t n = rng.next_below(kNodes);
+        pool.append_async(n, "rec" + std::to_string(t) + "." +
+                                 std::to_string(i) + ";");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  pool.drain();
+
+  EXPECT_LE(pool.open_count_direct(), kMaxOpen);
+  std::size_t open = 0;
+  std::uint64_t total_bytes = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    open += pool.node_open_direct(i);
+    EXPECT_EQ(pool.node_pending_direct(i), 0u);
+    // Every reserved byte was written: logical size == physical size.
+    const std::string data = io::read_file(pool.node_path(i));
+    EXPECT_EQ(data.size(), pool.node_size_direct(i));
+    total_bytes += data.size();
+    // No torn records: each ends with ';' and none contains a NUL (which
+    // would indicate a hole from a lost write).
+    if (!data.empty()) EXPECT_EQ(data.back(), ';');
+    EXPECT_EQ(data.find('\0'), std::string::npos);
+  }
+  EXPECT_EQ(open, pool.open_count_direct());
+  EXPECT_GT(total_bytes, 0u);
+}
+
+TEST_P(FdPoolTest, AppendsToManyNodesDoNotCorrupt) {
+  FilePool pool(dir_.path(), 2, engine_);
+  const std::size_t a = pool.add_node("a");
+  const std::size_t b = pool.add_node("b");
+  const std::size_t c = pool.add_node("c");
+  for (int i = 0; i < 30; ++i) {
+    pool.append_async(a, "A");
+    pool.append_async(b, "B");
+    pool.append_async(c, "C");
+  }
+  pool.drain();
+  EXPECT_EQ(io::read_file(pool.node_path(a)), std::string(30, 'A'));
+  EXPECT_EQ(io::read_file(pool.node_path(b)), std::string(30, 'B'));
+  EXPECT_EQ(io::read_file(pool.node_path(c)), std::string(30, 'C'));
+}
+
+TEST_P(FdPoolTest, OpenInitialOpensUpToCapacity) {
+  FilePool pool(dir_.path(), 2, engine_);
+  for (int i = 0; i < 5; ++i) pool.add_node("n" + std::to_string(i));
+  pool.open_initial();
+  EXPECT_EQ(pool.open_count_direct(), 2u);
+  pool.open_initial();  // idempotent at capacity
+  EXPECT_EQ(pool.open_count_direct(), 2u);
+}
+
+TEST_P(FdPoolTest, CloseAllClosesEverything) {
+  FilePool pool(dir_.path(), 4, engine_);
+  for (int i = 0; i < 4; ++i) pool.add_node("n" + std::to_string(i));
+  pool.open_initial();
+  EXPECT_EQ(pool.open_count_direct(), 4u);
+  pool.close_all();
+  EXPECT_EQ(pool.open_count_direct(), 0u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(pool.node_open_direct(i));
+  // The pool is still usable afterwards.
+  pool.append_async(0, "post-close append");
+  pool.drain();
+  EXPECT_EQ(io::read_file(pool.node_path(0)), "post-close append");
+}
+
+TEST_P(FdPoolTest, CloseAllWaitsForInFlightIo) {
+  FilePool pool(dir_.path(), 2, engine_);
+  const std::size_t n = pool.add_node("busy");
+  // Generate a burst of async appends, then immediately close_all: the
+  // close must wait for the pending writes (retry on the counters), and
+  // every byte must land.
+  std::string expected;
+  for (int i = 0; i < 40; ++i) {
+    const std::string rec = "rec" + std::to_string(i) + ";";
+    expected += rec;
+    pool.append_async(n, rec);
+  }
+  pool.close_all();
+  EXPECT_EQ(pool.open_count_direct(), 0u);
+  EXPECT_EQ(pool.node_pending_direct(n), 0u);
+  EXPECT_EQ(io::read_file(pool.node_path(n)), expected);
+}
+
+TEST_P(FdPoolTest, BadNodeIdThrows) {
+  FilePool pool(dir_.path(), 2, engine_);
+  EXPECT_THROW(pool.append_async(0, "x"), std::out_of_range);
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { pool.prepare_io(tx, 3); }),
+      std::out_of_range);
+}
+
+TEST_P(FdPoolTest, ZeroCapacityRejected) {
+  EXPECT_THROW(FilePool(dir_.path(), 0, engine_), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, FdPoolTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::fdpool

@@ -1,0 +1,98 @@
+// DeferFile: the Listing 6 microbenchmark operation, exercised in all
+// three configurations the paper compares (deferred, irrevocable, locked).
+#include "io/defer_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "defer/atomic_defer.hpp"
+#include "io/temp_dir.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm::io {
+namespace {
+
+using test::AlgoTest;
+
+int count_lines(const std::string& text) {
+  int n = 0;
+  for (char c : text) n += (c == '\n');
+  return n;
+}
+
+class DeferFileTest : public AlgoTest {
+ protected:
+  TempDir dir_{"adtm-deferfile"};
+};
+
+TEST_P(DeferFileTest, AppendRecordsContentAndLength) {
+  DeferFile file(dir_.file("log"));
+  file.append_with_length("first");   // length 0 at time of append
+  file.append_with_length("second");  // length 8 ("first:0\n")
+  const std::string data = read_file(file.path());
+  EXPECT_EQ(data, "first:0\nsecond:8\n");
+}
+
+TEST_P(DeferFileTest, DeferredAppendsViaAtomicDefer) {
+  DeferFile file(dir_.file("log"));
+  constexpr int kOps = 20;
+  for (int i = 0; i < kOps; ++i) {
+    stm::atomic([&](stm::Tx& tx) {
+      atomic_defer(tx, [&file, i] {
+        file.append_with_length("op" + std::to_string(i));
+      }, file);
+    });
+  }
+  EXPECT_EQ(count_lines(read_file(file.path())), kOps);
+}
+
+TEST_P(DeferFileTest, IrrevocableAppends) {
+  DeferFile file(dir_.file("log"));
+  constexpr int kOps = 20;
+  for (int i = 0; i < kOps; ++i) {
+    stm::atomic([&](stm::Tx& tx) {
+      stm::become_irrevocable(tx);
+      file.append_with_length("op" + std::to_string(i));
+    });
+  }
+  EXPECT_EQ(count_lines(read_file(file.path())), kOps);
+}
+
+TEST_P(DeferFileTest, ConcurrentDeferredAppendsAllLand) {
+  DeferFile file(dir_.file("log"));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stm::atomic([&](stm::Tx& tx) {
+          atomic_defer(tx, [&file, t, i] {
+            file.append_with_length("t" + std::to_string(t) + "op" +
+                                    std::to_string(i));
+          }, file);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(count_lines(read_file(file.path())), kThreads * kPerThread);
+}
+
+TEST_P(DeferFileTest, KeepOpenVariantAppends) {
+  DeferFile file(dir_.file("log"));
+  file.append_keep_open("a");
+  file.append_keep_open("b");
+  file.close_persistent();
+  const std::string data = read_file(file.path());
+  EXPECT_EQ(data, "a:0\nb:4\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, DeferFileTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::io

@@ -1,0 +1,107 @@
+#include "io/posix_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <system_error>
+
+#include "io/temp_dir.hpp"
+
+namespace adtm::io {
+namespace {
+
+class PosixFileTest : public ::testing::Test {
+ protected:
+  TempDir dir_{"adtm-io-test"};
+};
+
+TEST_F(PosixFileTest, CreateWriteReadRoundTrip) {
+  const std::string path = dir_.file("a.txt");
+  {
+    PosixFile f = PosixFile::create(path);
+    f.write_fully("hello world", 11);
+  }
+  EXPECT_EQ(read_file(path), "hello world");
+}
+
+TEST_F(PosixFileTest, AppendExtends) {
+  const std::string path = dir_.file("b.txt");
+  write_file(path, std::string("one"));
+  {
+    PosixFile f = PosixFile::open_append(path);
+    f.write_fully("two", 3);
+  }
+  EXPECT_EQ(read_file(path), "onetwo");
+}
+
+TEST_F(PosixFileTest, OpenReadMissingFileThrows) {
+  EXPECT_THROW(PosixFile::open_read(dir_.file("missing")), std::system_error);
+}
+
+TEST_F(PosixFileTest, SizeAndSeekEnd) {
+  const std::string path = dir_.file("c.txt");
+  write_file(path, std::string(1234, 'x'));
+  PosixFile f = PosixFile::open_rw(path);
+  EXPECT_EQ(f.size(), 1234u);
+  EXPECT_EQ(f.seek_end(), 1234u);
+}
+
+TEST_F(PosixFileTest, PwriteAtOffset) {
+  const std::string path = dir_.file("d.txt");
+  write_file(path, std::string("AAAAAAAA"));
+  PosixFile f = PosixFile::open_rw(path);
+  f.pwrite_fully("BB", 2, 3);
+  EXPECT_EQ(read_file(path), "AAABBAAA");
+}
+
+TEST_F(PosixFileTest, PreadAtOffset) {
+  const std::string path = dir_.file("e.txt");
+  write_file(path, std::string("0123456789"));
+  PosixFile f = PosixFile::open_read(path);
+  char buf[4];
+  EXPECT_EQ(f.pread_some(buf, 4, 3), 4u);
+  EXPECT_EQ(std::string(buf, 4), "3456");
+}
+
+TEST_F(PosixFileTest, ReadFullyThrowsOnPrematureEof) {
+  const std::string path = dir_.file("f.txt");
+  write_file(path, std::string("abc"));
+  PosixFile f = PosixFile::open_read(path);
+  char buf[16];
+  EXPECT_THROW(f.read_fully(buf, 16), std::system_error);
+}
+
+TEST_F(PosixFileTest, MoveTransfersOwnership) {
+  const std::string path = dir_.file("g.txt");
+  PosixFile a = PosixFile::create(path);
+  const int fd = a.fd();
+  PosixFile b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT: checking moved-from state
+  EXPECT_TRUE(b.is_open());
+  EXPECT_EQ(b.fd(), fd);
+}
+
+TEST_F(PosixFileTest, SyncSucceedsOnRegularFile) {
+  PosixFile f = PosixFile::create(dir_.file("h.txt"));
+  f.write_fully("data", 4);
+  EXPECT_NO_THROW(f.sync());
+}
+
+TEST_F(PosixFileTest, CloseIsIdempotent) {
+  PosixFile f = PosixFile::create(dir_.file("i.txt"));
+  f.close();
+  EXPECT_FALSE(f.is_open());
+  EXPECT_NO_THROW(f.close());
+}
+
+TEST_F(PosixFileTest, LargeWriteRoundTrip) {
+  const std::string path = dir_.file("large.bin");
+  std::string data(3 * 1024 * 1024, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 131 + (i >> 11));
+  }
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+}
+
+}  // namespace
+}  // namespace adtm::io

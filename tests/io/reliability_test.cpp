@@ -1,0 +1,88 @@
+// The pipeline_out reliability loop (paper Listing 7): write_fully must
+// survive partial writes and transient EAGAIN on slow descriptors.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "io/posix_file.hpp"
+
+namespace adtm::io {
+namespace {
+
+TEST(Reliability, WriteFullySurvivesPartialWritesOnPipe) {
+  // A pipe has a small kernel buffer; writing much more than its capacity
+  // forces partial writes. A slow reader drains concurrently.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  const std::string payload(1 << 20, 'x');  // 1 MiB >> pipe buffer
+  std::string received;
+  std::thread reader([&] {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+      if (n <= 0) break;
+      received.append(buf, static_cast<std::size_t>(n));
+      std::this_thread::yield();  // keep the writer hitting a full pipe
+    }
+  });
+
+  {
+    // Adopt the write end via /proc to reuse PosixFile's loop... simpler:
+    // drive ::write through the same reliability loop by wrapping the fd.
+    // PosixFile has no fd-adoption constructor by design; use the free
+    // loop directly through a temporary file object is not possible, so
+    // replicate the contract with the raw syscall loop under test via
+    // write() on the fd — the loop logic lives in PosixFile::write_fully,
+    // so expose it through a file opened on /dev/fd.
+    PosixFile f = PosixFile::open_append("/dev/fd/" + std::to_string(fds[1]));
+    f.write_fully(payload.data(), payload.size());
+  }
+  ::close(fds[1]);
+  reader.join();
+  ::close(fds[0]);
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+}
+
+TEST(Reliability, WriteFullySurvivesEagainOnNonblockingPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+
+  const std::string payload(256 * 1024, 'y');
+  std::string received;
+  std::thread reader([&] {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+      if (n > 0) {
+        received.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) break;
+      if (errno == EAGAIN) {
+        std::this_thread::yield();
+        continue;
+      }
+      break;
+    }
+  });
+
+  {
+    PosixFile f = PosixFile::open_append("/dev/fd/" + std::to_string(fds[1]));
+    // The write end is O_NONBLOCK via the original description? No:
+    // /dev/fd reopens the pipe; set O_NONBLOCK explicitly on the new fd.
+    ASSERT_EQ(::fcntl(f.fd(), F_SETFL, O_NONBLOCK), 0);
+    f.write_fully(payload.data(), payload.size());  // transient EAGAINs
+  }
+  ::close(fds[1]);
+  reader.join();
+  ::close(fds[0]);
+  EXPECT_EQ(received, payload);
+}
+
+}  // namespace
+}  // namespace adtm::io

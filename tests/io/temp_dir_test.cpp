@@ -1,0 +1,39 @@
+#include "io/temp_dir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/posix_file.hpp"
+
+namespace adtm::io {
+namespace {
+
+TEST(TempDir, CreatesExistingDirectory) {
+  TempDir dir;
+  EXPECT_TRUE(std::filesystem::is_directory(dir.path()));
+}
+
+TEST(TempDir, DistinctInstancesGetDistinctPaths) {
+  TempDir a, b;
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDir, RemovedOnDestruction) {
+  std::string path;
+  {
+    TempDir dir;
+    path = dir.path();
+    write_file(dir.file("x"), std::string("contents"));
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TempDir, FileJoinsPath) {
+  TempDir dir;
+  EXPECT_EQ(dir.file("name.txt"), dir.path() + "/name.txt");
+}
+
+}  // namespace
+}  // namespace adtm::io

@@ -1,0 +1,189 @@
+// TxCache: the memcached-style cache of paper §5.1.
+#include "kvcache/tx_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+#include "support/algo_param.hpp"
+#include "txlog/txlog.hpp"
+
+namespace adtm::kvcache {
+namespace {
+
+using test::AlgoTest;
+
+class TxCacheTest : public AlgoTest {};
+
+TEST_P(TxCacheTest, SetGetDelete) {
+  TxCache cache(16);
+  cache.set("alpha", "1");
+  cache.set("beta", "2");
+  EXPECT_EQ(cache.get("alpha"), "1");
+  EXPECT_EQ(cache.get("beta"), "2");
+  EXPECT_FALSE(cache.get("gamma").has_value());
+  EXPECT_TRUE(cache.del("alpha"));
+  EXPECT_FALSE(cache.del("alpha"));
+  EXPECT_FALSE(cache.get("alpha").has_value());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_P(TxCacheTest, UpdateReplacesValue) {
+  TxCache cache(16);
+  cache.set("k", "old");
+  cache.set("k", "new");
+  EXPECT_EQ(cache.get("k"), "new");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_P(TxCacheTest, LruEvictionOrder) {
+  TxCache cache(3);
+  cache.set("a", "1");
+  cache.set("b", "2");
+  cache.set("c", "3");
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.set("d", "4");
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());  // evicted
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats_snapshot().evictions, 1u);
+}
+
+TEST_P(TxCacheTest, CapacityNeverExceeded) {
+  TxCache cache(8);
+  for (int i = 0; i < 50; ++i) {
+    cache.set("key" + std::to_string(i), std::to_string(i));
+    EXPECT_LE(cache.size(), 8u);
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  // The 8 most recent keys survive.
+  for (int i = 42; i < 50; ++i) {
+    EXPECT_TRUE(cache.get("key" + std::to_string(i)).has_value()) << i;
+  }
+}
+
+TEST_P(TxCacheTest, IncrIsNumericAndExact) {
+  TxCache cache(16);
+  cache.set("counter", "10");
+  EXPECT_EQ(cache.incr("counter", 5), 15);
+  EXPECT_EQ(cache.incr("counter", -3), 12);
+  EXPECT_EQ(cache.get("counter"), "12");
+  EXPECT_FALSE(cache.incr("missing", 1).has_value());
+  cache.set("text", "hello");
+  EXPECT_FALSE(cache.incr("text", 1).has_value());
+}
+
+TEST_P(TxCacheTest, ConcurrentIncrementsAreExact) {
+  TxCache cache(16);
+  cache.set("n", "0");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(cache.incr("n", 1).has_value());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.get("n"), std::to_string(kThreads * kPerThread));
+}
+
+TEST_P(TxCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
+  TxCache cache(64);
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 96;  // > capacity: eviction active throughout
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) + 11};
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string(rng.next_below(kKeys));
+        switch (rng.next_below(3)) {
+          case 0: cache.set(key, key + "-v"); break;
+          case 1: {
+            const auto v = cache.get(key);
+            if (v.has_value()) EXPECT_EQ(*v, key + "-v");
+            break;
+          }
+          default: cache.del(key); break;
+        }
+        EXPECT_LE(cache.size(), 64u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const CacheStats s = cache.stats_snapshot();
+  EXPECT_GT(s.sets, 0u);
+  EXPECT_EQ(s.hits + s.misses, s.hits + s.misses);  // snapshot coherent
+}
+
+TEST_P(TxCacheTest, ComposesWithEnclosingTransaction) {
+  // Move a value between two keys atomically.
+  TxCache cache(16);
+  cache.set("src", "payload");
+  stm::atomic([&](stm::Tx& tx) {
+    const auto v = cache.get(tx, "src");
+    ASSERT_TRUE(v.has_value());
+    cache.del(tx, "src");
+    cache.set(tx, "dst", *v);
+  });
+  EXPECT_FALSE(cache.get("src").has_value());
+  EXPECT_EQ(cache.get("dst"), "payload");
+}
+
+TEST_P(TxCacheTest, AbortRollsBackSet) {
+  if (GetParam() == stm::Algo::CGL) GTEST_SKIP() << "CGL cannot roll back";
+  TxCache cache(16);
+  cache.set("stable", "1");
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 cache.set(tx, "ghost", "2");
+                 cache.del(tx, "stable");
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_FALSE(cache.get("ghost").has_value());
+  EXPECT_EQ(cache.get("stable"), "1");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_P(TxCacheTest, EvictionLoggingIsDeferredAndComplete) {
+  io::TempDir dir("adtm-kvcache");
+  txlog::TxLogger logger(dir.file("evictions.log"));
+  TxCache cache(4, 1024, &logger);
+  for (int i = 0; i < 12; ++i) {
+    cache.set("key" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(cache.stats_snapshot().evictions, 8u);
+  EXPECT_EQ(logger.records_written(), 8u);
+  const std::string log = io::read_file(dir.file("evictions.log"));
+  EXPECT_NE(log.find("evict key=key0"), std::string::npos);
+}
+
+TEST_P(TxCacheTest, StatsCountHitsAndMisses) {
+  TxCache cache(8);
+  cache.set("a", "1");
+  (void)cache.get("a");
+  (void)cache.get("a");
+  (void)cache.get("nope");
+  const CacheStats s = cache.stats_snapshot();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.sets, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, TxCacheTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::kvcache

@@ -1,0 +1,106 @@
+// Differential testing: every algorithm must compute the SAME result for
+// the same deterministic workload — CGL (a single global lock with direct
+// access) is the semantic oracle.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+namespace {
+
+constexpr int kCells = 32;
+
+// A deterministic single-threaded workload with data-dependent control
+// flow, nested blocks, scoped cancels, and allocation churn; returns the
+// final cell values plus a running checksum of everything observed.
+std::pair<std::array<long, kCells>, std::uint64_t> run_workload(
+    stm::Algo algo, std::uint64_t seed) {
+  stm::Config cfg;
+  cfg.algo = algo;
+  stm::init(cfg);
+
+  std::array<stm::tvar<long>, kCells> cells;
+  for (int i = 0; i < kCells; ++i) cells[i].store_direct(i);
+
+  Xoshiro256 rng{seed};
+  std::uint64_t checksum = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const int a = static_cast<int>(rng.next_below(kCells));
+    const int b = static_cast<int>(rng.next_below(kCells));
+    const int op = static_cast<int>(rng.next_below(5));
+    switch (op) {
+      case 0:  // transfer
+        stm::atomic([&](stm::Tx& tx) {
+          const long v = cells[a].get(tx);
+          cells[a].set(tx, v - 1);
+          cells[b].set(tx, cells[b].get(tx) + 1);
+        });
+        break;
+      case 1:  // data-dependent update
+        stm::atomic([&](stm::Tx& tx) {
+          if (cells[a].get(tx) % 2 == 0) {
+            cells[b].set(tx, cells[b].get(tx) * 2 + 1);
+          } else {
+            cells[b].set(tx, cells[b].get(tx) - 3);
+          }
+        });
+        break;
+      case 2:  // read + checksum
+        checksum ^= static_cast<std::uint64_t>(stm::atomic(
+            [&](stm::Tx& tx) { return cells[a].get(tx) + cells[b].get(tx); }));
+        checksum *= 0x9E3779B97F4A7C15ULL;
+        break;
+      case 3:  // nested scope, sometimes cancelled (speculative algos);
+               // under CGL the cancel path is skipped pre-write, keeping
+               // the workload identical via an explicit predicate
+        stm::atomic([&](stm::Tx& tx) {
+          const bool doomed = cells[a].get(tx) % 3 == 0;
+          if (tx.irrevocable()) {
+            // Direct mode: express the same semantics without rollback.
+            if (!doomed) cells[b].set(tx, cells[b].get(tx) + 7);
+          } else {
+            stm::atomic_nested([&](stm::Tx& inner) {
+              cells[b].set(inner, cells[b].get(inner) + 7);
+              if (doomed) stm::cancel(inner);
+            });
+          }
+        });
+        break;
+      default:  // allocation churn
+        stm::atomic([&](stm::Tx& tx) {
+          auto* tmp = static_cast<long*>(stm::tx_alloc(tx, sizeof(long)));
+          *tmp = cells[a].get(tx);
+          cells[b].set(tx, cells[b].get(tx) ^ *tmp);
+          stm::tx_free(tx, tmp);
+        });
+        break;
+    }
+  }
+
+  std::array<long, kCells> result;
+  for (int i = 0; i < kCells; ++i) result[i] = cells[i].load_direct();
+  return {result, checksum};
+}
+
+TEST(Differential, AllAlgorithmsAgreeWithCglOracle) {
+  for (const std::uint64_t seed : {1ull, 42ull, 20260706ull}) {
+    const auto oracle = run_workload(stm::Algo::CGL, seed);
+    for (const stm::Algo algo :
+         {stm::Algo::TL2, stm::Algo::Eager, stm::Algo::HTMSim,
+          stm::Algo::NOrec}) {
+      const auto got = run_workload(algo, seed);
+      EXPECT_EQ(got.first, oracle.first)
+          << stm::algo_name(algo) << " seed " << seed;
+      EXPECT_EQ(got.second, oracle.second)
+          << stm::algo_name(algo) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,140 @@
+// HTM-sim specifics: capacity aborts, the hardware retry budget, and the
+// global-lock fallback — the machinery behind the paper's Figure 3 HTM
+// storyline (Compress overflows capacity -> perpetual serialization).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+namespace {
+
+void init_htm(std::size_t capacity, std::uint32_t retries = 2) {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::HTMSim;
+  cfg.htm_capacity = capacity;
+  cfg.htm_retries = retries;
+  stm::init(cfg);
+  stats().reset();
+}
+
+TEST(HtmSim, SmallTransactionFitsInCapacity) {
+  init_htm(64);
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) { x.set(tx, 1); });
+  EXPECT_EQ(x.load_direct(), 1);
+  EXPECT_EQ(stats().total(Counter::TxAbortCapacity), 0u);
+  EXPECT_EQ(stats().total(Counter::TxHtmFallback), 0u);
+}
+
+TEST(HtmSim, LargeFootprintTriggersCapacityAbortAndFallback) {
+  init_htm(8);
+  // Write far more distinct cache lines than the capacity budget.
+  constexpr int kVars = 64;
+  std::vector<std::unique_ptr<stm::tvar<long>>> vars;
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(std::make_unique<stm::tvar<long>>(0));
+  }
+  stm::atomic([&](stm::Tx& tx) {
+    for (auto& v : vars) v->set(tx, 7);
+  });
+  for (auto& v : vars) EXPECT_EQ(v->load_direct(), 7);
+  // The transaction completed via the serial fallback.
+  EXPECT_GE(stats().total(Counter::TxAbortCapacity), 1u);
+  EXPECT_GE(stats().total(Counter::TxHtmFallback), 1u);
+}
+
+TEST(HtmSim, LargeReadFootprintAlsoOverflows) {
+  init_htm(8);
+  constexpr int kVars = 64;
+  std::vector<std::unique_ptr<stm::tvar<long>>> vars;
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(std::make_unique<stm::tvar<long>>(i));
+  }
+  const long sum = stm::atomic([&](stm::Tx& tx) {
+    long s = 0;
+    for (auto& v : vars) s += v->get(tx);
+    return s;
+  });
+  EXPECT_EQ(sum, kVars * (kVars - 1) / 2);
+  EXPECT_GE(stats().total(Counter::TxAbortCapacity), 1u);
+}
+
+TEST(HtmSim, FallbackCountRespectsRetryBudget) {
+  init_htm(8, /*retries=*/5);
+  stm::tvar<long> sink{0};
+  constexpr int kVars = 64;
+  std::vector<std::unique_ptr<stm::tvar<long>>> vars;
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(std::make_unique<stm::tvar<long>>(0));
+  }
+  stm::atomic([&](stm::Tx& tx) {
+    for (auto& v : vars) v->set(tx, 1);
+  });
+  // A deterministic capacity overflow aborts on every one of the budgeted
+  // attempts before falling back.
+  EXPECT_EQ(stats().total(Counter::TxAbortCapacity), 5u);
+  EXPECT_EQ(stats().total(Counter::TxHtmFallback), 1u);
+  (void)sink;
+}
+
+TEST(HtmSim, IrrevocableGoesStraightToFallback) {
+  init_htm(512);
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    stm::become_irrevocable(tx);
+    x.set(tx, 5);
+  });
+  EXPECT_EQ(x.load_direct(), 5);
+  EXPECT_GE(stats().total(Counter::TxIrrevocable), 1u);
+}
+
+TEST(HtmSim, ConcurrentCountersStayCorrectDespiteFallbacks) {
+  init_htm(16);
+  stm::tvar<long> counter{0};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stm::atomic([&](stm::Tx& tx) { counter.set(tx, counter.get(tx) + 1); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load_direct(), long{kThreads} * kPerThread);
+}
+
+TEST(HtmSim, MixedFitAndOverflowTransactions) {
+  init_htm(8);
+  stm::tvar<long> small{0};
+  constexpr int kVars = 64;
+  std::vector<std::unique_ptr<stm::tvar<long>>> big;
+  for (int i = 0; i < kVars; ++i) {
+    big.push_back(std::make_unique<stm::tvar<long>>(0));
+  }
+  std::atomic<bool> stop{false};
+  std::thread small_worker([&] {
+    while (!stop.load()) {
+      stm::atomic([&](stm::Tx& tx) { small.set(tx, small.get(tx) + 1); });
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    stm::atomic([&](stm::Tx& tx) {
+      for (auto& v : big) v->set(tx, v->get(tx) + 1);
+    });
+  }
+  stop.store(true);
+  small_worker.join();
+  for (auto& v : big) EXPECT_EQ(v->load_direct(), 50);
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,222 @@
+// Whitebox unit tests for the STM runtime's internal building blocks:
+// orec encoding, the per-transaction logs, and the clock.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "stm/logs.hpp"
+#include "stm/orec.hpp"
+
+namespace adtm::stm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Orec word encoding
+// ---------------------------------------------------------------------------
+
+TEST(OrecEncoding, VersionRoundTrip) {
+  for (const std::uint64_t v : {0ull, 1ull, 42ull, (1ull << 62) - 1}) {
+    const OrecWord w = make_orec_version(v);
+    EXPECT_FALSE(orec_locked(w));
+    EXPECT_EQ(orec_version(w), v);
+  }
+}
+
+TEST(OrecEncoding, LockRoundTrip) {
+  for (const std::uint32_t owner : {0u, 1u, 17u, kMaxThreads - 1}) {
+    const OrecWord w = make_orec_locked(owner);
+    EXPECT_TRUE(orec_locked(w));
+    EXPECT_EQ(orec_owner(w), owner);
+    EXPECT_TRUE(orec_locked_by(w, owner));
+    EXPECT_FALSE(orec_locked_by(w, owner + 1));
+  }
+}
+
+TEST(OrecEncoding, VersionIsNeverMistakenForLock) {
+  EXPECT_FALSE(orec_locked(make_orec_version(123)));
+  EXPECT_FALSE(orec_locked_by(make_orec_version(123), 123));
+}
+
+TEST(OrecMapping, SameLineSameOrec) {
+  alignas(64) unsigned char line[64];
+  for (int i = 1; i < 64; ++i) {
+    EXPECT_EQ(&orec_for(&line[0]), &orec_for(&line[i])) << i;
+  }
+}
+
+TEST(OrecMapping, MappingIsDeterministic) {
+  int x = 0;
+  EXPECT_EQ(&orec_for(&x), &orec_for(&x));
+}
+
+TEST(OrecMapping, SpreadAcrossTable) {
+  // Sequential lines must hit many distinct orecs (no catastrophic
+  // clustering from the hash).
+  std::vector<unsigned char> block(64 * 1024);
+  std::set<const Orec*> distinct;
+  for (std::size_t off = 0; off < block.size(); off += 64) {
+    distinct.insert(&orec_for(&block[off]));
+  }
+  EXPECT_GE(distinct.size(), 1000u);  // 1024 lines, near-zero collisions
+}
+
+TEST(Clock, AdvanceIsMonotonicAndDense) {
+  const std::uint64_t a = clock_now();
+  const std::uint64_t b = clock_advance();
+  EXPECT_GT(b, a);
+  EXPECT_GE(clock_now(), b);
+}
+
+TEST(Clock, ConcurrentAdvancesAreUnique) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<std::uint64_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) seen[t].push_back(clock_advance());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::uint64_t> all;
+  for (const auto& v : seen) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// WriteSet
+// ---------------------------------------------------------------------------
+
+TEST(WriteSet, InsertLookupOverwrite) {
+  detail::WriteSet ws;
+  detail::Word a{1}, b{2};
+  std::uint64_t out = 0;
+  EXPECT_FALSE(ws.lookup(&a, &out));
+  ws.insert(&a, 10);
+  EXPECT_TRUE(ws.lookup(&a, &out));
+  EXPECT_EQ(out, 10u);
+  EXPECT_FALSE(ws.lookup(&b, &out));
+  ws.insert(&a, 20);  // overwrite
+  EXPECT_TRUE(ws.lookup(&a, &out));
+  EXPECT_EQ(out, 20u);
+  EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(WriteSet, GrowsPastInitialCapacity) {
+  detail::WriteSet ws;
+  std::vector<detail::Word> words(500);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ws.insert(&words[i], i);
+  }
+  EXPECT_EQ(ws.size(), words.size());
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ASSERT_TRUE(ws.lookup(&words[i], &out)) << i;
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(WriteSet, ClearEmptiesAndReuses) {
+  detail::WriteSet ws;
+  detail::Word a{0};
+  ws.insert(&a, 1);
+  ws.clear();
+  EXPECT_TRUE(ws.empty());
+  std::uint64_t out = 0;
+  EXPECT_FALSE(ws.lookup(&a, &out));
+  ws.insert(&a, 2);
+  EXPECT_TRUE(ws.lookup(&a, &out));
+  EXPECT_EQ(out, 2u);
+}
+
+TEST(WriteSet, EntriesPreserveInsertionOrder) {
+  detail::WriteSet ws;
+  detail::Word w[3];
+  ws.insert(&w[2], 2);
+  ws.insert(&w[0], 0);
+  ws.insert(&w[1], 1);
+  ASSERT_EQ(ws.entries().size(), 3u);
+  EXPECT_EQ(ws.entries()[0].addr, &w[2]);
+  EXPECT_EQ(ws.entries()[1].addr, &w[0]);
+  EXPECT_EQ(ws.entries()[2].addr, &w[1]);
+}
+
+// ---------------------------------------------------------------------------
+// ReadSet / ValueReadSet
+// ---------------------------------------------------------------------------
+
+TEST(ReadSet, ConsecutiveDuplicateFilter) {
+  detail::ReadSet rs;
+  Orec a{0}, b{0};
+  rs.push(&a, 1);
+  rs.push(&a, 1);  // filtered
+  rs.push(&b, 2);
+  rs.push(&a, 1);  // not consecutive: kept
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST(ValueReadSet, RecordsAddressValuePairs) {
+  detail::ValueReadSet rs;
+  detail::Word a{7};
+  rs.push(&a, 7);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.entries()[0].addr, &a);
+  EXPECT_EQ(rs.entries()[0].value, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// UndoLog
+// ---------------------------------------------------------------------------
+
+TEST(UndoLog, RollbackRestoresInReverse) {
+  detail::UndoLog log;
+  detail::Word w{100};
+  log.push(&w, 100);
+  w.store(200, std::memory_order_relaxed);
+  log.push(&w, 200);
+  w.store(300, std::memory_order_relaxed);
+  log.rollback();
+  EXPECT_EQ(w.load(std::memory_order_relaxed), 100u);
+}
+
+TEST(UndoLog, EmptyRollbackIsNoop) {
+  detail::UndoLog log;
+  log.rollback();
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// LockLog
+// ---------------------------------------------------------------------------
+
+TEST(LockLog, PrevLookupAndRelease) {
+  detail::LockLog log;
+  Orec a{make_orec_version(5)}, b{make_orec_version(9)};
+  log.push(&a, make_orec_version(5));
+  log.push(&b, make_orec_version(9));
+
+  OrecWord prev = 0;
+  EXPECT_TRUE(log.prev_of(&a, &prev));
+  EXPECT_EQ(orec_version(prev), 5u);
+  Orec c{0};
+  EXPECT_FALSE(log.prev_of(&c, &prev));
+
+  log.release_all(make_orec_version(42));
+  EXPECT_EQ(orec_version(a.load()), 42u);
+  EXPECT_EQ(orec_version(b.load()), 42u);
+}
+
+TEST(LockLog, RestoreAllRevertsToPrev) {
+  detail::LockLog log;
+  Orec a{make_orec_locked(3)};
+  log.push(&a, make_orec_version(7));
+  log.restore_all();
+  EXPECT_EQ(orec_version(a.load()), 7u);
+  EXPECT_FALSE(orec_locked(a.load()));
+}
+
+}  // namespace
+}  // namespace adtm::stm

@@ -1,0 +1,154 @@
+// Serial-irrevocable execution: become_irrevocable(), escalation after
+// repeated conflicts (serialize-after-N contention management, paper §2),
+// and isolation of the serial gate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class IrrevocableTest : public AlgoTest {};
+
+TEST_P(IrrevocableTest, BecomeIrrevocableRestartsInSerialMode) {
+  stm::tvar<int> x{0};
+  int executions = 0;
+  stm::atomic([&](stm::Tx& tx) {
+    ++executions;
+    x.set(tx, x.get(tx) + 1);
+    stm::become_irrevocable(tx);
+    EXPECT_TRUE(tx.irrevocable());
+    x.set(tx, x.get(tx) + 10);
+  });
+  // The body re-executed (speculative attempt + serial attempt), but the
+  // speculative write was rolled back: effects must appear exactly once.
+  EXPECT_EQ(x.load_direct(), 11);
+  EXPECT_GE(executions, 2);
+  EXPECT_GE(stats().total(Counter::TxIrrevocable), 1u);
+}
+
+TEST_P(IrrevocableTest, IrrevocableIsIdempotent) {
+  stm::atomic([&](stm::Tx& tx) {
+    stm::become_irrevocable(tx);
+    stm::become_irrevocable(tx);  // no-op the second time
+    EXPECT_TRUE(tx.irrevocable());
+  });
+}
+
+TEST_P(IrrevocableTest, SerialTransactionExcludesAllOthers) {
+  // While an irrevocable transaction runs, no other transaction commits.
+  stm::tvar<long> counter{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> serial_running{false};
+  std::atomic<long> commits_during_serial{0};
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([&] {
+      while (!stop.load()) {
+        stm::atomic([&](stm::Tx& tx) { counter.set(tx, counter.get(tx) + 1); });
+        if (serial_running.load()) commits_during_serial.fetch_add(1);
+      }
+    });
+  }
+
+  for (int round = 0; round < 20; ++round) {
+    stm::atomic([&](stm::Tx& tx) {
+      stm::become_irrevocable(tx);
+      serial_running.store(true);
+      const long before = counter.get(tx);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      // Nothing can have committed while we hold the serial gate.
+      EXPECT_EQ(counter.get(tx), before);
+      serial_running.store(false);
+    });
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+}
+
+TEST_P(IrrevocableTest, EpiloguesRunAfterSerialCommit) {
+  bool ran = false;
+  stm::atomic([&](stm::Tx& tx) {
+    stm::become_irrevocable(tx);
+    tx.on_commit([&] { ran = true; });
+  });
+  EXPECT_TRUE(ran);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speculative, IrrevocableTest,
+                         test::SpeculativeAlgos(), test::algo_param_name);
+
+TEST(IrrevocableCgl, BecomeIrrevocableIsNoOpUnderCgl) {
+  stm::init({.algo = stm::Algo::CGL});
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(tx.irrevocable());  // CGL is always direct
+    stm::become_irrevocable(tx);    // must not throw or restart
+  });
+}
+
+TEST(Serialization, RepeatedConflictsEscalateToSerial) {
+  // With serialize_after=3 a transaction that conflicts forever must
+  // escalate and then complete.
+  stm::Config cfg;
+  cfg.algo = stm::Algo::TL2;
+  cfg.serialize_after = 3;
+  cfg.lock_spin_limit = 4;
+  stm::init(cfg);
+  stats().reset();
+
+  stm::tvar<long> hot{0};
+  std::atomic<bool> stop{false};
+  // A tight writer loop to generate conflicts.
+  std::thread antagonist([&] {
+    while (!stop.load()) {
+      stm::atomic([&](stm::Tx& tx) { hot.set(tx, hot.get(tx) + 1); });
+    }
+  });
+
+  for (int i = 0; i < 200; ++i) {
+    stm::atomic([&](stm::Tx& tx) { hot.set(tx, hot.get(tx) + 1); });
+  }
+  stop.store(true);
+  antagonist.join();
+  // We cannot force a conflict deterministically, but the workload is
+  // contended enough that at least the machinery exercised; the invariant
+  // that matters is forward progress (reaching this line) with a tiny
+  // serialize_after.
+  SUCCEED();
+}
+
+TEST(Serialization, GateSerializesUnrelatedTransactions) {
+  // The paper's complaint about irrevocability: it delays transactions
+  // from completely unrelated parts of the program. Verify observable
+  // semantics: an unrelated transaction cannot commit during a serial one.
+  stm::init({.algo = stm::Algo::TL2});
+  stm::tvar<int> unrelated{0};
+  std::atomic<bool> in_serial{false};
+
+  std::thread serial([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      stm::become_irrevocable(tx);
+      in_serial.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      in_serial.store(false);
+    });
+  });
+
+  while (!in_serial.load()) std::this_thread::yield();
+  stm::atomic([&](stm::Tx& tx) { unrelated.set(tx, 1); });
+  // We started while the serial section was running; if the gate works,
+  // our commit can only have happened after it finished.
+  EXPECT_FALSE(in_serial.load());
+  serial.join();
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,143 @@
+// Transactional allocation: abort frees, commit-deferred frees, and the
+// ordering of frees relative to commit epilogues (Listing 1's TxEnd).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class MemoryTest : public AlgoTest {};
+
+TEST_P(MemoryTest, CommittedAllocationSurvives) {
+  void* p = nullptr;
+  stm::atomic([&](stm::Tx& tx) {
+    p = stm::tx_alloc(tx, 64);
+    std::memset(p, 0xab, 64);
+  });
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(static_cast<unsigned char*>(p)[63], 0xab);
+  std::free(p);
+}
+
+TEST_P(MemoryTest, FreeIsDeferredUntilAfterEpilogues) {
+  // Listing 1: deferred operations may refer to memory freed by the
+  // transaction, so frees are processed only after all deferred ops run.
+  char* buf = static_cast<char*>(std::malloc(16));
+  std::strcpy(buf, "payload");
+  std::string observed;
+  stm::atomic([&](stm::Tx& tx) {
+    stm::tx_free(tx, buf);
+    tx.on_commit([&observed, buf] { observed = buf; });
+  });
+  EXPECT_EQ(observed, "payload");
+}
+
+TEST_P(MemoryTest, EpilogueOrderingAcrossMultipleFrees) {
+  std::vector<char*> bufs;
+  for (int i = 0; i < 4; ++i) {
+    char* b = static_cast<char*>(std::malloc(8));
+    b[0] = static_cast<char>('a' + i);
+    bufs.push_back(b);
+  }
+  std::string order;
+  stm::atomic([&](stm::Tx& tx) {
+    for (char* b : bufs) stm::tx_free(tx, b);
+    tx.on_commit([&] {
+      for (char* b : bufs) order.push_back(b[0]);
+    });
+  });
+  EXPECT_EQ(order, "abcd");
+}
+
+TEST_P(MemoryTest, FreeOfNullIsIgnored) {
+  stm::atomic([&](stm::Tx& tx) { stm::tx_free(tx, nullptr); });
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, MemoryTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+class MemoryRollbackTest : public AlgoTest {};
+
+TEST_P(MemoryRollbackTest, AbortedAllocationIsReclaimed) {
+  // Exercised under ASAN-like discipline: the runtime must free the
+  // allocation itself on abort; we just check no double-ownership escapes.
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 void* p = stm::tx_alloc(tx, 128);
+                 std::memset(p, 1, 128);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  SUCCEED();
+}
+
+TEST_P(MemoryRollbackTest, AbortedFreeDoesNotFree) {
+  char* buf = static_cast<char*>(std::malloc(16));
+  buf[0] = 'z';
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 stm::tx_free(tx, buf);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(buf[0], 'z');  // still live
+  std::free(buf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speculative, MemoryRollbackTest,
+                         test::SpeculativeAlgos(), test::algo_param_name);
+
+class EpilogueTest : public AlgoTest {};
+
+TEST_P(EpilogueTest, EpiloguesRunInRegistrationOrder) {
+  std::string order;
+  stm::atomic([&](stm::Tx& tx) {
+    tx.on_commit([&] { order += "1"; });
+    tx.on_commit([&] { order += "2"; });
+    tx.on_commit([&] { order += "3"; });
+  });
+  EXPECT_EQ(order, "123");
+}
+
+TEST_P(EpilogueTest, EpilogueRunsOutsideTransaction) {
+  bool inside = true;
+  stm::atomic([&](stm::Tx& tx) {
+    tx.on_commit([&] { inside = stm::in_transaction(); });
+  });
+  EXPECT_FALSE(inside);
+}
+
+TEST_P(EpilogueTest, EpilogueMayStartNewTransaction) {
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    tx.on_commit([&] {
+      stm::atomic([&](stm::Tx& inner) { x.set(inner, 42); });
+    });
+  });
+  EXPECT_EQ(x.load_direct(), 42);
+}
+
+TEST_P(EpilogueTest, EpilogueSeesCommittedState) {
+  stm::tvar<int> x{0};
+  int seen = -1;
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 7);
+    tx.on_commit([&] {
+      seen = stm::atomic([&](stm::Tx& inner) { return x.get(inner); });
+    });
+  });
+  EXPECT_EQ(seen, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, EpilogueTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,266 @@
+// Closed nesting: partial rollback of nested scopes (the paper's §8
+// future-work question about deferral and nested transactions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "defer/atomic_defer.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class Cell : public Deferrable {
+ public:
+  stm::tvar<int> v{0};
+};
+
+class ClosedNestingTest : public AlgoTest {};
+
+TEST_P(ClosedNestingTest, OutsideTransactionActsLikeAtomic) {
+  stm::tvar<int> x{0};
+  stm::atomic_nested([&](stm::Tx& tx) { x.set(tx, 5); });
+  EXPECT_EQ(x.load_direct(), 5);
+  const int v = stm::atomic_nested([&](stm::Tx& tx) { return x.get(tx); });
+  EXPECT_EQ(v, 5);
+}
+
+TEST_P(ClosedNestingTest, CommittedScopeMergesIntoParent) {
+  stm::tvar<int> x{0}, y{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    stm::atomic_nested([&](stm::Tx& inner) {
+      EXPECT_EQ(x.get(inner), 1);  // sees parent's speculative state
+      y.set(inner, 2);
+    });
+    EXPECT_EQ(y.get(tx), 2);  // parent sees the merged scope
+  });
+  EXPECT_EQ(x.load_direct(), 1);
+  EXPECT_EQ(y.load_direct(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, ClosedNestingTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+// Partial rollback needs speculative execution.
+class ClosedNestingSpecTest : public AlgoTest {};
+
+TEST_P(ClosedNestingSpecTest, ExceptionRollsBackOnlyTheScope) {
+  stm::tvar<int> parent_var{0}, scope_var{0};
+  stm::atomic([&](stm::Tx& tx) {
+    parent_var.set(tx, 10);
+    EXPECT_THROW(stm::atomic_nested([&](stm::Tx& inner) {
+                   scope_var.set(inner, 99);
+                   throw std::runtime_error("scope fails");
+                 }),
+                 std::runtime_error);
+    // Scope effects gone, parent effects intact — and the parent goes on.
+    EXPECT_EQ(scope_var.get(tx), 0);
+    EXPECT_EQ(parent_var.get(tx), 10);
+    parent_var.set(tx, 11);
+  });
+  EXPECT_EQ(parent_var.load_direct(), 11);
+  EXPECT_EQ(scope_var.load_direct(), 0);
+}
+
+TEST_P(ClosedNestingSpecTest, CancelAbortsOnlyTheScope) {
+  stm::tvar<int> a{0}, b{0};
+  stm::atomic([&](stm::Tx& tx) {
+    a.set(tx, 1);
+    stm::atomic_nested([&](stm::Tx& inner) {
+      b.set(inner, 2);
+      stm::cancel(inner);  // scoped cancel
+    });
+    EXPECT_EQ(b.get(tx), 0);
+  });
+  EXPECT_EQ(a.load_direct(), 1);
+  EXPECT_EQ(b.load_direct(), 0);
+}
+
+TEST_P(ClosedNestingSpecTest, ScopeRevertsOverwritesOfParentWrites) {
+  // The nested scope overwrites a value the parent had already written
+  // speculatively; the revert must restore the parent's buffered value,
+  // not the pre-transaction one.
+  stm::tvar<int> x{1};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 2);  // parent's write
+    stm::atomic_nested([&](stm::Tx& inner) {
+      x.set(inner, 3);  // overwrites the parent's buffered value
+      stm::cancel(inner);
+    });
+    EXPECT_EQ(x.get(tx), 2);  // parent's value restored
+  });
+  EXPECT_EQ(x.load_direct(), 2);
+}
+
+TEST_P(ClosedNestingSpecTest, AlternativePathAfterScopeFailure) {
+  // The composition the feature exists for: try plan A; on failure, plan B
+  // — all inside one atomic transaction.
+  stm::tvar<int> account_a{100}, account_b{5}, dest{0};
+  stm::atomic([&](stm::Tx& tx) {
+    bool plan_a_ok = true;
+    try {
+      stm::atomic_nested([&](stm::Tx& inner) {
+        const int available = account_b.get(inner);
+        account_b.set(inner, available - 50);
+        dest.set(inner, dest.get(inner) + 50);
+        if (available < 50) throw std::runtime_error("insufficient");
+      });
+    } catch (const std::runtime_error&) {
+      plan_a_ok = false;
+    }
+    if (!plan_a_ok) {
+      account_a.set(tx, account_a.get(tx) - 50);
+      dest.set(tx, dest.get(tx) + 50);
+    }
+  });
+  EXPECT_EQ(account_a.load_direct(), 50);
+  EXPECT_EQ(account_b.load_direct(), 5);  // plan A fully reverted
+  EXPECT_EQ(dest.load_direct(), 50);      // exactly one transfer landed
+}
+
+TEST_P(ClosedNestingSpecTest, DeferredOpsOfAbortedScopeAreRevoked) {
+  // §8's deferral/nesting interaction: atomic_defer inside an aborted
+  // scope must be fully revoked — the op must not run and the TxLock
+  // acquisition must be undone.
+  Cell cell;
+  bool scope_op_ran = false;
+  bool parent_op_ran = false;
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&] { parent_op_ran = true; }, cell);
+    stm::atomic_nested([&](stm::Tx& inner) {
+      atomic_defer(inner, [&] { scope_op_ran = true; }, cell);
+      stm::cancel(inner);
+    });
+  });
+  EXPECT_TRUE(parent_op_ran);
+  EXPECT_FALSE(scope_op_ran);
+  // The cell's lock depth balanced out: it is free again.
+  EXPECT_FALSE(cell.txlock().held_by_me());
+  stm::atomic([&](stm::Tx& tx) { EXPECT_EQ(cell.v.get(tx), 0); });
+}
+
+TEST_P(ClosedNestingSpecTest, TxLockAcquiredInScopeIsReleasedOnScopeAbort) {
+  TxLock lock;
+  stm::atomic([&](stm::Tx& tx) {
+    stm::atomic_nested([&](stm::Tx& inner) {
+      lock.acquire(inner);
+      stm::cancel(inner);
+    });
+    // Back in the parent: the speculative acquisition was undone.
+    EXPECT_FALSE(lock.held_by_me(tx));
+  });
+  EXPECT_FALSE(lock.held_by_me());
+  lock.acquire();  // still usable
+  lock.release();
+}
+
+TEST_P(ClosedNestingSpecTest, NestedScopesStack) {
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    stm::atomic_nested([&](stm::Tx& t1) {
+      x.set(t1, 2);
+      stm::atomic_nested([&](stm::Tx& t2) {
+        x.set(t2, 3);
+        stm::cancel(t2);  // innermost only
+      });
+      EXPECT_EQ(x.get(t1), 2);
+    });
+    EXPECT_EQ(x.get(tx), 2);  // middle scope committed into parent
+  });
+  EXPECT_EQ(x.load_direct(), 2);
+}
+
+TEST_P(ClosedNestingSpecTest, AllocationsOfAbortedScopeAreFreed) {
+  stm::atomic([&](stm::Tx& tx) {
+    void* parent_alloc = stm::tx_alloc(tx, 32);
+    EXPECT_NE(parent_alloc, nullptr);
+    stm::atomic_nested([&](stm::Tx& inner) {
+      void* scope_alloc = stm::tx_alloc(inner, 64);
+      EXPECT_NE(scope_alloc, nullptr);
+      stm::cancel(inner);  // scope_alloc reclaimed here
+    });
+    std::free(parent_alloc);  // committed allocations are ours
+    tx.on_commit([] {});      // keep the commit path exercised
+  });
+  SUCCEED();
+}
+
+TEST_P(ClosedNestingSpecTest, WholeTransactionAbortStillWorksAroundScopes) {
+  stm::tvar<int> x{0};
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 x.set(tx, 1);
+                 stm::atomic_nested([&](stm::Tx& inner) {
+                   x.set(inner, 2);
+                 });  // commits into parent
+                 throw std::runtime_error("whole tx dies");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(x.load_direct(), 0);  // everything rolled back
+}
+
+INSTANTIATE_TEST_SUITE_P(Speculative, ClosedNestingSpecTest,
+                         test::SpeculativeAlgos(), test::algo_param_name);
+
+TEST(ClosedNestingControlFlow, RetryInScopeRestartsWholeTransaction) {
+  // Condition synchronization cannot be scoped: retry() inside a nested
+  // scope must abort and re-execute the WHOLE transaction (the condition
+  // may depend on anything the transaction read).
+  stm::init({.algo = stm::Algo::TL2});
+  stm::tvar<int> flag{0};
+  stm::tvar<int> probe{0};
+  std::atomic<int> outer_runs{0};
+
+  std::thread waiter([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      outer_runs.fetch_add(1);
+      probe.set(tx, probe.get(tx) + 1);  // parent work before the scope
+      stm::atomic_nested([&](stm::Tx& inner) {
+        if (flag.get(inner) == 0) stm::retry(inner);
+      });
+    });
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stm::atomic([&](stm::Tx& tx) { flag.set(tx, 1); });
+  waiter.join();
+  // The whole transaction re-executed (parent work included) and its
+  // effects appear exactly once.
+  EXPECT_GE(outer_runs.load(), 2);
+  EXPECT_EQ(probe.load_direct(), 1);
+}
+
+TEST(ClosedNestingControlFlow, SubscribeInScopeComposes) {
+  stm::init({.algo = stm::Algo::TL2});
+  struct C : Deferrable {
+    stm::tvar<int> v{0};
+  } cell;
+  stm::atomic([&](stm::Tx& tx) {
+    stm::atomic_nested([&](stm::Tx& inner) {
+      cell.subscribe(inner);  // free: passes
+      cell.v.set(inner, 3);
+    });
+    EXPECT_EQ(cell.v.get(tx), 3);
+  });
+  EXPECT_EQ(cell.v.load_direct(), 3);
+}
+
+TEST(ClosedNestingCgl, FlattensUnderDirectModes) {
+  stm::init({.algo = stm::Algo::CGL});
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    stm::atomic_nested([&](stm::Tx& inner) { x.set(inner, 7); });
+    EXPECT_EQ(x.get(tx), 7);
+  });
+  EXPECT_EQ(x.load_direct(), 7);
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,74 @@
+// Flat nesting semantics (paper §4.2: transactions nest in C++).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class NestingTest : public AlgoTest {};
+
+TEST_P(NestingTest, NestedAtomicJoinsEnclosing) {
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    stm::atomic([&](stm::Tx& inner) {
+      // Flat nesting: the inner block sees the outer's speculative write.
+      EXPECT_EQ(x.get(inner), 1);
+      x.set(inner, 2);
+    });
+    EXPECT_EQ(x.get(tx), 2);
+  });
+  EXPECT_EQ(x.load_direct(), 2);
+}
+
+TEST_P(NestingTest, DeeplyNestedBlocks) {
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& t1) {
+    stm::atomic([&](stm::Tx& t2) {
+      stm::atomic([&](stm::Tx& t3) {
+        stm::atomic([&](stm::Tx& t4) { x.set(t4, x.get(t4) + 1); });
+        x.set(t3, x.get(t3) + 1);
+      });
+      x.set(t2, x.get(t2) + 1);
+    });
+    x.set(t1, x.get(t1) + 1);
+  });
+  EXPECT_EQ(x.load_direct(), 4);
+}
+
+TEST_P(NestingTest, NestedTxHandleIsTheSameDescriptor) {
+  stm::atomic([&](stm::Tx& outer) {
+    stm::atomic([&](stm::Tx& inner) { EXPECT_EQ(&outer, &inner); });
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, NestingTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+class NestingRollbackTest : public AlgoTest {};
+
+TEST_P(NestingRollbackTest, ExceptionInInnerRollsBackWholeTransaction) {
+  stm::tvar<int> x{0};
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 x.set(tx, 1);
+                 stm::atomic([&](stm::Tx& inner) {
+                   x.set(inner, 2);
+                   throw std::runtime_error("inner");
+                 });
+               }),
+               std::runtime_error);
+  // Flat nesting: aborting the inner block aborts everything.
+  EXPECT_EQ(x.load_direct(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speculative, NestingRollbackTest,
+                         test::SpeculativeAlgos(), test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

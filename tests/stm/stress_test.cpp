@@ -1,0 +1,225 @@
+// Randomized stress and failure-injection tests for the STM runtime.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "defer/atomic_defer.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class StressTest : public AlgoTest {};
+
+TEST_P(StressTest, RandomTransfersWithInjectedCancels) {
+  // Threads randomly transfer between accounts; a fraction of transactions
+  // cancel after doing half the work. Conservation must hold regardless
+  // (direct modes never cancel after writing, so inject pre-write there).
+  constexpr int kAccounts = 12;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1200;
+  constexpr long kInitial = 100;
+  std::array<stm::tvar<long>, kAccounts> accounts;
+  for (auto& a : accounts) a.store_direct(kInitial);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) * 7 + 1};
+      for (int i = 0; i < kPerThread; ++i) {
+        const int from = static_cast<int>(rng.next_below(kAccounts));
+        const int to = static_cast<int>((from + 1 + rng.next_below(
+                                             kAccounts - 1)) % kAccounts);
+        const bool inject = rng.next_below(5) == 0;
+        stm::atomic([&](stm::Tx& tx) {
+          if (inject && tx.irrevocable()) stm::cancel(tx);  // before writes
+          accounts[from].set(tx, accounts[from].get(tx) - 1);
+          if (inject && !tx.irrevocable()) stm::cancel(tx);  // mid-update!
+          accounts[to].set(tx, accounts[to].get(tx) + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  long total = 0;
+  for (auto& a : accounts) total += a.load_direct();
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+TEST_P(StressTest, OrecAliasingDoesNotBreakIsolation) {
+  // Force heavy false sharing: many tvars packed into few cache lines so
+  // distinct variables share orecs. Aliasing may cost aborts, never
+  // correctness.
+  struct Packed {
+    std::array<stm::tvar<std::uint32_t>, 64> slots;  // 8B each -> 4 lines
+  };
+  auto packed = std::make_unique<Packed>();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1600;  // divisible by 16 slots per thread
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread owns a disjoint set of slots (but shares lines).
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t slot =
+            static_cast<std::size_t>(t) * 16 + (i % 16);
+        stm::atomic([&](stm::Tx& tx) {
+          packed->slots[slot].set(tx, packed->slots[slot].get(tx) + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int s = 0; s < 16; ++s) {
+      EXPECT_EQ(packed->slots[static_cast<std::size_t>(t) * 16 + s]
+                    .load_direct(),
+                static_cast<std::uint32_t>(kPerThread / 16));
+    }
+  }
+}
+
+TEST_P(StressTest, MixedReadersWritersAndDeferrers) {
+  // Everything at once: writers, long readers, deferred operations, and a
+  // thread that periodically escalates to irrevocability.
+  struct Shared : Deferrable {
+    stm::tvar<long> a{0};
+    stm::tvar<long> b{0};  // written directly, only under the implicit lock
+  };
+  Shared shared;
+  std::array<stm::tvar<long>, 32> table{};
+  std::atomic<bool> stop{false};
+  std::atomic<long> torn{0};
+
+  std::thread writer([&] {
+    for (long i = 1; i <= 600; ++i) {
+      stm::atomic([&](stm::Tx& tx) {
+        shared.subscribe(tx);
+        shared.a.set(tx, i);
+        atomic_defer(tx, [&shared, i] { shared.b.store_direct(i); }, shared);
+      });
+    }
+    stop.store(true);
+  });
+
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const auto [a, b] = stm::atomic([&](stm::Tx& tx) {
+        shared.subscribe(tx);
+        return std::pair{shared.a.get(tx), shared.b.get(tx)};
+      });
+      if (a != b) torn.fetch_add(1);
+    }
+  });
+
+  std::thread scanner([&] {
+    while (!stop.load()) {
+      (void)stm::atomic([&](stm::Tx& tx) {
+        long sum = 0;
+        for (auto& v : table) sum += v.get(tx);
+        return sum;
+      });
+    }
+  });
+
+  std::thread escalator([&] {
+    int rounds = 0;
+    while (!stop.load() && rounds++ < 50) {
+      stm::atomic([&](stm::Tx& tx) {
+        stm::become_irrevocable(tx);
+        table[0].set(tx, table[0].get(tx) + 1);
+      });
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  writer.join();
+  reader.join();
+  scanner.join();
+  escalator.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(shared.a.load_direct(), 600);
+  EXPECT_EQ(shared.b.load_direct(), 600);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, StressTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+TEST(SerialGateRegression, SerialTxAcquiresLockHeldByDeferredOp) {
+  // Regression for the locker-accounting design (see registry.hpp): a
+  // serial-irrevocable transaction wants a TxLock that an in-flight
+  // deferred operation holds. Without locker draining this deadlocks:
+  // the deferred op's release transaction would block on the serial gate
+  // while the serial transaction spins on the lock.
+  stm::init({.algo = stm::Algo::TL2});
+
+  struct Cell : Deferrable {
+    stm::tvar<long> v{0};
+  } cell;
+  std::atomic<bool> in_deferred{false};
+
+  std::thread deferrer([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      atomic_defer(tx, [&] {
+        in_deferred.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        cell.v.store_direct(1);
+      }, cell);
+    });
+  });
+
+  while (!in_deferred.load()) std::this_thread::yield();
+
+  // Escalate to serial mode and touch the cell: must wait for the
+  // deferred op (draining it), not deadlock.
+  long seen = -1;
+  stm::atomic([&](stm::Tx& tx) {
+    stm::become_irrevocable(tx);
+    cell.subscribe(tx);  // lock is free by the time the gate admits us
+    seen = cell.v.get(tx);
+  });
+  deferrer.join();
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(SerialGateRegression, SerialTxWhileTxLockGuardHeldElsewhere) {
+  stm::init({.algo = stm::Algo::TL2});
+  TxLock lock;
+  std::atomic<bool> holding{false};
+  std::atomic<bool> release{false};
+
+  std::thread holder([&] {
+    TxLockGuard guard(lock);
+    holding.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+
+  while (!holding.load()) std::this_thread::yield();
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    release.store(true);
+  });
+
+  // The serial gate drains the guard holder before running, so the lock
+  // is acquirable inside the serial transaction.
+  stm::atomic([&](stm::Tx& tx) {
+    stm::become_irrevocable(tx);
+    lock.acquire(tx);
+    lock.release(tx);
+  });
+  holder.join();
+  releaser.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,126 @@
+// Property sweeps: core invariants across algorithm x thread count, the
+// full cross product via TEST_P.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+namespace {
+
+class SweepTest
+    : public ::testing::TestWithParam<std::tuple<stm::Algo, int>> {
+ protected:
+  void SetUp() override {
+    stm::Config cfg;
+    cfg.algo = std::get<0>(GetParam());
+    stm::init(cfg);
+    stats().reset();
+  }
+  int threads() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SweepTest, CounterExactUnderContention) {
+  stm::tvar<long> counter{0};
+  const int n = threads();
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < n; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stm::atomic([&](stm::Tx& tx) { counter.set(tx, counter.get(tx) + 1); });
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(counter.load_direct(), static_cast<long>(n) * kPerThread);
+}
+
+TEST_P(SweepTest, SnapshotsNeverTear) {
+  // Writers keep k variables equal; readers must never see a mixed set.
+  constexpr int kVars = 4;
+  std::array<stm::tvar<long>, kVars> vars;
+  std::atomic<bool> stop{false};
+  std::atomic<long> violations{0};
+  const int n = threads();
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < n; ++t) {
+    const bool writer = (t % 2 == 0);
+    pool.emplace_back([&, writer, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) + 5};
+      for (int i = 0; i < 600; ++i) {
+        if (writer) {
+          const long v = static_cast<long>(rng.next_below(1 << 20));
+          stm::atomic([&](stm::Tx& tx) {
+            for (auto& var : vars) var.set(tx, v);
+          });
+        } else {
+          const auto snapshot = stm::atomic([&](stm::Tx& tx) {
+            std::array<long, kVars> out{};
+            for (int k = 0; k < kVars; ++k) out[k] = vars[k].get(tx);
+            return out;
+          });
+          for (int k = 1; k < kVars; ++k) {
+            if (snapshot[k] != snapshot[0]) violations.fetch_add(1);
+          }
+        }
+      }
+      stop.store(true);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_P(SweepTest, RingTransferConservation) {
+  // Each thread moves value around a ring of cells; the total is invariant.
+  constexpr int kCells = 8;
+  std::array<stm::tvar<long>, kCells> ring;
+  for (auto& c : ring) c.store_direct(10);
+  const int n = threads();
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < n; ++t) {
+    pool.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) * 13 + 1};
+      for (int i = 0; i < 800; ++i) {
+        const int from = static_cast<int>(rng.next_below(kCells));
+        const int to = (from + 1) % kCells;
+        stm::atomic([&](stm::Tx& tx) {
+          ring[from].set(tx, ring[from].get(tx) - 1);
+          ring[to].set(tx, ring[to].get(tx) + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  long total = 0;
+  for (auto& c : ring) total += c.load_direct();
+  EXPECT_EQ(total, kCells * 10);
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<stm::Algo, int>>& info) {
+  return std::string(stm::algo_name(std::get<0>(info.param))) + "_" +
+         std::to_string(std::get<1>(info.param)) + "threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoThreadMatrix, SweepTest,
+    ::testing::Combine(::testing::Values(stm::Algo::TL2, stm::Algo::Eager,
+                                         stm::Algo::CGL, stm::Algo::HTMSim,
+                                         stm::Algo::NOrec),
+                       ::testing::Values(1, 2, 4, 8)),
+    sweep_name);
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,41 @@
+// Shared gtest support: parameterization over STM algorithms.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "stm/api.hpp"
+
+namespace adtm::test {
+
+// Fixture that installs the parameterized algorithm before each test.
+class AlgoTest : public ::testing::TestWithParam<stm::Algo> {
+ protected:
+  void SetUp() override {
+    stm::Config cfg;
+    cfg.algo = GetParam();
+    stm::init(cfg);
+    stats().reset();
+  }
+};
+
+inline std::string algo_param_name(
+    const ::testing::TestParamInfo<stm::Algo>& info) {
+  return stm::algo_name(info.param);
+}
+
+// The speculative algorithms (support rollback of arbitrary bodies).
+inline auto SpeculativeAlgos() {
+  return ::testing::Values(stm::Algo::TL2, stm::Algo::Eager,
+                           stm::Algo::HTMSim, stm::Algo::NOrec);
+}
+
+// Every algorithm, including the direct-mode CGL baseline.
+inline auto AllAlgos() {
+  return ::testing::Values(stm::Algo::TL2, stm::Algo::Eager, stm::Algo::CGL,
+                           stm::Algo::HTMSim, stm::Algo::NOrec);
+}
+
+}  // namespace adtm::test

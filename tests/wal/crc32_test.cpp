@@ -1,0 +1,42 @@
+#include "wal/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adtm::wal {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 (IEEE) check values.
+  EXPECT_EQ(crc32(std::string{""}), 0x00000000u);
+  EXPECT_EQ(crc32(std::string{"123456789"}), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string{"a"}), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(std::string{"abc"}), 0x352441C2u);
+  EXPECT_EQ(crc32(std::string{"The quick brown fox jumps over the lazy dog"}),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "write-ahead logging with atomic deferral";
+  std::uint32_t crc = 0;
+  for (char c : data) crc = crc32_update(crc, &c, 1);
+  EXPECT_EQ(crc, crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(1024, 'q');
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t pos : {0u, 511u, 1023u}) {
+    std::string corrupt = data;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x01);
+    EXPECT_NE(crc32(corrupt), clean) << "flip at " << pos;
+  }
+}
+
+TEST(Crc32, DifferentLengthsDiffer) {
+  EXPECT_NE(crc32(std::string{"aa"}), crc32(std::string{"aaa"}));
+}
+
+}  // namespace
+}  // namespace adtm::wal

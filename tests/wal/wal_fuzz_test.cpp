@@ -1,0 +1,97 @@
+// WAL recovery fuzz: random byte flips and truncations of a valid log must
+// never crash recover(); it returns a verified prefix (checksums catch
+// every payload flip) and recover_and_truncate always leaves a clean log.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+#include "stm/api.hpp"
+#include "wal/wal.hpp"
+
+namespace adtm::wal {
+namespace {
+
+class WalFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { stm::init({.algo = stm::Algo::TL2}); }
+
+  // Build a valid log with varied record sizes; returns its bytes.
+  std::string build_log(const std::string& path, std::uint64_t seed) {
+    WriteAheadLog log(path);
+    Xoshiro256 rng{seed};
+    for (int i = 0; i < 40; ++i) {
+      std::string payload(1 + rng.next_below(300), '\0');
+      for (auto& c : payload) c = static_cast<char>(rng.next());
+      log.append(std::move(payload));
+    }
+    log.flush();
+    return io::read_file(path);
+  }
+};
+
+TEST_P(WalFuzz, ByteFlipsYieldVerifiedPrefix) {
+  io::TempDir dir("adtm-walfuzz");
+  const std::string path = dir.file("wal.log");
+  const std::string clean = build_log(path, 500 + GetParam());
+  const auto reference = WriteAheadLog::recover(path);
+  ASSERT_TRUE(reference.clean);
+  ASSERT_EQ(reference.records.size(), 40u);
+
+  Xoshiro256 rng{static_cast<std::uint64_t>(GetParam()) * 7 + 1};
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string damaged = clean;
+    const std::size_t pos = rng.next_below(damaged.size());
+    damaged[pos] = static_cast<char>(
+        damaged[pos] ^ static_cast<char>(1 + rng.next_below(255)));
+    io::write_file(path, damaged);
+
+    const auto r = WriteAheadLog::recover(path);
+    // Every recovered record must equal the reference record at the same
+    // position: checksums make silent payload corruption impossible.
+    ASSERT_LE(r.records.size(), reference.records.size());
+    for (std::size_t i = 0; i < r.records.size(); ++i) {
+      EXPECT_EQ(r.records[i], reference.records[i])
+          << "trial " << trial << " record " << i;
+    }
+    // A single flip always damages exactly one record's header or payload,
+    // so at most one record may be lost from the prefix... unless it hit a
+    // length field, after which parsing desynchronizes — that still only
+    // shortens the prefix. Clean can only be reported for an undamaged
+    // parse, which a flip inside the parsed region forbids.
+    if (r.clean) {
+      EXPECT_EQ(r.records.size(), reference.records.size());
+    }
+  }
+}
+
+TEST_P(WalFuzz, TruncationsRecoverCleanlyAfterTruncate) {
+  io::TempDir dir("adtm-walfuzz");
+  const std::string path = dir.file("wal.log");
+  const std::string clean = build_log(path, 900 + GetParam());
+  const auto reference = WriteAheadLog::recover(path);
+
+  Xoshiro256 rng{static_cast<std::uint64_t>(GetParam()) * 13 + 5};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t keep = rng.next_below(clean.size());
+    io::write_file(path, clean.substr(0, keep));
+
+    const auto r = WriteAheadLog::recover_and_truncate(path);
+    for (std::size_t i = 0; i < r.records.size(); ++i) {
+      EXPECT_EQ(r.records[i], reference.records[i]);
+    }
+    // After truncation the log must be clean and reopenable.
+    const auto again = WriteAheadLog::recover(path);
+    EXPECT_TRUE(again.clean);
+    EXPECT_EQ(again.records.size(), r.records.size());
+    WriteAheadLog reopened(path);
+    EXPECT_EQ(reopened.durable_lsn_direct(), r.records.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalFuzz, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace adtm::wal
