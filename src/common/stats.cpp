@@ -18,6 +18,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::DeferredOps: return "deferred_ops";
     case Counter::TxLockAcquires: return "txlock_acquires";
     case Counter::TxLockSubscribes: return "txlock_subscribes";
+    case Counter::FaultsInjected: return "faults_injected";
+    case Counter::FailureRetries: return "failure_retries";
+    case Counter::FailureEscalations: return "failure_escalations";
     case Counter::kCount: break;
   }
   return "unknown";

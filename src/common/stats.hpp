@@ -29,6 +29,9 @@ enum class Counter : std::uint32_t {
   DeferredOps,       // operations executed via atomic_defer
   TxLockAcquires,
   TxLockSubscribes,
+  FaultsInjected,       // faults fired by the faultsim engine
+  FailureRetries,       // deferred/I-O operations re-tried after a transient failure
+  FailureEscalations,   // failures that exhausted retries or were permanent
   kCount
 };
 

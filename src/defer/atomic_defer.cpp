@@ -7,7 +7,7 @@
 namespace adtm {
 
 void atomic_defer(stm::Tx& tx, std::function<void()> op,
-                  std::vector<const Deferrable*> objs) {
+                  std::vector<const Deferrable*> objs, FailurePolicy policy) {
   // Acquire the implicit lock of every object the operation may touch, as
   // part of the enclosing transaction (Listing 1's atomic_defer uses a
   // nested transaction, which flattens into the parent — so the lock
@@ -17,25 +17,40 @@ void atomic_defer(stm::Tx& tx, std::function<void()> op,
   for (const Deferrable* o : objs) {
     o->txlock().acquire(tx);
   }
-  tx.on_commit([op = std::move(op), objs = std::move(objs)]() {
+  tx.on_commit([op = std::move(op), objs = std::move(objs),
+                policy = std::move(policy)]() {
     stats().add(Counter::DeferredOps);
+    // The locks are released on every exit path: a deferred operation
+    // that fails permanently must not wedge its subscribers. Reentrancy
+    // ensures an object shared by several deferred operations stays
+    // locked until the last one finishes (paper §4.1).
     try {
-      op();
+      run_with_policy(policy, op);
     } catch (...) {
       for (const Deferrable* o : objs) o->txlock().release();
       throw;
     }
-    // Release after the operation completes; reentrancy ensures an object
-    // shared by several deferred operations stays locked until the last
-    // one finishes (paper §4.1).
     for (const Deferrable* o : objs) o->txlock().release();
   });
+}
+
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::vector<const Deferrable*> objs) {
+  atomic_defer(tx, std::move(op), std::move(objs), default_failure_policy());
 }
 
 void atomic_defer(stm::Tx& tx, std::function<void()> op,
                   std::initializer_list<const Deferrable*> objs) {
   atomic_defer(tx, std::move(op),
                std::vector<const Deferrable*>(objs.begin(), objs.end()));
+}
+
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::initializer_list<const Deferrable*> objs,
+                  FailurePolicy policy) {
+  atomic_defer(tx, std::move(op),
+               std::vector<const Deferrable*>(objs.begin(), objs.end()),
+               std::move(policy));
 }
 
 }  // namespace adtm

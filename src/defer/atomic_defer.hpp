@@ -21,11 +21,21 @@
 // atomicity protection beyond ordering after the commit.
 #pragma once
 
+// Failure semantics: deferred operations run post-commit, so a throwing
+// operation cannot abort its transaction. atomic_defer guarantees the
+// TxLocks of the listed objects are released whether the operation
+// succeeds, throws, or is escalated — subscribers never hang on a failed
+// deferred op. The operation runs under a FailurePolicy (per-call or the
+// process default): transient failures are retried with bounded backoff,
+// then the failure escalates to the policy's handler or propagates out of
+// the committing thread's stm::atomic call.
+
 #include <functional>
 #include <initializer_list>
 #include <vector>
 
 #include "defer/deferrable.hpp"
+#include "defer/failure_policy.hpp"
 #include "stm/api.hpp"
 
 namespace adtm {
@@ -37,6 +47,15 @@ void atomic_defer(stm::Tx& tx, std::function<void()> op,
 // Vector form for dynamically computed object sets.
 void atomic_defer(stm::Tx& tx, std::function<void()> op,
                   std::vector<const Deferrable*> objs);
+
+// Policy forms: run the deferred operation under an explicit
+// FailurePolicy instead of the process default.
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::initializer_list<const Deferrable*> objs,
+                  FailurePolicy policy);
+
+void atomic_defer(stm::Tx& tx, std::function<void()> op,
+                  std::vector<const Deferrable*> objs, FailurePolicy policy);
 
 // Convenience form: atomic_defer(tx, op, obj1, obj2, ...).
 template <typename... Objs>

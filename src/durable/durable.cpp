@@ -1,22 +1,46 @@
 #include "durable/durable.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 namespace adtm::durable {
 
-void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer) {
+void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer,
+                   FailurePolicy policy) {
   // Listing 4, lines 1-6: defer {write, fsync, flag <- true} holding the
-  // implicit locks of both the descriptor and the buffer.
+  // implicit locks of both the descriptor and the buffer. The write+fsync
+  // runs under the failure policy; `done` survives retries so a transient
+  // failure resumes mid-buffer instead of duplicating the prefix.
   atomic_defer(
       tx,
-      [&file, &buffer] {
+      [&file, &buffer, policy = std::move(policy)] {
         const std::string& data = buffer.raw_payload();
-        file.raw_file().write_fully(data.data(), data.size());
-        file.raw_file().sync();
+        std::size_t done = 0;
+        try {
+          run_with_policy(policy, [&] {
+            while (done < data.size()) {
+              done += file.raw_file().write_some(data.data() + done,
+                                                 data.size() - done);
+            }
+            file.raw_file().sync();
+          });
+        } catch (...) {
+          // Poison before the locks are released (atomic_defer's catch
+          // path): a subscriber that gets the lock next sees the failure
+          // immediately.
+          buffer.mark_failed();
+          throw;
+        }
         buffer.mark_durable();
       },
       file, buffer);
 }
 
 void wait_durable(stm::Tx& tx, const DurableBuffer& buffer) {
+  if (buffer.failed(tx)) {
+    throw std::runtime_error(
+        "DurableBuffer: deferred write failed permanently");
+  }
   if (!buffer.durable(tx)) stm::retry(tx);
 }
 

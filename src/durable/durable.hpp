@@ -19,10 +19,17 @@
 //   });
 #pragma once
 
+// Failure model: the deferred write+fsync runs under a FailurePolicy —
+// transient errors are retried (resuming mid-buffer), permanent ones
+// poison the buffer. A poisoned buffer's failed() flag is transactional,
+// so wait_durable subscribers raise instead of blocking forever, and the
+// implicit TxLocks are released on every path (see atomic_defer).
+
 #include <string>
 #include <vector>
 
 #include "defer/atomic_defer.hpp"
+#include "defer/failure_policy.hpp"
 #include "io/posix_file.hpp"
 #include "stm/tvar.hpp"
 
@@ -54,11 +61,22 @@ class DurableBuffer : public Deferrable {
     return flag_.get(tx);
   }
 
+  // Transactional view of the poison flag: true once the deferred
+  // write/fsync failed permanently. This record will never be durable;
+  // consumers should fail fast (wait_durable does).
+  bool failed(stm::Tx& tx) const {
+    subscribe(tx);
+    return failed_.get(tx);
+  }
+
+  bool failed_direct() const { return failed_.load_direct(); }
+
   // For deferred operations (implicit lock held).
   const std::string& raw_payload() const noexcept { return payload_; }
 
  private:
-  friend void durable_write(stm::Tx&, DurableFile&, DurableBuffer&);
+  friend void durable_write(stm::Tx&, DurableFile&, DurableBuffer&,
+                            FailurePolicy);
 
   void mark_durable() {
     // Runs inside the deferred operation, under the implicit lock. The
@@ -67,21 +85,37 @@ class DurableBuffer : public Deferrable {
     stm::atomic([this](stm::Tx& tx) { flag_.set(tx, true); });
   }
 
+  void mark_failed() {
+    // Also transactional: wakes wait_durable subscribers so they raise
+    // instead of waiting for a durability that will never come.
+    stm::atomic([this](stm::Tx& tx) { failed_.set(tx, true); });
+  }
+
   std::string payload_;
   stm::tvar<bool> flag_{false};
+  stm::tvar<bool> failed_{false};
 };
 
 // Atomically: commit the transaction, then (still appearing atomic to
 // subscribers of `file` and `buffer`) write the buffer, fsync, and set the
-// durability flag. Must be called inside a transaction.
-void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer);
+// durability flag. Must be called inside a transaction. The deferred
+// write+fsync runs under `policy` (default: 8 bounded retries on
+// transient errors); on permanent failure the buffer is poisoned and the
+// failure propagates out of the committing thread's atomic() call.
+void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer,
+                   FailurePolicy policy = {.max_retries = 8,
+                                           .backoff_min_spins = 64,
+                                           .backoff_max_spins = 64 * 1024,
+                                           .retryable = nullptr,
+                                           .escalate = nullptr});
 
 // Convenience: subscribe + flag test (Listing 4, lines 7-8).
 inline bool is_durable(stm::Tx& tx, const DurableBuffer& buffer) {
   return buffer.durable(tx);
 }
 
-// Block (via retry) until the buffer is durable.
+// Block (via retry) until the buffer is durable. Raises std::runtime_error
+// if the buffer's deferred write failed permanently (fail fast, no hang).
 void wait_durable(stm::Tx& tx, const DurableBuffer& buffer);
 
 }  // namespace adtm::durable

@@ -1,0 +1,107 @@
+#include "faultsim/faultsim.hpp"
+
+#include "common/stats.hpp"
+
+namespace adtm::faultsim {
+
+namespace detail {
+std::atomic<bool> g_active{false};
+}  // namespace detail
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::Write: return "write";
+    case Op::Pwrite: return "pwrite";
+    case Op::Read: return "read";
+    case Op::Pread: return "pread";
+    case Op::Fsync: return "fsync";
+    case Op::kCount: break;
+  }
+  return "unknown";
+}
+
+void FaultEngine::arm(const Plan& plan) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  plans_.push_back(plan);
+  refresh_active_locked();
+}
+
+void FaultEngine::arm_random(Op op, double probability, Fault fault,
+                             std::uint64_t seed) {
+  if (probability < 0.0) probability = 0.0;
+  if (probability > 1.0) probability = 1.0;
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto& proc = random_[static_cast<std::size_t>(op)];
+  proc.threshold =
+      static_cast<std::uint64_t>(probability * static_cast<double>(kProbDenom));
+  proc.fault = fault;
+  rng_.reseed(seed);
+  refresh_active_locked();
+}
+
+void FaultEngine::disarm() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  plans_.clear();
+  for (auto& proc : random_) proc = RandomProc{};
+  for (auto& c : calls_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+  refresh_active_locked();
+}
+
+Fault FaultEngine::on_syscall(Op op, int fd) {
+  const auto idx = static_cast<std::size_t>(op);
+  std::lock_guard<std::mutex> lk(mutex_);
+  calls_[idx].fetch_add(1, std::memory_order_relaxed);
+
+  for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+    if (it->op != op) continue;
+    if (it->fd >= 0 && it->fd != fd) continue;
+    // First matching plan claims the call, fired or not — this is what
+    // makes "skip N, then fail" schedules deterministic.
+    if (it->skip > 0) {
+      --it->skip;
+      return Fault::none();
+    }
+    const Fault fault = it->fault;
+    if (it->count != 0 && --it->count == 0) plans_.erase(it);
+    injected_[idx].fetch_add(1, std::memory_order_relaxed);
+    stats().add(Counter::FaultsInjected);
+    return fault;
+  }
+
+  const auto& proc = random_[idx];
+  if (proc.threshold != 0 && rng_.next_below(kProbDenom) < proc.threshold) {
+    injected_[idx].fetch_add(1, std::memory_order_relaxed);
+    stats().add(Counter::FaultsInjected);
+    return proc.fault;
+  }
+  return Fault::none();
+}
+
+void FaultEngine::refresh_active_locked() {
+  bool armed = !plans_.empty();
+  for (const auto& proc : random_) armed = armed || proc.threshold != 0;
+  detail::g_active.store(armed, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultEngine::calls(Op op) const {
+  return calls_[static_cast<std::size_t>(op)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultEngine::injected(Op op) const {
+  return injected_[static_cast<std::size_t>(op)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultEngine::injected_total() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : injected_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+FaultEngine& engine() noexcept {
+  static FaultEngine instance;
+  return instance;
+}
+
+}  // namespace adtm::faultsim

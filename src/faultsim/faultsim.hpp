@@ -1,0 +1,134 @@
+// Deterministic fault injection at the POSIX syscall boundary.
+//
+// The paper moves irrevocable effects (write, fsync) *after* commit; that
+// makes the post-commit window a failure domain of its own: a deferred
+// operation can fail after the transaction that scheduled it has already
+// committed. faultsim makes that window testable. io::PosixFile (and the
+// async I/O engine) consult the global FaultEngine before every syscall;
+// an armed engine can
+//
+//   - truncate a transfer (short write / short read),
+//   - fail the call with a chosen errno (EINTR, ENOSPC, EIO, ...),
+//   - fire a *crash point*: persist a prefix of the buffer to produce a
+//     torn tail on disk, then throw SimulatedCrash so the test can drop
+//     all in-memory state and exercise recovery by reopening the file.
+//
+// Faults are described by Plans (match an op, optionally one fd; let
+// `skip` calls through; fire `count` times) or by a seeded Bernoulli
+// process per op — both fully deterministic for a given seed, so every
+// failing schedule is replayable. When nothing is armed the hook is one
+// relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace adtm::faultsim {
+
+// Syscall classes the engine can intercept.
+enum class Op : std::uint32_t { Write, Pwrite, Read, Pread, Fsync, kCount };
+
+const char* op_name(Op op) noexcept;
+
+enum class FaultKind : std::uint32_t { None, ShortWrite, Errno, Crash };
+
+struct Fault {
+  FaultKind kind = FaultKind::None;
+  int err = 0;                // errno to inject (FaultKind::Errno)
+  std::size_t max_bytes = 0;  // ShortWrite: transfer cap; Crash: bytes
+                              // persisted before the simulated crash
+
+  static Fault none() noexcept { return {}; }
+  static Fault short_write(std::size_t cap) noexcept {
+    return {FaultKind::ShortWrite, 0, cap};
+  }
+  static Fault error(int e) noexcept { return {FaultKind::Errno, e, 0}; }
+  static Fault crash(std::size_t persist_bytes) noexcept {
+    return {FaultKind::Crash, 0, persist_bytes};
+  }
+};
+
+// Thrown by the I/O layer when a crash point fires. Deliberately not a
+// std::system_error: no retry policy may classify it as transient.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& where)
+      : std::runtime_error("faultsim: simulated crash in " + where) {}
+};
+
+// One injection plan. The first plan matching (op, fd) claims the call:
+// while skip > 0 it lets the call through; afterwards it fires `count`
+// times (0 = forever) and is discarded when exhausted.
+struct Plan {
+  Op op = Op::Write;
+  Fault fault;
+  std::uint64_t skip = 0;
+  std::uint64_t count = 1;
+  int fd = -1;  // restrict to one descriptor; -1 matches any
+};
+
+class FaultEngine {
+ public:
+  void arm(const Plan& plan);
+
+  // Seeded Bernoulli injection: each matching call fires `fault` with
+  // `probability` (checked after plans). Deterministic per seed.
+  void arm_random(Op op, double probability, Fault fault, std::uint64_t seed);
+
+  // Remove every plan and random process and reset per-op counters.
+  void disarm();
+
+  // Hook used by the I/O layer: decide the fault for this call.
+  Fault on_syscall(Op op, int fd);
+
+  std::uint64_t calls(Op op) const;
+  std::uint64_t injected(Op op) const;
+  std::uint64_t injected_total() const;
+
+ private:
+  void refresh_active_locked();
+
+  mutable std::mutex mutex_;
+  std::vector<Plan> plans_;
+  struct RandomProc {
+    std::uint64_t threshold = 0;  // fire when rng.next_below(kDenom) < this
+    Fault fault;
+  };
+  static constexpr std::uint64_t kProbDenom = 1u << 20;
+  RandomProc random_[static_cast<std::size_t>(Op::kCount)];
+  Xoshiro256 rng_{0};
+  std::atomic<std::uint64_t> calls_[static_cast<std::size_t>(Op::kCount)] = {};
+  std::atomic<std::uint64_t> injected_[static_cast<std::size_t>(Op::kCount)] =
+      {};
+};
+
+// Global engine consulted by io::PosixFile and fdpool::AsyncIOEngine.
+FaultEngine& engine() noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_active;
+}  // namespace detail
+
+// Fast gate: false (one relaxed load) unless something is armed.
+inline bool active() noexcept {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+// RAII for tests: disarms the global engine on scope exit.
+class FaultScope {
+ public:
+  FaultScope() = default;
+  explicit FaultScope(const Plan& plan) { engine().arm(plan); }
+  ~FaultScope() { engine().disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace adtm::faultsim

@@ -2,10 +2,26 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <system_error>
+
+#include "common/backoff.hpp"
+#include "common/stats.hpp"
+#include "faultsim/faultsim.hpp"
 
 namespace adtm::fdpool {
+namespace {
+
+// A worker must never hang on an endlessly failing descriptor: transient
+// errors get this many backed-off retries, then the error escalates to
+// the completion callback.
+constexpr unsigned kMaxTransientRetries = 16;
+
+bool transient_errno(int e) noexcept {
+  return e == EINTR || e == EAGAIN || e == ENOSPC;
+}
+
+}  // namespace
 
 AsyncIOEngine::AsyncIOEngine(unsigned workers) {
   if (workers == 0) workers = 1;
@@ -25,8 +41,7 @@ AsyncIOEngine::~AsyncIOEngine() {
 }
 
 void AsyncIOEngine::submit_write(int fd, std::uint64_t offset,
-                                 std::string data,
-                                 std::function<void()> done) {
+                                 std::string data, Completion done) {
   {
     std::lock_guard<std::mutex> lk(mutex_);
     queue_.push_back(Request{fd, offset, std::move(data), std::move(done)});
@@ -44,6 +59,11 @@ std::uint64_t AsyncIOEngine::completed() const noexcept {
   return completed_;
 }
 
+std::uint64_t AsyncIOEngine::failed() const noexcept {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return failed_;
+}
+
 void AsyncIOEngine::worker_loop() {
   for (;;) {
     Request req;
@@ -56,17 +76,52 @@ void AsyncIOEngine::worker_loop() {
       ++in_flight_;
     }
 
+    std::error_code ec;
     const char* p = req.data.data();
     std::size_t remaining = req.data.size();
     std::uint64_t off = req.offset;
+    Backoff backoff;
+    unsigned retries = 0;
     while (remaining > 0) {
-      const ssize_t rv = ::pwrite(req.fd, p, remaining,
-                                  static_cast<off_t>(off));
+      std::size_t ask = remaining;
+      ssize_t rv;
+      int injected = 0;
+      if (faultsim::active()) {
+        const faultsim::Fault f =
+            faultsim::engine().on_syscall(faultsim::Op::Pwrite, req.fd);
+        if (f.kind == faultsim::FaultKind::Errno) {
+          injected = f.err;
+        } else if (f.kind == faultsim::FaultKind::ShortWrite) {
+          ask = std::max<std::size_t>(std::min(ask, f.max_bytes), 1);
+        } else if (f.kind == faultsim::FaultKind::Crash) {
+          // A crash point in an async worker cannot unwind the submitter;
+          // persist the torn prefix and surface a permanent I/O error.
+          const std::size_t persist = std::min(remaining, f.max_bytes);
+          if (persist > 0) {
+            (void)!::pwrite(req.fd, p, persist, static_cast<off_t>(off));
+          }
+          ec = std::error_code(EIO, std::generic_category());
+          stats().add(Counter::FailureEscalations);
+          break;
+        }
+      }
+      if (injected != 0) {
+        errno = injected;
+        rv = -1;
+      } else {
+        rv = ::pwrite(req.fd, p, ask, static_cast<off_t>(off));
+      }
       if (rv < 0) {
-        if (errno == EINTR || errno == EAGAIN) continue;
-        // Report and drop: an async engine cannot throw into the
-        // submitter. The completion callback still runs so metadata
-        // (pending counts) stays consistent.
+        if (transient_errno(errno) && retries < kMaxTransientRetries) {
+          ++retries;
+          stats().add(Counter::FailureRetries);
+          backoff.pause();
+          continue;
+        }
+        // Permanent (or retry budget exhausted): report to the callback
+        // rather than dropping the error on the worker thread.
+        ec = std::error_code(errno, std::generic_category());
+        stats().add(Counter::FailureEscalations);
         break;
       }
       p += rv;
@@ -74,12 +129,13 @@ void AsyncIOEngine::worker_loop() {
       off += static_cast<std::uint64_t>(rv);
     }
 
-    if (req.done) req.done();
+    if (req.done) req.done(ec);
 
     {
       std::lock_guard<std::mutex> lk(mutex_);
       --in_flight_;
       ++completed_;
+      if (ec) ++failed_;
       if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
     }
   }

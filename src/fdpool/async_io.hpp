@@ -4,6 +4,13 @@
 // sections only touch pool metadata, and the data transfer happens outside
 // any lock. We reproduce that structure with a submission queue drained by
 // background worker threads.
+//
+// Failure model: a worker retries transient errors (EINTR, EAGAIN,
+// ENOSPC) with exponential backoff up to a bound, then reports the errno
+// to the request's completion callback as a std::error_code — an async
+// engine cannot throw into its submitter, but it must never silently drop
+// a failed write either. The callback always runs (success or failure) so
+// submitter-side metadata (pending counts) stays consistent.
 #pragma once
 
 #include <condition_variable>
@@ -12,6 +19,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -19,6 +27,11 @@ namespace adtm::fdpool {
 
 class AsyncIOEngine {
  public:
+  // Completion callback: invoked on a worker thread with a default
+  // (falsy) error_code on success, or the failing errno. May start
+  // transactions.
+  using Completion = std::function<void(std::error_code)>;
+
   explicit AsyncIOEngine(unsigned workers = 1);
   ~AsyncIOEngine();
 
@@ -26,22 +39,24 @@ class AsyncIOEngine {
   AsyncIOEngine& operator=(const AsyncIOEngine&) = delete;
 
   // Queue a positional write of `data` to `fd` at `offset`. `done` (if
-  // any) runs on a worker thread after the write completes; it may start
-  // transactions.
+  // any) runs on a worker thread after the write completes or fails.
   void submit_write(int fd, std::uint64_t offset, std::string data,
-                    std::function<void()> done = {});
+                    Completion done = {});
 
   // Block until every submitted request has completed.
   void drain();
 
   std::uint64_t completed() const noexcept;
 
+  // Requests whose write failed permanently (errno delivered to `done`).
+  std::uint64_t failed() const noexcept;
+
  private:
   struct Request {
     int fd;
     std::uint64_t offset;
     std::string data;
-    std::function<void()> done;
+    Completion done;
   };
 
   void worker_loop();
@@ -53,6 +68,7 @@ class AsyncIOEngine {
   unsigned in_flight_ = 0;
   bool stopping_ = false;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
   std::vector<std::thread> workers_;
 };
 

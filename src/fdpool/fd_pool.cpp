@@ -117,11 +117,18 @@ std::uint64_t FilePool::append_async(std::size_t id, std::string data) {
   // Data transfer outside any critical section, via async I/O. The fd is
   // stable: pending > 0 forbids eviction, and the deferred open (if any)
   // completed before our transaction could commit (it subscribes).
-  engine_.submit_write(node.file.fd(), offset, std::move(data), [&node] {
-    stm::atomic([&](stm::Tx& tx) {
-      node.pending.set(tx, node.pending.get(tx) - 1);
-    });
-  });
+  engine_.submit_write(node.file.fd(), offset, std::move(data),
+                       [this, &node](std::error_code ec) {
+                         // The pending count drops on failure too — the
+                         // reservation is dead either way — but the error
+                         // is recorded, not swallowed.
+                         if (ec) {
+                           io_errors_.fetch_add(1, std::memory_order_relaxed);
+                         }
+                         stm::atomic([&](stm::Tx& tx) {
+                           node.pending.set(tx, node.pending.get(tx) - 1);
+                         });
+                       });
   return offset;
 }
 

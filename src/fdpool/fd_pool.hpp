@@ -13,6 +13,7 @@
 // stall via retry, and resume once the pool is usable again.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -71,6 +72,12 @@ class FilePool : public Deferrable {
 
   std::size_t max_open() const noexcept { return max_open_; }
 
+  // Async writes whose error_code was non-zero (reported by the engine's
+  // completion callback; the submitter has already returned by then).
+  std::uint64_t io_error_count() const noexcept {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Node {
     std::string path;
@@ -92,6 +99,7 @@ class FilePool : public Deferrable {
   std::vector<std::unique_ptr<Node>> nodes_;
   stm::tvar<std::uint64_t> open_count_{0};
   stm::tvar<std::uint64_t> clock_{0};  // LRU tick
+  std::atomic<std::uint64_t> io_errors_{0};
 };
 
 }  // namespace adtm::fdpool

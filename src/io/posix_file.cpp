@@ -4,10 +4,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <system_error>
 #include <thread>
 #include <utility>
+
+#include "faultsim/faultsim.hpp"
 
 namespace adtm::io {
 namespace {
@@ -20,6 +23,13 @@ int open_or_throw(const std::string& path, int flags, mode_t mode = 0644) {
   const int fd = ::open(path.c_str(), flags, mode);
   if (fd < 0) throw_errno("open");
   return fd;
+}
+
+// Fault-injection gate: every data-path syscall below consults the global
+// engine first. One relaxed load when nothing is armed.
+faultsim::Fault consult(faultsim::Op op, int fd) {
+  if (!faultsim::active()) return faultsim::Fault::none();
+  return faultsim::engine().on_syscall(op, fd);
 }
 
 }  // namespace
@@ -59,11 +69,35 @@ void PosixFile::write_fully(std::span<const std::byte> data) {
   write_fully(data.data(), data.size());
 }
 
-void PosixFile::write_fully(const void* data, std::size_t len) {
+std::size_t PosixFile::write_some(const void* data, std::size_t len) {
   const char* p = static_cast<const char*>(data);
-  std::size_t sent = 0;
-  while (sent < len) {
-    const ssize_t rv = ::write(fd_, p + sent, len - sent);
+  for (;;) {
+    std::size_t ask = len;
+    ssize_t rv;
+    const faultsim::Fault f = consult(faultsim::Op::Write, fd_);
+    switch (f.kind) {
+      case faultsim::FaultKind::Errno:
+        errno = f.err;
+        rv = -1;
+        break;
+      case faultsim::FaultKind::Crash: {
+        // Crash point: persist a prefix so the file gets a torn tail,
+        // then abandon — the caller's in-memory state is lost exactly as
+        // a real crash between write and fsync would lose it.
+        const std::size_t persist = std::min(len, f.max_bytes);
+        if (persist > 0) (void)!::write(fd_, p, persist);
+        throw faultsim::SimulatedCrash("write");
+      }
+      case faultsim::FaultKind::ShortWrite:
+        ask = std::max<std::size_t>(std::min(ask, f.max_bytes), 1);
+        [[fallthrough]];
+      case faultsim::FaultKind::None:
+        rv = ::write(fd_, p, ask);
+        break;
+      default:
+        rv = ::write(fd_, p, ask);
+        break;
+    }
     if (rv < 0) {
       if (errno == EINTR) continue;  // transient
       if (errno == EAGAIN) {
@@ -74,7 +108,15 @@ void PosixFile::write_fully(const void* data, std::size_t len) {
       }
       throw_errno("write");  // fatal
     }
-    sent += static_cast<std::size_t>(rv);
+    return static_cast<std::size_t>(rv);
+  }
+}
+
+void PosixFile::write_fully(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    sent += write_some(p + sent, len - sent);
   }
 }
 
@@ -83,8 +125,29 @@ void PosixFile::pwrite_fully(const void* data, std::size_t len,
   const char* p = static_cast<const char*>(data);
   std::size_t sent = 0;
   while (sent < len) {
-    const ssize_t rv = ::pwrite(fd_, p + sent, len - sent,
-                                static_cast<off_t>(offset + sent));
+    std::size_t ask = len - sent;
+    ssize_t rv;
+    const faultsim::Fault f = consult(faultsim::Op::Pwrite, fd_);
+    switch (f.kind) {
+      case faultsim::FaultKind::Errno:
+        errno = f.err;
+        rv = -1;
+        break;
+      case faultsim::FaultKind::Crash: {
+        const std::size_t persist = std::min(len - sent, f.max_bytes);
+        if (persist > 0) {
+          (void)!::pwrite(fd_, p + sent, persist,
+                          static_cast<off_t>(offset + sent));
+        }
+        throw faultsim::SimulatedCrash("pwrite");
+      }
+      case faultsim::FaultKind::ShortWrite:
+        ask = std::max<std::size_t>(std::min(ask, f.max_bytes), 1);
+        [[fallthrough]];
+      default:
+        rv = ::pwrite(fd_, p + sent, ask, static_cast<off_t>(offset + sent));
+        break;
+    }
     if (rv < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN) {
@@ -99,9 +162,25 @@ void PosixFile::pwrite_fully(const void* data, std::size_t len,
 
 std::size_t PosixFile::read_some(void* out, std::size_t len) {
   for (;;) {
-    const ssize_t rv = ::read(fd_, out, len);
+    std::size_t ask = len;
+    ssize_t rv;
+    const faultsim::Fault f = consult(faultsim::Op::Read, fd_);
+    switch (f.kind) {
+      case faultsim::FaultKind::Errno:
+        errno = f.err;
+        rv = -1;
+        break;
+      case faultsim::FaultKind::Crash:
+        throw faultsim::SimulatedCrash("read");
+      case faultsim::FaultKind::ShortWrite:
+        ask = std::max<std::size_t>(std::min(ask, f.max_bytes), 1);
+        [[fallthrough]];
+      default:
+        rv = ::read(fd_, out, ask);
+        break;
+    }
     if (rv < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // transient, same as the write paths
       throw_errno("read");
     }
     return static_cast<std::size_t>(rv);
@@ -124,9 +203,25 @@ void PosixFile::read_fully(void* out, std::size_t len) {
 std::size_t PosixFile::pread_some(void* out, std::size_t len,
                                   std::uint64_t offset) {
   for (;;) {
-    const ssize_t rv = ::pread(fd_, out, len, static_cast<off_t>(offset));
+    std::size_t ask = len;
+    ssize_t rv;
+    const faultsim::Fault f = consult(faultsim::Op::Pread, fd_);
+    switch (f.kind) {
+      case faultsim::FaultKind::Errno:
+        errno = f.err;
+        rv = -1;
+        break;
+      case faultsim::FaultKind::Crash:
+        throw faultsim::SimulatedCrash("pread");
+      case faultsim::FaultKind::ShortWrite:
+        ask = std::max<std::size_t>(std::min(ask, f.max_bytes), 1);
+        [[fallthrough]];
+      default:
+        rv = ::pread(fd_, out, ask, static_cast<off_t>(offset));
+        break;
+    }
     if (rv < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // transient, same as the write paths
       throw_errno("pread");
     }
     return static_cast<std::size_t>(rv);
@@ -152,7 +247,18 @@ void PosixFile::seek_set(std::uint64_t offset) {
 }
 
 void PosixFile::sync() {
-  if (::fsync(fd_) != 0) throw_errno("fsync");
+  for (;;) {
+    const faultsim::Fault f = consult(faultsim::Op::Fsync, fd_);
+    if (f.kind == faultsim::FaultKind::Errno) {
+      if (f.err == EINTR) continue;  // interrupted fsync: retry
+      throw std::system_error(f.err, std::generic_category(), "fsync");
+    }
+    if (f.kind == faultsim::FaultKind::Crash) {
+      throw faultsim::SimulatedCrash("fsync");
+    }
+    if (::fsync(fd_) != 0) throw_errno("fsync");
+    return;
+  }
 }
 
 void PosixFile::close() {

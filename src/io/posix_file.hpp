@@ -43,6 +43,13 @@ class PosixFile {
   void write_fully(std::span<const std::byte> data);
   void write_fully(const void* data, std::size_t len);
 
+  // One write attempt: returns the bytes accepted (possibly short),
+  // retrying only EINTR/EAGAIN internally. Callers that must survive
+  // mid-buffer failures (WAL group commit) loop over this so a retry
+  // resumes where the last attempt stopped instead of re-writing — and
+  // duplicating — the prefix.
+  std::size_t write_some(const void* data, std::size_t len);
+
   // Positional full write (used by the async I/O engine: appends reserve
   // their offset under the pool lock, then write at it).
   void pwrite_fully(const void* data, std::size_t len, std::uint64_t offset);

@@ -1,6 +1,7 @@
 #include "stm/api.hpp"
 
 #include <cstdlib>
+#include <exception>
 #include <stdexcept>
 
 #include "common/backoff.hpp"
@@ -74,8 +75,20 @@ struct Driver {
     tx.frees_.clear();
     tx.allocs_.clear();  // committed: ownership passed to the program
     tx.abort_hooks_.clear();  // committed: abort bookkeeping is moot
-    for (auto& fn : epilogues) fn();
+    // Every epilogue runs even if an earlier one throws: a later epilogue
+    // may hold TxLocks (atomic_defer) that must be released, or its
+    // subscribers block forever. The first exception wins; frees are
+    // processed regardless.
+    std::exception_ptr first_error;
+    for (auto& fn : epilogues) {
+      try {
+        fn();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
     for (void* p : frees) std::free(p);
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   // Block until a location in the retry watch set may have changed.

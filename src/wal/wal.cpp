@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <system_error>
 #include <utility>
 
@@ -44,6 +45,9 @@ WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
 }
 
 Lsn WriteAheadLog::append(stm::Tx& tx, std::string payload) {
+  // Fail fast on a poisoned log — and transactionally, so a transaction
+  // racing with the poisoning either sees the failure or conflicts.
+  if (failed_.get(tx)) throw_failed();
   const Lsn lsn = next_lsn_.get(tx);
   next_lsn_.set(tx, lsn + 1);
   // The paper's "pass nil" deferral: no lock is needed — ordering comes
@@ -63,6 +67,9 @@ bool WriteAheadLog::is_durable(stm::Tx& tx, Lsn lsn) const {
 }
 
 void WriteAheadLog::wait_durable(stm::Tx& tx, Lsn lsn) const {
+  // The failed_ read joins the retry watch set, so poisoning wakes every
+  // blocked waiter and this raises instead of hanging forever.
+  if (failed_.get(tx)) throw_failed();
   if (!is_durable(tx, lsn)) stm::retry(tx);
 }
 
@@ -73,14 +80,56 @@ void WriteAheadLog::flush() {
       stm::atomic([&](stm::Tx& tx) { return next_lsn_.get(tx); }) - 1;
   Backoff bo;
   while (durable_lsn_.load_direct() < target) {
+    if (failed_.load_direct()) throw_failed();
     if (flush_mutex_.try_lock()) {
       // Drain whatever is staged (the helper expects the lock held).
-      stage_and_flush_locked_drain();
+      try {
+        stage_and_flush_locked_drain();
+      } catch (...) {
+        flush_mutex_.unlock();
+        throw;
+      }
       flush_mutex_.unlock();
     }
     if (durable_lsn_.load_direct() >= target) return;
+    if (failed_.load_direct()) throw_failed();
     bo.pause();  // an epilogue on another thread is about to stage/flush
   }
+}
+
+std::string WriteAheadLog::failure_reason() const {
+  std::lock_guard<std::mutex> lk(error_mutex_);
+  return failure_reason_;
+}
+
+void WriteAheadLog::set_failure_policy(FailurePolicy policy) {
+  std::lock_guard<std::mutex> lk(flush_mutex_);
+  policy_ = std::move(policy);
+}
+
+void WriteAheadLog::poison(const std::string& reason) noexcept {
+  try {
+    {
+      std::lock_guard<std::mutex> lk(error_mutex_);
+      if (failure_reason_.empty()) failure_reason_ = reason;
+    }
+    // Transactional store: retry-blocked waiters watch failed_ and wake.
+    stm::atomic([&](stm::Tx& tx) { failed_.set(tx, true); });
+  } catch (...) {
+    // Last resort — waiters may then only observe failure via the direct
+    // checks in flush()/stage_and_flush().
+    failed_.store_direct(true);
+  }
+}
+
+void WriteAheadLog::throw_failed() const {
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lk(error_mutex_);
+    reason = failure_reason_;
+  }
+  throw std::runtime_error("WriteAheadLog: log poisoned by I/O failure: " +
+                           (reason.empty() ? "unknown" : reason));
 }
 
 void WriteAheadLog::stage_and_flush(Lsn lsn, std::string payload) {
@@ -91,12 +140,20 @@ void WriteAheadLog::stage_and_flush(Lsn lsn, std::string payload) {
   // Group commit: whoever holds the flush lock drains the whole staged
   // prefix with one write+fsync. Everyone leaves only once their own
   // record is durable — that is the atomic-deferral contract: the
-  // deferred operation *is* the durable write.
+  // deferred operation *is* the durable write. On a poisoned log the
+  // contract is unmeetable: raise within the bounded-retry budget
+  // rather than spin forever.
   Backoff bo;
   for (;;) {
     if (durable_lsn_.load_direct() >= lsn) return;
+    if (failed_.load_direct()) throw_failed();
     if (flush_mutex_.try_lock()) {
-      stage_and_flush_locked_drain();
+      try {
+        stage_and_flush_locked_drain();
+      } catch (...) {
+        flush_mutex_.unlock();
+        throw;
+      }
       flush_mutex_.unlock();
     } else {
       bo.pause();  // another thread is flushing; it may cover us
@@ -106,6 +163,7 @@ void WriteAheadLog::stage_and_flush(Lsn lsn, std::string payload) {
 
 void WriteAheadLog::stage_and_flush_locked_drain() {
   for (;;) {
+    if (failed_.load_direct()) return;  // poisoned: callers raise
     // Collect the contiguous LSN prefix. A gap means an earlier
     // committer has not staged yet; its own deferred op will flush it
     // (and anything after) shortly.
@@ -126,8 +184,25 @@ void WriteAheadLog::stage_and_flush_locked_drain() {
       }
     }
     if (buffer.empty()) return;
-    file_.write_fully(buffer.data(), buffer.size());
-    file_.sync();
+    // Bounded retry on transient failures. `done` persists across retry
+    // attempts, so a retry resumes exactly where the failed attempt
+    // stopped — re-writing the prefix would corrupt the log, which is
+    // worse than tearing it.
+    std::size_t done = 0;
+    try {
+      run_with_policy(policy_, [&] {
+        while (done < buffer.size()) {
+          done += file_.write_some(buffer.data() + done, buffer.size() - done);
+        }
+        file_.sync();
+      });
+    } catch (const std::exception& e) {
+      poison(e.what());
+      throw;
+    } catch (...) {
+      poison("unknown error in group commit");
+      throw;
+    }
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
     // Publish the new durable horizon transactionally so wait_durable
     // retry-waiters wake.

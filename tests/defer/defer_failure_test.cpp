@@ -1,0 +1,213 @@
+// Failure semantics of deferred operations: a throwing deferred op must
+// never leak its TxLocks or starve later deferred ops (subscribers would
+// deadlock), and run_with_policy implements bounded transient retry with
+// escalate-or-propagate (see failure_policy.hpp).
+#include "defer/atomic_defer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "defer/failure_policy.hpp"
+#include "faultsim/faultsim.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using test::AlgoTest;
+
+class Box : public Deferrable {
+ public:
+  int get(stm::Tx& tx) const {
+    subscribe(tx);
+    return value_.get(tx);
+  }
+  int raw() const { return value_.load_direct(); }
+  void raw_set(int v) { value_.store_direct(v); }
+
+ private:
+  stm::tvar<int> value_{0};
+};
+
+class DeferFailureTest : public AlgoTest {};
+
+TEST_P(DeferFailureTest, ThrowingOpStillReleasesItsLocks) {
+  Box a, b;
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 atomic_defer(tx, [] { throw std::runtime_error("boom"); },
+                              a, b);
+               }),
+               std::runtime_error);
+  // Both implicit locks must be free — a subscriber would otherwise hang.
+  EXPECT_TRUE(a.txlock().try_acquire());
+  EXPECT_TRUE(b.txlock().try_acquire());
+  a.txlock().release();
+  b.txlock().release();
+}
+
+TEST_P(DeferFailureTest, LaterDeferredOpsRunDespiteEarlierThrow) {
+  Box a, b;
+  bool second_ran = false;
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 atomic_defer(tx, [] { throw std::runtime_error("first"); },
+                              a);
+                 atomic_defer(tx, [&] { second_ran = true; }, b);
+               }),
+               std::runtime_error);
+  // run_epilogues must not abandon the queue on the first throw: the
+  // second op ran and released b's lock.
+  EXPECT_TRUE(second_ran);
+  EXPECT_TRUE(a.txlock().try_acquire());
+  EXPECT_TRUE(b.txlock().try_acquire());
+  a.txlock().release();
+  b.txlock().release();
+}
+
+TEST_P(DeferFailureTest, SubscriberDoesNotDeadlockAfterThrowingOp) {
+  Box box;
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 atomic_defer(tx, [] { throw std::runtime_error("boom"); },
+                              box);
+               }),
+               std::runtime_error);
+  // A subscribing transaction on another thread completes promptly.
+  int seen = -1;
+  std::thread reader(
+      [&] { stm::atomic([&](stm::Tx& tx) { seen = box.get(tx); }); });
+  reader.join();
+  EXPECT_EQ(seen, 0);
+}
+
+TEST_P(DeferFailureTest, PolicyRetriesTransientThenSucceeds) {
+  Box box;
+  int attempts = 0;
+  FailurePolicy policy{.max_retries = 8,
+                       .backoff_min_spins = 4,
+                       .backoff_max_spins = 64,
+                       .retryable = nullptr,
+                       .escalate = nullptr};
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(
+        tx,
+        [&] {
+          if (++attempts <= 2) {
+            throw std::system_error(EINTR, std::generic_category());
+          }
+          box.raw_set(7);
+        },
+        {&box}, policy);
+  });
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(box.raw(), 7);
+  EXPECT_EQ(stats().total(Counter::FailureRetries), 2u);
+  EXPECT_EQ(stats().total(Counter::FailureEscalations), 0u);
+  EXPECT_TRUE(box.txlock().try_acquire());
+  box.txlock().release();
+}
+
+TEST_P(DeferFailureTest, DefaultPolicyNeverRetriesWholeOps) {
+  // The shipped default has max_retries = 0: a deferred op may not be
+  // idempotent, so even a transient errno fails on the first attempt.
+  Box box;
+  int attempts = 0;
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) {
+        atomic_defer(
+            tx,
+            [&] {
+              ++attempts;
+              throw std::system_error(EINTR, std::generic_category());
+            },
+            box);
+      }),
+      std::system_error);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(box.txlock().try_acquire());
+  box.txlock().release();
+}
+
+TEST_P(DeferFailureTest, NonTransientFailsOnFirstAttempt) {
+  Box box;
+  int attempts = 0;
+  FailurePolicy policy{.max_retries = 8,
+                       .backoff_min_spins = 4,
+                       .backoff_max_spins = 64,
+                       .retryable = nullptr,
+                       .escalate = nullptr};
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 atomic_defer(
+                     tx,
+                     [&] {
+                       ++attempts;
+                       throw std::logic_error("not transient");
+                     },
+                     {&box}, policy);
+               }),
+               std::logic_error);
+  EXPECT_EQ(attempts, 1);  // no blind retry of a permanent failure
+  EXPECT_EQ(stats().total(Counter::FailureRetries), 0u);
+  EXPECT_GE(stats().total(Counter::FailureEscalations), 1u);
+}
+
+TEST_P(DeferFailureTest, EscalateHandlerAbsorbsTheFailure) {
+  Box box;
+  std::string captured;
+  FailurePolicy policy{
+      .max_retries = 0,
+      .backoff_min_spins = 4,
+      .backoff_max_spins = 64,
+      .retryable = nullptr,
+      .escalate = [&](std::exception_ptr ep) {
+        try {
+          std::rethrow_exception(ep);
+        } catch (const std::exception& e) {
+          captured = e.what();
+        }
+      }};
+  // The handler swallows the failure: atomic() returns normally and the
+  // lock is released.
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [] { throw std::runtime_error("handled"); }, {&box},
+                 policy);
+  });
+  EXPECT_EQ(captured, "handled");
+  EXPECT_TRUE(box.txlock().try_acquire());
+  box.txlock().release();
+}
+
+TEST_P(DeferFailureTest, SimulatedCrashIsNeverTransient) {
+  Box box;
+  int attempts = 0;
+  FailurePolicy policy{.max_retries = 8,
+                       .backoff_min_spins = 4,
+                       .backoff_max_spins = 64,
+                       .retryable = nullptr,
+                       .escalate = nullptr};
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 atomic_defer(
+                     tx,
+                     [&] {
+                       ++attempts;
+                       throw faultsim::SimulatedCrash("crash point");
+                     },
+                     {&box}, policy);
+               }),
+               faultsim::SimulatedCrash);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(box.txlock().try_acquire());
+  box.txlock().release();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, DeferFailureTest, test::SpeculativeAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,124 @@
+// Fault injection against DurableFile/DurableBuffer (paper §5.2): the
+// deferred write+fsync retries transient faults, and a permanent failure
+// poisons the buffer — subscribers fail fast, the implicit TxLocks are
+// released, and the file object remains usable for other buffers.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#include "common/stats.hpp"
+#include "durable/durable.hpp"
+#include "faultsim/faultsim.hpp"
+#include "io/temp_dir.hpp"
+#include "stm/api.hpp"
+
+namespace adtm::durable {
+namespace {
+
+class DurableFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stm::init({.algo = stm::Algo::TL2});
+    faultsim::engine().disarm();
+    stats().reset();
+  }
+  void TearDown() override { faultsim::engine().disarm(); }
+
+  io::TempDir dir_{"adtm-durafault"};
+};
+
+TEST_F(DurableFaultTest, TransientFaultsRetriedAndDurable) {
+  DurableFile f(dir_.file("f"));
+  DurableBuffer buf("transient-payload");
+  faultsim::engine().arm({.op = faultsim::Op::Write,
+                          .fault = faultsim::Fault::error(ENOSPC),
+                          .count = 2});
+  stm::atomic([&](stm::Tx& tx) { durable_write(tx, f, buf); });
+  // The deferred op ran on commit, absorbed both faults, and the flag is
+  // set — with no byte duplicated by the retries.
+  stm::atomic([&](stm::Tx& tx) { EXPECT_TRUE(is_durable(tx, buf)); });
+  EXPECT_GE(stats().total(Counter::FailureRetries), 2u);
+  faultsim::engine().disarm();
+  EXPECT_EQ(io::read_file(dir_.file("f")), "transient-payload");
+}
+
+TEST_F(DurableFaultTest, ShortWritesDoNotDuplicateBytes) {
+  DurableFile f(dir_.file("s"));
+  DurableBuffer buf(std::string(64, 'q'));
+  faultsim::engine().arm({.op = faultsim::Op::Write,
+                          .fault = faultsim::Fault::short_write(7),
+                          .count = 0});
+  stm::atomic([&](stm::Tx& tx) { durable_write(tx, f, buf); });
+  faultsim::engine().disarm();
+  EXPECT_EQ(io::read_file(dir_.file("s")), std::string(64, 'q'));
+}
+
+TEST_F(DurableFaultTest, PermanentFsyncFailurePoisonsBuffer) {
+  DurableFile f(dir_.file("p"));
+  DurableBuffer doomed("doomed");
+  faultsim::engine().arm({.op = faultsim::Op::Fsync,
+                          .fault = faultsim::Fault::error(EIO),
+                          .count = 0});
+  // The failure surfaces post-commit on the committing thread.
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { durable_write(tx, f, doomed); }),
+      std::system_error);
+  EXPECT_TRUE(doomed.failed_direct());
+  EXPECT_GE(stats().total(Counter::FailureEscalations), 1u);
+
+  // Fail fast, no hang: wait_durable raises instead of retrying forever.
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { wait_durable(tx, doomed); }),
+      std::runtime_error);
+
+  // The implicit TxLocks were released on the failure path: the same
+  // file accepts a new buffer once the fault clears.
+  faultsim::engine().disarm();
+  EXPECT_TRUE(f.txlock().try_acquire());
+  f.txlock().release();
+  DurableBuffer healthy("healthy");
+  stm::atomic([&](stm::Tx& tx) { durable_write(tx, f, healthy); });
+  stm::atomic([&](stm::Tx& tx) { EXPECT_TRUE(is_durable(tx, healthy)); });
+}
+
+TEST_F(DurableFaultTest, CrashPointTearsFileAndPoisonsBuffer) {
+  DurableFile f(dir_.file("c"));
+  DurableBuffer buf("0123456789");
+  faultsim::engine().arm({.op = faultsim::Op::Write,
+                          .fault = faultsim::Fault::crash(4)});
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) { durable_write(tx, f, buf); }),
+               faultsim::SimulatedCrash);
+  faultsim::engine().disarm();
+  EXPECT_TRUE(buf.failed_direct());
+  // Only the crash plan's prefix persisted — a torn tail, never a
+  // silently complete record.
+  EXPECT_EQ(io::read_file(dir_.file("c")), "0123");
+  // A crash is never classified transient: no retry was attempted.
+  EXPECT_EQ(stats().total(Counter::FailureRetries), 0u);
+}
+
+TEST_F(DurableFaultTest, CustomEscalationHandlerSuppressesThrow) {
+  DurableFile f(dir_.file("h"));
+  DurableBuffer buf("handled");
+  faultsim::engine().arm({.op = faultsim::Op::Fsync,
+                          .fault = faultsim::Fault::error(EIO),
+                          .count = 0});
+  int escalations = 0;
+  FailurePolicy policy{.max_retries = 0,
+                       .backoff_min_spins = 4,
+                       .backoff_max_spins = 64,
+                       .retryable = nullptr,
+                       .escalate = [&](std::exception_ptr) { ++escalations; }};
+  // The handler absorbs the failure: commit completes without a throw,
+  // and because run_with_policy returned normally the buffer is marked
+  // durable-path-complete by the deferred op's normal exit.
+  stm::atomic([&](stm::Tx& tx) { durable_write(tx, f, buf, policy); });
+  EXPECT_EQ(escalations, 1);
+  EXPECT_FALSE(buf.failed_direct());
+}
+
+}  // namespace
+}  // namespace adtm::durable

@@ -1,9 +1,14 @@
 #include "fdpool/async_io.hpp"
 
+#include <fcntl.h>
+
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
+#include <system_error>
 
+#include "faultsim/faultsim.hpp"
 #include "io/posix_file.hpp"
 #include "io/temp_dir.hpp"
 
@@ -12,6 +17,8 @@ namespace {
 
 class AsyncIOTest : public ::testing::Test {
  protected:
+  void TearDown() override { faultsim::engine().disarm(); }
+
   io::TempDir dir_{"adtm-aio"};
 };
 
@@ -22,6 +29,7 @@ TEST_F(AsyncIOTest, SingleWriteLands) {
   engine.drain();
   EXPECT_EQ(io::read_file(dir_.file("a")), "hello");
   EXPECT_EQ(engine.completed(), 1u);
+  EXPECT_EQ(engine.failed(), 0u);
 }
 
 TEST_F(AsyncIOTest, PositionalWritesDoNotOverlap) {
@@ -43,13 +51,18 @@ TEST_F(AsyncIOTest, PositionalWritesDoNotOverlap) {
   }
 }
 
-TEST_F(AsyncIOTest, CompletionCallbackRuns) {
+TEST_F(AsyncIOTest, CompletionCallbackRunsWithoutError) {
   io::PosixFile f = io::PosixFile::open_rw(dir_.file("c"));
   AsyncIOEngine engine;
   std::atomic<int> called{0};
-  engine.submit_write(f.fd(), 0, "x", [&] { called.fetch_add(1); });
+  std::atomic<bool> had_error{false};
+  engine.submit_write(f.fd(), 0, "x", [&](std::error_code ec) {
+    called.fetch_add(1);
+    if (ec) had_error.store(true);
+  });
   engine.drain();
   EXPECT_EQ(called.load(), 1);
+  EXPECT_FALSE(had_error.load());
 }
 
 TEST_F(AsyncIOTest, ManyWritesAllComplete) {
@@ -59,7 +72,7 @@ TEST_F(AsyncIOTest, ManyWritesAllComplete) {
   std::atomic<int> done{0};
   for (int i = 0; i < kWrites; ++i) {
     engine.submit_write(f.fd(), static_cast<std::uint64_t>(i), "z",
-                        [&] { done.fetch_add(1); });
+                        [&](std::error_code) { done.fetch_add(1); });
   }
   engine.drain();
   EXPECT_EQ(done.load(), kWrites);
@@ -77,6 +90,64 @@ TEST_F(AsyncIOTest, DestructorDrainsGracefully) {
     // No explicit drain: the destructor must not lose queued work or hang.
   }
   EXPECT_EQ(f.size(), 50u);
+}
+
+// A permanently failing write (read-only descriptor -> EBADF) must be
+// reported to the completion callback, not dropped on the worker thread.
+TEST_F(AsyncIOTest, PermanentErrorPropagatesToCallback) {
+  io::write_file(dir_.file("ro"), std::string("seed"));
+  io::PosixFile f = io::PosixFile::open_read(dir_.file("ro"));
+  AsyncIOEngine engine;
+  std::atomic<int> called{0};
+  std::error_code seen;
+  engine.submit_write(f.fd(), 0, "nope", [&](std::error_code ec) {
+    seen = ec;
+    called.fetch_add(1);
+  });
+  engine.drain();  // must not hang on the failed request
+  EXPECT_EQ(called.load(), 1);
+  EXPECT_TRUE(static_cast<bool>(seen));
+  EXPECT_EQ(seen.value(), EBADF);
+  EXPECT_EQ(engine.failed(), 1u);
+  EXPECT_EQ(engine.completed(), 1u);
+}
+
+// Injected transient faults (EINTR) are retried by the worker and the
+// write still lands, with a clean error_code.
+TEST_F(AsyncIOTest, TransientInjectedFaultsAreRetried) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("t"));
+  AsyncIOEngine engine;
+  faultsim::engine().arm({.op = faultsim::Op::Pwrite,
+                          .fault = faultsim::Fault::error(EINTR),
+                          .skip = 0,
+                          .count = 3,
+                          .fd = f.fd()});
+  std::error_code seen = std::make_error_code(std::errc::io_error);
+  engine.submit_write(f.fd(), 0, "retry-me",
+                      [&](std::error_code ec) { seen = ec; });
+  engine.drain();
+  EXPECT_FALSE(static_cast<bool>(seen));
+  EXPECT_EQ(io::read_file(dir_.file("t")), "retry-me");
+  EXPECT_EQ(faultsim::engine().injected(faultsim::Op::Pwrite), 3u);
+  EXPECT_EQ(engine.failed(), 0u);
+}
+
+// An unlimited injected error exhausts the bounded retry budget and then
+// escalates to the callback — the engine never hangs.
+TEST_F(AsyncIOTest, ExhaustedRetriesEscalateToCallback) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("x"));
+  AsyncIOEngine engine;
+  faultsim::engine().arm({.op = faultsim::Op::Pwrite,
+                          .fault = faultsim::Fault::error(ENOSPC),
+                          .skip = 0,
+                          .count = 0,  // forever
+                          .fd = f.fd()});
+  std::error_code seen;
+  engine.submit_write(f.fd(), 0, "doomed",
+                      [&](std::error_code ec) { seen = ec; });
+  engine.drain();
+  EXPECT_EQ(seen.value(), ENOSPC);
+  EXPECT_EQ(engine.failed(), 1u);
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "faultsim/faultsim.hpp"
 #include "io/posix_file.hpp"
 #include "io/temp_dir.hpp"
 #include "stm/api.hpp"
@@ -88,6 +90,75 @@ TEST_P(WalFuzz, TruncationsRecoverCleanlyAfterTruncate) {
     EXPECT_EQ(again.records.size(), r.records.size());
     WriteAheadLog reopened(path);
     EXPECT_EQ(reopened.durable_lsn_direct(), r.records.size());
+  }
+}
+
+TEST_P(WalFuzz, CrashPointsMidGroupCommitRecoverToAPrefix) {
+  // Unlike the byte-flip/truncation fuzz above, which damages a finished
+  // file, this tears the log *while it is being written*: a faultsim crash
+  // point fires inside the deferred group-commit write, persisting a
+  // random prefix of the batch. Recovery must return a verified prefix of
+  // [durable records, batch records] — never less than what was
+  // acknowledged durable, never a corrupt record — and the reopened log
+  // must truncate the tear and accept new appends.
+  io::TempDir dir("adtm-walfuzz");
+  Xoshiro256 rng{static_cast<std::uint64_t>(GetParam()) * 31 + 11};
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::string path =
+        dir.file("wal-crash-" + std::to_string(trial) + ".log");
+    std::vector<std::string> durable_records;
+    std::vector<std::string> batch_records;
+    {
+      WriteAheadLog log(path);
+      const int durable_count = 1 + static_cast<int>(rng.next_below(4));
+      for (int i = 0; i < durable_count; ++i) {
+        std::string payload(1 + rng.next_below(80), '\0');
+        for (auto& c : payload) c = static_cast<char>(rng.next());
+        durable_records.push_back(payload);
+        log.append(std::move(payload));
+      }
+      log.flush();
+
+      const int batch = 2 + static_cast<int>(rng.next_below(4));
+      for (int i = 0; i < batch; ++i) {
+        std::string payload(1 + rng.next_below(80), '\0');
+        for (auto& c : payload) c = static_cast<char>(rng.next());
+        batch_records.push_back(payload);
+      }
+      // Crash after a random number of bytes of the group-commit write.
+      faultsim::engine().arm(
+          {.op = faultsim::Op::Write,
+           .fault = faultsim::Fault::crash(rng.next_below(120))});
+      EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                     for (const auto& p : batch_records) log.append(tx, p);
+                   }),
+                   faultsim::SimulatedCrash);
+      EXPECT_TRUE(log.failed());
+      faultsim::engine().disarm();
+      // The poisoned log is dropped here, as a real crash would drop it.
+    }
+
+    std::vector<std::string> expected = durable_records;
+    expected.insert(expected.end(), batch_records.begin(),
+                    batch_records.end());
+    const auto r = WriteAheadLog::recover(path);
+    ASSERT_GE(r.records.size(), durable_records.size())
+        << "trial " << trial << ": lost acknowledged-durable records";
+    ASSERT_LE(r.records.size(), expected.size());
+    for (std::size_t i = 0; i < r.records.size(); ++i) {
+      EXPECT_EQ(r.records[i], expected[i]) << "trial " << trial;
+    }
+
+    // Reopen truncates the torn tail; the log is fully usable again.
+    WriteAheadLog reopened(path);
+    EXPECT_EQ(reopened.durable_lsn_direct(), r.records.size());
+    reopened.append("post-crash");
+    reopened.flush();
+    const auto again = WriteAheadLog::recover(path);
+    EXPECT_TRUE(again.clean);
+    ASSERT_EQ(again.records.size(), r.records.size() + 1);
+    EXPECT_EQ(again.records.back(), "post-crash");
   }
 }
 
