@@ -21,26 +21,62 @@ inline void cpu_relax() noexcept {
 // duration whose ceiling doubles, then yields the CPU once the ceiling is
 // large — important on machines with fewer cores than threads, where pure
 // spinning starves the lock holder.
+//
+// The saturation cap itself is jittered per instance (drawn uniformly from
+// [3/4·max_spins, max_spins]): once many escalated waiters all saturate,
+// identical caps make their wake-ups phase-lock into convoys that hammer
+// the contended line in lockstep; distinct caps keep the retry schedules
+// decorrelated.
 class Backoff {
  public:
   explicit Backoff(std::uint32_t min_spins = 16,
                    std::uint32_t max_spins = 64 * 1024) noexcept
-      : ceiling_(min_spins), max_(max_spins) {}
+      : ceiling_(min_spins), max_(jittered_cap(max_spins)) {}
 
   void pause() noexcept {
-    const std::uint64_t spins = thread_rng().next_below(ceiling_) + 1;
+    const std::uint64_t spins = next_spins();
     for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
     if (ceiling_ >= kYieldThreshold) std::this_thread::yield();
-    if (ceiling_ < max_) ceiling_ *= 2;
   }
 
-  void reset(std::uint32_t min_spins = 16) noexcept { ceiling_ = min_spins; }
+  // Draw the next pause's spin count and advance the ceiling, without
+  // actually spinning. pause() is built on this; tests sample it to check
+  // the distribution bounds.
+  std::uint32_t next_spins() noexcept {
+    const std::uint32_t spins =
+        static_cast<std::uint32_t>(thread_rng().next_below(ceiling_)) + 1;
+    if (ceiling_ < max_) {
+      ceiling_ = (ceiling_ > max_ / 2) ? max_ : ceiling_ * 2;
+    }
+    return spins;
+  }
+
+  // Drop back to the initial window (and redraw the cap jitter). Called
+  // when the condition being waited for made progress, so the next
+  // contention episode starts gentle instead of inheriting a saturated
+  // ceiling.
+  void reset(std::uint32_t min_spins = 16) noexcept {
+    ceiling_ = min_spins;
+    max_ = jittered_cap(nominal_max_);
+  }
 
   std::uint32_t ceiling() const noexcept { return ceiling_; }
+  std::uint32_t cap() const noexcept { return max_; }
 
  private:
   static constexpr std::uint32_t kYieldThreshold = 1024;
+
+  std::uint32_t jittered_cap(std::uint32_t max_spins) noexcept {
+    nominal_max_ = max_spins;
+    const std::uint32_t jitter_window = max_spins / 4;
+    if (jitter_window == 0) return max_spins;
+    return max_spins - static_cast<std::uint32_t>(
+                           thread_rng().next_below(jitter_window + 1));
+  }
+
   std::uint32_t ceiling_;
+  std::uint32_t nominal_max_ = 0;  // declared before max_: jittered_cap
+                                   // stores it while max_ is initialized
   std::uint32_t max_;
 };
 

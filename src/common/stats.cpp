@@ -21,6 +21,12 @@ const char* counter_name(Counter c) noexcept {
     case Counter::FaultsInjected: return "faults_injected";
     case Counter::FailureRetries: return "failure_retries";
     case Counter::FailureEscalations: return "failure_escalations";
+    case Counter::RetryTimeouts: return "retry_timeouts";
+    case Counter::CmEscalations: return "cm_escalations";
+    case Counter::DeadlocksDetected: return "deadlocks_detected";
+    case Counter::WatchdogStalls: return "watchdog_stalls";
+    case Counter::LockLeaks: return "txlock_leaked_holds";
+    case Counter::LockPoisons: return "lock_poisons";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -32,6 +32,12 @@ enum class Counter : std::uint32_t {
   FaultsInjected,       // faults fired by the faultsim engine
   FailureRetries,       // deferred/I-O operations re-tried after a transient failure
   FailureEscalations,   // failures that exhausted retries or were permanent
+  RetryTimeouts,        // deadline-aware retry waits that expired
+  CmEscalations,        // starvation escalations into serial-irrevocable mode
+  DeadlocksDetected,    // wait-graph cycles detected (and broken by raising)
+  WatchdogStalls,       // threads the watchdog flagged as stalled past budget
+  LockLeaks,            // cross-transaction lock holds leaked by exiting threads
+  LockPoisons,          // TxLock/TxCondVar poison events
   kCount
 };
 

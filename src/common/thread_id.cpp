@@ -10,17 +10,24 @@ namespace {
 
 // One flag per slot; true while a live thread owns it.
 CacheAligned<std::atomic<bool>> g_slot_used[kMaxThreads];
+// Bumped every time a slot is claimed, so (id, generation) names one
+// thread incarnation exactly even though ids are recycled.
+CacheAligned<std::atomic<std::uint32_t>> g_slot_gen[kMaxThreads];
 std::atomic<std::uint32_t> g_high_water{0};
+std::atomic<std::uint64_t> g_thread_exits{0};
 
 struct SlotOwner {
   std::uint32_t id;
+  std::uint32_t generation;
 
-  SlotOwner() noexcept : id(kNoThread) {
+  SlotOwner() noexcept : id(kNoThread), generation(0) {
     for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
       bool expected = false;
       if (g_slot_used[i]->compare_exchange_strong(
               expected, true, std::memory_order_acq_rel)) {
         id = i;
+        generation =
+            g_slot_gen[i]->fetch_add(1, std::memory_order_acq_rel) + 1;
         break;
       }
     }
@@ -32,18 +39,42 @@ struct SlotOwner {
     }
   }
 
-  ~SlotOwner() { g_slot_used[id]->store(false, std::memory_order_release); }
+  ~SlotOwner() {
+    g_slot_used[id]->store(false, std::memory_order_release);
+    // Publish the exit so waiters watching for orphaned owners wake up.
+    g_thread_exits.fetch_add(1, std::memory_order_seq_cst);
+  }
 };
+
+SlotOwner& slot_owner() noexcept {
+  thread_local SlotOwner owner;
+  return owner;
+}
 
 }  // namespace
 
-std::uint32_t thread_id() noexcept {
-  thread_local SlotOwner owner;
-  return owner.id;
-}
+std::uint32_t thread_id() noexcept { return slot_owner().id; }
 
 std::uint32_t thread_high_water() noexcept {
   return g_high_water.load(std::memory_order_relaxed);
+}
+
+std::uint32_t thread_slot_generation(std::uint32_t id) noexcept {
+  if (id >= kMaxThreads) return 0;
+  return g_slot_gen[id]->load(std::memory_order_acquire);
+}
+
+bool thread_slot_live(std::uint32_t id) noexcept {
+  if (id >= kMaxThreads) return false;
+  return g_slot_used[id]->load(std::memory_order_acquire);
+}
+
+std::uint32_t thread_id_generation() noexcept {
+  return slot_owner().generation;
+}
+
+std::uint64_t thread_exit_count() noexcept {
+  return g_thread_exits.load(std::memory_order_seq_cst);
 }
 
 }  // namespace adtm

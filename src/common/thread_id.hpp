@@ -25,4 +25,33 @@ std::uint32_t thread_id() noexcept;
 // diagnostics only.
 std::uint32_t thread_high_water() noexcept;
 
+// --- slot liveness (liveness layer) ---------------------------------------
+//
+// Slots are recycled, so a bare id cannot distinguish "thread T still
+// running" from "T exited and a new thread inherited its id". Each slot
+// therefore carries a generation that is bumped every time the slot is
+// (re)claimed; an (id, generation) pair names one thread incarnation
+// exactly. This is what lets a TxLock detect that its owner died.
+
+// Current generation of slot `id` (whether or not the slot is in use).
+std::uint32_t thread_slot_generation(std::uint32_t id) noexcept;
+
+// True while a live thread owns slot `id`.
+bool thread_slot_live(std::uint32_t id) noexcept;
+
+// The calling thread's own (id, generation) incarnation tag.
+std::uint32_t thread_id_generation() noexcept;
+
+// True iff the thread incarnation (id, generation) is still running.
+inline bool thread_incarnation_live(std::uint32_t id,
+                                    std::uint32_t generation) noexcept {
+  return id < kMaxThreads && thread_slot_live(id) &&
+         thread_slot_generation(id) == generation;
+}
+
+// Monotonic count of thread exits. Waiters parked on state owned by
+// another thread watch this to wake up (and re-check for orphaned owners)
+// when any thread leaves instead of sleeping until their deadline.
+std::uint64_t thread_exit_count() noexcept;
+
 }  // namespace adtm

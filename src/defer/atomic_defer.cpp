@@ -27,6 +27,12 @@ void atomic_defer(stm::Tx& tx, std::function<void()> op,
     try {
       run_with_policy(policy, op);
     } catch (...) {
+      // Poison first, release second: once released, a waiter can slip in
+      // before the poison lands. Poisoning is a transactional write, so it
+      // also wakes parked subscribers, which then raise TxLockPoisoned.
+      if (policy.poison_on_escalate) {
+        for (const Deferrable* o : objs) o->txlock().poison();
+      }
       for (const Deferrable* o : objs) o->txlock().release();
       throw;
     }

@@ -33,6 +33,14 @@ struct FailurePolicy {
   // for a deferred operation that is the committing thread's atomic()
   // call, *after* every TxLock has been released.
   std::function<void(std::exception_ptr)> escalate;
+
+  // Liveness escalation hook: when true and a deferred operation's failure
+  // escalates (retries exhausted or permanent), atomic_defer poisons the
+  // TxLock of every listed object *before* releasing it. Subscribers and
+  // later acquirers then raise TxLockPoisoned instead of silently touching
+  // state the half-run operation may have corrupted. Off by default: most
+  // deferred I/O failures leave in-memory state intact.
+  bool poison_on_escalate = false;
 };
 
 // Default transient classification (see FailurePolicy::retryable).

@@ -17,14 +17,30 @@
 // Because retry() wakes on *any* read-set change, waiters also wake when
 // the predicate's own data changes, even without an explicit notify —
 // notify exists for conditions whose data is not transactional.
+//
+// Liveness: wait_until/wait_for bound the wait (stm::RetryTimeout is
+// raised out of the enclosing atomic() on expiry), and poison() marks the
+// condition dead — the thread that should have notified failed
+// permanently — waking every waiter, which raises TxCondVarPoisoned
+// instead of re-waiting forever.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 
+#include "common/stats.hpp"
+#include "common/timing.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
 
 namespace adtm {
+
+// Raised by wait() on a poisoned condition (the notifying side failed and
+// will never signal; typically set by failure-policy escalation).
+struct TxCondVarPoisoned : std::runtime_error {
+  explicit TxCondVarPoisoned(const char* what) : std::runtime_error(what) {}
+};
 
 class TxCondVar {
  public:
@@ -34,10 +50,33 @@ class TxCondVar {
 
   // Abort the enclosing transaction and re-execute it once this condition
   // is notified (or anything else in the read set changes). Call after
-  // observing a false predicate.
+  // observing a false predicate. Raises TxCondVarPoisoned — immediately,
+  // or on wake — if the condition is (or becomes) poisoned.
   [[noreturn]] void wait(stm::Tx& tx) const {
+    check_poison(tx);
     (void)gen_.get(tx);  // join the wake-up set
     stm::retry(tx);
+  }
+
+  // Timed wait: like wait(), but the enclosing atomic() raises
+  // stm::RetryTimeout once `deadline_ns` (a now_ns() timestamp) passes.
+  // Compute the deadline *outside* the transaction: the body re-executes
+  // on every wake-up, and an absolute deadline is what keeps the total
+  // wait bounded across re-executions.
+  [[noreturn]] void wait_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
+    check_poison(tx);
+    (void)gen_.get(tx);
+    stm::retry_until(tx, deadline_ns);
+  }
+
+  // Sliding-deadline convenience: deadline = now + timeout at each call,
+  // so a body that re-executes re-arms the window (bounds the wait per
+  // wake-up, not in total). Prefer wait_until for a hard budget.
+  [[noreturn]] void wait_for(stm::Tx& tx,
+                             std::chrono::nanoseconds timeout) const {
+    check_poison(tx);
+    (void)gen_.get(tx);
+    stm::retry_for(tx, timeout);
   }
 
   // Wake all current waiters, as part of the enclosing transaction (the
@@ -54,11 +93,40 @@ class TxCondVar {
   // all waiters re-run, losers re-wait. Provided for pthread-API parity.
   void notify_one(stm::Tx& tx) { notify_all(tx); }
 
+  // Mark the condition dead and wake every waiter (the poison write joins
+  // their read sets via check_poison). Idempotent; clear_poison recovers.
+  void poison(stm::Tx& tx) {
+    if (poisoned_.get(tx) != 0) return;
+    poisoned_.set(tx, 1);
+    tx.on_commit([] { stats().add(Counter::LockPoisons); });
+  }
+  void poison() {
+    stm::atomic([this](stm::Tx& tx) { poison(tx); });
+  }
+  void clear_poison(stm::Tx& tx) { poisoned_.set(tx, 0); }
+  void clear_poison() {
+    stm::atomic([this](stm::Tx& tx) { clear_poison(tx); });
+  }
+  bool poisoned(stm::Tx& tx) const { return poisoned_.get(tx) != 0; }
+  bool poisoned() const { return poisoned_.load_direct() != 0; }
+
   // Number of notifications so far (diagnostics).
   std::uint64_t generation(stm::Tx& tx) const { return gen_.get(tx); }
 
  private:
+  void check_poison(stm::Tx& tx) const {
+    // Reading poisoned_ here puts it in every waiter's read set: a
+    // committed poison() is a wake-up like any notify, and the re-executed
+    // wait lands on this throw.
+    if (poisoned_.get(tx) != 0) {
+      throw TxCondVarPoisoned(
+          "TxCondVar::wait: condition is poisoned (the notifying side "
+          "failed permanently; clear_poison() after recovery)");
+    }
+  }
+
   mutable stm::tvar<std::uint64_t> gen_{0};
+  mutable stm::tvar<std::uint32_t> poisoned_{0};
 };
 
 }  // namespace adtm

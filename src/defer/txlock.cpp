@@ -1,46 +1,116 @@
 #include "defer/txlock.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "common/stats.hpp"
 #include "common/thread_id.hpp"
+#include "common/timing.hpp"
+#include "liveness/wait_graph.hpp"
 #include "stm/api.hpp"
 #include "stm/registry.hpp"
 
 namespace adtm {
 
-void TxLock::acquire(stm::Tx& tx) {
+std::uint32_t TxLock::owner_of(const void* lock) noexcept {
+  return static_cast<const TxLock*>(lock)->owner_.load_direct();
+}
+
+void TxLock::block(stm::Tx& tx, std::uint64_t deadline_ns,
+                   const char* site) const {
+  liveness::publish_wait(this, &TxLock::owner_of, site);
+  // Deadlock scan, gated twice. pinned_holds() > 0: hold-and-wait needs a
+  // committed hold an abort cannot revoke. locker_depth() == pinned_holds():
+  // no *in-attempt* holds — under eager algorithms an in-attempt ownership
+  // write is visible in memory, so a cycle through it would be broken by
+  // this very retry and must not be reported. The purely transactional
+  // multi-lock path always has locker_depth > pinned here and relies on
+  // retry-releases-everything (asserted at the park site); the
+  // non-transactional acquire()/TxLockGuard path blocks before any write
+  // and is scanned. Cycles this scan races past are caught by the parked
+  // waiter's own re-scan in wait_for_change.
+  if (liveness::pinned_holds() > 0 &&
+      stm::detail::locker_depth() == liveness::pinned_holds()) {
+    liveness::deadlock_check();
+  }
+  if (deadline_ns != 0) stm::retry_until(tx, deadline_ns);
+  stm::retry(tx);
+}
+
+void TxLock::acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
   const std::uint32_t me = thread_id();
+  if (poisoned_.get(tx) != 0) {
+    throw TxLockPoisoned(
+        "TxLock::acquire: lock is poisoned (a failed operation may have "
+        "left the data it protects inconsistent; clear_poison() after "
+        "recovery)");
+  }
   const std::uint32_t owner = owner_.get(tx);
   if (owner == kNoThread) {
     owner_.set(tx, me);
+    owner_gen_.set(tx, thread_id_generation());
     depth_.set(tx, 1);
-  } else if (owner == me) {
+  } else if (owner == me && owner_gen_.get(tx) == thread_id_generation()) {
     depth_.set(tx, depth_.get(tx) + 1);
+  } else if (!thread_incarnation_live(owner, owner_gen_.get(tx))) {
+    // Covers a dead former owner whose slot id this thread now reuses:
+    // that is not reentrancy, the previous incarnation never released.
+    throw TxLockOrphaned(
+        "TxLock::acquire: owner thread exited while holding the lock "
+        "(break_orphaned() to recover)");
   } else {
-    // Held by another thread: wait via retry. The enclosing transaction
-    // aborts (discarding any locks acquired so far in it, which is what
-    // makes multi-lock acquisition deadlock-free) and re-executes once the
-    // owner field changes.
-    stm::retry(tx);
+    // Held by another live thread: wait via retry. The enclosing
+    // transaction aborts (discarding any locks acquired so far in it,
+    // which is what makes multi-lock acquisition deadlock-free) and
+    // re-executes once the lock metadata changes, the deadline passes, or
+    // a thread exits (so the orphan check above re-runs).
+    block(tx, deadline_ns, "TxLock::acquire");
   }
   // The hold can outlive this transaction (deferred operations release
-  // after commit), so register it with the serial gate's locker
-  // accounting; a transaction abort revokes the registration along with
-  // the speculative ownership write.
+  // after commit), so register it with the serial gate's locker accounting
+  // — an abort revokes the registration along with the speculative
+  // ownership write — and, once it commits, with the liveness layer's
+  // pinned-hold count that gates deadlock detection.
   stm::detail::locker_enter();
   tx.on_abort([] { stm::detail::locker_exit(); });
+  tx.on_commit([] { liveness::pinned_enter(); });
   stats().add(Counter::TxLockAcquires);
 }
 
+void TxLock::acquire(stm::Tx& tx) { acquire_until(tx, 0); }
+
 void TxLock::acquire() {
-  stm::atomic([this](stm::Tx& tx) { acquire(tx); });
+  stm::atomic([this](stm::Tx& tx) { acquire_until(tx, 0); });
+}
+
+bool TxLock::acquire_until(std::uint64_t deadline_ns) {
+  if (deadline_ns == 0) deadline_ns = 1;  // 0 would mean "wait forever"
+  try {
+    stm::atomic(
+        [&](stm::Tx& tx) { acquire_until(tx, deadline_ns); });
+  } catch (const stm::RetryTimeout&) {
+    return false;
+  }
+  return true;
+}
+
+bool TxLock::acquire_for(std::chrono::nanoseconds timeout) {
+  const auto ns = timeout.count();
+  return acquire_until(
+      ns <= 0 ? std::uint64_t{1} : now_ns() + static_cast<std::uint64_t>(ns));
 }
 
 bool TxLock::try_acquire(stm::Tx& tx) {
+  if (poisoned_.get(tx) != 0) {
+    throw TxLockPoisoned("TxLock::try_acquire: lock is poisoned");
+  }
   const std::uint32_t owner = owner_.get(tx);
-  if (owner != kNoThread && owner != thread_id()) return false;
-  acquire(tx);  // free or reentrant: cannot retry
+  const bool mine = owner == thread_id() &&
+                    owner_gen_.get(tx) == thread_id_generation();
+  // An orphaned lock (dead owner incarnation) also reports failure: it
+  // needs break_orphaned(), not a wait.
+  if (owner != kNoThread && !mine) return false;
+  acquire_until(tx, 0);  // free or reentrant: cannot block
   return true;
 }
 
@@ -50,8 +120,23 @@ bool TxLock::try_acquire() {
 
 void TxLock::release(stm::Tx& tx) {
   const std::uint32_t me = thread_id();
-  if (owner_.get(tx) != me) {
-    throw std::logic_error("TxLock::release: calling thread is not the owner");
+  const std::uint32_t owner = owner_.get(tx);
+  if (owner == kNoThread) {
+    throw std::logic_error(
+        "TxLock::release: lock is not held (double release, or release "
+        "without acquire)");
+  }
+  if (owner != me) {
+    throw std::logic_error(
+        "TxLock::release: calling thread " + std::to_string(me) +
+        " is not the owner (thread " + std::to_string(owner) +
+        " holds the lock; TxLock forbids lock handoff)");
+  }
+  if (owner_gen_.get(tx) != thread_id_generation()) {
+    throw std::logic_error(
+        "TxLock::release: lock is held by an exited thread whose slot id "
+        "this thread reuses — this thread never acquired it "
+        "(break_orphaned() to recover)");
   }
   const std::uint32_t d = depth_.get(tx);
   if (d > 1) {
@@ -59,30 +144,118 @@ void TxLock::release(stm::Tx& tx) {
   } else {
     depth_.set(tx, 0);
     owner_.set(tx, kNoThread);
+    owner_gen_.set(tx, 0);
   }
-  // Drop the locker registration only once the release commits; until
-  // then the hold is still real.
-  tx.on_commit([] { stm::detail::locker_exit(); });
+  // Drop the locker registration (and its pinned twin) only once the
+  // release commits; until then the hold is still real.
+  tx.on_commit([] {
+    stm::detail::locker_exit();
+    liveness::pinned_exit();
+  });
 }
 
 void TxLock::release() {
   stm::atomic([this](stm::Tx& tx) { release(tx); });
 }
 
-void TxLock::subscribe(stm::Tx& tx) const {
+void TxLock::subscribe_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
+  if (poisoned_.get(tx) != 0) {
+    throw TxLockPoisoned(
+        "TxLock::subscribe: lock is poisoned (a failed operation may have "
+        "left the data it protects inconsistent; clear_poison() after "
+        "recovery)");
+  }
   const std::uint32_t owner = owner_.get(tx);
-  if (owner != kNoThread && owner != thread_id()) {
-    stm::retry(tx);
+  if (owner != kNoThread) {
+    const std::uint32_t gen = owner_gen_.get(tx);
+    const bool mine =
+        owner == thread_id() && gen == thread_id_generation();
+    if (!mine) {
+      if (!thread_incarnation_live(owner, gen)) {
+        throw TxLockOrphaned(
+            "TxLock::subscribe: owner thread exited while holding the "
+            "lock (break_orphaned() to recover)");
+      }
+      block(tx, deadline_ns, "TxLock::subscribe");
+    }
   }
   stats().add(Counter::TxLockSubscribes);
 }
 
+void TxLock::subscribe(stm::Tx& tx) const { subscribe_until(tx, 0); }
+
+bool TxLock::subscribe_until(std::uint64_t deadline_ns) const {
+  if (deadline_ns == 0) deadline_ns = 1;
+  try {
+    stm::atomic(
+        [&](stm::Tx& tx) { subscribe_until(tx, deadline_ns); });
+  } catch (const stm::RetryTimeout&) {
+    return false;
+  }
+  return true;
+}
+
+bool TxLock::subscribe_for(std::chrono::nanoseconds timeout) const {
+  const auto ns = timeout.count();
+  return subscribe_until(
+      ns <= 0 ? std::uint64_t{1} : now_ns() + static_cast<std::uint64_t>(ns));
+}
+
+void TxLock::poison(stm::Tx& tx) {
+  if (poisoned_.get(tx) != 0) return;
+  poisoned_.set(tx, 1);
+  // Counted at commit so re-executed attempts do not inflate the stat.
+  tx.on_commit([] { stats().add(Counter::LockPoisons); });
+}
+
+void TxLock::poison() {
+  stm::atomic([this](stm::Tx& tx) { poison(tx); });
+}
+
+void TxLock::clear_poison(stm::Tx& tx) { poisoned_.set(tx, 0); }
+
+void TxLock::clear_poison() {
+  stm::atomic([this](stm::Tx& tx) { clear_poison(tx); });
+}
+
+bool TxLock::orphaned(stm::Tx& tx) const {
+  const std::uint32_t owner = owner_.get(tx);
+  return owner != kNoThread &&
+         !thread_incarnation_live(owner, owner_gen_.get(tx));
+}
+
+bool TxLock::orphaned() const {
+  const std::uint32_t owner = owner_.load_direct();
+  return owner != kNoThread &&
+         !thread_incarnation_live(owner, owner_gen_.load_direct());
+}
+
+bool TxLock::break_orphaned(stm::Tx& tx) {
+  const std::uint32_t owner = owner_.get(tx);
+  if (owner == kNoThread) return false;
+  if (thread_incarnation_live(owner, owner_gen_.get(tx))) return false;
+  // The dead incarnation's locker accounting was reconciled when its
+  // thread exited (registry LockerSlot) and its pinned count died with its
+  // thread-locals: clearing the fields is the whole repair. Poison, if
+  // set, is deliberately left for the caller to judge.
+  owner_.set(tx, kNoThread);
+  owner_gen_.set(tx, 0);
+  depth_.set(tx, 0);
+  return true;
+}
+
+bool TxLock::break_orphaned() {
+  return stm::atomic([this](stm::Tx& tx) { return break_orphaned(tx); });
+}
+
 bool TxLock::held_by_me(stm::Tx& tx) const {
-  return owner_.get(tx) == thread_id();
+  return owner_.get(tx) == thread_id() &&
+         owner_gen_.get(tx) == thread_id_generation();
 }
 
 bool TxLock::held_by_me() const {
-  return owner_.load_direct() == thread_id();
+  return owner_.load_direct() == thread_id() &&
+         owner_gen_.load_direct() == thread_id_generation();
 }
 
 }  // namespace adtm

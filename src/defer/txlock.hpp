@@ -7,17 +7,50 @@
 // of blocking while holding).
 //
 // Transactions that merely need the lock to be free *subscribe* to it:
-// subscription reads only the owner field, so any number of transactions
-// can subscribe concurrently, and all of them conflict with (and wait out)
-// a thread that acquires the lock — this is how deferred operations are
-// kept atomic with their transaction.
+// subscription reads only lock metadata (owner, generation, poison), so any
+// number of transactions can subscribe concurrently, and all of them
+// conflict with (and wait out) a thread that acquires the lock — this is
+// how deferred operations are kept atomic with their transaction.
+//
+// Liveness (this layer's extension of the paper):
+//  * Timed waits: acquire_for/until and subscribe_for/until bound the wait;
+//    expiry raises stm::RetryTimeout inside a transaction, or returns false
+//    from the non-transactional wrappers. NOTE: the in-transaction timed
+//    variants, when called from a body that is itself nested in an outer
+//    atomic(), time out the *whole flattened transaction* — RetryTimeout
+//    propagates out of the outermost atomic() call.
+//  * Poisoning: poison() marks the protected state suspect (used by the
+//    failure-policy escalation hook when a deferred operation dies with the
+//    lock held). Waiters wake — poison is a transactional write like any
+//    other — and acquire/subscribe raise TxLockPoisoned until
+//    clear_poison().
+//  * Orphan detection: the owner's thread incarnation (slot id +
+//    generation) is recorded at acquire. If the owning thread exits without
+//    releasing, waiters observe the dead incarnation, wake (thread exit
+//    bumps a global counter every parked waiter watches), and raise
+//    TxLockOrphaned; break_orphaned() force-releases such a lock.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 
 #include "stm/tvar.hpp"
 
 namespace adtm {
+
+// Raised by acquire/subscribe on a lock marked poisoned (the data it
+// protects may be corrupt — typically a deferred operation failed
+// permanently while holding it). Recover with clear_poison().
+struct TxLockPoisoned : std::runtime_error {
+  explicit TxLockPoisoned(const char* what) : std::runtime_error(what) {}
+};
+
+// Raised by acquire/subscribe when the recorded owner thread incarnation
+// has exited without releasing. Recover with break_orphaned().
+struct TxLockOrphaned : std::runtime_error {
+  explicit TxLockOrphaned(const char* what) : std::runtime_error(what) {}
+};
 
 class TxLock {
  public:
@@ -25,10 +58,11 @@ class TxLock {
   TxLock(const TxLock&) = delete;
   TxLock& operator=(const TxLock&) = delete;
 
-  // Acquire inside a transaction. If the lock is held by another thread,
-  // the enclosing transaction retries (aborts and waits for a change of
-  // the owner field). Reentrant: the owner may re-acquire, incrementing
-  // the depth.
+  // Acquire inside a transaction. If the lock is held by another live
+  // thread, the enclosing transaction retries (aborts and waits for a
+  // change of the lock metadata). Reentrant: the owner may re-acquire,
+  // incrementing the depth. Raises TxLockPoisoned / TxLockOrphaned instead
+  // of waiting on a poisoned or orphaned lock.
   void acquire(stm::Tx& tx);
 
   // Acquire outside a transaction: runs acquire() in its own transaction
@@ -36,24 +70,67 @@ class TxLock {
   // provides).
   void acquire();
 
+  // Timed acquire. deadline_ns is an adtm::now_ns() timestamp; the _for
+  // forms compute it from a relative timeout at the call. The in-transaction
+  // variant raises stm::RetryTimeout on expiry (out of the enclosing
+  // atomic()); the non-transactional wrappers return false instead.
+  void acquire_until(stm::Tx& tx, std::uint64_t deadline_ns);
+  [[nodiscard]] bool acquire_until(std::uint64_t deadline_ns);
+  [[nodiscard]] bool acquire_for(std::chrono::nanoseconds timeout);
+
   // Non-blocking acquire: returns false (without retrying) if the lock is
   // held by another thread. Composes with the enclosing transaction like
-  // acquire(tx).
+  // acquire(tx). Still raises on a poisoned lock.
   bool try_acquire(stm::Tx& tx);
   bool try_acquire();
 
-  // Release inside a transaction. Throws std::logic_error if the calling
-  // thread does not hold the lock (the paper's optional "forbid handoff"
-  // check, which we always enforce).
+  // Release inside a transaction. Throws std::logic_error with a message
+  // naming the actual owner if the calling thread does not hold the lock
+  // (the paper's optional "forbid handoff" check, which we always enforce —
+  // including across thread-id recycling: a thread whose slot id matches
+  // the owner's but whose incarnation differs is rejected).
   void release(stm::Tx& tx);
 
   // Release outside a transaction (used after a deferred operation runs).
   void release();
 
   // Block (via transactional retry) until the lock is free or held by the
-  // calling thread. Must be called inside a transaction; reads only the
-  // owner field so concurrent subscribers do not conflict with each other.
+  // calling thread. Must be called inside a transaction; reads only lock
+  // metadata so concurrent subscribers do not conflict with each other.
   void subscribe(stm::Tx& tx) const;
+
+  // Timed subscribe: bound the wait like acquire_until/_for. The
+  // non-transactional wrappers return true once the lock was observed free
+  // (or owned by the caller) and false on timeout.
+  void subscribe_until(stm::Tx& tx, std::uint64_t deadline_ns) const;
+  [[nodiscard]] bool subscribe_until(std::uint64_t deadline_ns) const;
+  [[nodiscard]] bool subscribe_for(std::chrono::nanoseconds timeout) const;
+
+  // --- failure handling -------------------------------------------------
+
+  // Mark the lock poisoned / clear the mark. Transactional writes: waiters
+  // wake and raise. Any thread may poison (the failure-policy escalation
+  // hook poisons locks whose deferred operation failed permanently).
+  void poison(stm::Tx& tx);
+  void poison();
+  void clear_poison(stm::Tx& tx);
+  void clear_poison();
+  bool poisoned(stm::Tx& tx) const { return poisoned_.get(tx) != 0; }
+  bool poisoned() const { return poisoned_.load_direct() != 0; }
+
+  // True if the recorded owner's thread incarnation has exited without
+  // releasing (snapshot; can only become true while the lock is held).
+  bool orphaned(stm::Tx& tx) const;
+  bool orphaned() const;
+
+  // Force-release a lock whose owner incarnation is dead. Returns true if
+  // the lock was orphaned and is now free; false if it was free or its
+  // owner is alive (the lock is not touched). The dead thread's locker
+  // accounting was already reconciled at its exit.
+  bool break_orphaned(stm::Tx& tx);
+  bool break_orphaned();
+
+  // --- queries ----------------------------------------------------------
 
   // True if the calling thread currently owns the lock. Transactional
   // variant for use inside transactions; direct variant for use outside.
@@ -63,9 +140,23 @@ class TxLock {
   // Current reentrancy depth as seen by the owner (0 when unheld).
   std::uint32_t depth(stm::Tx& tx) const { return depth_.get(tx); }
 
+  // Owner slot id (kNoThread when free), read non-transactionally — the
+  // wait-graph edge resolver (liveness::OwnerFn) for TxLock waits.
+  static std::uint32_t owner_of(const void* lock) noexcept;
+
  private:
+  // Common slow path: record the wait edge, run deadlock detection when
+  // this thread pins holds across transactions, then retry (timed or not).
+  [[noreturn]] void block(stm::Tx& tx, std::uint64_t deadline_ns,
+                          const char* site) const;
+  void check_waitable(stm::Tx& tx, std::uint32_t owner) const;
+
   stm::tvar<std::uint32_t> owner_{kNoThread};
   stm::tvar<std::uint32_t> depth_{0};
+  // Incarnation generation of the owning thread, recorded on the
+  // free -> held transition (orphan detection).
+  stm::tvar<std::uint32_t> owner_gen_{0};
+  stm::tvar<std::uint32_t> poisoned_{0};
 };
 
 // RAII acquire/release around a non-transactional critical section.

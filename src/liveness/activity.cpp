@@ -1,0 +1,35 @@
+#include "liveness/activity.hpp"
+
+namespace adtm::liveness {
+
+namespace detail {
+CacheAligned<ActivitySlot> g_activity[kMaxThreads];
+}
+
+const char* state_name(ThreadState s) noexcept {
+  switch (s) {
+    case ThreadState::Idle: return "idle";
+    case ThreadState::InTx: return "in-tx";
+    case ThreadState::RetryWait: return "retry-wait";
+    case ThreadState::SerialWait: return "serial-wait";
+    case ThreadState::DeferredOp: return "deferred-op";
+  }
+  return "?";
+}
+
+void set_state(ThreadState s, std::uint64_t stamp) noexcept {
+  ActivitySlot& slot = *detail::g_activity[thread_id()];
+  if (stamp != 0) slot.since_ns.store(stamp, std::memory_order_relaxed);
+  slot.state.store(static_cast<std::uint32_t>(s), std::memory_order_release);
+}
+
+ThreadState state_of(std::uint32_t tid) noexcept {
+  return static_cast<ThreadState>(
+      detail::g_activity[tid]->state.load(std::memory_order_acquire));
+}
+
+std::uint64_t state_since_ns(std::uint32_t tid) noexcept {
+  return detail::g_activity[tid]->since_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace adtm::liveness

@@ -1,0 +1,48 @@
+// Per-thread activity table: what every thread is doing right now, and
+// since when.
+//
+// The transaction driver, the retry parking loop, the serial gate, and the
+// deferred-op runner publish coarse state transitions here; the watchdog
+// samples the table to flag threads stalled past the configured budget.
+// Publishing is a relaxed store or two on paths that already pay atomic
+// traffic, so the table costs nothing measurable when no one is watching.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "common/thread_id.hpp"
+
+namespace adtm::liveness {
+
+enum class ThreadState : std::uint32_t {
+  Idle,        // not inside the runtime
+  InTx,        // executing a transaction body
+  RetryWait,   // parked in stm::retry waiting for a read-set change
+  SerialWait,  // draining the system to enter serial-irrevocable mode
+  DeferredOp,  // running a post-commit deferred operation
+};
+
+const char* state_name(ThreadState s) noexcept;
+
+struct ActivitySlot {
+  std::atomic<std::uint32_t> state{
+      static_cast<std::uint32_t>(ThreadState::Idle)};
+  std::atomic<std::uint64_t> since_ns{0};
+};
+
+namespace detail {
+extern CacheAligned<ActivitySlot> g_activity[kMaxThreads];
+}
+
+// Publish the calling thread's state. `stamp` is the transition time in
+// now_ns() units; pass 0 to keep the previous stamp (used when flipping
+// back from a park state to InTx without re-reading the clock).
+void set_state(ThreadState s, std::uint64_t stamp) noexcept;
+
+// Sample another thread's state (watchdog only; racy by design).
+ThreadState state_of(std::uint32_t tid) noexcept;
+std::uint64_t state_since_ns(std::uint32_t tid) noexcept;
+
+}  // namespace adtm::liveness

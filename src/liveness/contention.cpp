@@ -1,0 +1,10 @@
+#include "liveness/contention.hpp"
+
+namespace adtm::liveness {
+
+ContentionManager& contention() noexcept {
+  static ContentionManager manager;
+  return manager;
+}
+
+}  // namespace adtm::liveness

@@ -1,0 +1,166 @@
+#include "liveness/watchdog.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "common/thread_id.hpp"
+#include "common/timing.hpp"
+#include "liveness/activity.hpp"
+#include "liveness/contention.hpp"
+#include "liveness/wait_graph.hpp"
+
+namespace adtm::liveness {
+
+WatchdogOptions::WatchdogOptions()
+    : stall_budget_ns(env_u64("ADTM_STALL_BUDGET_MS", 2000) * 1000000ull),
+      interval_ns(env_u64("ADTM_WATCHDOG_INTERVAL_MS", 200) * 1000000ull),
+      sink([](const std::string& report) {
+        std::fputs(report.c_str(), stderr);
+      }) {}
+
+struct Watchdog::Impl {
+  WatchdogOptions opts;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::thread thread;
+  bool stop_requested = false;
+  bool thread_running = false;
+  std::string last_report;
+  std::atomic<std::uint64_t> stall_reports{0};
+
+  // Builds the report for one sample pass; "" when nothing is stalled.
+  std::string scan(std::uint64_t budget_ns) {
+    const std::uint64_t now = now_ns();
+    std::ostringstream out;
+    bool stalled = false;
+    for (std::uint32_t tid = 0; tid < thread_high_water(); ++tid) {
+      const ThreadState state = state_of(tid);
+      if (state == ThreadState::Idle || state == ThreadState::InTx) continue;
+      const std::uint64_t since = state_since_ns(tid);
+      if (since == 0 || now < since + budget_ns) continue;
+      if (!thread_slot_live(tid)) continue;  // exited mid-park; stale slot
+      if (!stalled) {
+        stalled = true;
+        out << "adtm watchdog: stalled threads (budget "
+            << budget_ns / 1000000 << " ms):\n";
+      }
+      out << "  thread " << tid << ": " << state_name(state) << " for "
+          << (now - since) / 1000000 << " ms";
+      const ContentionManager& cm = contention();
+      out << " (consecutive aborts " << cm.consecutive_aborts(tid)
+          << ", total aborts " << cm.total_aborts(tid) << ", escalations "
+          << cm.escalations(tid) << ")\n";
+    }
+    if (!stalled) return "";
+    const std::string graph = dump_wait_graph();
+    if (!graph.empty()) out << "wait graph:\n" << graph;
+    return out.str();
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lk(mutex);
+    while (!stop_requested) {
+      cv.wait_for(lk, std::chrono::nanoseconds(opts.interval_ns),
+                  [this] { return stop_requested; });
+      if (stop_requested) break;
+      // Sample without the mutex: the scan reads only lock-free tables.
+      lk.unlock();
+      std::string report = scan(opts.stall_budget_ns);
+      lk.lock();
+      if (!report.empty()) {
+        stall_reports.fetch_add(1, std::memory_order_relaxed);
+        stats().add(Counter::WatchdogStalls);
+        last_report = report;
+        if (opts.sink) {
+          auto sink = opts.sink;
+          lk.unlock();
+          sink(report);
+          lk.lock();
+        }
+      }
+    }
+  }
+};
+
+Watchdog::Impl& Watchdog::impl() {
+  if (impl_ == nullptr) impl_ = new Impl();
+  return *impl_;
+}
+
+Watchdog::~Watchdog() {
+  stop();
+  delete impl_;
+}
+
+void Watchdog::start(WatchdogOptions opts) {
+  stop();
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lk(im.mutex);
+    im.opts = std::move(opts);
+    im.stop_requested = false;
+    im.thread_running = true;
+  }
+  im.thread = std::thread([&im] { im.run(); });
+}
+
+void Watchdog::configure(WatchdogOptions opts) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  im.opts = std::move(opts);
+}
+
+void Watchdog::stop() {
+  if (impl_ == nullptr) return;
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(im.mutex);
+    if (!im.thread_running) return;
+    im.stop_requested = true;
+  }
+  im.cv.notify_all();
+  im.thread.join();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  im.thread_running = false;
+}
+
+bool Watchdog::running() const noexcept {
+  if (impl_ == nullptr) return false;
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  return impl_->thread_running && !impl_->stop_requested;
+}
+
+std::string Watchdog::scan_once() {
+  Impl& im = impl();
+  std::uint64_t budget;
+  {
+    std::lock_guard<std::mutex> lk(im.mutex);
+    budget = im.opts.stall_budget_ns;
+  }
+  return im.scan(budget);
+}
+
+std::string Watchdog::last_report() const {
+  if (impl_ == nullptr) return "";
+  std::lock_guard<std::mutex> lk(impl_->mutex);
+  return impl_->last_report;
+}
+
+std::uint64_t Watchdog::stall_reports() const noexcept {
+  if (impl_ == nullptr) return 0;
+  return impl_->stall_reports.load(std::memory_order_relaxed);
+}
+
+Watchdog& watchdog() noexcept {
+  static Watchdog instance;
+  return instance;
+}
+
+}  // namespace adtm::liveness

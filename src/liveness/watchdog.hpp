@@ -1,0 +1,71 @@
+// Stall watchdog: a background thread that samples the activity table and
+// the lock-wait graph, flags threads stalled past a budget, and dumps a
+// diagnostic report (state, duration, wait edges, owners, abort history).
+//
+// The watchdog observes; it never unblocks anything itself. Recovery is
+// the job of the mechanisms it reports on: deadline-aware waits raise
+// RetryTimeout, poisoned/orphaned locks raise at the waiter, and the
+// contention manager escalates starved threads. The watchdog is the net
+// under all of them — the budget is deliberately generous, so a report
+// means a real liveness bug (an unbounded wait with no deadline, a leaked
+// lock, a wait cycle through committed holds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace adtm::liveness {
+
+struct WatchdogOptions {
+  // How long a thread may sit in one park state before it is flagged.
+  // Default: ADTM_STALL_BUDGET_MS (2000 ms).
+  std::uint64_t stall_budget_ns;
+
+  // Sampling period. Default: ADTM_WATCHDOG_INTERVAL_MS (200 ms).
+  std::uint64_t interval_ns;
+
+  // Where reports go. Default: stderr.
+  std::function<void(const std::string&)> sink;
+
+  WatchdogOptions();
+};
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Start/stop the sampling thread. start() on a running watchdog
+  // replaces the options (by restarting). Safe to call stop() twice.
+  void start(WatchdogOptions opts = WatchdogOptions());
+  void stop();
+  bool running() const noexcept;
+
+  // Replace the options without starting the sampling thread (scan_once
+  // then uses these budgets). A running watchdog picks them up on restart.
+  void configure(WatchdogOptions opts);
+
+  // One synchronous sample pass with this watchdog's budgets: returns the
+  // report ("" when nothing is stalled) without invoking the sink. Usable
+  // without start() — also the hook for on-demand diagnostics.
+  std::string scan_once();
+
+  // The most recent nonempty report produced by the background thread.
+  std::string last_report() const;
+
+  // Number of scan passes that flagged at least one stalled thread.
+  std::uint64_t stall_reports() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  // allocated on first start()/scan_once()
+  Impl& impl();
+};
+
+// Process-wide watchdog instance (tests may construct their own).
+Watchdog& watchdog() noexcept;
+
+}  // namespace adtm::liveness

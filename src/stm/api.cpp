@@ -5,8 +5,13 @@
 #include <stdexcept>
 
 #include "common/backoff.hpp"
+#include "common/env.hpp"
 #include "common/panic.hpp"
 #include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "liveness/activity.hpp"
+#include "liveness/contention.hpp"
+#include "liveness/wait_graph.hpp"
 #include "stm/control.hpp"
 #include "stm/orec.hpp"
 #include "stm/registry.hpp"
@@ -81,6 +86,9 @@ struct Driver {
     // processed regardless.
     std::exception_ptr first_error;
     for (auto& fn : epilogues) {
+      // Visible to the watchdog: a deferred op that stalls past the budget
+      // is reported with this state and its start time.
+      liveness::set_state(liveness::ThreadState::DeferredOp, now_ns());
       try {
         fn();
       } catch (...) {
@@ -91,13 +99,23 @@ struct Driver {
     if (first_error) std::rethrow_exception(first_error);
   }
 
-  // Block until a location in the retry watch set may have changed.
-  static void wait_for_change(Tx& tx) {
+  // Block until a location in the retry watch set may have changed, a
+  // thread exits (owner-death checks must re-run), or — with a nonzero
+  // deadline — the deadline passes, which raises RetryTimeout.
+  static void wait_for_change(Tx& tx, std::uint64_t deadline_ns) {
     if (tx.retry_watch_.empty() && tx.retry_value_watch_.empty()) {
       throw std::logic_error(
           "stm::retry(): transaction has an empty read set; "
           "nothing can wake it");
     }
+    // The transaction is rolled back here, so every in-attempt lock
+    // acquisition has been revoked: a parked waiter pins only committed
+    // holds, all of which are counted — the transactional acquire path
+    // cannot create an untracked hold-and-wait edge (the cycle-freedom
+    // argument for pure transactional locking).
+    ADTM_INVARIANT(liveness::pinned_holds() == locker_depth(),
+                   "parked with untracked cross-transaction lock holds");
+    liveness::set_state(liveness::ThreadState::RetryWait, now_ns());
     Backoff bo;
     for (;;) {
       for (const auto& e : tx.retry_watch_) {
@@ -119,6 +137,22 @@ struct Driver {
         return;
       }
       if (g_serial_gate.busy()) return;
+      // A thread exited: state it owned (a TxLock, a condition this
+      // waiter watches through non-transactional data) may now be
+      // orphaned; re-run the body so its owner-liveness checks fire.
+      if (thread_exit_count() != tx.retry_exit_snap_) return;
+      if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+        stats().add(Counter::RetryTimeouts);
+        throw RetryTimeout("stm::retry deadline expired");
+      }
+      // A waiter that pins committed lock holds keeps scanning for wait
+      // cycles while parked: the block-site scan can race with other
+      // members that published but had not parked yet, and a cycle that
+      // forms is stable precisely once everyone is parked — someone's
+      // poll then sees it and raises DeadlockError here.
+      if (liveness::has_wait_edge() && liveness::pinned_holds() > 0) {
+        liveness::deadlock_check();
+      }
       bo.pause();
     }
   }
@@ -130,7 +164,7 @@ struct Driver {
       tx.begin(algo, Tx::Mode::Serial, tx.attempt_ + 1);
       try {
         body(tx);
-      } catch (RetryRequest&) {
+      } catch (RetryRequest& rr) {
         if (tx.wrote_direct_) {
           discard_direct_attempt(tx);
           release_serial_gate();
@@ -141,6 +175,10 @@ struct Driver {
         discard_direct_attempt(tx);
         release_serial_gate();
         stats().add(Counter::TxRetry);
+        if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
+          stats().add(Counter::RetryTimeouts);
+          throw RetryTimeout("stm::retry deadline expired (serial mode)");
+        }
         // No read set to watch in direct mode: back off and re-execute.
         retry_bo.pause();
         continue;
@@ -171,6 +209,7 @@ struct Driver {
       runtime().serial_commits.fetch_add(1, std::memory_order_acq_rel);
       release_serial_gate();
       stats().add(Counter::TxCommit);
+      liveness::contention().on_commit();
       run_epilogues(tx);
       return;
     }
@@ -183,7 +222,7 @@ struct Driver {
       tx.begin(Algo::CGL, Tx::Mode::CGL, tx.attempt_ + 1);
       try {
         body(tx);
-      } catch (RetryRequest&) {
+      } catch (RetryRequest& rr) {
         if (tx.wrote_direct_) {
           discard_direct_attempt(tx);
           throw std::logic_error(
@@ -193,7 +232,19 @@ struct Driver {
         discard_direct_attempt(tx);
         stats().add(Counter::TxRetry);
         const std::uint64_t gen = rt.cgl_commit_gen;
-        rt.cgl_cv.wait(lk, [&] { return rt.cgl_commit_gen != gen; });
+        liveness::set_state(liveness::ThreadState::RetryWait, now_ns());
+        if (rr.deadline_ns == 0) {
+          rt.cgl_cv.wait(lk, [&] { return rt.cgl_commit_gen != gen; });
+        } else {
+          const auto deadline =
+              std::chrono::steady_clock::time_point(
+                  std::chrono::nanoseconds(rr.deadline_ns));
+          if (!rt.cgl_cv.wait_until(
+                  lk, deadline, [&] { return rt.cgl_commit_gen != gen; })) {
+            stats().add(Counter::RetryTimeouts);
+            throw RetryTimeout("stm::retry deadline expired (CGL)");
+          }
+        }
         continue;
       } catch (UserAbort&) {
         if (tx.wrote_direct_) {
@@ -229,6 +280,19 @@ struct Driver {
                                      : cfg.serialize_after;
     std::uint32_t attempt = 0;
     Backoff bo;
+    // Starvation escalation: a thread that lost its conflicts across many
+    // *previous* transactions takes the serial token up front instead of
+    // losing a few more attempts first (liveness/contention.hpp). Never
+    // while this thread holds locks across transactions: the serial gate
+    // drains *other* threads' cross-transaction holds, so two pinned
+    // holders escalating against each other could wedge the gate.
+    if (locker_depth() == 0 &&
+        liveness::contention().should_escalate(cfg.starvation_threshold)) {
+      liveness::contention().on_escalation();
+      stats().add(Counter::CmEscalations);
+      run_serial(tx, body, cfg.algo);
+      return;
+    }
     for (;;) {
       if (attempt >= budget) {
         // Contention management of last resort: serialize (paper §2).
@@ -245,22 +309,35 @@ struct Driver {
       } catch (ConflictAbort&) {
         tx.rollback();
         stats().add(Counter::TxAbortConflict);
+        liveness::contention().on_conflict_abort();
+        if (locker_depth() == 0 &&
+            liveness::contention().should_escalate(
+                cfg.starvation_threshold)) {
+          liveness::contention().on_escalation();
+          stats().add(Counter::CmEscalations);
+          run_serial(tx, body, cfg.algo);
+          return;
+        }
         bo.pause();
         continue;
       } catch (CapacityAbort&) {
         tx.rollback();
         stats().add(Counter::TxAbortCapacity);
         continue;
-      } catch (RetryRequest&) {
+      } catch (RetryRequest& rr) {
         tx.capture_watch();
         tx.rollback();
         stats().add(Counter::TxRetry);
         if (cfg.retry_wait) {
-          wait_for_change(tx);
+          wait_for_change(tx, rr.deadline_ns);
         } else {
           // The paper's own retry implementation: abort and immediately
           // re-execute (with backoff so we do not starve the thread that
           // must make the condition true).
+          if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
+            stats().add(Counter::RetryTimeouts);
+            throw RetryTimeout("stm::retry deadline expired");
+          }
           bo.pause();
         }
         --attempt;  // waiting for a condition is not contention
@@ -279,6 +356,7 @@ struct Driver {
         throw;
       }
       stats().add(Counter::TxCommit);
+      liveness::contention().on_commit();
       run_epilogues(tx);
       return;
     }
@@ -319,6 +397,19 @@ void run_atomic_nested(FunctionRef<void(Tx&)> body) {
   }
 }
 
+namespace {
+// Outermost-transaction scope guard: however atomic() exits (commit,
+// cancel, RetryTimeout, DeadlockError, a user exception), the thread is
+// marked Idle again and any wait-graph edge published at a block site is
+// retracted, so the watchdog and deadlock detector never see stale state.
+struct ActivityScope {
+  ~ActivityScope() {
+    if (liveness::has_wait_edge()) liveness::clear_wait();
+    liveness::set_state(liveness::ThreadState::Idle, now_ns());
+  }
+};
+}  // namespace
+
 void run_atomic(FunctionRef<void(Tx&)> body) {
   Tx& tx = Driver::tls();
   if (Driver::active(tx)) {
@@ -326,6 +417,7 @@ void run_atomic(FunctionRef<void(Tx&)> body) {
     body(tx);
     return;
   }
+  ActivityScope scope;
   const Config cfg = runtime().config;
   if (cfg.algo == Algo::CGL) {
     Driver::run_cgl(tx, body);
@@ -352,6 +444,18 @@ bool in_transaction() noexcept {
 }
 
 void retry(Tx&) { throw detail::RetryRequest{}; }
+
+void retry_until(Tx&, std::uint64_t deadline_ns) {
+  // deadline 0 means "no deadline" internally; an already-expired caller
+  // deadline still has to raise, so clamp to the smallest real timestamp.
+  if (deadline_ns == 0) deadline_ns = 1;
+  throw detail::RetryRequest{deadline_ns};
+}
+
+void retry_for(Tx& tx, std::chrono::nanoseconds timeout) {
+  const auto ns = timeout.count();
+  retry_until(tx, ns <= 0 ? 1 : now_ns() + static_cast<std::uint64_t>(ns));
+}
 
 void cancel(Tx&) { throw detail::UserAbort{}; }
 

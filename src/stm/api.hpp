@@ -19,6 +19,8 @@
 //    first write, because direct-mode writes cannot be rolled back.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -28,6 +30,14 @@
 #include "stm/tx.hpp"
 
 namespace adtm::stm {
+
+// Raised out of atomic() when a deadline-aware retry (retry_until /
+// retry_for, or the timed TxLock/TxCondVar waits built on them) expired
+// before the awaited condition changed. The transaction has been rolled
+// back; catching this and re-invoking atomic() is always safe.
+struct RetryTimeout : std::runtime_error {
+  explicit RetryTimeout(const char* what) : std::runtime_error(what) {}
+};
 
 // Install a runtime configuration. Must be called while no transactions
 // are in flight. May be called repeatedly (e.g. between bench phases) to
@@ -110,6 +120,21 @@ auto atomic_nested(F&& body) -> std::invoke_result_t<F&, Tx&> {
 // Condition synchronization: abort the transaction and re-execute once a
 // read-set location may have changed. Must be called inside a transaction.
 [[noreturn]] void retry(Tx& tx);
+
+// Deadline-aware retry: like retry(), but if `deadline_ns` (a now_ns()
+// timestamp) passes while waiting, the driver raises RetryTimeout out of
+// the atomic() call instead of waiting forever. Waiters also wake early
+// when any thread exits (so orphaned-owner checks re-run) and on lock
+// poison (a transactional write like any other). An absolute deadline
+// survives re-execution: compute it once *outside* the transaction so a
+// spurious wake-up does not extend the budget.
+[[noreturn]] void retry_until(Tx& tx, std::uint64_t deadline_ns);
+
+// Convenience: deadline = now + timeout, computed at the call. Inside a
+// re-executed body this re-arms the window on every attempt (a sliding
+// deadline); use retry_until with a precomputed deadline for a hard
+// budget.
+[[noreturn]] void retry_for(Tx& tx, std::chrono::nanoseconds timeout);
 
 // Abort the transaction, discarding all effects; atomic() returns normally
 // without re-executing. Illegal in CGL/serial modes (cannot roll back).

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/env.hpp"
+
 namespace adtm::stm {
 
 // Which TM algorithm executes transactions.
@@ -58,6 +60,18 @@ struct Config {
   // implementation (§4.2), whose cost it measures in Figure 2 ("aborting
   // and immediately retrying, instead of de-scheduling the transaction").
   bool retry_wait = true;
+
+  // Starvation escalation (liveness layer): a thread whose conflict-abort
+  // streak *across transactions* reaches this count has its next
+  // transaction run serial-irrevocable immediately (the single global
+  // token), so chronically losing threads still commit. 0 disables.
+  // Overridable at process start via ADTM_STARVATION_THRESHOLD.
+  std::uint32_t starvation_threshold = default_starvation_threshold();
+
+  static std::uint32_t default_starvation_threshold() noexcept {
+    return static_cast<std::uint32_t>(
+        env_u64("ADTM_STARVATION_THRESHOLD", 64));
+  }
 };
 
 }  // namespace adtm::stm

@@ -6,6 +6,8 @@
 // of user RAII objects constructed inside the transaction body.
 #pragma once
 
+#include <cstdint>
+
 namespace adtm::stm::detail {
 
 // Conflict detected (validation failure, lock-acquire timeout): roll back
@@ -17,8 +19,12 @@ struct ConflictAbort {};
 struct CapacityAbort {};
 
 // Harris-style retry(): roll back, wait until a location in the read set
-// changes, then re-execute.
-struct RetryRequest {};
+// changes, then re-execute. A nonzero deadline (now_ns() units) bounds the
+// wait: once it passes, the driver raises stm::RetryTimeout out of the
+// atomic() call instead of waiting forever.
+struct RetryRequest {
+  std::uint64_t deadline_ns = 0;
+};
 
 // become_irrevocable(): roll back and re-execute in serial mode.
 struct SerialRestart {};

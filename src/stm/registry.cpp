@@ -3,6 +3,8 @@
 #include "common/backoff.hpp"
 #include "common/panic.hpp"
 #include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "liveness/activity.hpp"
 
 namespace adtm::stm::detail {
 
@@ -10,9 +12,28 @@ CacheAligned<RegistrySlot> g_registry[kMaxThreads];
 SerialGate g_serial_gate;
 std::atomic<std::uint32_t> g_lockers{0};
 
+namespace {
+// A thread that exits while still holding TxLocks across transactions (a
+// killed deferred-op thread — the stall stress case) would leave g_lockers
+// elevated forever, wedging every future serial writer in its locker drain
+// loop. Reconcile at thread exit: give the orphaned holds back to the
+// global count and record the leak. The locks themselves stay "held" until
+// a waiter observes the dead owner incarnation and calls break_orphaned().
+struct LockerSlot {
+  std::uint32_t depth = 0;
+  ~LockerSlot() {
+    if (depth != 0) {
+      g_lockers.fetch_sub(depth, std::memory_order_seq_cst);
+      stats().add(Counter::LockLeaks, depth);
+      depth = 0;
+    }
+  }
+};
+}  // namespace
+
 std::uint32_t& locker_depth() noexcept {
-  thread_local std::uint32_t depth = 0;
-  return depth;
+  thread_local LockerSlot slot;
+  return slot.depth;
 }
 
 void registry_enter(std::uint64_t start_ts) noexcept {
@@ -59,6 +80,9 @@ void quiesce_until(std::uint64_t commit_ts) noexcept {
 
 void acquire_serial_gate() noexcept {
   const std::uint32_t me = thread_id();
+  // The gate queue and both drain loops can block for a long time behind a
+  // stalled peer; make that visible to the watchdog.
+  liveness::set_state(liveness::ThreadState::SerialWait, now_ns());
   Backoff bo;
   std::uint32_t expected = kNoThread;
   while (!g_serial_gate.writer.compare_exchange_weak(

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "common/panic.hpp"
 #include "common/thread_id.hpp"
 
 namespace adtm::stm::detail {
@@ -61,6 +62,9 @@ inline void locker_enter() noexcept {
 }
 
 inline void locker_exit() noexcept {
+  ADTM_INVARIANT(locker_depth() > 0,
+                 "locker_exit without a matching locker_enter "
+                 "(cross-transaction lock accounting underflow)");
   --locker_depth();
   g_lockers.fetch_sub(1, std::memory_order_seq_cst);
 }

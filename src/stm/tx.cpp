@@ -6,6 +6,9 @@
 #include "common/backoff.hpp"
 #include "common/panic.hpp"
 #include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "liveness/activity.hpp"
+#include "liveness/wait_graph.hpp"
 #include "stm/control.hpp"
 #include "stm/orec.hpp"
 #include "stm/registry.hpp"
@@ -60,6 +63,14 @@ void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
   // serial commit overlapping this attempt always wakes the waiter.
   retry_serial_snap_ =
       detail::runtime().serial_commits.load(std::memory_order_acquire);
+  // Same argument for the thread-exit watch: an owner that exits between a
+  // failed ownership check and the park must still wake the waiter.
+  retry_exit_snap_ = thread_exit_count();
+  // A wait edge published by the previous attempt (which parked on a lock
+  // and was woken) is stale once a new attempt starts.
+  if (liveness::has_wait_edge()) liveness::clear_wait();
+  liveness::set_state(liveness::ThreadState::InTx,
+                      attempt == 1 ? now_ns() : 0);
   in_tx_ = true;
   stats().add(Counter::TxStart);
 }

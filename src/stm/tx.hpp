@@ -95,6 +95,9 @@ class Tx {
   std::vector<detail::ValueReadEntry> retry_value_watch_;  // NOrec
   std::uint64_t retry_norec_snap_ = 0;                     // NOrec
   std::uint64_t retry_serial_snap_ = 0;
+  // Thread-exit watch: a waiter parked on state owned by another thread
+  // wakes when any thread exits, so orphaned-owner checks re-run promptly.
+  std::uint64_t retry_exit_snap_ = 0;
 
   // --- algorithm steps (tx.cpp) ---
   void begin(Algo algo, Mode mode, std::uint32_t attempt);

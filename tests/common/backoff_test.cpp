@@ -5,7 +5,7 @@
 namespace adtm {
 namespace {
 
-TEST(Backoff, CeilingDoublesUpToMax) {
+TEST(Backoff, CeilingDoublesUpToJitteredCap) {
   Backoff bo{16, 256};
   EXPECT_EQ(bo.ceiling(), 16u);
   bo.pause();
@@ -13,16 +13,60 @@ TEST(Backoff, CeilingDoublesUpToMax) {
   bo.pause();
   bo.pause();
   bo.pause();
-  EXPECT_EQ(bo.ceiling(), 256u);
+  // The saturation point is this instance's jittered cap, not the nominal
+  // max: after enough doublings the ceiling pins there exactly.
+  EXPECT_EQ(bo.ceiling(), bo.cap());
   bo.pause();  // saturates
-  EXPECT_EQ(bo.ceiling(), 256u);
+  EXPECT_EQ(bo.ceiling(), bo.cap());
 }
 
-TEST(Backoff, ResetRestoresFloor) {
+TEST(Backoff, CapIsJitteredWithinBounds) {
+  // Per-instance cap drawn uniformly from [3/4·max, max].
+  bool varied = false;
+  std::uint32_t first = 0;
+  for (int i = 0; i < 256; ++i) {
+    Backoff bo{16, 64 * 1024};
+    EXPECT_GE(bo.cap(), 3u * 64 * 1024 / 4);
+    EXPECT_LE(bo.cap(), 64u * 1024);
+    if (i == 0) {
+      first = bo.cap();
+    } else if (bo.cap() != first) {
+      varied = true;
+    }
+  }
+  // 256 draws from a 16k-wide window: all-equal means the jitter is dead.
+  EXPECT_TRUE(varied);
+}
+
+TEST(Backoff, TinyWindowDegradesToFixedCap) {
+  for (int i = 0; i < 32; ++i) {
+    Backoff bo{1, 3};  // jitter window 3/4 = 0: cap must stay exact
+    EXPECT_EQ(bo.cap(), 3u);
+  }
+}
+
+TEST(Backoff, NextSpinsStaysWithinCeiling) {
   Backoff bo{16, 1024};
-  for (int i = 0; i < 10; ++i) bo.pause();
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t ceiling_before = bo.ceiling();
+    const std::uint32_t spins = bo.next_spins();
+    EXPECT_GE(spins, 1u);
+    EXPECT_LE(spins, ceiling_before);
+    EXPECT_LE(bo.ceiling(), bo.cap());
+  }
+}
+
+TEST(Backoff, ResetRestoresFloorAndRedrawsCap) {
+  Backoff bo{16, 64 * 1024};
+  for (int i = 0; i < 20; ++i) bo.pause();
+  EXPECT_EQ(bo.ceiling(), bo.cap());
   bo.reset(16);
   EXPECT_EQ(bo.ceiling(), 16u);
+  EXPECT_GE(bo.cap(), 3u * 64 * 1024 / 4);
+  EXPECT_LE(bo.cap(), 64u * 1024);
+  // The redrawn cap still saturates the doubling as before.
+  for (int i = 0; i < 20; ++i) bo.pause();
+  EXPECT_EQ(bo.ceiling(), bo.cap());
 }
 
 TEST(Backoff, PauseTerminates) {

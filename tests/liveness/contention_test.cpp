@@ -1,0 +1,94 @@
+// Contention manager: cross-transaction abort streaks and the starvation
+// escalation ladder into serial-irrevocable mode.
+#include "liveness/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "common/thread_id.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+namespace {
+
+TEST(ContentionManager, StreakAccounting) {
+  liveness::ContentionManager cm;
+  const std::uint32_t me = thread_id();
+  EXPECT_FALSE(cm.should_escalate(4));
+  for (int i = 0; i < 4; ++i) cm.on_conflict_abort();
+  EXPECT_EQ(cm.consecutive_aborts(me), 4u);
+  EXPECT_EQ(cm.total_aborts(me), 4u);
+  EXPECT_TRUE(cm.should_escalate(4));
+  EXPECT_TRUE(cm.should_escalate(3));   // at-or-above threshold
+  EXPECT_FALSE(cm.should_escalate(5));  // below threshold
+  EXPECT_FALSE(cm.should_escalate(0));  // 0 disables escalation entirely
+  cm.on_commit();
+  EXPECT_EQ(cm.consecutive_aborts(me), 0u);
+  EXPECT_EQ(cm.total_aborts(me), 4u);  // total survives the commit
+  EXPECT_FALSE(cm.should_escalate(4));
+  cm.on_escalation();
+  EXPECT_EQ(cm.escalations(me), 1u);
+  cm.reset();
+  EXPECT_EQ(cm.total_aborts(me), 0u);
+  EXPECT_EQ(cm.escalations(me), 0u);
+}
+
+TEST(ContentionManager, DefaultThresholdComesFromConfig) {
+  // ADTM_STARVATION_THRESHOLD is unset in the test environment.
+  stm::Config cfg;
+  EXPECT_EQ(cfg.starvation_threshold, 64u);
+}
+
+TEST(ContentionManager, PrimedStreakEscalatesNextTransactionOnce) {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::TL2;
+  cfg.starvation_threshold = 8;
+  stm::init(cfg);
+  stats().reset();
+  auto& cm = liveness::contention();
+  cm.reset();
+  const std::uint32_t me = thread_id();
+  // Prime the streak as if this thread had lost 8 conflicts across
+  // previous transactions.
+  for (int i = 0; i < 8; ++i) cm.on_conflict_abort();
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    // Escalation means the body runs serialized and cannot abort.
+    EXPECT_TRUE(tx.irrevocable());
+  });
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 1u);
+  EXPECT_EQ(cm.escalations(me), 1u);
+  // The serial commit cleared the streak: no re-escalation.
+  EXPECT_EQ(cm.consecutive_aborts(me), 0u);
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 2);
+    EXPECT_FALSE(tx.irrevocable());
+  });
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 1u);
+  cm.reset();
+  stm::init(stm::Config{});
+}
+
+TEST(ContentionManager, ThresholdZeroNeverEscalates) {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::TL2;
+  cfg.starvation_threshold = 0;
+  stm::init(cfg);
+  stats().reset();
+  auto& cm = liveness::contention();
+  cm.reset();
+  for (int i = 0; i < 1000; ++i) cm.on_conflict_abort();
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    EXPECT_FALSE(tx.irrevocable());
+  });
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 0u);
+  cm.reset();
+  stm::init(stm::Config{});
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,177 @@
+// Acceptance stress: a TxLock holder is poisoned or killed mid-deferred-op.
+// Every subscriber must unblock within the configured budget — by raising
+// TxLockPoisoned / TxLockOrphaned — and the watchdog report taken during
+// the stall must name the parked waiters and the stalled lock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "defer/atomic_defer.hpp"
+#include "defer/deferrable.hpp"
+#include "liveness/watchdog.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr int kSubscribers = 4;
+
+struct Resource : Deferrable {
+  stm::tvar<int> value{0};
+};
+
+void spin_until(const std::atomic<bool>& flag) {
+  while (!flag.load()) std::this_thread::yield();
+}
+
+liveness::WatchdogOptions tight_options() {
+  liveness::WatchdogOptions opts;
+  opts.stall_budget_ns = 1'000'000;  // flag after 1 ms
+  opts.sink = nullptr;
+  return opts;
+}
+
+class StallStressTest : public test::AlgoTest {};
+
+TEST_P(StallStressTest, PoisonedHolderUnblocksAllSubscribersWithinBudget) {
+  Resource res;
+  std::atomic<bool> op_started{false};
+  std::atomic<bool> go_fail{false};
+
+  // The owner commits a transaction whose deferred operation stalls and
+  // then dies permanently while holding the resource's lock.
+  std::thread owner([&] {
+    FailurePolicy policy;
+    policy.max_retries = 0;
+    policy.poison_on_escalate = true;
+    try {
+      stm::atomic([&](stm::Tx& tx) {
+        res.value.set(tx, 1);
+        atomic_defer(
+            tx,
+            [&] {
+              op_started.store(true);
+              spin_until(go_fail);
+              throw std::runtime_error("deferred op died mid-flight");
+            },
+            {&res}, policy);
+      });
+      ADD_FAILURE() << "the deferred failure must surface from atomic()";
+    } catch (const std::runtime_error&) {
+    }
+  });
+  spin_until(op_started);
+
+  // Subscribers pile up behind the stalled deferred op, each with a
+  // generous deadline as the backstop bound on the wait.
+  std::atomic<int> poisoned{0};
+  std::vector<std::thread> subs;
+  for (int i = 0; i < kSubscribers; ++i) {
+    subs.emplace_back([&] {
+      const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+      try {
+        stm::atomic([&](stm::Tx& tx) {
+          res.txlock().subscribe_until(tx, deadline);
+          (void)res.value.get(tx);
+        });
+        ADD_FAILURE() << "subscriber ran while the failed op held the lock";
+      } catch (const TxLockPoisoned&) {
+        poisoned.fetch_add(1);
+      } catch (const stm::RetryTimeout&) {
+        ADD_FAILURE() << "budget expired before poison woke the subscriber";
+      }
+    });
+  }
+  std::this_thread::sleep_for(100ms);  // everyone parks, well past budget
+
+  // Mid-stall diagnostics: the report names the stalled deferred op, the
+  // parked subscribers, and the lock they wait on.
+  liveness::Watchdog wd;
+  wd.configure(tight_options());
+  const std::string report = wd.scan_once();
+  ASSERT_NE(report, "");
+  EXPECT_NE(report.find("deferred-op"), std::string::npos) << report;
+  EXPECT_NE(report.find("TxLock::subscribe"), std::string::npos) << report;
+
+  // Let the op fail: escalation poisons the lock, releases it, and every
+  // subscriber must unblock by raising.
+  go_fail.store(true);
+  owner.join();
+  for (auto& t : subs) t.join();
+  EXPECT_EQ(poisoned.load(), kSubscribers);
+  EXPECT_TRUE(res.txlock().poisoned());
+  EXPECT_GE(stats().total(Counter::LockPoisons), 1u);
+
+  // Recovery: clear the poison and the resource is usable again.
+  res.txlock().clear_poison();
+  stm::atomic([&](stm::Tx& tx) {
+    res.subscribe(tx);
+    res.value.set(tx, 2);
+  });
+  EXPECT_EQ(wd.scan_once(), "");
+}
+
+TEST_P(StallStressTest, KilledHolderUnblocksSubscribersViaOrphanDetection) {
+  Resource res;
+  std::atomic<bool> held{false};
+  std::atomic<bool> go_die{false};
+
+  std::thread owner([&] {
+    res.txlock().acquire();
+    held.store(true);
+    spin_until(go_die);
+    // Thread exits still holding the lock: the "killed mid-deferred-op"
+    // shape — no release, no poison, just a dead owner.
+  });
+  spin_until(held);
+
+  std::atomic<int> orphaned{0};
+  std::vector<std::thread> subs;
+  for (int i = 0; i < kSubscribers; ++i) {
+    subs.emplace_back([&] {
+      const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+      try {
+        stm::atomic([&](stm::Tx& tx) {
+          res.txlock().subscribe_until(tx, deadline);
+        });
+        ADD_FAILURE() << "subscriber ran while a dead owner held the lock";
+      } catch (const TxLockOrphaned&) {
+        orphaned.fetch_add(1);
+      } catch (const stm::RetryTimeout&) {
+        ADD_FAILURE() << "budget expired before orphan detection woke "
+                         "the subscriber";
+      }
+    });
+  }
+  std::this_thread::sleep_for(50ms);  // subscribers park
+
+  go_die.store(true);
+  owner.join();
+  // The global thread-exit watch wakes every parked subscriber; each
+  // re-runs its owner-liveness check and raises.
+  for (auto& t : subs) t.join();
+  EXPECT_EQ(orphaned.load(), kSubscribers);
+
+  // The dead thread's cross-transaction hold was reconciled at exit, so
+  // the serial gate cannot wedge on it.
+  EXPECT_GE(stats().total(Counter::LockLeaks), 1u);
+  EXPECT_TRUE(res.txlock().orphaned());
+  EXPECT_TRUE(res.txlock().break_orphaned());
+  stm::atomic([&](stm::Tx& tx) { res.subscribe(tx); });
+}
+
+INSTANTIATE_TEST_SUITE_P(SpeculativeAlgos, StallStressTest,
+                         test::SpeculativeAlgos(), test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,107 @@
+// TxCondVar liveness: timed waits and poison wake-up — a waiter on a dead
+// condition must raise, not hang.
+#include "defer/txcondvar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using namespace std::chrono_literals;
+
+class TxCondVarLivenessTest : public test::AlgoTest {};
+
+TEST_P(TxCondVarLivenessTest, WaitForTimesOut) {
+  TxCondVar cv;
+  stm::tvar<int> gate{0};
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 if (gate.get(tx) == 0) cv.wait_for(tx, 30ms);
+               }),
+               stm::RetryTimeout);
+  EXPECT_GE(stats().total(Counter::RetryTimeouts), 1u);
+}
+
+TEST_P(TxCondVarLivenessTest, WaitUntilHardDeadline) {
+  TxCondVar cv;
+  stm::tvar<int> gate{0};
+  // An absolute deadline computed outside the transaction bounds the total
+  // wait even across body re-executions.
+  const std::uint64_t deadline = now_ns() + 30'000'000ull;
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 if (gate.get(tx) == 0) cv.wait_until(tx, deadline);
+               }),
+               stm::RetryTimeout);
+}
+
+TEST_P(TxCondVarLivenessTest, NotifyWakesTimedWaiterBeforeDeadline) {
+  TxCondVar cv;
+  stm::tvar<int> gate{0};
+  std::atomic<bool> consumed{false};
+  std::thread waiter([&] {
+    const std::uint64_t deadline = now_ns() + 5'000'000'000ull;
+    stm::atomic([&](stm::Tx& tx) {
+      if (gate.get(tx) == 0) cv.wait_until(tx, deadline);
+      gate.set(tx, 0);
+    });
+    consumed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  stm::atomic([&](stm::Tx& tx) {
+    gate.set(tx, 1);
+    cv.notify_all(tx);
+  });
+  waiter.join();
+  EXPECT_TRUE(consumed.load());
+  EXPECT_EQ(stats().total(Counter::RetryTimeouts), 0u);
+}
+
+TEST_P(TxCondVarLivenessTest, PoisonedWaitRaisesImmediately) {
+  TxCondVar cv;
+  cv.poison();
+  EXPECT_TRUE(cv.poisoned());
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { cv.wait(tx); }),
+      TxCondVarPoisoned);
+  EXPECT_GE(stats().total(Counter::LockPoisons), 1u);
+  cv.clear_poison();
+  EXPECT_FALSE(cv.poisoned());
+  // Functional again: a timed wait now times out instead of raising poison.
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { cv.wait_for(tx, 20ms); }),
+      stm::RetryTimeout);
+}
+
+TEST_P(TxCondVarLivenessTest, PoisonWakesParkedWaiter) {
+  TxCondVar cv;
+  stm::tvar<int> gate{0};
+  std::atomic<bool> got_poisoned{false};
+  std::thread waiter([&] {
+    try {
+      stm::atomic([&](stm::Tx& tx) {
+        if (gate.get(tx) == 0) cv.wait(tx);
+      });
+      ADD_FAILURE() << "waiter returned without notify";
+    } catch (const TxCondVarPoisoned&) {
+      got_poisoned.store(true);
+    }
+  });
+  std::this_thread::sleep_for(20ms);  // let the waiter park
+  cv.poison();
+  waiter.join();  // must unblock: poison is a committed write to its read set
+  EXPECT_TRUE(got_poisoned.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, TxCondVarLivenessTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

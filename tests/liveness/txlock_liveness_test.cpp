@@ -1,0 +1,334 @@
+// Liveness behaviour of TxLock: bounded waits, poison, orphan detection,
+// deadlock detection over committed holds, and release-misuse auditing.
+#include "defer/txlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "common/thread_id.hpp"
+#include "common/timing.hpp"
+#include "liveness/wait_graph.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using namespace std::chrono_literals;
+
+class TxLockLivenessTest : public test::AlgoTest {};
+
+void spin_until(const std::atomic<bool>& flag) {
+  while (!flag.load()) std::this_thread::yield();
+}
+
+TEST_P(TxLockLivenessTest, AcquireForTimesOutOnContendedLock) {
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> go_release{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    spin_until(go_release);
+    lock.release();
+  });
+  spin_until(held);
+  EXPECT_FALSE(lock.acquire_for(30ms));
+  EXPECT_GE(stats().total(Counter::RetryTimeouts), 1u);
+  go_release.store(true);
+  holder.join();
+  // Free again: a generous timed acquire succeeds, and owns the lock.
+  ASSERT_TRUE(lock.acquire_for(5s));
+  EXPECT_TRUE(lock.held_by_me());
+  lock.release();
+}
+
+TEST_P(TxLockLivenessTest, AcquireUntilSucceedsOnceHolderReleases) {
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    std::this_thread::sleep_for(20ms);
+    lock.release();
+  });
+  spin_until(held);
+  EXPECT_TRUE(lock.acquire_until(now_ns() + 5'000'000'000ull));
+  lock.release();
+  holder.join();
+}
+
+TEST_P(TxLockLivenessTest, SubscribeForTimesOutThenSucceeds) {
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> go_release{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    spin_until(go_release);
+    lock.release();
+  });
+  spin_until(held);
+  EXPECT_FALSE(lock.subscribe_for(30ms));
+  go_release.store(true);
+  holder.join();
+  EXPECT_TRUE(lock.subscribe_for(5s));
+}
+
+TEST_P(TxLockLivenessTest, TimedAcquireInsideTransactionRaisesOutOfAtomic) {
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> go_release{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    spin_until(go_release);
+    lock.release();
+  });
+  spin_until(held);
+  const std::uint64_t deadline = now_ns() + 30'000'000ull;
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { lock.acquire_until(tx, deadline); }),
+      stm::RetryTimeout);
+  go_release.store(true);
+  holder.join();
+}
+
+TEST_P(TxLockLivenessTest, PoisonedLockRefusesAcquireUntilCleared) {
+  TxLock lock;
+  lock.poison();
+  EXPECT_TRUE(lock.poisoned());
+  EXPECT_THROW(lock.acquire(), TxLockPoisoned);
+  EXPECT_THROW(lock.try_acquire(), TxLockPoisoned);
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { lock.subscribe(tx); }),
+      TxLockPoisoned);
+  EXPECT_GE(stats().total(Counter::LockPoisons), 1u);
+  lock.clear_poison();
+  EXPECT_FALSE(lock.poisoned());
+  lock.acquire();
+  lock.release();
+}
+
+TEST_P(TxLockLivenessTest, PoisonWakesParkedWaiter) {
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> waiter_up{false};
+  std::atomic<bool> got_poisoned{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    // Keep holding; the waiter must be woken by poison, not by release.
+    spin_until(got_poisoned);
+    lock.release();
+  });
+  spin_until(held);
+  std::thread waiter([&] {
+    waiter_up.store(true);
+    try {
+      lock.acquire();
+      ADD_FAILURE() << "acquire succeeded on a poisoned lock";
+    } catch (const TxLockPoisoned&) {
+      got_poisoned.store(true);
+    }
+  });
+  spin_until(waiter_up);
+  std::this_thread::sleep_for(20ms);  // let the waiter park
+  lock.poison();
+  waiter.join();
+  holder.join();
+  EXPECT_TRUE(got_poisoned.load());
+  lock.clear_poison();
+}
+
+TEST_P(TxLockLivenessTest, OrphanedLockIsDetectedAndBreakable) {
+  TxLock lock;
+  std::thread([&] { lock.acquire(); }).join();  // exits holding the lock
+  EXPECT_TRUE(lock.orphaned());
+  EXPECT_THROW(lock.acquire(), TxLockOrphaned);
+  EXPECT_THROW(
+      stm::atomic([&](stm::Tx& tx) { lock.subscribe(tx); }),
+      TxLockOrphaned);
+  // The dead thread's cross-transaction hold was reconciled at exit.
+  EXPECT_GE(stats().total(Counter::LockLeaks), 1u);
+  EXPECT_TRUE(lock.break_orphaned());
+  EXPECT_FALSE(lock.orphaned());
+  lock.acquire();
+  lock.release();
+  EXPECT_FALSE(lock.break_orphaned());  // free lock: nothing to break
+}
+
+TEST_P(TxLockLivenessTest, OwnerExitWakesParkedWaiter) {
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> go_exit{false};
+  std::atomic<bool> got_orphaned{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    spin_until(go_exit);
+    // exits without releasing
+  });
+  spin_until(held);
+  std::thread waiter([&] {
+    try {
+      lock.acquire();
+      ADD_FAILURE() << "acquired a lock whose owner died holding it";
+    } catch (const TxLockOrphaned&) {
+      got_orphaned.store(true);
+    }
+  });
+  std::this_thread::sleep_for(20ms);  // let the waiter park
+  go_exit.store(true);
+  holder.join();
+  waiter.join();  // must unblock promptly via the thread-exit watch
+  EXPECT_TRUE(got_orphaned.load());
+  EXPECT_TRUE(lock.break_orphaned());
+}
+
+TEST_P(TxLockLivenessTest, ReleaseMisuseIsAuditedWithClearErrors) {
+  TxLock lock;
+  // Never acquired.
+  EXPECT_THROW(lock.release(), std::logic_error);
+  lock.acquire();
+  // Another thread is not the owner.
+  std::thread other([&] { EXPECT_THROW(lock.release(), std::logic_error); });
+  other.join();
+  lock.release();
+  // Double release.
+  EXPECT_THROW(lock.release(), std::logic_error);
+}
+
+TEST_P(TxLockLivenessTest, ReleaseFromRecycledThreadIdIsRejected) {
+  TxLock lock;
+  std::atomic<std::uint32_t> holder_id{kNoThread};
+  std::thread([&] {
+    lock.acquire();
+    holder_id.store(thread_id());
+  }).join();
+  // A fresh thread — it typically reuses the lowest free slot, i.e. the
+  // dead holder's id. Whether or not the id matches, releasing must be
+  // rejected: this thread never acquired the lock.
+  std::thread([&] {
+    EXPECT_FALSE(lock.held_by_me());
+    EXPECT_THROW(lock.release(), std::logic_error);
+    if (thread_id() == holder_id.load()) {
+      // Same slot id as the dead owner: only the incarnation check can
+      // tell this apart from a legitimate release.
+      EXPECT_TRUE(lock.orphaned());
+    }
+  }).join();
+  EXPECT_TRUE(lock.break_orphaned());
+}
+
+TEST_P(TxLockLivenessTest, DeadlockThroughCommittedHoldsIsDetected) {
+  TxLock a;
+  TxLock b;
+  std::atomic<bool> t1_has_a{false};
+  std::atomic<bool> t2_has_b{false};
+  std::atomic<int> deadlocks{0};
+  std::thread t1([&] {
+    a.acquire();  // committed hold: pinned across transactions
+    t1_has_a.store(true);
+    spin_until(t2_has_b);
+    try {
+      b.acquire();
+      b.release();
+    } catch (const liveness::DeadlockError&) {
+      deadlocks.fetch_add(1);
+    }
+    a.release();
+  });
+  std::thread t2([&] {
+    b.acquire();
+    t2_has_b.store(true);
+    spin_until(t1_has_a);
+    try {
+      a.acquire();
+      a.release();
+    } catch (const liveness::DeadlockError&) {
+      deadlocks.fetch_add(1);
+    }
+    b.release();
+  });
+  t1.join();
+  t2.join();
+  // At least one side must detect the cycle and raise; raising releases
+  // its wait, which in turn unblocks the other side.
+  EXPECT_GE(deadlocks.load(), 1);
+  EXPECT_GE(stats().total(Counter::DeadlocksDetected), 1u);
+  // Both locks are usable again.
+  a.acquire();
+  a.release();
+  b.acquire();
+  b.release();
+}
+
+TEST_P(TxLockLivenessTest, TransactionalMultiLockNeverFalselyDeadlocks) {
+  // Opposite acquisition orders inside transactions: the classic deadlock
+  // recipe, which TM resolves by abort-and-retry (no hold-and-wait). The
+  // detector must stay silent — these threads pin no committed holds.
+  TxLock a;
+  TxLock b;
+  auto worker = [](TxLock& first, TxLock& second) {
+    for (int i = 0; i < 100; ++i) {
+      stm::atomic([&](stm::Tx& tx) {
+        first.acquire(tx);
+        second.acquire(tx);
+        second.release(tx);
+        first.release(tx);
+      });
+    }
+  };
+  std::thread t1(worker, std::ref(a), std::ref(b));
+  std::thread t2(worker, std::ref(b), std::ref(a));
+  t1.join();
+  t2.join();
+  EXPECT_EQ(stats().total(Counter::DeadlocksDetected), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SpeculativeAlgos, TxLockLivenessTest,
+                         test::SpeculativeAlgos(), test::algo_param_name);
+
+TEST(TxLockLivenessCgl, TimedAcquireAndPoisonWakeUnderCgl) {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::CGL;
+  stm::init(cfg);
+  stats().reset();
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> got_poisoned{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    spin_until(got_poisoned);
+    lock.release();
+  });
+  spin_until(held);
+  // CGL retry waiters park on the global commit condition variable; the
+  // deadline must still bound the wait...
+  EXPECT_FALSE(lock.acquire_for(30ms));
+  // ...and a committed poison write must wake them.
+  std::thread waiter([&] {
+    try {
+      lock.acquire();
+      ADD_FAILURE() << "acquire succeeded on a poisoned lock";
+    } catch (const TxLockPoisoned&) {
+      got_poisoned.store(true);
+    }
+  });
+  std::this_thread::sleep_for(20ms);
+  lock.poison();
+  waiter.join();
+  holder.join();
+  EXPECT_TRUE(got_poisoned.load());
+  lock.clear_poison();
+  stm::init(stm::Config{});
+}
+
+}  // namespace
+}  // namespace adtm
