@@ -9,11 +9,13 @@
 #include <thread>
 
 #include "common/backoff.hpp"
+#include "common/stats.hpp"
 #include "common/timing.hpp"
 #include "defer/txlock.hpp"
 #include "liveness/contention.hpp"
 #include "liveness/watchdog.hpp"
 #include "stm/api.hpp"
+#include "stm/tvar.hpp"
 
 namespace {
 
@@ -121,6 +123,102 @@ void BM_BackoffNextSpinsAndReset(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BackoffNextSpinsAndReset);
+
+void BM_TxCommitUnprivileged(benchmark::State& state) {
+  // Baseline for the arbitration benches: a plain uncontended write
+  // transaction with the starvation ladder armed but never crossed.
+  init_tl2();
+  stm::tvar<int> x{0};
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+  }
+}
+BENCHMARK(BM_TxCommitUnprivileged);
+
+void BM_TxCommitPrivileged(benchmark::State& state) {
+  // The same transaction run while holding the priority token: measures
+  // what rung 1 of the ladder costs when there is no conflict to win —
+  // begin() raises the attempt shield, commit spends the karma.
+  init_tl2();
+  stm::tvar<int> x{0};
+  auto& cm = liveness::contention();
+  for (auto _ : state) {
+    state.PauseTiming();
+    cm.reset();
+    for (int i = 0; i < 4; ++i) cm.on_conflict_abort();
+    cm.try_acquire_priority(4);
+    state.ResumeTiming();
+    stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+  }
+  cm.reset();
+}
+BENCHMARK(BM_TxCommitPrivileged);
+
+void BM_PriorityTokenTakeAndRelease(benchmark::State& state) {
+  // The rung-1 handoff itself: streak prime, CAS take, release.
+  auto& cm = liveness::contention();
+  cm.reset();
+  for (auto _ : state) {
+    for (int i = 0; i < 4; ++i) cm.on_conflict_abort();
+    benchmark::DoNotOptimize(cm.try_acquire_priority(4));
+    cm.release_priority();
+    cm.on_commit();
+  }
+  cm.reset();
+}
+BENCHMARK(BM_PriorityTokenTakeAndRelease);
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  // One wait-free histogram insert: the per-sample cost of lock stats.
+  LatencyHistogram h;
+  std::uint64_t ns = 1;
+  for (auto _ : state) {
+    h.record(ns);
+    ns = (ns * 2) | 1;  // walk the buckets
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_LatencyHistogramRecord);
+
+void BM_LockStatsDisabledRecord(benchmark::State& state) {
+  // The price every contended acquire pays when ADTM_LOCK_STATS is off:
+  // must be one relaxed load and out.
+  LockStatsRegistry reg;
+  int key;
+  for (auto _ : state) {
+    reg.record_wait(&key, 1'000);
+  }
+  benchmark::DoNotOptimize(reg.wait_count(&key));
+}
+BENCHMARK(BM_LockStatsDisabledRecord);
+
+void BM_LockStatsEnabledRecord(benchmark::State& state) {
+  // Enabled path: hash, claim-once probe, histogram insert.
+  LockStatsRegistry reg;
+  reg.set_enabled(true);
+  int key;
+  for (auto _ : state) {
+    reg.record_wait(&key, 1'000);
+  }
+  benchmark::DoNotOptimize(reg.wait_count(&key));
+}
+BENCHMARK(BM_LockStatsEnabledRecord);
+
+void BM_LockStatsInstrumentedAcquire(benchmark::State& state) {
+  // End-to-end: uncontended TxLock acquire/release with lock stats on —
+  // the hold-span on_commit hooks ride the transaction.
+  init_tl2();
+  lock_stats().reset();
+  lock_stats().set_enabled(true);
+  TxLock lock;
+  for (auto _ : state) {
+    lock.acquire();
+    lock.release();
+  }
+  lock_stats().set_enabled(false);
+  lock_stats().reset();
+}
+BENCHMARK(BM_LockStatsInstrumentedAcquire);
 
 }  // namespace
 

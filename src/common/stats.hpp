@@ -8,6 +8,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -38,6 +39,10 @@ enum class Counter : std::uint32_t {
   WatchdogStalls,       // threads the watchdog flagged as stalled past budget
   LockLeaks,            // cross-transaction lock holds leaked by exiting threads
   LockPoisons,          // TxLock/TxCondVar poison events
+  CmPriorityAcquired,   // starved threads that took the priority token
+  CmPriorityWins,       // conflicts a privileged thread won by outwaiting
+  CmPriorityYields,     // attempts that stood aside for the priority thread
+  WatchdogActions,      // enforcement actions (poison/reap) the watchdog fired
   kCount
 };
 
@@ -66,5 +71,110 @@ class StatsRegistry {
 
 // Global registry used by the STM runtime and deferral machinery.
 StatsRegistry& stats() noexcept;
+
+// --- latency histograms ----------------------------------------------------
+//
+// Fixed power-of-two-bucket histogram for nanosecond durations: bucket 0
+// holds exact zeros, bucket b >= 1 holds [2^(b-1), 2^b) ns. Concurrent
+// record() is wait-free (one relaxed fetch_add); percentile reads are
+// approximate while writers run, exact at quiescent points. 64 buckets
+// cover the full uint64 range, so nothing is ever clipped.
+class LatencyHistogram {
+ public:
+  static constexpr std::uint32_t kBuckets = 64;
+
+  void record(std::uint64_t ns) noexcept {
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept;
+
+  // Value representative of the bucket holding the p-th percentile sample
+  // (p in (0, 100]); 0 when the histogram is empty. The representative is
+  // the bucket's geometric midpoint, so the error is bounded by the 2x
+  // bucket width — plenty for p50/p99 capacity planning.
+  std::uint64_t percentile(double p) const noexcept;
+
+  void reset() noexcept;
+
+  static std::uint32_t bucket_of(std::uint64_t ns) noexcept {
+    const auto width = static_cast<std::uint32_t>(std::bit_width(ns));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  // Midpoint value reported for samples in bucket b (inverse of bucket_of).
+  static std::uint64_t bucket_value(std::uint32_t b) noexcept {
+    if (b == 0) return 0;
+    if (b == 1) return 1;
+    return (std::uint64_t{1} << (b - 1)) + (std::uint64_t{1} << (b - 2));
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+// --- per-lock hold/wait statistics -----------------------------------------
+//
+// Wait and hold time distributions per TxLock, keyed by lock address in a
+// fixed-size claim-once hash table (capacity planning: "which lock do
+// threads queue on, and for how long?"). Disabled by default — recording
+// costs a histogram insert per committed acquire/release — and switched on
+// with ADTM_LOCK_STATS=1 (or set_enabled, for tests). When more than
+// kEntries distinct locks are tracked, further locks are dropped and
+// counted, never silently merged.
+class LockStatsRegistry {
+ public:
+  static constexpr std::size_t kEntries = 256;
+
+  LockStatsRegistry();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Record one committed wait-for-acquire / hold span for `lock`. No-ops
+  // (cheaply) while disabled.
+  void record_wait(const void* lock, std::uint64_t ns) noexcept;
+  void record_hold(const void* lock, std::uint64_t ns) noexcept;
+
+  // Per-lock accessors; 0 for a lock that was never recorded.
+  std::uint64_t wait_count(const void* lock) const noexcept;
+  std::uint64_t hold_count(const void* lock) const noexcept;
+  std::uint64_t wait_percentile(const void* lock, double p) const noexcept;
+  std::uint64_t hold_percentile(const void* lock, double p) const noexcept;
+
+  // Locks that could not be tracked because the table was full.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // One line per tracked lock: counts plus p50/p99 of both distributions.
+  // "" when nothing was recorded.
+  std::string report() const;
+
+  // Test support: forget every lock. Not safe concurrently with record().
+  void reset() noexcept;
+
+ private:
+  struct Entry {
+    std::atomic<const void*> key{nullptr};
+    LatencyHistogram wait;
+    LatencyHistogram hold;
+  };
+
+  const Entry* find(const void* lock) const noexcept;
+  Entry* find_or_claim(const void* lock) noexcept;
+
+  Entry entries_[kEntries];
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Global per-lock stats registry fed by TxLock (tests may construct their
+// own). Reads ADTM_LOCK_STATS once at first use.
+LockStatsRegistry& lock_stats() noexcept;
 
 }  // namespace adtm

@@ -16,6 +16,21 @@ CacheAligned<std::atomic<std::uint32_t>> g_slot_gen[kMaxThreads];
 std::atomic<std::uint32_t> g_high_water{0};
 std::atomic<std::uint64_t> g_thread_exits{0};
 
+// Exit hooks: registered once, fired on every thread exit. The count is
+// published with release so a racing exit sees fully-written entries.
+constexpr std::uint32_t kMaxExitHooks = 8;
+std::atomic<void (*)(std::uint32_t)> g_exit_hooks[kMaxExitHooks];
+std::atomic<std::uint32_t> g_exit_hook_count{0};
+
+void run_exit_hooks(std::uint32_t tid) noexcept {
+  const std::uint32_t n = g_exit_hook_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (auto hook = g_exit_hooks[i].load(std::memory_order_acquire)) {
+      hook(tid);
+    }
+  }
+}
+
 struct SlotOwner {
   std::uint32_t id;
   std::uint32_t generation;
@@ -41,8 +56,10 @@ struct SlotOwner {
 
   ~SlotOwner() {
     g_slot_used[id]->store(false, std::memory_order_release);
-    // Publish the exit so waiters watching for orphaned owners wake up.
+    // Publish the exit so waiters watching for orphaned owners wake up,
+    // then push-notify the subscribers that cannot poll the count.
     g_thread_exits.fetch_add(1, std::memory_order_seq_cst);
+    run_exit_hooks(id);
   }
 };
 
@@ -75,6 +92,18 @@ std::uint32_t thread_id_generation() noexcept {
 
 std::uint64_t thread_exit_count() noexcept {
   return g_thread_exits.load(std::memory_order_seq_cst);
+}
+
+void register_thread_exit_hook(void (*hook)(std::uint32_t tid)) noexcept {
+  if (hook == nullptr) return;
+  const std::uint32_t n = g_exit_hook_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (g_exit_hooks[i].load(std::memory_order_acquire) == hook) return;
+  }
+  const std::uint32_t slot =
+      g_exit_hook_count.fetch_add(1, std::memory_order_acq_rel);
+  ADTM_INVARIANT(slot < kMaxExitHooks, "too many thread-exit hooks");
+  g_exit_hooks[slot].store(hook, std::memory_order_release);
 }
 
 }  // namespace adtm

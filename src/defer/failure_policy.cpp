@@ -8,6 +8,7 @@
 #include "common/backoff.hpp"
 #include "common/stats.hpp"
 #include "faultsim/faultsim.hpp"
+#include "liveness/activity.hpp"
 
 namespace adtm {
 namespace {
@@ -48,6 +49,19 @@ void run_with_policy(const FailurePolicy& policy,
     }
     const bool transient =
         policy.retryable ? policy.retryable(ep) : default_transient(ep);
+    // Cooperative reaping (watchdog reap-deferred policy): a deferred op
+    // flagged as stalled past its budget stops retrying at its next
+    // failure and escalates — composing with poison_on_escalate, which
+    // then releases the op's TxLocks by poisoning them.
+    if (transient && liveness::reap_requested()) {
+      liveness::clear_reap();
+      stats().add(Counter::FailureEscalations);
+      if (policy.escalate) {
+        policy.escalate(ep);
+        return;
+      }
+      std::rethrow_exception(ep);
+    }
     if (transient && retries < policy.max_retries) {
       ++retries;
       stats().add(Counter::FailureRetries);

@@ -1,0 +1,43 @@
+#include "defer/txcondvar.hpp"
+
+#include "common/thread_id.hpp"
+#include "liveness/wait_graph.hpp"
+#include "stm/registry.hpp"
+
+namespace adtm {
+
+std::uint32_t TxCondVar::notifier_of(const void* cv) noexcept {
+  return static_cast<const TxCondVar*>(cv)->notifier_.load(
+      std::memory_order_acquire);
+}
+
+bool TxCondVar::notifier_dead(const void* cv) noexcept {
+  const auto* c = static_cast<const TxCondVar*>(cv);
+  const std::uint32_t tid = c->notifier_.load(std::memory_order_acquire);
+  if (tid == kNoThread) return false;
+  return !thread_incarnation_live(
+      tid, c->notifier_gen_.load(std::memory_order_relaxed));
+}
+
+void TxCondVar::poison_entity(const void* cv) {
+  const_cast<TxCondVar*>(static_cast<const TxCondVar*>(cv))->poison();
+}
+
+void TxCondVar::prepare_wait(stm::Tx&) const {
+  liveness::publish_wait(this, &TxCondVar::notifier_of, "TxCondVar::wait",
+                         liveness::WaitKind::CondVar,
+                         &TxCondVar::notifier_dead,
+                         &TxCondVar::poison_entity);
+  // CondVar edges are checkable with zero pinned holds (notification duty
+  // is committed state), but the publish-site scan must still sit out
+  // in-attempt lock ownership: under eager algorithms a speculative
+  // ownership write is visible in memory, and a cycle through it is about
+  // to be broken by this very retry, so reporting it would be a false
+  // positive. The parked waiter's poll (wait_for_change / the CGL tick
+  // loop) re-checks once the rollback has revoked those writes.
+  if (stm::detail::locker_depth() == liveness::pinned_holds()) {
+    liveness::deadlock_check();
+  }
+}
+
+}  // namespace adtm

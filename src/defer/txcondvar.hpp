@@ -25,11 +25,13 @@
 // instead of re-waiting forever.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "common/thread_id.hpp"
 #include "common/timing.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
@@ -55,6 +57,7 @@ class TxCondVar {
   [[noreturn]] void wait(stm::Tx& tx) const {
     check_poison(tx);
     (void)gen_.get(tx);  // join the wake-up set
+    prepare_wait(tx);
     stm::retry(tx);
   }
 
@@ -66,6 +69,7 @@ class TxCondVar {
   [[noreturn]] void wait_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
     check_poison(tx);
     (void)gen_.get(tx);
+    prepare_wait(tx);
     stm::retry_until(tx, deadline_ns);
   }
 
@@ -76,6 +80,7 @@ class TxCondVar {
                              std::chrono::nanoseconds timeout) const {
     check_poison(tx);
     (void)gen_.get(tx);
+    prepare_wait(tx);
     stm::retry_for(tx, timeout);
   }
 
@@ -113,7 +118,41 @@ class TxCondVar {
   // Number of notifications so far (diagnostics).
   std::uint64_t generation(stm::Tx& tx) const { return gen_.get(tx); }
 
+  // --- notifier registration (liveness) ---------------------------------
+
+  // Declare the calling thread responsible for eventually notifying this
+  // condition. The duty survives the registering code's transactions —
+  // it is committed state — which is what makes waiter edges
+  // deadlock-checkable: a ring of threads each waiting on a condition the
+  // next must notify deadlocks with zero locks held, and the wait graph
+  // can only see it if edges resolve to a responsible thread. A registered
+  // notifier also lets the watchdog's poison-orphans policy poison the
+  // condition if the notifier's thread incarnation dies. Plain atomics:
+  // registration is bookkeeping, not a transactional effect (it must not
+  // be discarded by an abort of whatever transaction surrounds it).
+  void set_notifier() noexcept {
+    notifier_gen_.store(thread_id_generation(), std::memory_order_relaxed);
+    notifier_.store(thread_id(), std::memory_order_release);
+  }
+  void clear_notifier() noexcept {
+    notifier_.store(kNoThread, std::memory_order_release);
+  }
+  bool has_notifier() const noexcept { return notifier() != kNoThread; }
+  std::uint32_t notifier() const noexcept {  // kNoThread when unregistered
+    return notifier_.load(std::memory_order_acquire);
+  }
+
+  // Wait-graph callbacks carried by cv wait edges (liveness::OwnerFn /
+  // OrphanFn / PoisonFn). Racy by design: the watchdog tolerates stale
+  // reads, and a registration is expected to be stable while waiters park.
+  static std::uint32_t notifier_of(const void* cv) noexcept;
+  static bool notifier_dead(const void* cv) noexcept;
+  static void poison_entity(const void* cv);
+
  private:
+  // Publish this waiter's cv edge and run the publish-site deadlock scan
+  // (txcondvar.cpp; shared by the three wait forms, called pre-retry).
+  void prepare_wait(stm::Tx& tx) const;
   void check_poison(stm::Tx& tx) const {
     // Reading poisoned_ here puts it in every waiter's read set: a
     // committed poison() is a wake-up like any notify, and the re-executed
@@ -127,6 +166,10 @@ class TxCondVar {
 
   mutable stm::tvar<std::uint64_t> gen_{0};
   mutable stm::tvar<std::uint32_t> poisoned_{0};
+  // Registered notifier incarnation (slot id + generation); see
+  // set_notifier for why these are plain atomics, not tvars.
+  mutable std::atomic<std::uint32_t> notifier_{kNoThread};
+  mutable std::atomic<std::uint32_t> notifier_gen_{0};
 };
 
 }  // namespace adtm

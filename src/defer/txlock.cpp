@@ -16,9 +16,54 @@ std::uint32_t TxLock::owner_of(const void* lock) noexcept {
   return static_cast<const TxLock*>(lock)->owner_.load_direct();
 }
 
+bool TxLock::orphan_of(const void* lock) noexcept {
+  return static_cast<const TxLock*>(lock)->orphaned();
+}
+
+void TxLock::poison_orphan(const void* lock) {
+  auto* l = const_cast<TxLock*>(static_cast<const TxLock*>(lock));
+  // One transaction: waiters woken by the poison observe the break too,
+  // so they raise TxLockPoisoned (deliberate — the protected data's state
+  // is unknown) rather than racing to re-acquire a half-repaired lock.
+  stm::atomic([l](stm::Tx& tx) {
+    if (!l->orphaned(tx)) return;  // owner came back to life? stand down
+    l->poison(tx);
+    l->break_orphaned(tx);
+  });
+}
+
+namespace {
+
+// Per-thread wait-timing for the opt-in lock-wait histogram: armed at the
+// block site, sampled by the first successful pass through the acquire or
+// subscribe fast path for the same lock. Re-executions in between keep
+// the original start, so the recorded wait spans the whole park.
+struct WaitTimer {
+  const void* lock = nullptr;
+  std::uint64_t since_ns = 0;
+};
+thread_local WaitTimer t_wait_timer;
+
+void arm_wait_timer(const void* lock) noexcept {
+  if (!lock_stats().enabled()) return;
+  if (t_wait_timer.lock == lock) return;  // already timing this park
+  t_wait_timer = {lock, now_ns()};
+}
+
+void sample_wait_timer(const void* lock) noexcept {
+  if (t_wait_timer.lock != lock) return;
+  lock_stats().record_wait(lock, now_ns() - t_wait_timer.since_ns);
+  t_wait_timer = {};
+}
+
+}  // namespace
+
 void TxLock::block(stm::Tx& tx, std::uint64_t deadline_ns,
                    const char* site) const {
-  liveness::publish_wait(this, &TxLock::owner_of, site);
+  arm_wait_timer(this);
+  liveness::publish_wait(this, &TxLock::owner_of, site,
+                         liveness::WaitKind::Lock, &TxLock::orphan_of,
+                         &TxLock::poison_orphan);
   // Deadlock scan, gated twice. pinned_holds() > 0: hold-and-wait needs a
   // committed hold an abort cannot revoke. locker_depth() == pinned_holds():
   // no *in-attempt* holds — under eager algorithms an in-attempt ownership
@@ -50,6 +95,12 @@ void TxLock::acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
     owner_.set(tx, me);
     owner_gen_.set(tx, thread_id_generation());
     depth_.set(tx, 1);
+    if (lock_stats().enabled()) {
+      // Hold time runs from the commit that makes the ownership real.
+      tx.on_commit([this] {
+        hold_start_.store(now_ns(), std::memory_order_relaxed);
+      });
+    }
   } else if (owner == me && owner_gen_.get(tx) == thread_id_generation()) {
     depth_.set(tx, depth_.get(tx) + 1);
   } else if (!thread_incarnation_live(owner, owner_gen_.get(tx))) {
@@ -74,6 +125,7 @@ void TxLock::acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
   stm::detail::locker_enter();
   tx.on_abort([] { stm::detail::locker_exit(); });
   tx.on_commit([] { liveness::pinned_enter(); });
+  sample_wait_timer(this);  // a park that ended here ends its wait now
   stats().add(Counter::TxLockAcquires);
 }
 
@@ -145,6 +197,13 @@ void TxLock::release(stm::Tx& tx) {
     depth_.set(tx, 0);
     owner_.set(tx, kNoThread);
     owner_gen_.set(tx, 0);
+    if (lock_stats().enabled()) {
+      tx.on_commit([this] {
+        const std::uint64_t t0 =
+            hold_start_.exchange(0, std::memory_order_relaxed);
+        if (t0 != 0) lock_stats().record_hold(this, now_ns() - t0);
+      });
+    }
   }
   // Drop the locker registration (and its pinned twin) only once the
   // release commits; until then the hold is still real.
@@ -179,6 +238,7 @@ void TxLock::subscribe_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
       block(tx, deadline_ns, "TxLock::subscribe");
     }
   }
+  sample_wait_timer(this);
   stats().add(Counter::TxLockSubscribes);
 }
 

@@ -31,6 +31,7 @@
 //    TxLockOrphaned; break_orphaned() force-releases such a lock.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
@@ -144,6 +145,13 @@ class TxLock {
   // wait-graph edge resolver (liveness::OwnerFn) for TxLock waits.
   static std::uint32_t owner_of(const void* lock) noexcept;
 
+  // Repair callbacks (liveness::OrphanFn / PoisonFn) carried by this
+  // lock's wait edges for the watchdog's poison-orphans policy: is the
+  // recorded owner a dead incarnation, and — atomically — poison plus
+  // break such a lock so every parked waiter wakes and raises.
+  static bool orphan_of(const void* lock) noexcept;
+  static void poison_orphan(const void* lock);
+
  private:
   // Common slow path: record the wait edge, run deadlock detection when
   // this thread pins holds across transactions, then retry (timed or not).
@@ -157,6 +165,10 @@ class TxLock {
   // free -> held transition (orphan detection).
   stm::tvar<std::uint32_t> owner_gen_{0};
   stm::tvar<std::uint32_t> poisoned_{0};
+  // Start of the current hold (free -> held commit), for the opt-in
+  // per-lock hold-time histogram (ADTM_LOCK_STATS). Diagnostics only, so
+  // a plain atomic outside the transactional metadata.
+  std::atomic<std::uint64_t> hold_start_{0};
 };
 
 // RAII acquire/release around a non-transactional critical section.

@@ -32,4 +32,18 @@ std::uint64_t state_since_ns(std::uint32_t tid) noexcept {
   return detail::g_activity[tid]->since_ns.load(std::memory_order_relaxed);
 }
 
+void request_reap(std::uint32_t tid) noexcept {
+  if (tid >= kMaxThreads) return;
+  detail::g_activity[tid]->reap.store(1, std::memory_order_release);
+}
+
+bool reap_requested() noexcept {
+  return detail::g_activity[thread_id()]->reap.load(
+             std::memory_order_acquire) != 0;
+}
+
+void clear_reap() noexcept {
+  detail::g_activity[thread_id()]->reap.store(0, std::memory_order_release);
+}
+
 }  // namespace adtm::liveness

@@ -30,6 +30,7 @@ struct ActivitySlot {
   std::atomic<std::uint32_t> state{
       static_cast<std::uint32_t>(ThreadState::Idle)};
   std::atomic<std::uint64_t> since_ns{0};
+  std::atomic<std::uint32_t> reap{0};
 };
 
 namespace detail {
@@ -44,5 +45,17 @@ void set_state(ThreadState s, std::uint64_t stamp) noexcept;
 // Sample another thread's state (watchdog only; racy by design).
 ThreadState state_of(std::uint32_t tid) noexcept;
 std::uint64_t state_since_ns(std::uint32_t tid) noexcept;
+
+// --- cooperative reap requests ---------------------------------------------
+//
+// The watchdog's ReapDeferred policy cannot abort a deferred operation —
+// it runs arbitrary post-commit code on the committing thread — but it can
+// flag the thread so the failure-policy retry loop stops re-trying and
+// escalates at its next failure (the op's own failure path then poisons
+// and releases its locks). A request targets the thread's *current*
+// deferred op: starting a new op clears it.
+void request_reap(std::uint32_t tid) noexcept;
+bool reap_requested() noexcept;  // the calling thread's flag
+void clear_reap() noexcept;      // the calling thread starts a fresh op
 
 }  // namespace adtm::liveness

@@ -4,6 +4,16 @@ namespace adtm::liveness {
 
 ContentionManager& contention() noexcept {
   static ContentionManager manager;
+  // A thread that dies while holding the priority token would deny every
+  // other starved thread the fast arbitration rung forever (they would
+  // still make progress through serial escalation, but the token must not
+  // leak). Reclaim it from the exit hook, keyed by the dead slot.
+  static const bool hook = [] {
+    register_thread_exit_hook(
+        [](std::uint32_t tid) { contention().release_priority_of(tid); });
+    return true;
+  }();
+  (void)hook;
   return manager;
 }
 

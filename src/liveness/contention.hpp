@@ -6,17 +6,32 @@
 // lose every conflict across many transactions while its rivals commit —
 // the starvation Kuznetsov & Ravi quantify for lock-based TMs. This
 // manager tracks per-thread conflict history *across* transactions
-// (aborts accrue karma, commits spend it) and escalates a chronically
-// starved thread straight into serial-irrevocable mode — the single
-// global token — where it cannot lose. Since the serial gate admits one
-// thread at a time and every escalated transaction commits, every thread
-// eventually commits: the ladder is starvation-free.
+// (aborts accrue karma, commits spend it) and arbitrates for a
+// chronically starved thread in two rungs:
+//
+//  1. Priority token (this layer, consumed by the stm driver): the first
+//     thread whose streak crosses the threshold takes the single
+//     process-wide priority token and keeps running *speculatively* —
+//     conflict arbitration then favors it (it outwaits busy orecs that
+//     would abort anyone else, rivals encountering its orecs step aside,
+//     and NOrec rivals hold their sequence-lock commit back while it has
+//     an attempt in flight). Unlike serial escalation this works even
+//     while the thread pins TxLocks across transactions, closing the old
+//     locker_depth()==0 gap.
+//  2. Serial escalation (fallback): when the token is already taken, or a
+//     privileged thread keeps losing to conflicts arbitration cannot veto
+//     (validation failures), the thread escalates into serial-irrevocable
+//     mode — the single global token where it cannot lose. Since at most
+//     one thread holds each token and every escalated transaction
+//     commits, every thread eventually commits: the ladder is
+//     starvation-free.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "common/stats.hpp"
 #include "common/thread_id.hpp"
 
 namespace adtm::liveness {
@@ -30,12 +45,14 @@ class ContentionManager {
     s.total_aborts.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // The calling thread committed: its streak of losses is over.
+  // The calling thread committed: its streak of losses is over, and any
+  // priority it held is spent.
   void on_commit() noexcept {
     Slot& s = *slots_[thread_id()];
     if (s.consecutive.load(std::memory_order_relaxed) != 0) {
       s.consecutive.store(0, std::memory_order_relaxed);
     }
+    release_priority();
   }
 
   // Should the calling thread's next transaction run serialized?
@@ -52,6 +69,67 @@ class ContentionManager {
     slots_[thread_id()]->escalations.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --- priority arbitration (rung 1) ------------------------------------
+
+  // Take (or confirm holding) the process-wide priority token. Returns
+  // true while the calling thread holds it: idempotent across the
+  // transactions of one starvation episode. Fails when escalation is
+  // disabled, the streak is below `threshold`, or another thread holds
+  // the token. Succeeding while pinning TxLocks is deliberate — priority
+  // arbitration, unlike the serial gate, cannot wedge on a pinned hold.
+  bool try_acquire_priority(std::uint32_t threshold) noexcept {
+    if (threshold == 0) return false;
+    const std::uint32_t me = thread_id();
+    if (priority_.load(std::memory_order_acquire) == me) return true;
+    if (slots_[me]->consecutive.load(std::memory_order_relaxed) < threshold) {
+      return false;
+    }
+    std::uint32_t expected = kNoThread;
+    if (!priority_.compare_exchange_strong(expected, me,
+                                           std::memory_order_acq_rel)) {
+      return false;
+    }
+    stats().add(Counter::CmPriorityAcquired);
+    return true;
+  }
+
+  // Hand the token back. Idempotent: a no-op when the calling thread does
+  // not hold it. Clears the attempt shield with it.
+  void release_priority() noexcept { release_priority_of(thread_id()); }
+
+  // Reclaim the token from a specific slot — the thread-exit hook's path,
+  // so a thread that dies mid-starvation-episode cannot leak the token.
+  void release_priority_of(std::uint32_t tid) noexcept {
+    std::uint32_t expected = tid;
+    if (priority_.compare_exchange_strong(expected, kNoThread,
+                                          std::memory_order_acq_rel)) {
+      priority_attempt_.store(false, std::memory_order_release);
+    }
+  }
+
+  bool has_priority() const noexcept {
+    return priority_.load(std::memory_order_relaxed) == thread_id();
+  }
+
+  // Slot currently holding the token (kNoThread when free). Rivals use
+  // this to step aside when they hit one of the holder's orecs.
+  std::uint32_t priority_thread() const noexcept {
+    return priority_.load(std::memory_order_relaxed);
+  }
+
+  // NOrec shield: set while the token holder has a speculative attempt in
+  // flight. Rival NOrec commits hold back (bounded by
+  // Config::priority_wait_ns) so the holder's value-based validation
+  // cannot be invalidated mid-attempt. Must be cleared whenever the
+  // attempt ends — commit, rollback, or park — or rivals stall for the
+  // full bound.
+  void set_priority_attempt(bool active) noexcept {
+    priority_attempt_.store(active, std::memory_order_release);
+  }
+  bool priority_attempt_active() const noexcept {
+    return priority_attempt_.load(std::memory_order_acquire);
+  }
+
   // Watchdog/report accessors (racy by design).
   std::uint32_t consecutive_aborts(std::uint32_t tid) const noexcept {
     return slots_[tid]->consecutive.load(std::memory_order_relaxed);
@@ -63,13 +141,15 @@ class ContentionManager {
     return slots_[tid]->escalations.load(std::memory_order_relaxed);
   }
 
-  // Test support: forget all history.
+  // Test support: forget all history and free the token.
   void reset() noexcept {
     for (auto& slot : slots_) {
       slot->consecutive.store(0, std::memory_order_relaxed);
       slot->total_aborts.store(0, std::memory_order_relaxed);
       slot->escalations.store(0, std::memory_order_relaxed);
     }
+    priority_.store(kNoThread, std::memory_order_release);
+    priority_attempt_.store(false, std::memory_order_release);
   }
 
  private:
@@ -79,6 +159,8 @@ class ContentionManager {
     std::atomic<std::uint64_t> escalations{0};
   };
   CacheAligned<Slot> slots_[kMaxThreads];
+  alignas(64) std::atomic<std::uint32_t> priority_{kNoThread};
+  std::atomic<bool> priority_attempt_{false};
 };
 
 // The process-wide manager consulted by the transaction driver.

@@ -14,12 +14,15 @@ namespace {
 
 struct WaitEdge {
   // `lock` is the linearization point: non-null means the edge (lock,
-  // owner_fn, site, since) is published. Stores to the payload fields
-  // happen before the seq_cst store of `lock`.
+  // owner_fn, site, since, kind, repair callbacks) is published. Stores to
+  // the payload fields happen before the seq_cst store of `lock`.
   std::atomic<const void*> lock{nullptr};
   std::atomic<OwnerFn> owner_fn{nullptr};
   std::atomic<const char*> site{nullptr};
   std::atomic<std::uint64_t> since_ns{0};
+  std::atomic<WaitKind> kind{WaitKind::Lock};
+  std::atomic<OrphanFn> orphan_fn{nullptr};
+  std::atomic<PoisonFn> poison_fn{nullptr};
 };
 
 CacheAligned<WaitEdge> g_edges[kMaxThreads];
@@ -93,14 +96,22 @@ std::string describe_cycle(const std::vector<std::uint32_t>& cycle) {
 
 }  // namespace
 
-void publish_wait(const void* lock, OwnerFn owner_of,
-                  const char* site) noexcept {
+void publish_wait(const void* entity, OwnerFn owner_of, const char* site,
+                  WaitKind kind, OrphanFn orphaned, PoisonFn poison) noexcept {
   WaitEdge& e = *g_edges[thread_id()];
   e.owner_fn.store(owner_of, std::memory_order_relaxed);
   e.site.store(site, std::memory_order_relaxed);
   e.since_ns.store(now_ns(), std::memory_order_relaxed);
-  e.lock.store(lock, std::memory_order_seq_cst);
+  e.kind.store(kind, std::memory_order_relaxed);
+  e.orphan_fn.store(orphaned, std::memory_order_relaxed);
+  e.poison_fn.store(poison, std::memory_order_relaxed);
+  e.lock.store(entity, std::memory_order_seq_cst);
   pinned_slot().edge_published = true;
+}
+
+void publish_wait(const void* lock, OwnerFn owner_of,
+                  const char* site) noexcept {
+  publish_wait(lock, owner_of, site, WaitKind::Lock, nullptr, nullptr);
 }
 
 void clear_wait() noexcept {
@@ -111,6 +122,13 @@ void clear_wait() noexcept {
 }
 
 bool has_wait_edge() noexcept { return pinned_slot().edge_published; }
+
+bool wait_edge_checkable() noexcept {
+  if (!pinned_slot().edge_published) return false;
+  const WaitEdge& e = *g_edges[thread_id()];
+  if (e.kind.load(std::memory_order_relaxed) == WaitKind::CondVar) return true;
+  return pinned_holds() > 0;
+}
 
 void deadlock_check() {
   const std::uint32_t me = thread_id();
@@ -136,6 +154,22 @@ void pinned_exit() noexcept {
   if (slot.holds > 0) --slot.holds;
 }
 
+std::vector<WaitEdgeSnapshot> snapshot_wait_edges() {
+  std::vector<WaitEdgeSnapshot> edges;
+  for (std::uint32_t tid = 0; tid < kMaxThreads; ++tid) {
+    WaitEdge& e = *g_edges[tid];
+    const void* entity = e.lock.load(std::memory_order_seq_cst);
+    if (entity == nullptr) continue;
+    edges.push_back(WaitEdgeSnapshot{
+        tid, entity, e.site.load(std::memory_order_relaxed),
+        e.kind.load(std::memory_order_relaxed),
+        e.since_ns.load(std::memory_order_relaxed), wait_target(tid),
+        e.orphan_fn.load(std::memory_order_relaxed),
+        e.poison_fn.load(std::memory_order_relaxed)});
+  }
+  return edges;
+}
+
 std::string dump_wait_graph() {
   std::ostringstream out;
   const std::uint64_t now = now_ns();
@@ -143,14 +177,18 @@ std::string dump_wait_graph() {
     WaitEdge& e = *g_edges[tid];
     const void* lock = e.lock.load(std::memory_order_seq_cst);
     if (lock == nullptr) continue;
+    const bool cv =
+        e.kind.load(std::memory_order_relaxed) == WaitKind::CondVar;
     const std::uint32_t owner = wait_target(tid);
     const std::uint64_t since = e.since_ns.load(std::memory_order_relaxed);
     const char* site = e.site.load(std::memory_order_relaxed);
-    out << "  thread " << tid << ": " << (site ? site : "?") << " on lock "
-        << lock << " for " << (now > since ? (now - since) / 1000000 : 0)
-        << " ms, owner ";
+    out << "  thread " << tid << ": " << (site ? site : "?") << " on "
+        << (cv ? "condvar " : "lock ") << lock << " for "
+        << (now > since ? (now - since) / 1000000 : 0) << " ms, "
+        << (cv ? "notifier " : "owner ");
     if (owner == kNoThread) {
-      out << "none (wake-up in flight)";
+      out << (cv ? "none (unregistered or dead)"
+                 : "none (wake-up in flight)");
     } else {
       out << owner << (thread_slot_live(owner) ? " (live)" : " (exited)");
     }

@@ -26,12 +26,29 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace adtm::liveness {
 
 // Resolves the current owner (small thread id, or kNoThread) of the lock
 // a wait edge points at.
 using OwnerFn = std::uint32_t (*)(const void* lock);
+
+// What the published entity is. Lock edges (TxLock) are only
+// deadlock-checkable while the waiter pins committed holds (hold-and-wait
+// needs a hold an abort cannot revoke). CondVar edges (TxCondVar) are
+// checkable unconditionally: the duty to notify is committed state — a
+// registered notifier stays responsible whether or not the waiter holds
+// anything, so a notifier-wait cycle deadlocks with zero locks held.
+enum class WaitKind : std::uint8_t { Lock, CondVar };
+
+// Optional repair callbacks carried by an edge for the watchdog's
+// enforcement policies. `orphaned` answers "is the entity's responsible
+// thread (lock owner / cv notifier) a dead incarnation?"; `poison` marks
+// the entity failed, waking every parked waiter to raise. Both must be
+// callable from any thread.
+using OrphanFn = bool (*)(const void* entity);
+using PoisonFn = void (*)(const void* entity);
 
 // Raised by deadlock_check (and thus out of the blocked acquire) when the
 // calling thread would complete a wait cycle. The message names the cycle.
@@ -41,19 +58,46 @@ struct DeadlockError : std::runtime_error {
 
 // Publish / withdraw the calling thread's wait edge. `site` is a static
 // string naming the blocking operation (for reports). Publishing twice
-// overwrites; clearing when no edge is published is a no-op.
+// overwrites; clearing when no edge is published is a no-op. The short
+// form publishes a WaitKind::Lock edge with no repair callbacks.
 void publish_wait(const void* lock, OwnerFn owner_of,
                   const char* site) noexcept;
+void publish_wait(const void* entity, OwnerFn owner_of, const char* site,
+                  WaitKind kind, OrphanFn orphaned, PoisonFn poison) noexcept;
 void clear_wait() noexcept;
 
 // True if the calling thread currently has a published edge (used by the
 // transaction driver to clear stale edges cheaply).
 bool has_wait_edge() noexcept;
 
+// True if the calling thread's published edge may be deadlock-checked
+// right now: any CondVar edge, or a Lock edge while pinned_holds() > 0.
+// (The park loop consults this; the block sites apply their own
+// in-attempt-hold gates before the first check.)
+bool wait_edge_checkable() noexcept;
+
 // Walk the wait graph starting from the calling thread's published edge;
 // throws DeadlockError on a re-validated cycle through this thread.
 // Call after publish_wait and before parking.
 void deadlock_check();
+
+// A consistent-enough copy of one published edge, for the watchdog's
+// enforcement pass. The entity pointer is safe to dereference only while
+// its waiter stays parked (the waiter keeps the entity alive); policies
+// must act through the carried callbacks, not retained pointers.
+struct WaitEdgeSnapshot {
+  std::uint32_t tid;
+  const void* entity;
+  const char* site;
+  WaitKind kind;
+  std::uint64_t since_ns;
+  std::uint32_t owner;  // kNoThread when unresolved
+  OrphanFn orphaned;    // may be null
+  PoisonFn poison;      // may be null
+};
+
+// All currently-published edges (racy by design; watchdog only).
+std::vector<WaitEdgeSnapshot> snapshot_wait_edges();
 
 // --- pinned-hold accounting ------------------------------------------------
 //

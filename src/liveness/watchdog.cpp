@@ -6,6 +6,8 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/env.hpp"
 #include "common/stats.hpp"
@@ -17,9 +19,29 @@
 
 namespace adtm::liveness {
 
+const char* watchdog_action_name(WatchdogAction a) noexcept {
+  switch (a) {
+    case WatchdogAction::Report: return "report";
+    case WatchdogAction::PoisonOrphans: return "poison-orphans";
+    case WatchdogAction::ReapDeferred: return "reap-deferred";
+    case WatchdogAction::Enforce: return "enforce";
+  }
+  return "?";
+}
+
+WatchdogAction parse_watchdog_action(const std::string& s) noexcept {
+  if (s == "poison-orphans") return WatchdogAction::PoisonOrphans;
+  if (s == "reap-deferred") return WatchdogAction::ReapDeferred;
+  if (s == "enforce") return WatchdogAction::Enforce;
+  return WatchdogAction::Report;
+}
+
 WatchdogOptions::WatchdogOptions()
     : stall_budget_ns(env_u64("ADTM_STALL_BUDGET_MS", 2000) * 1000000ull),
       interval_ns(env_u64("ADTM_WATCHDOG_INTERVAL_MS", 200) * 1000000ull),
+      action(parse_watchdog_action(env_str("ADTM_WATCHDOG_ACTION", "report"))),
+      reap_after_budgets(static_cast<std::uint32_t>(
+          env_u64("ADTM_REAP_BUDGETS", 4))),
       sink([](const std::string& report) {
         std::fputs(report.c_str(), stderr);
       }) {}
@@ -35,8 +57,88 @@ struct Watchdog::Impl {
   std::string last_report;
   std::atomic<std::uint64_t> stall_reports{0};
 
-  // Builds the report for one sample pass; "" when nothing is stalled.
-  std::string scan(std::uint64_t budget_ns) {
+  // Exactly-once bookkeeping for enforcement actions, guarded by
+  // scan_mutex (background scans and scan_once may interleave):
+  // an entity leaves the poisoned set when it is observed repaired, so a
+  // fresh stall episode may fire again; a reap is keyed by the deferred
+  // op's start stamp, so each op is reaped at most once.
+  std::mutex scan_mutex;
+  std::unordered_set<const void*> poisoned_entities;
+  std::unordered_map<std::uint32_t, std::uint64_t> reaped_ops;
+
+  void fire(const WatchdogOptions& o, const WatchdogEvent& ev,
+            std::ostringstream& out) {
+    stats().add(Counter::WatchdogActions);
+    if (ev.kind == WatchdogEvent::Kind::OrphanPoisoned) {
+      out << "watchdog action: poisoned orphaned entity " << ev.entity
+          << " (responsible thread dead; waiter thread " << ev.tid
+          << " parked " << ev.stalled_ns / 1000000 << " ms)\n";
+    } else {
+      out << "watchdog action: reap requested for thread " << ev.tid
+          << " (deferred op running " << ev.stalled_ns / 1000000
+          << " ms)\n";
+    }
+    if (o.on_action) o.on_action(ev);
+  }
+
+  // The enforcement pass: poison orphaned entities reachable through live
+  // wait edges (safe: a parked waiter keeps the entity alive) and flag
+  // over-budget deferred ops. Returns action lines for the report.
+  std::string enforce(const WatchdogOptions& o, std::uint64_t now) {
+    const bool poison = o.action == WatchdogAction::PoisonOrphans ||
+                        o.action == WatchdogAction::Enforce;
+    const bool reap = o.action == WatchdogAction::ReapDeferred ||
+                      o.action == WatchdogAction::Enforce;
+    if (!poison && !reap) return "";
+    std::ostringstream out;
+    std::lock_guard<std::mutex> lk(scan_mutex);
+    if (poison) {
+      for (const WaitEdgeSnapshot& e : snapshot_wait_edges()) {
+        if (e.orphaned == nullptr || e.poison == nullptr) continue;
+        if (!e.orphaned(e.entity)) {
+          poisoned_entities.erase(e.entity);  // repaired: re-arm
+          continue;
+        }
+        if (now < e.since_ns + o.stall_budget_ns) continue;
+        if (!poisoned_entities.insert(e.entity).second) continue;
+        e.poison(e.entity);
+        fire(o,
+             WatchdogEvent{WatchdogEvent::Kind::OrphanPoisoned, e.entity,
+                           e.tid, now - e.since_ns},
+             out);
+      }
+    }
+    if (reap) {
+      const std::uint64_t reap_ns =
+          o.stall_budget_ns *
+          (reap_after_budgets_clamped(o.reap_after_budgets));
+      for (std::uint32_t tid = 0; tid < thread_high_water(); ++tid) {
+        if (state_of(tid) != ThreadState::DeferredOp) continue;
+        const std::uint64_t since = state_since_ns(tid);
+        if (since == 0 || now < since + reap_ns) continue;
+        if (!thread_slot_live(tid)) continue;
+        auto [it, fresh] = reaped_ops.try_emplace(tid, since);
+        if (!fresh) {
+          if (it->second == since) continue;  // this op already reaped
+          it->second = since;
+        }
+        request_reap(tid);
+        fire(o,
+             WatchdogEvent{WatchdogEvent::Kind::DeferredReaped, nullptr, tid,
+                           now - since},
+             out);
+      }
+    }
+    return out.str();
+  }
+
+  static std::uint32_t reap_after_budgets_clamped(std::uint32_t n) noexcept {
+    return n == 0 ? 1 : n;
+  }
+
+  // Builds the report for one sample pass; "" when nothing is stalled and
+  // no enforcement action fired.
+  std::string scan(const WatchdogOptions& o) {
     const std::uint64_t now = now_ns();
     std::ostringstream out;
     bool stalled = false;
@@ -44,12 +146,12 @@ struct Watchdog::Impl {
       const ThreadState state = state_of(tid);
       if (state == ThreadState::Idle || state == ThreadState::InTx) continue;
       const std::uint64_t since = state_since_ns(tid);
-      if (since == 0 || now < since + budget_ns) continue;
+      if (since == 0 || now < since + o.stall_budget_ns) continue;
       if (!thread_slot_live(tid)) continue;  // exited mid-park; stale slot
       if (!stalled) {
         stalled = true;
         out << "adtm watchdog: stalled threads (budget "
-            << budget_ns / 1000000 << " ms):\n";
+            << o.stall_budget_ns / 1000000 << " ms):\n";
       }
       out << "  thread " << tid << ": " << state_name(state) << " for "
           << (now - since) / 1000000 << " ms";
@@ -58,9 +160,15 @@ struct Watchdog::Impl {
           << ", total aborts " << cm.total_aborts(tid) << ", escalations "
           << cm.escalations(tid) << ")\n";
     }
-    if (!stalled) return "";
-    const std::string graph = dump_wait_graph();
-    if (!graph.empty()) out << "wait graph:\n" << graph;
+    const std::string actions = enforce(o, now);
+    if (!stalled && actions.empty()) return "";
+    if (stalled) {
+      const std::string graph = dump_wait_graph();
+      if (!graph.empty()) out << "wait graph:\n" << graph;
+      const std::string locks = lock_stats().report();
+      if (!locks.empty()) out << "lock stats:\n" << locks;
+    }
+    out << actions;
     return out.str();
   }
 
@@ -70,9 +178,11 @@ struct Watchdog::Impl {
       cv.wait_for(lk, std::chrono::nanoseconds(opts.interval_ns),
                   [this] { return stop_requested; });
       if (stop_requested) break;
-      // Sample without the mutex: the scan reads only lock-free tables.
+      // Sample without the mutex: the scan reads only lock-free tables
+      // (plus the scan mutex for enforcement bookkeeping).
+      WatchdogOptions snapshot = opts;
       lk.unlock();
-      std::string report = scan(opts.stall_budget_ns);
+      std::string report = scan(snapshot);
       lk.lock();
       if (!report.empty()) {
         stall_reports.fetch_add(1, std::memory_order_relaxed);
@@ -139,12 +249,12 @@ bool Watchdog::running() const noexcept {
 
 std::string Watchdog::scan_once() {
   Impl& im = impl();
-  std::uint64_t budget;
+  WatchdogOptions snapshot;
   {
     std::lock_guard<std::mutex> lk(im.mutex);
-    budget = im.opts.stall_budget_ns;
+    snapshot = im.opts;
   }
-  return im.scan(budget);
+  return im.scan(snapshot);
 }
 
 std::string Watchdog::last_report() const {

@@ -2,13 +2,26 @@
 // the lock-wait graph, flags threads stalled past a budget, and dumps a
 // diagnostic report (state, duration, wait edges, owners, abort history).
 //
-// The watchdog observes; it never unblocks anything itself. Recovery is
-// the job of the mechanisms it reports on: deadline-aware waits raise
-// RetryTimeout, poisoned/orphaned locks raise at the waiter, and the
-// contention manager escalates starved threads. The watchdog is the net
-// under all of them — the budget is deliberately generous, so a report
-// means a real liveness bug (an unbounded wait with no deadline, a leaked
-// lock, a wait cycle through committed holds).
+// By default the watchdog observes; recovery is the job of the mechanisms
+// it reports on: deadline-aware waits raise RetryTimeout,
+// poisoned/orphaned locks raise at the waiter, and the contention manager
+// escalates starved threads. The watchdog is the net under all of them —
+// the budget is deliberately generous, so a report means a real liveness
+// bug (an unbounded wait with no deadline, a leaked lock, a wait cycle
+// through committed holds).
+//
+// Action policies (opt-in, ADTM_WATCHDOG_ACTION) turn the net into an
+// enforcer for the two stalls nothing else repairs:
+//  * poison-orphans — an entity whose responsible thread incarnation is
+//    dead (a TxLock with a dead owner no waiter has broken, a TxCondVar
+//    whose registered notifier died) is poisoned through the repair
+//    callback its wait edge carries, waking every parked waiter to raise.
+//  * reap-deferred — a deferred operation stalled past
+//    reap_after_budgets x stall budget has its thread's reap flag set;
+//    the failure-policy retry loop escalates at its next failure instead
+//    of retrying forever (composing with poison_on_escalate).
+//  * enforce — both. Every action fires exactly once per stalled entity
+//    (per stall episode) and is counted in Counter::WatchdogActions.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +29,28 @@
 #include <string>
 
 namespace adtm::liveness {
+
+enum class WatchdogAction : std::uint8_t {
+  Report,         // report-only (default)
+  PoisonOrphans,  // + poison entities whose responsible thread is dead
+  ReapDeferred,   // + flag over-budget deferred ops for escalation
+  Enforce,        // PoisonOrphans and ReapDeferred together
+};
+
+const char* watchdog_action_name(WatchdogAction a) noexcept;
+
+// Parse an ADTM_WATCHDOG_ACTION value ("report", "poison-orphans",
+// "reap-deferred", "enforce"); unknown strings fall back to Report.
+WatchdogAction parse_watchdog_action(const std::string& s) noexcept;
+
+// One enforcement action, delivered to WatchdogOptions::on_action.
+struct WatchdogEvent {
+  enum class Kind : std::uint8_t { OrphanPoisoned, DeferredReaped };
+  Kind kind;
+  const void* entity;       // poisoned entity; nullptr for a reap
+  std::uint32_t tid;        // a parked waiter / the reaped op's thread
+  std::uint64_t stalled_ns; // how long the stall had lasted at the action
+};
 
 struct WatchdogOptions {
   // How long a thread may sit in one park state before it is flagged.
@@ -25,8 +60,19 @@ struct WatchdogOptions {
   // Sampling period. Default: ADTM_WATCHDOG_INTERVAL_MS (200 ms).
   std::uint64_t interval_ns;
 
+  // Enforcement policy. Default: ADTM_WATCHDOG_ACTION (Report).
+  WatchdogAction action;
+
+  // A deferred op is reaped after this many stall budgets. Default:
+  // ADTM_REAP_BUDGETS (4); clamped to >= 1.
+  std::uint32_t reap_after_budgets;
+
   // Where reports go. Default: stderr.
   std::function<void(const std::string&)> sink;
+
+  // Observer invoked (from the scanning thread) for every enforcement
+  // action fired. Default: none.
+  std::function<void(const WatchdogEvent&)> on_action;
 
   WatchdogOptions();
 };

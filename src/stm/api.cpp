@@ -36,6 +36,20 @@ CacheAligned<std::atomic<std::uint64_t>> g_clock{1};
 
 RuntimeState& runtime() noexcept {
   static RuntimeState state;
+  // Wake CGL retry waiters whenever a thread exits: an owner that dies
+  // while a waiter is parked would otherwise only be noticed at a deadline.
+  // The empty critical section is the classic lost-wakeup fence — the
+  // waiter re-checks its predicate under cgl_mutex, so notifying after
+  // passing through the mutex guarantees it observes the exit.
+  static const bool exit_hook = [] {
+    register_thread_exit_hook([](std::uint32_t) {
+      RuntimeState& rt = runtime();
+      { std::lock_guard<std::mutex> lk(rt.cgl_mutex); }
+      rt.cgl_cv.notify_all();
+    });
+    return true;
+  }();
+  (void)exit_hook;
   return state;
 }
 
@@ -87,8 +101,10 @@ struct Driver {
     std::exception_ptr first_error;
     for (auto& fn : epilogues) {
       // Visible to the watchdog: a deferred op that stalls past the budget
-      // is reported with this state and its start time.
+      // is reported with this state and its start time. A reap request
+      // targets one op, so starting the next op discards any stale flag.
       liveness::set_state(liveness::ThreadState::DeferredOp, now_ns());
+      liveness::clear_reap();
       try {
         fn();
       } catch (...) {
@@ -145,12 +161,14 @@ struct Driver {
         stats().add(Counter::RetryTimeouts);
         throw RetryTimeout("stm::retry deadline expired");
       }
-      // A waiter that pins committed lock holds keeps scanning for wait
+      // A waiter with a checkable wait edge keeps scanning for wait
       // cycles while parked: the block-site scan can race with other
       // members that published but had not parked yet, and a cycle that
       // forms is stable precisely once everyone is parked — someone's
-      // poll then sees it and raises DeadlockError here.
-      if (liveness::has_wait_edge() && liveness::pinned_holds() > 0) {
+      // poll then sees it and raises DeadlockError here. Lock edges are
+      // checkable only while committed holds are pinned; condvar edges
+      // always are (notification duty is committed state).
+      if (liveness::wait_edge_checkable()) {
         liveness::deadlock_check();
       }
       bo.pause();
@@ -180,6 +198,12 @@ struct Driver {
           throw RetryTimeout("stm::retry deadline expired (serial mode)");
         }
         // No read set to watch in direct mode: back off and re-execute.
+        // The thread is still a parked waiter between executions — keep
+        // its state honest for the watchdog and poll for wait cycles
+        // (a serial waiter on a TxCondVar participates in cv-only cycles
+        // like any other waiter).
+        liveness::set_state(liveness::ThreadState::RetryWait, now_ns());
+        if (liveness::wait_edge_checkable()) liveness::deadlock_check();
         retry_bo.pause();
         continue;
       } catch (UserAbort&) {
@@ -233,17 +257,25 @@ struct Driver {
         stats().add(Counter::TxRetry);
         const std::uint64_t gen = rt.cgl_commit_gen;
         liveness::set_state(liveness::ThreadState::RetryWait, now_ns());
-        if (rr.deadline_ns == 0) {
-          rt.cgl_cv.wait(lk, [&] { return rt.cgl_commit_gen != gen; });
-        } else {
-          const auto deadline =
-              std::chrono::steady_clock::time_point(
-                  std::chrono::nanoseconds(rr.deadline_ns));
-          if (!rt.cgl_cv.wait_until(
-                  lk, deadline, [&] { return rt.cgl_commit_gen != gen; })) {
+        // Wake on a commit OR on a thread exit (the runtime's exit hook
+        // notifies cgl_cv): a CGL waiter parked on state owned by a dead
+        // thread re-runs its body's owner-liveness checks promptly
+        // instead of only at a caller deadline. The short tick bounds the
+        // window of a missed notification and drives the parked-waiter
+        // deadlock poll, mirroring the speculative park loop.
+        const auto woken = [&] {
+          return rt.cgl_commit_gen != gen ||
+                 thread_exit_count() != tx.retry_exit_snap_;
+        };
+        for (;;) {
+          if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
             stats().add(Counter::RetryTimeouts);
             throw RetryTimeout("stm::retry deadline expired (CGL)");
           }
+          if (rt.cgl_cv.wait_for(lk, std::chrono::milliseconds(10), woken)) {
+            break;
+          }
+          if (liveness::wait_edge_checkable()) liveness::deadlock_check();
         }
         continue;
       } catch (UserAbort&) {
@@ -273,6 +305,34 @@ struct Driver {
     }
   }
 
+  // Two-rung starvation ladder (liveness/contention.hpp). Rung 1: a
+  // thread whose cross-transaction abort streak reaches the threshold
+  // takes the process-wide priority token and keeps running speculatively
+  // — conflict arbitration (tx.cpp) then favors it. Rung 2 — serial
+  // escalation — remains the fallback for when the token is already taken,
+  // or when privilege alone has not broken the streak (the 2x-threshold
+  // backstop: validation failures are conflicts arbitration cannot veto).
+  // Serial escalation still requires locker_depth()==0: the serial gate
+  // drains *other* threads' cross-transaction holds, so two pinned holders
+  // escalating against each other could wedge the gate. The token rung has
+  // no such constraint — which is exactly why it comes first and closes
+  // the old pinned-holder starvation gap.
+  static bool starvation_wants_serial(const Config& cfg) {
+    const std::uint32_t threshold = cfg.starvation_threshold;
+    if (threshold == 0) return false;
+    auto& cm = liveness::contention();
+    if (cm.has_priority()) {
+      if (locker_depth() == 0 &&
+          cm.consecutive_aborts(thread_id()) >= 2 * threshold) {
+        cm.release_priority();  // privilege failed; hand rung 1 on
+        return true;
+      }
+      return false;  // keep running privileged
+    }
+    if (cm.try_acquire_priority(threshold)) return false;
+    return locker_depth() == 0 && cm.should_escalate(threshold);
+  }
+
   static void run_speculative(Tx& tx, FunctionRef<void(Tx&)> body,
                               const Config& cfg) {
     const std::uint32_t budget = (cfg.algo == Algo::HTMSim)
@@ -280,14 +340,10 @@ struct Driver {
                                      : cfg.serialize_after;
     std::uint32_t attempt = 0;
     Backoff bo;
-    // Starvation escalation: a thread that lost its conflicts across many
-    // *previous* transactions takes the serial token up front instead of
-    // losing a few more attempts first (liveness/contention.hpp). Never
-    // while this thread holds locks across transactions: the serial gate
-    // drains *other* threads' cross-transaction holds, so two pinned
-    // holders escalating against each other could wedge the gate.
-    if (locker_depth() == 0 &&
-        liveness::contention().should_escalate(cfg.starvation_threshold)) {
+    // A thread that lost its conflicts across many *previous* transactions
+    // climbs the ladder up front instead of losing a few more attempts
+    // first.
+    if (starvation_wants_serial(cfg)) {
       liveness::contention().on_escalation();
       stats().add(Counter::CmEscalations);
       run_serial(tx, body, cfg.algo);
@@ -296,6 +352,9 @@ struct Driver {
     for (;;) {
       if (attempt >= budget) {
         // Contention management of last resort: serialize (paper §2).
+        // Privilege is moot inside the serial gate — free the token so
+        // another starved thread can use it.
+        liveness::contention().release_priority();
         stats().add(cfg.algo == Algo::HTMSim ? Counter::TxHtmFallback
                                              : Counter::TxIrrevocable);
         run_serial(tx, body, cfg.algo);
@@ -310,9 +369,7 @@ struct Driver {
         tx.rollback();
         stats().add(Counter::TxAbortConflict);
         liveness::contention().on_conflict_abort();
-        if (locker_depth() == 0 &&
-            liveness::contention().should_escalate(
-                cfg.starvation_threshold)) {
+        if (starvation_wants_serial(cfg)) {
           liveness::contention().on_escalation();
           stats().add(Counter::CmEscalations);
           run_serial(tx, body, cfg.algo);

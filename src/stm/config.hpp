@@ -61,12 +61,21 @@ struct Config {
   // and immediately retrying, instead of de-scheduling the transaction").
   bool retry_wait = true;
 
-  // Starvation escalation (liveness layer): a thread whose conflict-abort
-  // streak *across transactions* reaches this count has its next
-  // transaction run serial-irrevocable immediately (the single global
-  // token), so chronically losing threads still commit. 0 disables.
-  // Overridable at process start via ADTM_STARVATION_THRESHOLD.
+  // Starvation arbitration (liveness layer): a thread whose conflict-abort
+  // streak *across transactions* reaches this count first takes the
+  // priority token — conflict arbitration then favors it while it keeps
+  // running speculatively — and falls back to serial-irrevocable mode when
+  // the token is taken (or when privilege alone cannot break the streak).
+  // 0 disables both rungs. Overridable via ADTM_STARVATION_THRESHOLD.
   std::uint32_t starvation_threshold = default_starvation_threshold();
+
+  // Patience bound of priority arbitration, in nanoseconds. A privileged
+  // thread outwaits a busy orec for at most this long before aborting
+  // after all (the safety valve against a wedged owner), and a
+  // non-privileged NOrec commit holds back at most this long for a
+  // privileged attempt in flight. Bounded so arbitration can delay but
+  // never deadlock anyone.
+  std::uint64_t priority_wait_ns = 100'000'000;
 
   static std::uint32_t default_starvation_threshold() noexcept {
     return static_cast<std::uint32_t>(

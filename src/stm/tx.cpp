@@ -2,12 +2,14 @@
 
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 #include "common/backoff.hpp"
 #include "common/panic.hpp"
 #include "common/stats.hpp"
 #include "common/timing.hpp"
 #include "liveness/activity.hpp"
+#include "liveness/contention.hpp"
 #include "liveness/wait_graph.hpp"
 #include "stm/control.hpp"
 #include "stm/orec.hpp"
@@ -51,6 +53,13 @@ void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
   locks_.clear();
   norec_reads_.clear();
   if (mode_ == Mode::Speculative) {
+    // Priority-aware karma: a starved thread that took the contention
+    // manager's token runs its attempts privileged — the access paths
+    // below arbitrate conflicts in its favor. The attempt shield (NOrec)
+    // goes up before the first read so no rival commit can slip between
+    // the snapshot and the shield.
+    priority_ = liveness::contention().has_priority();
+    if (priority_) liveness::contention().set_priority_attempt(true);
     const bool norec = (algo_ == Algo::NOrec);
     start_ = norec ? norec_snapshot() : clock_now();
     detail::registry_enter(start_);
@@ -58,6 +67,8 @@ void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
     // snapshot so we do not start in the past relative to its effects.
     start_ = norec ? norec_snapshot() : clock_now();
     detail::my_slot().active_since.store(start_, std::memory_order_seq_cst);
+  } else {
+    priority_ = false;
   }
   // Snapshot for retry's serial-commit watch: taken before any read so a
   // serial commit overlapping this attempt always wakes the waiter.
@@ -159,11 +170,27 @@ void Tx::commit_norec() {
     return;
   }
 
+  // Priority arbitration on the sequence-lock race: while a starved
+  // (privileged) attempt is in flight, rival writers hold their commit
+  // back so the privileged thread's value validation cannot be invalidated
+  // under it. Bounded by priority_wait_ns — politeness, not a lockout.
+  if (!priority_) {
+    auto& cm = liveness::contention();
+    if (cm.priority_attempt_active()) {
+      stats().add(Counter::CmPriorityYields);
+      const std::uint64_t deadline = now_ns() + cfg.priority_wait_ns;
+      while (cm.priority_attempt_active() && now_ns() < deadline) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
   // Acquire the sequence lock at a snapshot we are valid at.
   std::uint64_t s = start_;
   while (!seq.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel)) {
     s = norec_validate();  // adopt a newer consistent snapshot (or abort)
   }
+  if (priority_) stats().add(Counter::CmPriorityWins);
   for (const auto& e : writes_.entries()) {
     e.addr->store(e.value, std::memory_order_relaxed);
   }
@@ -212,6 +239,9 @@ std::uint64_t Tx::read_word_norec(const detail::Word* addr) {
 }
 
 void Tx::rollback() noexcept {
+  // The attempt is over: drop the NOrec shield so rivals held back for
+  // this privileged attempt do not stall while we park or back off.
+  if (priority_) liveness::contention().set_priority_attempt(false);
   undo_.rollback();
   undo_.clear();
   locks_.restore_all();
@@ -255,14 +285,53 @@ std::uint64_t Tx::read_word(const detail::Word* addr) {
   return read_word_speculative(addr);
 }
 
+// Shared busy-orec arbitration for the speculative access paths. Returns
+// normally to keep spinning, throws ConflictAbort to give up. State lives
+// in the caller's loop: `spins` counts busy samples, `patience_deadline`
+// is armed on the first privileged spin, and `outwaited` flags a win for
+// the stats once the caller succeeds past the normal spin budget.
+void Tx::arbitrate_busy_orec(OrecWord s, std::uint32_t& spins,
+                             std::uint64_t& patience_deadline,
+                             bool& outwaited) {
+  const Config& cfg = detail::runtime().config;
+  if (algo_ == Algo::HTMSim) conflict_abort();  // hardware cannot spin
+  if (priority_) {
+    // Privileged (starved past ADTM_STARVATION_THRESHOLD): outwait the
+    // owner instead of self-aborting — this is the arbitration win that
+    // replaces after-the-fact serial escalation. Bounded by
+    // priority_wait_ns: the owner may itself be wedged, and a privileged
+    // thread spinning forever would convert starvation into deadlock.
+    if (spins == 0) patience_deadline = now_ns() + cfg.priority_wait_ns;
+    ++spins;
+    if (spins > cfg.lock_spin_limit) outwaited = true;
+    if ((spins & 1023u) == 0) {
+      // Let the owner run (essential on few-core machines) and honor the
+      // patience bound without paying a clock read per spin.
+      std::this_thread::yield();
+      if (now_ns() >= patience_deadline) conflict_abort();
+    }
+    cpu_relax();
+    return;
+  }
+  if (orec_owner(s) == liveness::contention().priority_thread()) {
+    // The owner is the starved priority thread: step aside immediately
+    // instead of spinning against it (low karma loses the conflict).
+    stats().add(Counter::CmPriorityYields);
+    conflict_abort();
+  }
+  if (++spins > cfg.lock_spin_limit) conflict_abort();
+  cpu_relax();
+}
+
 std::uint64_t Tx::read_word_speculative(const detail::Word* addr) {
   std::uint64_t buffered;
   if (algo_ == Algo::TL2 && writes_.lookup(addr, &buffered)) {
     return buffered;
   }
   Orec& o = orec_for(addr);
-  const Config& cfg = detail::runtime().config;
   std::uint32_t spins = 0;
+  std::uint64_t patience_deadline = 0;
+  bool outwaited = false;
   for (;;) {
     const OrecWord s1 = o.load(std::memory_order_acquire);
     if (orec_locked(s1)) {
@@ -271,10 +340,7 @@ std::uint64_t Tx::read_word_speculative(const detail::Word* addr) {
         // write-lock path extended the snapshot past the line's version).
         return addr->load(std::memory_order_relaxed);
       }
-      if (algo_ == Algo::HTMSim || ++spins > cfg.lock_spin_limit) {
-        conflict_abort();
-      }
-      cpu_relax();
+      arbitrate_busy_orec(s1, spins, patience_deadline, outwaited);
       continue;
     }
     if (orec_version(s1) > start_) {
@@ -285,6 +351,7 @@ std::uint64_t Tx::read_word_speculative(const detail::Word* addr) {
     if (o.load(std::memory_order_acquire) != s1) continue;
     reads_.push(&o, s1);
     if (algo_ == Algo::HTMSim) check_htm_budget();
+    if (outwaited) stats().add(Counter::CmPriorityWins);
     return v;
   }
 }
@@ -308,16 +375,14 @@ void Tx::write_word(detail::Word* addr, std::uint64_t value) {
 }
 
 void Tx::lock_orec_for_write(Orec& o) {
-  const Config& cfg = detail::runtime().config;
   std::uint32_t spins = 0;
+  std::uint64_t patience_deadline = 0;
+  bool outwaited = false;
   for (;;) {
     OrecWord s = o.load(std::memory_order_acquire);
     if (orec_locked(s)) {
       if (orec_locked_by(s, tid_)) return;  // already ours
-      if (algo_ == Algo::HTMSim || ++spins > cfg.lock_spin_limit) {
-        conflict_abort();
-      }
-      cpu_relax();
+      arbitrate_busy_orec(s, spins, patience_deadline, outwaited);
       continue;
     }
     if (orec_version(s) > start_) {
@@ -330,6 +395,7 @@ void Tx::lock_orec_for_write(Orec& o) {
                                 std::memory_order_acq_rel)) {
       locks_.push(&o, s);
       if (algo_ == Algo::HTMSim) check_htm_budget();
+      if (outwaited) stats().add(Counter::CmPriorityWins);
       return;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -58,6 +59,95 @@ TEST(Stats, CounterNamesAreUnique) {
                    counter_name(static_cast<Counter>(j)));
     }
   }
+}
+
+TEST(LatencyHistogram, BucketRoundTrip) {
+  // Power-of-two buckets: bucket_of places a value, bucket_value reports a
+  // representative inside the same bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  for (std::uint32_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_value(b)),
+              b)
+        << "bucket " << b;
+  }
+  // The top bucket absorbs everything, including the maximum.
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, PercentilesWalkTheDistribution) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  // 99 fast samples (~1 us) and one slow outlier (~1 ms): p50 stays in the
+  // fast bucket, p99 lands at the fast tail, p100 reports the outlier.
+  for (int i = 0; i < 99; ++i) h.record(1'000);
+  h.record(1'000'000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50),
+            LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(1'000)));
+  EXPECT_EQ(h.percentile(99),
+            LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(1'000)));
+  EXPECT_EQ(h.percentile(100), LatencyHistogram::bucket_value(
+                                   LatencyHistogram::bucket_of(1'000'000)));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(LockStats, DisabledByDefaultAndCheap) {
+  LockStatsRegistry reg;
+  int key;
+  EXPECT_FALSE(reg.enabled());  // ADTM_LOCK_STATS unset in tests
+  reg.record_wait(&key, 1'000);
+  reg.record_hold(&key, 1'000);
+  EXPECT_EQ(reg.wait_count(&key), 0u);
+  EXPECT_EQ(reg.hold_count(&key), 0u);
+  EXPECT_EQ(reg.report(), "");
+}
+
+TEST(LockStats, TracksPerLockWaitAndHold) {
+  LockStatsRegistry reg;
+  reg.set_enabled(true);
+  int a, b;
+  for (int i = 0; i < 10; ++i) reg.record_wait(&a, 2'000);
+  reg.record_wait(&a, 8'000'000);
+  reg.record_hold(&a, 500'000);
+  reg.record_hold(&b, 1'000);
+  EXPECT_EQ(reg.wait_count(&a), 11u);
+  EXPECT_EQ(reg.hold_count(&a), 1u);
+  EXPECT_EQ(reg.wait_count(&b), 0u);
+  EXPECT_EQ(reg.hold_count(&b), 1u);
+  EXPECT_EQ(reg.wait_percentile(&a, 50),
+            LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(2'000)));
+  EXPECT_EQ(reg.wait_percentile(&a, 100),
+            LatencyHistogram::bucket_value(
+                LatencyHistogram::bucket_of(8'000'000)));
+  const std::string r = reg.report();
+  EXPECT_NE(r.find("p50"), std::string::npos) << r;
+  EXPECT_NE(r.find("p99"), std::string::npos) << r;
+  reg.reset();
+  EXPECT_EQ(reg.wait_count(&a), 0u);
+  EXPECT_EQ(reg.report(), "");
+}
+
+TEST(LockStats, FullTableCountsDrops) {
+  LockStatsRegistry reg;
+  reg.set_enabled(true);
+  // Distinct heap pointers until the 256-entry table is guaranteed full,
+  // then one more lock must be dropped (counted, not silently merged).
+  std::vector<std::unique_ptr<int>> locks;
+  for (std::size_t i = 0; i < LockStatsRegistry::kEntries * 4; ++i) {
+    locks.push_back(std::make_unique<int>(0));
+    reg.record_wait(locks.back().get(), 1'000);
+  }
+  EXPECT_GT(reg.dropped(), 0u);
+  const std::string r = reg.report();
+  EXPECT_NE(r.find("dropped"), std::string::npos) << r;
 }
 
 }  // namespace

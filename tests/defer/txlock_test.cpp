@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "stm/api.hpp"
 #include "support/algo_param.hpp"
 
@@ -162,6 +165,40 @@ TEST_P(TxLockTest, AcquireInsideTransactionCommitsWithIt) {
   EXPECT_TRUE(lock.held_by_me());
   EXPECT_EQ(x.load_direct(), 1);
   lock.release();
+}
+
+TEST_P(TxLockTest, LockStatsRecordNothingWhileDisabled) {
+  ASSERT_FALSE(lock_stats().enabled());  // ADTM_LOCK_STATS unset in tests
+  TxLock lock;
+  lock.acquire();
+  lock.release();
+  EXPECT_EQ(lock_stats().wait_count(&lock), 0u);
+  EXPECT_EQ(lock_stats().hold_count(&lock), 0u);
+}
+
+TEST_P(TxLockTest, LockStatsRecordContendedWaitAndHold) {
+  lock_stats().reset();
+  lock_stats().set_enabled(true);
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::thread owner([&] {
+    lock.acquire();
+    held.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    lock.release();
+  });
+  while (!held.load()) std::this_thread::yield();
+  lock.acquire();  // parks behind the owner: one wait sample
+  lock.release();  // depth hits zero: one hold sample
+  owner.join();
+  lock_stats().set_enabled(false);
+  // Two committed holds (owner's and ours); ours blocked for ~5 ms.
+  EXPECT_EQ(lock_stats().hold_count(&lock), 2u);
+  EXPECT_GE(lock_stats().wait_count(&lock), 1u);
+  EXPECT_GE(lock_stats().wait_percentile(&lock, 99), 1'000'000u);
+  const std::string report = lock_stats().report();
+  EXPECT_NE(report.find("waits"), std::string::npos) << report;
+  lock_stats().reset();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgos, TxLockTest, test::AllAlgos(),

@@ -40,7 +40,7 @@ TEST(ContentionManager, DefaultThresholdComesFromConfig) {
   EXPECT_EQ(cfg.starvation_threshold, 64u);
 }
 
-TEST(ContentionManager, PrimedStreakEscalatesNextTransactionOnce) {
+TEST(ContentionManager, PrimedStreakTakesPriorityTokenNotSerial) {
   stm::Config cfg;
   cfg.algo = stm::Algo::TL2;
   cfg.starvation_threshold = 8;
@@ -55,18 +55,24 @@ TEST(ContentionManager, PrimedStreakEscalatesNextTransactionOnce) {
   stm::tvar<int> x{0};
   stm::atomic([&](stm::Tx& tx) {
     x.set(tx, 1);
-    // Escalation means the body runs serialized and cannot abort.
-    EXPECT_TRUE(tx.irrevocable());
+    // Rung 1 of the ladder: the starved thread takes the priority token
+    // and keeps running *speculatively* — no serial escalation.
+    EXPECT_FALSE(tx.irrevocable());
+    EXPECT_TRUE(cm.has_priority());
   });
-  EXPECT_EQ(stats().total(Counter::CmEscalations), 1u);
-  EXPECT_EQ(cm.escalations(me), 1u);
-  // The serial commit cleared the streak: no re-escalation.
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 0u);
+  EXPECT_EQ(stats().total(Counter::CmPriorityAcquired), 1u);
+  EXPECT_EQ(cm.escalations(me), 0u);
+  // The commit spent the karma: streak cleared, token handed back.
   EXPECT_EQ(cm.consecutive_aborts(me), 0u);
+  EXPECT_EQ(cm.priority_thread(), kNoThread);
+  EXPECT_FALSE(cm.priority_attempt_active());
   stm::atomic([&](stm::Tx& tx) {
     x.set(tx, 2);
     EXPECT_FALSE(tx.irrevocable());
+    EXPECT_FALSE(cm.has_priority());
   });
-  EXPECT_EQ(stats().total(Counter::CmEscalations), 1u);
+  EXPECT_EQ(stats().total(Counter::CmPriorityAcquired), 1u);
   cm.reset();
   stm::init(stm::Config{});
 }

@@ -1,0 +1,254 @@
+// Priority-aware karma: rung 1 of the starvation ladder. A thread whose
+// cross-transaction abort streak crosses the threshold takes the
+// process-wide priority token and wins its next conflict *speculatively*
+// — serial escalation (rung 2) fires only when the token is taken or
+// privilege alone has not broken the streak.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "common/thread_id.hpp"
+#include "common/timing.hpp"
+#include "defer/txlock.hpp"
+#include "liveness/contention.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+namespace {
+
+using namespace std::chrono_literals;
+
+void spin_until(const std::atomic<bool>& flag) {
+  while (!flag.load()) std::this_thread::yield();
+}
+
+// Busy-wait inside a transaction body without sleeping the thread away on
+// a single-core machine (plain sleep could let the scheduler skip the
+// interleaving the test constructs).
+void busy_ns(std::uint64_t ns) {
+  const std::uint64_t until = now_ns() + ns;
+  while (now_ns() < until) std::this_thread::yield();
+}
+
+class KarmaArbitrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    liveness::contention().reset();
+    stats().reset();
+  }
+  void TearDown() override {
+    liveness::contention().reset();
+    stm::init(stm::Config{});
+  }
+
+  void init(stm::Algo algo, std::uint32_t threshold = 4) {
+    stm::Config cfg;
+    cfg.algo = algo;
+    cfg.starvation_threshold = threshold;
+    stm::init(cfg);
+  }
+
+  void prime_streak(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      liveness::contention().on_conflict_abort();
+    }
+  }
+};
+
+TEST_F(KarmaArbitrationTest, TokenSemantics) {
+  auto& cm = liveness::contention();
+  const std::uint32_t me = thread_id();
+  // Below threshold / disabled: no token.
+  EXPECT_FALSE(cm.try_acquire_priority(4));
+  prime_streak(4);
+  EXPECT_FALSE(cm.try_acquire_priority(0));  // 0 disables the ladder
+  // At threshold: taken, counted once, idempotent for the holder.
+  EXPECT_TRUE(cm.try_acquire_priority(4));
+  EXPECT_TRUE(cm.try_acquire_priority(4));
+  EXPECT_EQ(stats().total(Counter::CmPriorityAcquired), 1u);
+  EXPECT_TRUE(cm.has_priority());
+  EXPECT_EQ(cm.priority_thread(), me);
+  // Release is idempotent and clears the attempt shield with the token.
+  cm.set_priority_attempt(true);
+  cm.release_priority();
+  EXPECT_FALSE(cm.has_priority());
+  EXPECT_EQ(cm.priority_thread(), kNoThread);
+  EXPECT_FALSE(cm.priority_attempt_active());
+  cm.release_priority();
+  EXPECT_EQ(cm.priority_thread(), kNoThread);
+}
+
+// Regression for the old locker_depth()==0 escalation gate: a starved
+// thread that pins a TxLock across transactions could never serialize, so
+// nothing ever arbitrated for it. Rung 1 must work exactly there.
+TEST_F(KarmaArbitrationTest, PinnedHolderPastThresholdTakesToken) {
+  init(stm::Algo::TL2);
+  auto& cm = liveness::contention();
+  TxLock lock;
+  lock.acquire();  // pinned across transactions: locker_depth() == 1
+  prime_streak(4);
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    EXPECT_FALSE(tx.irrevocable());  // never serial while pinned
+    EXPECT_TRUE(cm.has_priority());  // but privileged all the same
+  });
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 0u);
+  EXPECT_EQ(stats().total(Counter::CmPriorityAcquired), 1u);
+  // Karma spent on commit: streak cleared, token returned.
+  EXPECT_EQ(cm.consecutive_aborts(thread_id()), 0u);
+  EXPECT_EQ(cm.priority_thread(), kNoThread);
+  lock.release();
+}
+
+// Rung 2 when rung 1 is occupied: the token is held by another thread, so
+// a starved thread escalates to serial as before. The helper then dies
+// holding the token, and the thread-exit hook must reclaim it.
+TEST_F(KarmaArbitrationTest, TokenTakenFallsBackToSerialAndExitReclaims) {
+  init(stm::Algo::TL2);
+  auto& cm = liveness::contention();
+  std::atomic<bool> token_held{false};
+  std::atomic<bool> done{false};
+  std::thread holder([&] {
+    for (int i = 0; i < 4; ++i) cm.on_conflict_abort();
+    ASSERT_TRUE(cm.try_acquire_priority(4));
+    token_held.store(true);
+    spin_until(done);
+    // Exits without releasing: the exit hook must hand the token back.
+  });
+  spin_until(token_held);
+
+  prime_streak(4);
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    EXPECT_TRUE(tx.irrevocable());  // token taken: serial escalation
+    EXPECT_FALSE(cm.has_priority());
+  });
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 1u);
+  EXPECT_EQ(cm.consecutive_aborts(thread_id()), 0u);
+
+  done.store(true);
+  holder.join();
+  // Token reclaimed by the dead holder's thread-exit hook, not leaked.
+  EXPECT_EQ(cm.priority_thread(), kNoThread);
+}
+
+// The 2x-threshold backstop: when privilege alone has not broken the
+// streak (conflicts arbitration cannot veto, e.g. validation failures),
+// the holder hands the token on and serializes.
+TEST_F(KarmaArbitrationTest, PrivilegeBackstopReleasesTokenAndSerializes) {
+  init(stm::Algo::TL2);
+  auto& cm = liveness::contention();
+  prime_streak(4);
+  ASSERT_TRUE(cm.try_acquire_priority(4));
+  prime_streak(4);  // streak now 8 = 2x threshold while privileged
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);
+    EXPECT_TRUE(tx.irrevocable());
+  });
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 1u);
+  EXPECT_EQ(cm.priority_thread(), kNoThread);  // released at escalation
+  EXPECT_EQ(cm.consecutive_aborts(thread_id()), 0u);
+}
+
+// The deterministic arbitration win (Eager, encounter-time locks): a rival
+// holds the contended orec for ~10 ms — far past lock_spin_limit, so a
+// normal thread would conflict-abort — and the privileged thread must
+// outwait it and commit with zero conflict aborts and no serial mode.
+// Fails on the pre-arbitration tree (the spin budget expires first).
+TEST_F(KarmaArbitrationTest, PrivilegedWriterOutwaitsEagerLockHolder) {
+  init(stm::Algo::Eager);
+  stm::tvar<int> x{0};
+  std::atomic<bool> rival_holds{false};
+  std::thread rival([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      x.set(tx, 1);  // encounter-time lock on x's orec, held for the body
+      rival_holds.store(true);
+      busy_ns(10'000'000);
+    });
+  });
+  spin_until(rival_holds);
+
+  prime_streak(4);
+  const std::uint64_t conflicts_before =
+      stats().total(Counter::TxAbortConflict);
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_FALSE(tx.irrevocable());
+    x.set(tx, 2);  // busy orec: outwait, do not abort
+  });
+  rival.join();
+  EXPECT_EQ(stats().total(Counter::TxAbortConflict), conflicts_before);
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 0u);
+  EXPECT_GE(stats().total(Counter::CmPriorityWins), 1u);
+  EXPECT_EQ(x.load_direct(), 2);
+}
+
+// A low-karma writer that encounters the priority thread's orec steps
+// aside immediately (CmPriorityYields) instead of burning its spin budget
+// against the one thread arbitration favors.
+TEST_F(KarmaArbitrationTest, RivalYieldsToPriorityThreadsOrec) {
+  init(stm::Algo::Eager);
+  auto& cm = liveness::contention();
+  stm::tvar<int> x{0};
+  prime_streak(4);
+  ASSERT_TRUE(cm.try_acquire_priority(4));
+
+  std::atomic<bool> privileged_holds{false};
+  std::atomic<bool> rival_done{false};
+  std::thread rival([&] {
+    spin_until(privileged_holds);
+    stm::atomic([&](stm::Tx& tx) { x.set(tx, 10); });
+    rival_done.store(true);
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    x.set(tx, 1);  // holds x's orec while privileged
+    privileged_holds.store(true);
+    busy_ns(5'000'000);  // give the rival time to collide
+  });
+  spin_until(rival_done);
+  rival.join();
+  EXPECT_GE(stats().total(Counter::CmPriorityYields), 1u);
+  EXPECT_EQ(x.load_direct(), 10);  // rival retried and won after the commit
+}
+
+// NOrec's conflict is the sequence-lock race, not an orec: rivals must
+// hold their commit back while the privileged attempt is in flight, so a
+// privileged body long enough to lose every race under a hammer still
+// validates and commits without serial mode.
+TEST_F(KarmaArbitrationTest, NorecRivalsHoldCommitBackForPriorityAttempt) {
+  init(stm::Algo::NOrec);
+  auto& cm = liveness::contention();
+  stm::tvar<std::uint64_t> x{0};
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    while (!stop.load()) {
+      stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+      std::this_thread::yield();
+    }
+  });
+
+  prime_streak(4);
+  std::uint64_t seen = 0;
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_FALSE(tx.irrevocable());
+    seen = x.get(tx);
+    busy_ns(10'000'000);  // long window: unshielded, the hammer wins it
+    x.set(tx, seen + 1'000'000);
+  });
+  stop.store(true);
+  hammer.join();
+  EXPECT_EQ(stats().total(Counter::CmEscalations), 0u);
+  EXPECT_GE(stats().total(Counter::CmPriorityWins), 1u);
+  EXPECT_GE(stats().total(Counter::CmPriorityYields), 1u);
+  EXPECT_GE(x.load_direct(), 1'000'000u);
+  EXPECT_EQ(cm.priority_thread(), kNoThread);  // spent on commit
+}
+
+}  // namespace
+}  // namespace adtm

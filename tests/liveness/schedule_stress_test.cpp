@@ -1,0 +1,244 @@
+// Deterministic schedule-perturbation stress for the liveness layer: the
+// three historical hang shapes — cv-wait cycles, a starved writer under a
+// commit hammer, and a dead-owner park — are reproduced under seeded
+// yield/backoff jitter (common/rng) across the algorithms, and each must
+// be detected or resolved well inside a generous backstop deadline rather
+// than ride the deadline out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "defer/txcondvar.hpp"
+#include "defer/txlock.hpp"
+#include "liveness/contention.hpp"
+#include "liveness/wait_graph.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+
+namespace adtm {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::uint64_t kSeed = 0x5EEDBA5EDULL;
+constexpr std::uint64_t kBackstopNs = 20'000'000'000ull;  // 20 s: a bug
+constexpr std::uint64_t kPromptNs = 5'000'000'000ull;     // resolved = < 5 s
+
+void spin_until(const std::atomic<bool>& flag) {
+  while (!flag.load()) std::this_thread::yield();
+}
+
+// Seeded perturbation: yield a pseudo-random number of times so each
+// iteration lands on a slightly different interleaving, reproducibly.
+void jitter(Xoshiro256& rng) {
+  for (std::uint64_t i = rng.next_below(8); i > 0; --i) {
+    std::this_thread::yield();
+  }
+}
+
+class ScheduleStressTest : public test::AlgoTest {
+ protected:
+  void SetUp() override {
+    test::AlgoTest::SetUp();
+    liveness::contention().reset();
+  }
+  void TearDown() override {
+    liveness::contention().reset();
+    stm::init(stm::Config{});
+  }
+};
+
+// Two threads, two conditions, each thread registered as the notifier of
+// the condition the *other* waits on: a wait cycle with zero locks held.
+// Before cv edges joined the wait graph this parked both threads until
+// the deadline; now at least one waiter's park-loop scan must raise
+// DeadlockError promptly, and its handler resolves the other.
+TEST_P(ScheduleStressTest, CvWaitCycleDetectedAndResolved) {
+  TxCondVar cv_a, cv_b;
+  stm::tvar<int> resolved{0};
+  std::atomic<int> deadlocks{0};
+  std::atomic<int> timeouts{0};
+  std::atomic<bool> reg_a{false}, reg_b{false};
+  const std::uint64_t start = now_ns();
+
+  auto waiter = [&](TxCondVar& mine, std::atomic<bool>& mine_reg,
+                    TxCondVar& other, std::atomic<bool>& other_reg,
+                    std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    mine.set_notifier();
+    mine_reg.store(true);
+    spin_until(other_reg);
+    jitter(rng);
+    try {
+      stm::atomic([&](stm::Tx& tx) {
+        if (resolved.get(tx) != 0) return;  // peer broke the cycle
+        other.wait_until(tx, start + kBackstopNs);
+      });
+    } catch (const liveness::DeadlockError&) {
+      deadlocks.fetch_add(1);
+      // Breaking the cycle is the raiser's job: publish the resolution
+      // (the committed write wakes the peer through its read set).
+      stm::atomic([&](stm::Tx& tx) { resolved.set(tx, 1); });
+    } catch (const stm::RetryTimeout&) {
+      timeouts.fetch_add(1);
+      stm::atomic([&](stm::Tx& tx) { resolved.set(tx, 1); });
+    }
+    mine.clear_notifier();
+  };
+
+  std::thread t1(waiter, std::ref(cv_a), std::ref(reg_a), std::ref(cv_b),
+                 std::ref(reg_b), kSeed);
+  std::thread t2(waiter, std::ref(cv_b), std::ref(reg_b), std::ref(cv_a),
+                 std::ref(reg_a), kSeed ^ 0xFFFF);
+  t1.join();
+  t2.join();
+  const std::uint64_t elapsed = now_ns() - start;
+  EXPECT_GE(deadlocks.load(), 1) << "cv-only cycle never detected";
+  EXPECT_EQ(timeouts.load(), 0) << "cycle rode the deadline out";
+  EXPECT_LT(elapsed, kPromptNs) << "detection too slow: " << elapsed << " ns";
+}
+
+// A writer that has already lost `threshold` conflicts faces a hammer of
+// rivals committing to its target. The starvation ladder must get it
+// through within the prompt bound — whichever rung it takes — instead of
+// letting it lose indefinitely.
+TEST_P(ScheduleStressTest, StarvedWriterCommitsUnderHammer) {
+  if (GetParam() == stm::Algo::CGL) GTEST_SKIP() << "CGL cannot starve";
+  stm::Config cfg;
+  cfg.algo = GetParam();
+  cfg.starvation_threshold = 4;
+  stm::init(cfg);
+
+  stm::tvar<std::uint64_t> x{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  for (int i = 0; i < 2; ++i) {
+    hammers.emplace_back([&, i] {
+      Xoshiro256 rng(kSeed + static_cast<std::uint64_t>(i));
+      while (!stop.load()) {
+        stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+        jitter(rng);
+      }
+    });
+  }
+
+  for (std::uint32_t i = 0; i < cfg.starvation_threshold; ++i) {
+    liveness::contention().on_conflict_abort();
+  }
+  const std::uint64_t start = now_ns();
+  stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1'000'000); });
+  const std::uint64_t elapsed = now_ns() - start;
+  stop.store(true);
+  for (auto& t : hammers) t.join();
+  EXPECT_LT(elapsed, kPromptNs) << "starved writer stalled " << elapsed;
+  EXPECT_GE(x.load_direct(), 1'000'000u);
+}
+
+// A thread dies holding a TxLock while waiters are parked behind it. The
+// park must resolve promptly via the thread-exit watch — under CGL this
+// is the regression for the old deadline-only gap: nothing committed, so
+// only the new exit-hook wakeup (or the tick re-check) can move waiters.
+TEST_P(ScheduleStressTest, DeadOwnerParkResolvesPromptly) {
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> die{false};
+  std::thread owner([&] {
+    lock.acquire();
+    held.store(true);
+    spin_until(die);
+    // exits holding the lock
+  });
+  spin_until(held);
+
+  std::atomic<int> orphaned{0};
+  std::atomic<int> timeouts{0};
+  const std::uint64_t start = now_ns();
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&, i] {
+      Xoshiro256 rng(kSeed * 31 + static_cast<std::uint64_t>(i));
+      jitter(rng);
+      try {
+        stm::atomic([&](stm::Tx& tx) {
+          lock.subscribe_until(tx, start + kBackstopNs);
+        });
+      } catch (const TxLockOrphaned&) {
+        orphaned.fetch_add(1);
+      } catch (const stm::RetryTimeout&) {
+        timeouts.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(50ms);  // everyone parks behind a live owner
+  die.store(true);
+  owner.join();
+  for (auto& t : waiters) t.join();
+  const std::uint64_t elapsed = now_ns() - start;
+  EXPECT_EQ(orphaned.load(), 2);
+  EXPECT_EQ(timeouts.load(), 0) << "dead owner noticed only at deadline";
+  EXPECT_LT(elapsed, kPromptNs) << "orphan detection too slow: " << elapsed;
+}
+
+// Regression: a cv waiter that leaves its park via RetryTimeout (or any
+// re-execution) must not leave a stale wait edge behind — a later real
+// cycle must still be detected, and a stale edge must not fabricate one.
+TEST_P(ScheduleStressTest, TimedOutCvEdgeIsRetractedThenRealCycleDetected) {
+  TxCondVar lonely;  // never notified; no notifier registered
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 lonely.wait_until(tx, now_ns() + 5'000'000);
+               }),
+               stm::RetryTimeout);
+  // The edge died with the park: nothing published, nothing to cycle on.
+  EXPECT_FALSE(liveness::has_wait_edge());
+  for (const auto& e : liveness::snapshot_wait_edges()) {
+    EXPECT_NE(e.entity, static_cast<const void*>(&lonely));
+  }
+
+  // And the detector still works after the timeout episode: build the
+  // same two-thread cv cycle and expect a detection, not a timeout.
+  TxCondVar cv_a, cv_b;
+  stm::tvar<int> resolved{0};
+  std::atomic<int> deadlocks{0};
+  std::atomic<int> timeouts{0};
+  std::atomic<bool> reg_a{false}, reg_b{false};
+  const std::uint64_t start = now_ns();
+  auto waiter = [&](TxCondVar& mine, std::atomic<bool>& mine_reg,
+                    TxCondVar& other, std::atomic<bool>& other_reg) {
+    mine.set_notifier();
+    mine_reg.store(true);
+    spin_until(other_reg);
+    try {
+      stm::atomic([&](stm::Tx& tx) {
+        if (resolved.get(tx) != 0) return;
+        other.wait_until(tx, start + kBackstopNs);
+      });
+    } catch (const liveness::DeadlockError&) {
+      deadlocks.fetch_add(1);
+      stm::atomic([&](stm::Tx& tx) { resolved.set(tx, 1); });
+    } catch (const stm::RetryTimeout&) {
+      timeouts.fetch_add(1);
+      stm::atomic([&](stm::Tx& tx) { resolved.set(tx, 1); });
+    }
+    mine.clear_notifier();
+  };
+  std::thread t1(waiter, std::ref(cv_a), std::ref(reg_a), std::ref(cv_b),
+                 std::ref(reg_b));
+  std::thread t2(waiter, std::ref(cv_b), std::ref(reg_b), std::ref(cv_a),
+                 std::ref(reg_a));
+  t1.join();
+  t2.join();
+  EXPECT_GE(deadlocks.load(), 1);
+  EXPECT_EQ(timeouts.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, ScheduleStressTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,253 @@
+// Watchdog action policies: report-only stays the default; poison-orphans
+// repairs entities whose responsible thread died (waking every parked
+// subscriber exactly once per stall episode); reap-deferred composes with
+// faultsim to cut a deferred op that would otherwise retry forever.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "defer/atomic_defer.hpp"
+#include "defer/deferrable.hpp"
+#include "defer/txcondvar.hpp"
+#include "defer/txlock.hpp"
+#include "faultsim/faultsim.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+#include "liveness/wait_graph.hpp"
+#include "liveness/watchdog.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+namespace {
+
+using namespace std::chrono_literals;
+
+void spin_until(const std::atomic<bool>& flag) {
+  while (!flag.load()) std::this_thread::yield();
+}
+
+liveness::WatchdogOptions action_options(liveness::WatchdogAction action) {
+  liveness::WatchdogOptions opts;
+  opts.stall_budget_ns = 1'000'000;  // act after 1 ms
+  opts.action = action;
+  opts.reap_after_budgets = 1;
+  opts.sink = nullptr;
+  return opts;
+}
+
+// Leave an orphaned, held TxLock behind: the owner incarnation dies
+// without releasing.
+void orphan_lock(TxLock& lock) {
+  std::thread owner([&] { lock.acquire(); });
+  owner.join();
+  ASSERT_TRUE(lock.orphaned());
+}
+
+class WatchdogActionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stm::init(stm::Config{});
+    stats().reset();
+  }
+};
+
+TEST_F(WatchdogActionTest, ParseActionNames) {
+  using liveness::WatchdogAction;
+  using liveness::parse_watchdog_action;
+  using liveness::watchdog_action_name;
+  EXPECT_EQ(parse_watchdog_action("poison-orphans"),
+            WatchdogAction::PoisonOrphans);
+  EXPECT_EQ(parse_watchdog_action("reap-deferred"),
+            WatchdogAction::ReapDeferred);
+  EXPECT_EQ(parse_watchdog_action("enforce"), WatchdogAction::Enforce);
+  EXPECT_EQ(parse_watchdog_action("report"), WatchdogAction::Report);
+  EXPECT_EQ(parse_watchdog_action("???"), WatchdogAction::Report);
+  for (auto a : {WatchdogAction::Report, WatchdogAction::PoisonOrphans,
+                 WatchdogAction::ReapDeferred, WatchdogAction::Enforce}) {
+    EXPECT_EQ(parse_watchdog_action(watchdog_action_name(a)), a);
+  }
+}
+
+TEST_F(WatchdogActionTest, DefaultOptionsAreReportOnly) {
+  liveness::WatchdogOptions opts;  // ADTM_WATCHDOG_ACTION unset in tests
+  EXPECT_EQ(opts.action, liveness::WatchdogAction::Report);
+  EXPECT_EQ(opts.reap_after_budgets, 4u);
+}
+
+// Report-only must observe, never repair: the orphaned lock stays exactly
+// as the dead owner left it.
+TEST_F(WatchdogActionTest, ReportOnlyTakesNoAction) {
+  TxLock lock;
+  orphan_lock(lock);
+  // Simulate a parked waiter's edge (the enforcement pass acts only on
+  // entities reachable through live wait edges).
+  liveness::publish_wait(&lock, &TxLock::owner_of, "TxLock::subscribe",
+                         liveness::WaitKind::Lock, &TxLock::orphan_of,
+                         &TxLock::poison_orphan);
+  std::this_thread::sleep_for(5ms);  // past the 1 ms budget
+
+  liveness::Watchdog wd;
+  wd.configure(action_options(liveness::WatchdogAction::Report));
+  const std::string report = wd.scan_once();
+  liveness::clear_wait();
+  EXPECT_EQ(stats().total(Counter::WatchdogActions), 0u);
+  EXPECT_FALSE(lock.poisoned());
+  EXPECT_TRUE(lock.orphaned());  // untouched
+  EXPECT_EQ(report.find("watchdog action"), std::string::npos) << report;
+  ASSERT_TRUE(lock.break_orphaned());
+}
+
+// poison-orphans on a lock edge: poisoned and broken in one action, and
+// exactly once — the follow-up scan re-arms (entity repaired) without
+// firing again.
+TEST_F(WatchdogActionTest, PoisonOrphansRepairsOrphanedLockOnce) {
+  TxLock lock;
+  orphan_lock(lock);
+  liveness::publish_wait(&lock, &TxLock::owner_of, "TxLock::subscribe",
+                         liveness::WaitKind::Lock, &TxLock::orphan_of,
+                         &TxLock::poison_orphan);
+  std::this_thread::sleep_for(5ms);
+
+  std::atomic<int> events{0};
+  liveness::Watchdog wd;
+  auto opts = action_options(liveness::WatchdogAction::PoisonOrphans);
+  opts.on_action = [&](const liveness::WatchdogEvent& ev) {
+    EXPECT_EQ(ev.kind, liveness::WatchdogEvent::Kind::OrphanPoisoned);
+    EXPECT_EQ(ev.entity, static_cast<const void*>(&lock));
+    events.fetch_add(1);
+  };
+  wd.configure(std::move(opts));
+
+  const std::string report = wd.scan_once();
+  EXPECT_NE(report.find("watchdog action: poisoned"), std::string::npos)
+      << report;
+  EXPECT_TRUE(lock.poisoned());
+  EXPECT_FALSE(lock.orphaned());  // broken: owner cleared
+  EXPECT_EQ(events.load(), 1);
+  EXPECT_EQ(stats().total(Counter::WatchdogActions), 1u);
+
+  // Re-publish the waiter's edge (the repair transaction above ran on
+  // this thread, and starting a transaction retracts the thread's stale
+  // edge): the entity is repaired, so this scan re-arms without firing.
+  liveness::publish_wait(&lock, &TxLock::owner_of, "TxLock::subscribe",
+                         liveness::WaitKind::Lock, &TxLock::orphan_of,
+                         &TxLock::poison_orphan);
+  (void)wd.scan_once();
+  liveness::clear_wait();
+  EXPECT_EQ(events.load(), 1);
+  EXPECT_EQ(stats().total(Counter::WatchdogActions), 1u);
+  lock.clear_poison();
+}
+
+// poison-orphans on a condvar whose registered notifier died: every
+// parked waiter wakes and raises TxCondVarPoisoned, from one action.
+TEST_F(WatchdogActionTest, PoisonOrphansWakesAllCvWaiters) {
+  constexpr int kWaiters = 3;
+  TxCondVar cv;
+  std::atomic<bool> registered{false};
+  std::thread notifier([&] {
+    cv.set_notifier();
+    registered.store(true);
+    // Dies responsible: never notifies, never unregisters.
+  });
+  spin_until(registered);
+  notifier.join();
+
+  std::atomic<int> poisoned{0};
+  std::atomic<int> timeouts{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      try {
+        stm::atomic([&](stm::Tx& tx) {
+          cv.wait_until(tx, now_ns() + 10'000'000'000ull);
+        });
+      } catch (const TxCondVarPoisoned&) {
+        poisoned.fetch_add(1);
+      } catch (const stm::RetryTimeout&) {
+        timeouts.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(20ms);  // all parked, past the budget
+
+  std::atomic<int> events{0};
+  liveness::Watchdog wd;
+  auto opts = action_options(liveness::WatchdogAction::PoisonOrphans);
+  opts.on_action = [&](const liveness::WatchdogEvent&) {
+    events.fetch_add(1);
+  };
+  wd.configure(std::move(opts));
+  (void)wd.scan_once();
+
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(poisoned.load(), kWaiters);
+  EXPECT_EQ(timeouts.load(), 0);
+  EXPECT_EQ(events.load(), 1);  // one entity, one action, K waiters woken
+  EXPECT_EQ(stats().total(Counter::WatchdogActions), 1u);
+  EXPECT_TRUE(cv.poisoned());
+  cv.clear_poison();
+  cv.clear_notifier();
+}
+
+// reap-deferred composed with faultsim: a deferred write fails with
+// ENOSPC forever and would retry effectively unbounded; the watchdog's
+// reap flag makes the failure-policy loop escalate instead, which (with
+// poison_on_escalate) poisons the resource lock and surfaces the error.
+TEST_F(WatchdogActionTest, ReapDeferredCutsUnboundedRetryLoop) {
+  struct Resource : Deferrable {
+    stm::tvar<int> value{0};
+  };
+  io::TempDir dir("adtm_reap");
+  io::PosixFile file = io::PosixFile::create(dir.path() + "/out.bin");
+  faultsim::FaultScope faults({.op = faultsim::Op::Write,
+                               .fault = faultsim::Fault::error(ENOSPC),
+                               .count = 0});  // forever
+
+  std::atomic<int> reap_events{0};
+  liveness::Watchdog wd;
+  auto opts = action_options(liveness::WatchdogAction::ReapDeferred);
+  opts.interval_ns = 5'000'000;  // sample every 5 ms
+  opts.on_action = [&](const liveness::WatchdogEvent& ev) {
+    EXPECT_EQ(ev.kind, liveness::WatchdogEvent::Kind::DeferredReaped);
+    reap_events.fetch_add(1);
+  };
+  wd.start(std::move(opts));
+
+  Resource res;
+  FailurePolicy policy;
+  policy.max_retries = 1u << 30;  // effectively unbounded
+  policy.backoff_min_spins = 16;
+  policy.backoff_max_spins = 256;
+  policy.poison_on_escalate = true;
+  const char payload[16] = "watchdog-reaped";
+  bool surfaced = false;
+  try {
+    stm::atomic([&](stm::Tx& tx) {
+      res.value.set(tx, 1);
+      atomic_defer(
+          tx, [&] { file.write_fully(payload, sizeof payload); }, {&res},
+          policy);
+    });
+  } catch (const std::system_error& e) {
+    surfaced = (e.code().value() == ENOSPC);
+  }
+  wd.stop();
+  EXPECT_TRUE(surfaced) << "deferred failure never escalated";
+  EXPECT_GE(reap_events.load(), 1);
+  EXPECT_GE(stats().total(Counter::WatchdogActions), 1u);
+  EXPECT_GE(stats().total(Counter::FailureEscalations), 1u);
+  EXPECT_TRUE(res.txlock().poisoned());
+  res.txlock().clear_poison();
+}
+
+}  // namespace
+}  // namespace adtm
