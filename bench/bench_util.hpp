@@ -1,7 +1,9 @@
 // Shared helpers for the figure-reproduction bench binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -55,6 +57,98 @@ class SeriesTable {
   };
   std::vector<std::string> columns_;
   std::vector<Row> rows_;
+};
+
+// Machine-readable bench output: each binary records its measurements and
+// append-merges them into one JSON run file (default BENCH_stm.json in the
+// working directory; override with ADTM_BENCH_OUT). Shape:
+//
+//   {"schema":"adtm-bench/v1","runs":[
+//   {"binary":"micro_stm_ops","entries":[{"name":...,"label":...,
+//    "real_ns":...,"iterations":...}, ...]},
+//   ...
+//   ]}
+//
+// real_ns is per-iteration time for google-benchmark binaries and total
+// wall time for the figure drivers (iterations = total ops in that case).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string binary) : binary_(std::move(binary)) {}
+
+  void add(const std::string& name, double real_ns, std::uint64_t iterations,
+           const std::string& label = "") {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"label\":\"%s\",\"real_ns\":%.3f,"
+                  "\"iterations\":%llu}",
+                  json_escape(name).c_str(), json_escape(label).c_str(),
+                  real_ns, static_cast<unsigned long long>(iterations));
+    entries_.emplace_back(buf);
+  }
+
+  // Append-merge this run into the output file. Existing well-formed run
+  // files gain one more element of "runs"; anything else (missing file,
+  // foreign content) is replaced by a fresh single-run file.
+  bool write() const {
+    const char* env = std::getenv("ADTM_BENCH_OUT");
+    const std::string path = (env != nullptr && *env != '\0')
+                                 ? std::string(env)
+                                 : std::string("BENCH_stm.json");
+    static const std::string kHeader = "{\"schema\":\"adtm-bench/v1\",\"runs\":[\n";
+    static const std::string kTail = "\n]}\n";
+
+    std::string run = "{\"binary\":\"" + json_escape(binary_) +
+                      "\",\"entries\":[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      run += entries_[i];
+      if (i + 1 < entries_.size()) run += ",";
+      run += "\n";
+    }
+    run += "]}";
+
+    std::string out;
+    const std::string existing = slurp(path);
+    if (existing.size() > kHeader.size() + kTail.size() &&
+        existing.compare(0, kHeader.size(), kHeader) == 0 &&
+        existing.compare(existing.size() - kTail.size(), kTail.size(),
+                         kTail) == 0) {
+      out = existing.substr(0, existing.size() - kTail.size()) + ",\n" + run +
+            kTail;
+    } else {
+      out = kHeader + run + kTail;
+    }
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+      out += c;
+    }
+    return out;
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return "";
+    std::string data;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+    std::fclose(f);
+    return data;
+  }
+
+  std::string binary_;
+  std::vector<std::string> entries_;
 };
 
 }  // namespace adtm::bench

@@ -37,6 +37,7 @@ enum class Variant { Cgl, Irrevoc, Defer, Fgl };
 
 struct Section {
   const char* name;
+  const char* key;  // short id for the machine-readable report
   unsigned files;
   bool keep_open;
   std::vector<Variant> variants;
@@ -127,13 +128,13 @@ int main() {
   stm::init(cfg);
 
   const std::vector<Section> sections = {
-      {"Figure 2(a): 1 file, open/close per op", 1, false,
+      {"Figure 2(a): 1 file, open/close per op", "fig2a", 1, false,
        {Variant::Cgl, Variant::Irrevoc, Variant::Defer}},
-      {"Figure 2(b): 2 files, open/close per op", 2, false,
+      {"Figure 2(b): 2 files, open/close per op", "fig2b", 2, false,
        {Variant::Cgl, Variant::Irrevoc, Variant::Defer, Variant::Fgl}},
-      {"Figure 2(c): 4 files, open/close per op", 4, false,
+      {"Figure 2(c): 4 files, open/close per op", "fig2c", 4, false,
        {Variant::Cgl, Variant::Irrevoc, Variant::Defer, Variant::Fgl}},
-      {"Figure 2(d): 4 files, kept open", 4, true,
+      {"Figure 2(d): 4 files, kept open", "fig2d", 4, true,
        {Variant::Cgl, Variant::Irrevoc, Variant::Defer, Variant::Fgl}},
   };
 
@@ -142,6 +143,7 @@ int main() {
   std::printf("STM algorithm: %s (the paper reports STM; HTM trends match)\n",
               stm::algo_name(stm::config().algo));
 
+  BenchReport report("fig2_io_microbench");
   for (const Section& section : sections) {
     std::vector<std::string> columns;
     columns.reserve(section.variants.size());
@@ -153,11 +155,19 @@ int main() {
       std::vector<double> row;
       row.reserve(section.variants.size());
       for (const Variant v : section.variants) {
-        row.push_back(run_config(section, v, threads, total_ops));
+        const double seconds = run_config(section, v, threads, total_ops);
+        row.push_back(seconds);
+        report.add(std::string(section.key) + "/" + variant_name(v) + "/t" +
+                       std::to_string(threads),
+                   seconds * 1e9, total_ops);
       }
       table.add_row(threads, row);
     }
     table.print(section.name);
+  }
+  if (!report.write()) {
+    std::fprintf(stderr, "fig2_io_microbench: failed to write bench report\n");
+    return 1;
   }
   return 0;
 }

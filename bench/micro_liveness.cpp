@@ -47,9 +47,9 @@ void BM_AcquireReleaseTimed(benchmark::State& state) {
   init_tl2();
   TxLock lock;
   for (auto _ : state) {
-    const std::uint64_t deadline = now_ns() + 1'000'000'000ull;
+    const Deadline deadline = Deadline::at(now_ns() + 1'000'000'000ull);
     stm::atomic([&](stm::Tx& tx) {
-      lock.acquire_until(tx, deadline);
+      lock.acquire(tx, deadline);
       lock.release(tx);
     });
   }
@@ -60,8 +60,8 @@ void BM_SubscribeTimedUnheld(benchmark::State& state) {
   init_tl2();
   TxLock lock;
   for (auto _ : state) {
-    const std::uint64_t deadline = now_ns() + 1'000'000'000ull;
-    stm::atomic([&](stm::Tx& tx) { lock.subscribe_until(tx, deadline); });
+    const Deadline deadline = Deadline::at(now_ns() + 1'000'000'000ull);
+    stm::atomic([&](stm::Tx& tx) { lock.subscribe(tx, deadline); });
   }
 }
 BENCHMARK(BM_SubscribeTimedUnheld);
@@ -81,7 +81,7 @@ void BM_AcquireForTimeoutOnContended(benchmark::State& state) {
   });
   while (!held.load()) std::this_thread::yield();
   for (auto _ : state) {
-    bool ok = lock.acquire_for(50us);
+    bool ok = lock.acquire(Deadline(50us));
     benchmark::DoNotOptimize(ok);
   }
   done.store(true);

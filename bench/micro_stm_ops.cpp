@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.hpp"
+#include "obs/trace.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
 
@@ -114,6 +116,57 @@ void BM_LargeReadFootprint(benchmark::State& state) {
 BENCHMARK(BM_LargeReadFootprint)
     ->ArgsProduct({{0, 1, 4}, {64, 512, 4096}});  // TL2, Eager, NOrec
 
+void BM_CounterIncrementTraced(benchmark::State& state) {
+  // The tracing-overhead pair: BM_CounterIncrement runs with the gate
+  // closed (the production default — one relaxed load per event site);
+  // this variant runs the same transaction with the full event pipeline
+  // live. Their ratio is the cost of enabling; BM_CounterIncrement vs the
+  // pre-obs build is the disabled-overhead acceptance bound.
+  init_algo(state);
+  obs::enable();
+  stm::tvar<long> counter{0};
+  for (auto _ : state) {
+    stm::atomic([&](stm::Tx& tx) { counter.set(tx, counter.get(tx) + 1); });
+  }
+  obs::disable();
+  obs::clear();
+  set_label(state);
+}
+BENCHMARK(BM_CounterIncrementTraced)->DenseRange(0, 4);
+
+// Forwards console output unchanged while capturing every run for the
+// machine-readable BENCH_stm.json record.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(adtm::bench::BenchReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  static_cast<std::uint64_t>(run.iterations),
+                  run.report_label);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  adtm::bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  adtm::bench::BenchReport report("micro_stm_ops");
+  CaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report.write()) {
+    std::fprintf(stderr, "micro_stm_ops: failed to write bench report\n");
+    return 1;
+  }
+  return 0;
+}

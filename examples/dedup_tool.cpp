@@ -9,10 +9,7 @@
 #include <cstring>
 #include <string>
 
-#include "dedup/dedup.hpp"
-#include "io/posix_file.hpp"
-#include "io/temp_dir.hpp"
-#include "stm/api.hpp"
+#include "adtm.hpp"
 
 using namespace adtm;  // NOLINT: example brevity
 

@@ -10,10 +10,7 @@
 #include <cstdio>
 #include <thread>
 
-#include "durable/durable.hpp"
-#include "io/posix_file.hpp"
-#include "io/temp_dir.hpp"
-#include "stm/api.hpp"
+#include "adtm.hpp"
 
 using namespace adtm;  // NOLINT: example brevity
 

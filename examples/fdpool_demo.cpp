@@ -14,13 +14,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "common/stats.hpp"
-#include "common/timing.hpp"
-#include "fdpool/fd_pool.hpp"
-#include "io/posix_file.hpp"
-#include "io/temp_dir.hpp"
-#include "stm/api.hpp"
+#include "adtm.hpp"
 
 using namespace adtm;  // NOLINT: example brevity
 

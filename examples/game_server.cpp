@@ -11,13 +11,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "common/timing.hpp"
-#include "defer/atomic_defer.hpp"
-#include "io/posix_file.hpp"
-#include "io/temp_dir.hpp"
-#include "stm/api.hpp"
-#include "stm/tvar.hpp"
+#include "adtm.hpp"
 
 using namespace adtm;  // NOLINT: example brevity
 

@@ -12,12 +12,7 @@
 #include <thread>
 #include <vector>
 
-#include "containers/hashmap.hpp"
-#include "containers/queue.hpp"
-#include "io/posix_file.hpp"
-#include "io/temp_dir.hpp"
-#include "stm/api.hpp"
-#include "txlog/txlog.hpp"
+#include "adtm.hpp"
 
 using namespace adtm;  // NOLINT: example brevity
 

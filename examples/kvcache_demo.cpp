@@ -8,13 +8,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "common/timing.hpp"
-#include "io/posix_file.hpp"
-#include "io/temp_dir.hpp"
-#include "kvcache/tx_cache.hpp"
-#include "stm/api.hpp"
-#include "txlog/txlog.hpp"
+#include "adtm.hpp"
 
 using namespace adtm;  // NOLINT: example brevity
 

@@ -13,11 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/timing.hpp"
-#include "io/temp_dir.hpp"
-#include "stm/api.hpp"
-#include "stm/tvar.hpp"
-#include "txlog/txlog.hpp"
+#include "adtm.hpp"
 
 using namespace adtm;  // NOLINT: example brevity
 

@@ -1,0 +1,77 @@
+// adtm::Deadline — the one vocabulary type for bounded waits.
+//
+// Every timed wait in the library (TxLock::acquire/subscribe,
+// TxCondVar::wait, stm::retry) takes a Deadline instead of parallel
+// `_until(timestamp)` / `_for(duration)` overloads. A Deadline is either
+// unbounded (the default) or an absolute now_ns() timestamp:
+//
+//   lock.acquire(tx);                              // wait forever
+//   lock.acquire(tx, std::chrono::milliseconds(5)) // now + 5 ms, computed here
+//   auto d = Deadline::in(std::chrono::seconds(1));
+//   cv.wait(tx, d);                                // absolute: survives re-execution
+//
+// The distinction the old API expressed with two names is now where the
+// Deadline is *constructed*: building it from a duration inside a
+// transaction body re-arms the window on every re-execution (the old
+// `_for` sliding semantics); building it once outside the body gives a
+// hard total budget (the old `_until` semantics). For a wait that must be
+// bounded across re-executions — the RetryTimeout-survives-re-execution
+// guarantee — construct the Deadline before entering stm::atomic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/timing.hpp"
+
+namespace adtm {
+
+class Deadline {
+ public:
+  // Unbounded: the wait never times out.
+  constexpr Deadline() noexcept = default;
+
+  // From a relative timeout: deadline = now + timeout, computed at the
+  // call. Implicit so call sites read `acquire(tx, 5ms)`. Non-positive
+  // timeouts yield an already-expired deadline (the wait still raises /
+  // returns false rather than silently becoming unbounded).
+  template <typename Rep, typename Period>
+  Deadline(std::chrono::duration<Rep, Period> timeout) noexcept  // NOLINT
+      : ns_(from_timeout(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(timeout)
+                .count())) {}
+
+  // Named constructors for the two explicit forms.
+  static constexpr Deadline never() noexcept { return Deadline{}; }
+  static constexpr Deadline at(std::uint64_t timestamp_ns) noexcept {
+    // 0 is the internal "unbounded" sentinel; an explicit zero timestamp
+    // means "already passed", so clamp to the smallest real instant.
+    Deadline d;
+    d.ns_ = timestamp_ns == 0 ? 1 : timestamp_ns;
+    return d;
+  }
+  static Deadline in(std::chrono::nanoseconds timeout) noexcept {
+    return Deadline(timeout);
+  }
+
+  constexpr bool unbounded() const noexcept { return ns_ == 0; }
+
+  // The raw now_ns() timestamp; 0 encodes "unbounded" (the runtime's
+  // internal convention, which this type makes private vocabulary).
+  constexpr std::uint64_t raw_ns() const noexcept { return ns_; }
+
+  bool expired() const noexcept { return ns_ != 0 && now_ns() >= ns_; }
+
+  friend constexpr bool operator==(Deadline a, Deadline b) noexcept {
+    return a.ns_ == b.ns_;
+  }
+
+ private:
+  static std::uint64_t from_timeout(long long ns) noexcept {
+    return ns <= 0 ? 1 : now_ns() + static_cast<std::uint64_t>(ns);
+  }
+
+  std::uint64_t ns_ = 0;
+};
+
+}  // namespace adtm

@@ -1,0 +1,83 @@
+// Process-wide runtime configuration, resolved once.
+//
+// Every ADTM_* environment knob is read in one place — here — instead of
+// scattered env_u64 calls at each subsystem's first use. The resolved
+// struct is immutable after startup unless adtm::configure() replaces it
+// programmatically, which is how tests override knobs without mutating
+// the process environment.
+//
+// Resolution order: the first call to runtime_config() (typically from
+// stm::init or a subsystem singleton) snapshots the environment; a later
+// configure() replaces the snapshot and pushes the knobs that gate live
+// singletons (per-lock stats, tracing). Subsystems that read their knobs
+// at each start — the watchdog (WatchdogOptions), the contention manager
+// (stm::init) — pick up the new values naturally.
+//
+// The full knob table lives in README.md ("Runtime configuration").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adtm {
+
+struct RuntimeConfig {
+  // --- contention management (stm) -----------------------------------
+  // Consecutive conflict-abort streak at which a thread climbs the
+  // starvation ladder (priority token, then serial escalation); 0
+  // disables both rungs. [ADTM_STARVATION_THRESHOLD]
+  std::uint32_t starvation_threshold = 64;
+
+  // --- diagnostics (liveness) ----------------------------------------
+  // Per-lock wait/hold latency histograms. [ADTM_LOCK_STATS]
+  bool lock_stats = false;
+  // Park duration after which the watchdog flags a thread as stalled.
+  // [ADTM_STALL_BUDGET_MS]
+  std::uint64_t stall_budget_ms = 2000;
+  // Watchdog sampling period. [ADTM_WATCHDOG_INTERVAL_MS]
+  std::uint64_t watchdog_interval_ms = 200;
+  // Watchdog enforcement policy: "report", "poison-orphans",
+  // "reap-deferred", or "enforce". [ADTM_WATCHDOG_ACTION]
+  std::string watchdog_action = "report";
+  // Stall budgets before a deferred op is reaped. [ADTM_REAP_BUDGETS]
+  std::uint32_t reap_budgets = 4;
+
+  // --- tracing (obs) -------------------------------------------------
+  // Transaction tracing gate; when set via environment, tracing starts
+  // at the first stm::init. [ADTM_TRACE]
+  bool trace = false;
+  // Per-thread trace ring capacity in events (rounded up to a power of
+  // two; one event = 32 bytes). [ADTM_TRACE_RING]
+  std::size_t trace_ring_capacity = 8192;
+  // Cap on events retained by the collector; overflow is dropped and
+  // counted, never silently merged. [ADTM_TRACE_MAX_EVENTS]
+  std::size_t trace_max_events = std::size_t{1} << 18;
+  // Chrome trace written here at process exit while tracing is enabled;
+  // "" disables the exit writer (call obs::write_chrome_trace yourself).
+  // [ADTM_TRACE_OUT]
+  std::string trace_out = "adtm_trace.json";
+};
+
+// Fresh resolution of every knob from the current environment (defaults
+// where unset). Does not touch the process-wide snapshot.
+RuntimeConfig runtime_config_from_env();
+
+// The process-wide configuration: resolved from the environment on first
+// use, replaced by configure().
+const RuntimeConfig& runtime_config() noexcept;
+
+// Programmatic override: replaces the process-wide snapshot and applies
+// the knobs that gate already-running singletons (lock stats, tracing).
+// Call at startup or between test phases, not concurrently with
+// transactions.
+void configure(const RuntimeConfig& cfg);
+
+namespace detail {
+// Downstream subsystems (obs) register a callback invoked by configure()
+// so their gates track programmatic overrides without this library
+// depending on them. Process-lifetime, small fixed capacity.
+void register_config_applier(void (*apply)(const RuntimeConfig&)) noexcept;
+}  // namespace detail
+
+}  // namespace adtm

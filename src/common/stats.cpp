@@ -3,7 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "common/env.hpp"
+#include "common/runtime_config.hpp"
 
 namespace adtm {
 
@@ -112,7 +112,7 @@ std::size_t lock_hash(const void* lock) noexcept {
 }  // namespace
 
 LockStatsRegistry::LockStatsRegistry()
-    : enabled_(env_u64("ADTM_LOCK_STATS", 0) != 0) {}
+    : enabled_(runtime_config().lock_stats) {}
 
 const LockStatsRegistry::Entry* LockStatsRegistry::find(
     const void* lock) const noexcept {

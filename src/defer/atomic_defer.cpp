@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace adtm {
 
@@ -17,6 +18,11 @@ void atomic_defer(stm::Tx& tx, std::function<void()> op,
   for (const Deferrable* o : objs) {
     o->txlock().acquire(tx);
   }
+  // Emitted at registration (attempt scope): a re-executed attempt emits
+  // again, mirroring how the enqueue really happened. The matching
+  // epilogue events come from the driver's run_epilogues.
+  obs::emit(obs::EventType::DeferEnqueue, obs::AbortCause::None, obs::kNoAlgo,
+            0, static_cast<std::uint32_t>(objs.size()));
   tx.on_commit([op = std::move(op), objs = std::move(objs),
                 policy = std::move(policy)]() {
     stats().add(Counter::DeferredOps);

@@ -18,11 +18,11 @@
 // the predicate's own data changes, even without an explicit notify —
 // notify exists for conditions whose data is not transactional.
 //
-// Liveness: wait_until/wait_for bound the wait (stm::RetryTimeout is
-// raised out of the enclosing atomic() on expiry), and poison() marks the
-// condition dead — the thread that should have notified failed
-// permanently — waking every waiter, which raises TxCondVarPoisoned
-// instead of re-waiting forever.
+// Liveness: wait() with a bounded adtm::Deadline bounds the wait
+// (stm::RetryTimeout is raised out of the enclosing atomic() on expiry),
+// and poison() marks the condition dead — the thread that should have
+// notified failed permanently — waking every waiter, which raises
+// TxCondVarPoisoned instead of re-waiting forever.
 #pragma once
 
 #include <atomic>
@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "common/deadline.hpp"
 #include "common/stats.hpp"
 #include "common/thread_id.hpp"
 #include "common/timing.hpp"
@@ -53,35 +54,30 @@ class TxCondVar {
   // Abort the enclosing transaction and re-execute it once this condition
   // is notified (or anything else in the read set changes). Call after
   // observing a false predicate. Raises TxCondVarPoisoned — immediately,
-  // or on wake — if the condition is (or becomes) poisoned.
-  [[noreturn]] void wait(stm::Tx& tx) const {
+  // or on wake — if the condition is (or becomes) poisoned. With a
+  // bounded Deadline the enclosing atomic() raises stm::RetryTimeout once
+  // it passes; construct the Deadline *outside* the transaction for a
+  // hard total budget (the body re-executes on every wake-up — a Deadline
+  // built from a duration inside the body re-arms the window per wake-up;
+  // see common/deadline.hpp).
+  [[noreturn]] void wait(stm::Tx& tx, Deadline deadline = {}) const {
     check_poison(tx);
     (void)gen_.get(tx);  // join the wake-up set
     prepare_wait(tx);
-    stm::retry(tx);
+    stm::retry(tx, deadline);
   }
 
-  // Timed wait: like wait(), but the enclosing atomic() raises
-  // stm::RetryTimeout once `deadline_ns` (a now_ns() timestamp) passes.
-  // Compute the deadline *outside* the transaction: the body re-executes
-  // on every wake-up, and an absolute deadline is what keeps the total
-  // wait bounded across re-executions.
-  [[noreturn]] void wait_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
-    check_poison(tx);
-    (void)gen_.get(tx);
-    prepare_wait(tx);
-    stm::retry_until(tx, deadline_ns);
+  // Deprecated spellings from the pre-Deadline API; thin forwarders.
+  // (Historically deadline 0 meant "already expired" here, unlike the
+  // TxLock timed forms; Deadline::at preserves that clamp.)
+  [[noreturn]] [[deprecated("use wait(tx, Deadline::at(deadline_ns))")]]
+  void wait_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
+    wait(tx, Deadline::at(deadline_ns));
   }
 
-  // Sliding-deadline convenience: deadline = now + timeout at each call,
-  // so a body that re-executes re-arms the window (bounds the wait per
-  // wake-up, not in total). Prefer wait_until for a hard budget.
-  [[noreturn]] void wait_for(stm::Tx& tx,
-                             std::chrono::nanoseconds timeout) const {
-    check_poison(tx);
-    (void)gen_.get(tx);
-    prepare_wait(tx);
-    stm::retry_for(tx, timeout);
+  [[noreturn]] [[deprecated("use wait(tx, Deadline(timeout))")]]
+  void wait_for(stm::Tx& tx, std::chrono::nanoseconds timeout) const {
+    wait(tx, Deadline(timeout));
   }
 
   // Wake all current waiters, as part of the enclosing transaction (the

@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/thread_id.hpp"
 #include "common/timing.hpp"
 #include "liveness/wait_graph.hpp"
+#include "obs/trace.hpp"
 #include "stm/api.hpp"
 #include "stm/registry.hpp"
 
@@ -34,10 +36,11 @@ void TxLock::poison_orphan(const void* lock) {
 
 namespace {
 
-// Per-thread wait-timing for the opt-in lock-wait histogram: armed at the
-// block site, sampled by the first successful pass through the acquire or
-// subscribe fast path for the same lock. Re-executions in between keep
-// the original start, so the recorded wait spans the whole park.
+// Per-thread wait-timing shared by the opt-in lock-wait histogram and the
+// trace layer's LockPark/LockWake events: armed at the block site, sampled
+// by the first successful pass through the acquire or subscribe fast path
+// for the same lock. Re-executions in between keep the original start, so
+// the recorded wait spans the whole park.
 struct WaitTimer {
   const void* lock = nullptr;
   std::uint64_t since_ns = 0;
@@ -45,21 +48,57 @@ struct WaitTimer {
 thread_local WaitTimer t_wait_timer;
 
 void arm_wait_timer(const void* lock) noexcept {
-  if (!lock_stats().enabled()) return;
+  if (!lock_stats().enabled() && !obs::enabled()) return;
   if (t_wait_timer.lock == lock) return;  // already timing this park
   t_wait_timer = {lock, now_ns()};
+  obs::emit(obs::EventType::LockPark, obs::AbortCause::None, obs::kNoAlgo,
+            reinterpret_cast<std::uintptr_t>(lock));
 }
 
 void sample_wait_timer(const void* lock) noexcept {
   if (t_wait_timer.lock != lock) return;
-  lock_stats().record_wait(lock, now_ns() - t_wait_timer.since_ns);
+  const std::uint64_t waited = now_ns() - t_wait_timer.since_ns;
+  if (lock_stats().enabled()) lock_stats().record_wait(lock, waited);
+  obs::emit(obs::EventType::LockWake, obs::AbortCause::None, obs::kNoAlgo,
+            waited);
   t_wait_timer = {};
+}
+
+// Hold spans run from the acquire's commit to the final release's
+// commit. Both commits happen on the owning thread (TxLock forbids
+// handoff), so the start timestamps are thread-local — a shared
+// per-lock slot would race: the next owner's acquire on_commit can run
+// in the window between a release's commit and its on_commit, and the
+// old owner would consume the new owner's timestamp while the new
+// owner's release finds nothing.
+struct HoldStart {
+  const void* lock;
+  std::uint64_t since_ns;
+};
+thread_local std::vector<HoldStart> t_hold_starts;
+
+void hold_begin(const void* lock) {
+  t_hold_starts.push_back({lock, now_ns()});
+}
+
+void hold_end(const void* lock) noexcept {
+  // Newest-first: after an orphan break the same thread can re-acquire a
+  // lock whose earlier entry was never released; the newest one is the
+  // live hold.
+  for (auto it = t_hold_starts.rbegin(); it != t_hold_starts.rend(); ++it) {
+    if (it->lock == lock) {
+      if (lock_stats().enabled()) {
+        lock_stats().record_hold(lock, now_ns() - it->since_ns);
+      }
+      t_hold_starts.erase(std::next(it).base());
+      return;
+    }
+  }
 }
 
 }  // namespace
 
-void TxLock::block(stm::Tx& tx, std::uint64_t deadline_ns,
-                   const char* site) const {
+void TxLock::block(stm::Tx& tx, Deadline deadline, const char* site) const {
   arm_wait_timer(this);
   liveness::publish_wait(this, &TxLock::owner_of, site,
                          liveness::WaitKind::Lock, &TxLock::orphan_of,
@@ -78,11 +117,10 @@ void TxLock::block(stm::Tx& tx, std::uint64_t deadline_ns,
       stm::detail::locker_depth() == liveness::pinned_holds()) {
     liveness::deadlock_check();
   }
-  if (deadline_ns != 0) stm::retry_until(tx, deadline_ns);
-  stm::retry(tx);
+  stm::retry(tx, deadline);
 }
 
-void TxLock::acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
+void TxLock::acquire(stm::Tx& tx, Deadline deadline) {
   const std::uint32_t me = thread_id();
   if (poisoned_.get(tx) != 0) {
     throw TxLockPoisoned(
@@ -97,9 +135,7 @@ void TxLock::acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
     depth_.set(tx, 1);
     if (lock_stats().enabled()) {
       // Hold time runs from the commit that makes the ownership real.
-      tx.on_commit([this] {
-        hold_start_.store(now_ns(), std::memory_order_relaxed);
-      });
+      tx.on_commit([this] { hold_begin(this); });
     }
   } else if (owner == me && owner_gen_.get(tx) == thread_id_generation()) {
     depth_.set(tx, depth_.get(tx) + 1);
@@ -115,7 +151,7 @@ void TxLock::acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
     // which is what makes multi-lock acquisition deadlock-free) and
     // re-executes once the lock metadata changes, the deadline passes, or
     // a thread exits (so the orphan check above re-runs).
-    block(tx, deadline_ns, "TxLock::acquire");
+    block(tx, deadline, "TxLock::acquire");
   }
   // The hold can outlive this transaction (deferred operations release
   // after commit), so register it with the serial gate's locker accounting
@@ -129,27 +165,17 @@ void TxLock::acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
   stats().add(Counter::TxLockAcquires);
 }
 
-void TxLock::acquire(stm::Tx& tx) { acquire_until(tx, 0); }
-
 void TxLock::acquire() {
-  stm::atomic([this](stm::Tx& tx) { acquire_until(tx, 0); });
+  stm::atomic([this](stm::Tx& tx) { acquire(tx); });
 }
 
-bool TxLock::acquire_until(std::uint64_t deadline_ns) {
-  if (deadline_ns == 0) deadline_ns = 1;  // 0 would mean "wait forever"
+bool TxLock::acquire(Deadline deadline) {
   try {
-    stm::atomic(
-        [&](stm::Tx& tx) { acquire_until(tx, deadline_ns); });
+    stm::atomic([&](stm::Tx& tx) { acquire(tx, deadline); });
   } catch (const stm::RetryTimeout&) {
     return false;
   }
   return true;
-}
-
-bool TxLock::acquire_for(std::chrono::nanoseconds timeout) {
-  const auto ns = timeout.count();
-  return acquire_until(
-      ns <= 0 ? std::uint64_t{1} : now_ns() + static_cast<std::uint64_t>(ns));
 }
 
 bool TxLock::try_acquire(stm::Tx& tx) {
@@ -162,7 +188,7 @@ bool TxLock::try_acquire(stm::Tx& tx) {
   // An orphaned lock (dead owner incarnation) also reports failure: it
   // needs break_orphaned(), not a wait.
   if (owner != kNoThread && !mine) return false;
-  acquire_until(tx, 0);  // free or reentrant: cannot block
+  acquire(tx);  // free or reentrant: cannot block
   return true;
 }
 
@@ -198,11 +224,7 @@ void TxLock::release(stm::Tx& tx) {
     owner_.set(tx, kNoThread);
     owner_gen_.set(tx, 0);
     if (lock_stats().enabled()) {
-      tx.on_commit([this] {
-        const std::uint64_t t0 =
-            hold_start_.exchange(0, std::memory_order_relaxed);
-        if (t0 != 0) lock_stats().record_hold(this, now_ns() - t0);
-      });
+      tx.on_commit([this] { hold_end(this); });
     }
   }
   // Drop the locker registration (and its pinned twin) only once the
@@ -217,7 +239,7 @@ void TxLock::release() {
   stm::atomic([this](stm::Tx& tx) { release(tx); });
 }
 
-void TxLock::subscribe_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
+void TxLock::subscribe(stm::Tx& tx, Deadline deadline) const {
   if (poisoned_.get(tx) != 0) {
     throw TxLockPoisoned(
         "TxLock::subscribe: lock is poisoned (a failed operation may have "
@@ -235,30 +257,20 @@ void TxLock::subscribe_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
             "TxLock::subscribe: owner thread exited while holding the "
             "lock (break_orphaned() to recover)");
       }
-      block(tx, deadline_ns, "TxLock::subscribe");
+      block(tx, deadline, "TxLock::subscribe");
     }
   }
   sample_wait_timer(this);
   stats().add(Counter::TxLockSubscribes);
 }
 
-void TxLock::subscribe(stm::Tx& tx) const { subscribe_until(tx, 0); }
-
-bool TxLock::subscribe_until(std::uint64_t deadline_ns) const {
-  if (deadline_ns == 0) deadline_ns = 1;
+bool TxLock::subscribe(Deadline deadline) const {
   try {
-    stm::atomic(
-        [&](stm::Tx& tx) { subscribe_until(tx, deadline_ns); });
+    stm::atomic([&](stm::Tx& tx) { subscribe(tx, deadline); });
   } catch (const stm::RetryTimeout&) {
     return false;
   }
   return true;
-}
-
-bool TxLock::subscribe_for(std::chrono::nanoseconds timeout) const {
-  const auto ns = timeout.count();
-  return subscribe_until(
-      ns <= 0 ? std::uint64_t{1} : now_ns() + static_cast<std::uint64_t>(ns));
 }
 
 void TxLock::poison(stm::Tx& tx) {

@@ -13,12 +13,13 @@
 // how deferred operations are kept atomic with their transaction.
 //
 // Liveness (this layer's extension of the paper):
-//  * Timed waits: acquire_for/until and subscribe_for/until bound the wait;
-//    expiry raises stm::RetryTimeout inside a transaction, or returns false
-//    from the non-transactional wrappers. NOTE: the in-transaction timed
-//    variants, when called from a body that is itself nested in an outer
-//    atomic(), time out the *whole flattened transaction* — RetryTimeout
-//    propagates out of the outermost atomic() call.
+//  * Timed waits: acquire and subscribe take an adtm::Deadline (default
+//    unbounded); expiry raises stm::RetryTimeout inside a transaction, or
+//    returns false from the non-transactional wrappers. NOTE: the
+//    in-transaction timed variants, when called from a body that is itself
+//    nested in an outer atomic(), time out the *whole flattened
+//    transaction* — RetryTimeout propagates out of the outermost atomic()
+//    call.
 //  * Poisoning: poison() marks the protected state suspect (used by the
 //    failure-policy escalation hook when a deferred operation dies with the
 //    lock held). Waiters wake — poison is a transactional write like any
@@ -36,6 +37,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "common/deadline.hpp"
 #include "stm/tvar.hpp"
 
 namespace adtm {
@@ -63,21 +65,34 @@ class TxLock {
   // thread, the enclosing transaction retries (aborts and waits for a
   // change of the lock metadata). Reentrant: the owner may re-acquire,
   // incrementing the depth. Raises TxLockPoisoned / TxLockOrphaned instead
-  // of waiting on a poisoned or orphaned lock.
-  void acquire(stm::Tx& tx);
+  // of waiting on a poisoned or orphaned lock. A bounded Deadline raises
+  // stm::RetryTimeout out of the enclosing atomic() on expiry.
+  void acquire(stm::Tx& tx, Deadline deadline = {});
 
   // Acquire outside a transaction: runs acquire() in its own transaction
   // (the paper's Listing 2 Acquire, whose spin/retry loop our stm::retry
   // provides).
   void acquire();
 
-  // Timed acquire. deadline_ns is an adtm::now_ns() timestamp; the _for
-  // forms compute it from a relative timeout at the call. The in-transaction
-  // variant raises stm::RetryTimeout on expiry (out of the enclosing
-  // atomic()); the non-transactional wrappers return false instead.
-  void acquire_until(stm::Tx& tx, std::uint64_t deadline_ns);
-  [[nodiscard]] bool acquire_until(std::uint64_t deadline_ns);
-  [[nodiscard]] bool acquire_for(std::chrono::nanoseconds timeout);
+  // Timed acquire outside a transaction: false once `deadline` expires
+  // while the lock is still held by another live thread.
+  [[nodiscard]] bool acquire(Deadline deadline);
+
+  // Deprecated spellings from the pre-Deadline API; thin forwarders. The
+  // in-transaction form kept "deadline 0 = wait forever".
+  [[deprecated("use acquire(tx, Deadline::at(deadline_ns))")]]
+  void acquire_until(stm::Tx& tx, std::uint64_t deadline_ns) {
+    acquire(tx, deadline_ns == 0 ? Deadline::never()
+                                 : Deadline::at(deadline_ns));
+  }
+  [[nodiscard]] [[deprecated("use acquire(Deadline::at(deadline_ns))")]]
+  bool acquire_until(std::uint64_t deadline_ns) {
+    return acquire(Deadline::at(deadline_ns));
+  }
+  [[nodiscard]] [[deprecated("use acquire(Deadline(timeout))")]]
+  bool acquire_for(std::chrono::nanoseconds timeout) {
+    return acquire(Deadline(timeout));
+  }
 
   // Non-blocking acquire: returns false (without retrying) if the lock is
   // held by another thread. Composes with the enclosing transaction like
@@ -98,14 +113,27 @@ class TxLock {
   // Block (via transactional retry) until the lock is free or held by the
   // calling thread. Must be called inside a transaction; reads only lock
   // metadata so concurrent subscribers do not conflict with each other.
-  void subscribe(stm::Tx& tx) const;
+  // A bounded Deadline bounds the wait like acquire.
+  void subscribe(stm::Tx& tx, Deadline deadline = {}) const;
 
-  // Timed subscribe: bound the wait like acquire_until/_for. The
-  // non-transactional wrappers return true once the lock was observed free
-  // (or owned by the caller) and false on timeout.
-  void subscribe_until(stm::Tx& tx, std::uint64_t deadline_ns) const;
-  [[nodiscard]] bool subscribe_until(std::uint64_t deadline_ns) const;
-  [[nodiscard]] bool subscribe_for(std::chrono::nanoseconds timeout) const;
+  // Timed subscribe outside a transaction: true once the lock was observed
+  // free (or owned by the caller), false on expiry.
+  [[nodiscard]] bool subscribe(Deadline deadline) const;
+
+  // Deprecated spellings from the pre-Deadline API; thin forwarders.
+  [[deprecated("use subscribe(tx, Deadline::at(deadline_ns))")]]
+  void subscribe_until(stm::Tx& tx, std::uint64_t deadline_ns) const {
+    subscribe(tx, deadline_ns == 0 ? Deadline::never()
+                                   : Deadline::at(deadline_ns));
+  }
+  [[nodiscard]] [[deprecated("use subscribe(Deadline::at(deadline_ns))")]]
+  bool subscribe_until(std::uint64_t deadline_ns) const {
+    return subscribe(Deadline::at(deadline_ns));
+  }
+  [[nodiscard]] [[deprecated("use subscribe(Deadline(timeout))")]]
+  bool subscribe_for(std::chrono::nanoseconds timeout) const {
+    return subscribe(Deadline(timeout));
+  }
 
   // --- failure handling -------------------------------------------------
 
@@ -155,7 +183,7 @@ class TxLock {
  private:
   // Common slow path: record the wait edge, run deadlock detection when
   // this thread pins holds across transactions, then retry (timed or not).
-  [[noreturn]] void block(stm::Tx& tx, std::uint64_t deadline_ns,
+  [[noreturn]] void block(stm::Tx& tx, Deadline deadline,
                           const char* site) const;
   void check_waitable(stm::Tx& tx, std::uint32_t owner) const;
 
@@ -165,10 +193,6 @@ class TxLock {
   // free -> held transition (orphan detection).
   stm::tvar<std::uint32_t> owner_gen_{0};
   stm::tvar<std::uint32_t> poisoned_{0};
-  // Start of the current hold (free -> held commit), for the opt-in
-  // per-lock hold-time histogram (ADTM_LOCK_STATS). Diagnostics only, so
-  // a plain atomic outside the transactional metadata.
-  std::atomic<std::uint64_t> hold_start_{0};
 };
 
 // RAII acquire/release around a non-transactional critical section.

@@ -8,6 +8,7 @@
 #include "common/backoff.hpp"
 #include "common/stats.hpp"
 #include "faultsim/faultsim.hpp"
+#include "obs/trace.hpp"
 
 namespace adtm::fdpool {
 namespace {
@@ -129,6 +130,9 @@ void AsyncIOEngine::worker_loop() {
       off += static_cast<std::uint64_t>(rv);
     }
 
+    obs::emit(obs::EventType::IoComplete, obs::AbortCause::None, obs::kNoAlgo,
+              req.data.size() - remaining,
+              static_cast<std::uint32_t>(ec.value()));
     if (req.done) req.done(ec);
 
     {

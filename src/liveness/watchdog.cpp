@@ -9,13 +9,14 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "common/env.hpp"
+#include "common/runtime_config.hpp"
 #include "common/stats.hpp"
 #include "common/thread_id.hpp"
 #include "common/timing.hpp"
 #include "liveness/activity.hpp"
 #include "liveness/contention.hpp"
 #include "liveness/wait_graph.hpp"
+#include "obs/trace.hpp"
 
 namespace adtm::liveness {
 
@@ -37,11 +38,10 @@ WatchdogAction parse_watchdog_action(const std::string& s) noexcept {
 }
 
 WatchdogOptions::WatchdogOptions()
-    : stall_budget_ns(env_u64("ADTM_STALL_BUDGET_MS", 2000) * 1000000ull),
-      interval_ns(env_u64("ADTM_WATCHDOG_INTERVAL_MS", 200) * 1000000ull),
-      action(parse_watchdog_action(env_str("ADTM_WATCHDOG_ACTION", "report"))),
-      reap_after_budgets(static_cast<std::uint32_t>(
-          env_u64("ADTM_REAP_BUDGETS", 4))),
+    : stall_budget_ns(runtime_config().stall_budget_ms * 1000000ull),
+      interval_ns(runtime_config().watchdog_interval_ms * 1000000ull),
+      action(parse_watchdog_action(runtime_config().watchdog_action)),
+      reap_after_budgets(runtime_config().reap_budgets),
       sink([](const std::string& report) {
         std::fputs(report.c_str(), stderr);
       }) {}
@@ -167,6 +167,12 @@ struct Watchdog::Impl {
       if (!graph.empty()) out << "wait graph:\n" << graph;
       const std::string locks = lock_stats().report();
       if (!locks.empty()) out << "lock stats:\n" << locks;
+      // With tracing on, a stall diagnosis carries the events leading up
+      // to it — which transactions aborted (and why), who parked where.
+      if (obs::enabled()) {
+        const std::string tail = obs::recent_tail(32);
+        if (!tail.empty()) out << "recent trace events:\n" << tail;
+      }
     }
     out << actions;
     return out.str();

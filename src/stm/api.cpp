@@ -7,16 +7,24 @@
 #include "common/backoff.hpp"
 #include "common/env.hpp"
 #include "common/panic.hpp"
+#include "common/runtime_config.hpp"
 #include "common/stats.hpp"
 #include "common/timing.hpp"
 #include "liveness/activity.hpp"
 #include "liveness/contention.hpp"
 #include "liveness/wait_graph.hpp"
+#include "obs/trace.hpp"
 #include "stm/control.hpp"
 #include "stm/orec.hpp"
 #include "stm/registry.hpp"
 
 namespace adtm::stm {
+
+// The obs layer keeps its own algorithm-name table (it cannot depend on
+// this library); pin the enum layout it assumes.
+static_assert(static_cast<int>(Algo::TL2) == 0 &&
+                  static_cast<int>(Algo::NOrec) == 4,
+              "update the algo-name table in src/obs/trace.cpp");
 
 const char* algo_name(Algo a) noexcept {
   switch (a) {
@@ -28,6 +36,12 @@ const char* algo_name(Algo a) noexcept {
   }
   return "?";
 }
+
+namespace {
+inline std::uint8_t obs_algo(Algo a) noexcept {
+  return static_cast<std::uint8_t>(a);
+}
+}  // namespace
 
 namespace detail {
 
@@ -105,14 +119,47 @@ struct Driver {
       // targets one op, so starting the next op discards any stale flag.
       liveness::set_state(liveness::ThreadState::DeferredOp, now_ns());
       liveness::clear_reap();
+      const bool traced = obs::enabled();
+      const std::uint64_t t_epi = traced ? now_ns() : 0;
+      if (traced) obs::emit(obs::EventType::EpilogueBegin);
       try {
         fn();
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
+      if (traced) {
+        obs::emit(obs::EventType::EpilogueEnd, obs::AbortCause::None,
+                  obs::kNoAlgo, now_ns() - t_epi);
+      }
     }
     for (void* p : frees) std::free(p);
     if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // True once a parked retry waiter should re-execute: a watched location
+  // may have changed, a serial commit happened (those do not touch orecs;
+  // the gate check avoids sitting out a long serial section), or a thread
+  // exited (state it owned — a TxLock, a condition watched through
+  // non-transactional data — may be orphaned; re-run the body so its
+  // owner-liveness checks fire). For NOrec any committed change bumps the
+  // sequence lock, so watching it covers every value in the read set
+  // without touching user memory (which might be reclaimed while we
+  // sleep). Spurious wake-ups just re-run the body and re-wait.
+  static bool retry_wake_ready(const Tx& tx) {
+    for (const auto& e : tx.retry_watch_) {
+      if (e.orec->load(std::memory_order_acquire) != e.seen) return true;
+    }
+    if (!tx.retry_value_watch_.empty() &&
+        runtime().norec_seq.load(std::memory_order_acquire) !=
+            tx.retry_norec_snap_) {
+      return true;
+    }
+    if (runtime().serial_commits.load(std::memory_order_acquire) !=
+        tx.retry_serial_snap_) {
+      return true;
+    }
+    if (g_serial_gate.busy()) return true;
+    return thread_exit_count() != tx.retry_exit_snap_;
   }
 
   // Block until a location in the retry watch set may have changed, a
@@ -132,33 +179,29 @@ struct Driver {
     ADTM_INVARIANT(liveness::pinned_holds() == locker_depth(),
                    "parked with untracked cross-transaction lock holds");
     liveness::set_state(liveness::ThreadState::RetryWait, now_ns());
+    const bool traced = obs::enabled();
+    const std::uint64_t t_park = traced ? now_ns() : 0;
+    if (traced) {
+      obs::emit(obs::EventType::RetryPark, obs::AbortCause::None,
+                obs_algo(tx.algo_));
+    }
     Backoff bo;
     for (;;) {
-      for (const auto& e : tx.retry_watch_) {
-        if (e.orec->load(std::memory_order_acquire) != e.seen) return;
-      }
-      // NOrec: any committed change bumps the sequence lock, so watching
-      // it covers every value in the read set without touching user
-      // memory (which might be reclaimed while we sleep). Spurious
-      // wake-ups just re-run the body and re-wait.
-      if (!tx.retry_value_watch_.empty() &&
-          runtime().norec_seq.load(std::memory_order_acquire) !=
-              tx.retry_norec_snap_) {
+      if (retry_wake_ready(tx)) {
+        if (traced) {
+          obs::emit(obs::EventType::RetryWake, obs::AbortCause::None,
+                    obs_algo(tx.algo_), now_ns() - t_park, 0);
+        }
         return;
       }
-      // Serial-irrevocable commits do not touch orecs; the counter (and
-      // the gate, to avoid sitting out a long serial section) cover them.
-      if (runtime().serial_commits.load(std::memory_order_acquire) !=
-          tx.retry_serial_snap_) {
-        return;
-      }
-      if (g_serial_gate.busy()) return;
-      // A thread exited: state it owned (a TxLock, a condition this
-      // waiter watches through non-transactional data) may now be
-      // orphaned; re-run the body so its owner-liveness checks fire.
-      if (thread_exit_count() != tx.retry_exit_snap_) return;
       if (deadline_ns != 0 && now_ns() >= deadline_ns) {
         stats().add(Counter::RetryTimeouts);
+        if (traced) {
+          obs::emit(obs::EventType::RetryWake, obs::AbortCause::None,
+                    obs_algo(tx.algo_), now_ns() - t_park, 1);
+        }
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
+                  obs_algo(tx.algo_), 0, tx.attempt_);
         throw RetryTimeout("stm::retry deadline expired");
       }
       // A waiter with a checkable wait edge keeps scanning for wait
@@ -169,7 +212,13 @@ struct Driver {
       // checkable only while committed holds are pinned; condvar edges
       // always are (notification duty is committed state).
       if (liveness::wait_edge_checkable()) {
-        liveness::deadlock_check();
+        try {
+          liveness::deadlock_check();
+        } catch (liveness::DeadlockError&) {
+          obs::emit(obs::EventType::TxAbort, obs::AbortCause::Deadlock,
+                    obs_algo(tx.algo_), 0, tx.attempt_);
+          throw;
+        }
       }
       bo.pause();
     }
@@ -180,6 +229,12 @@ struct Driver {
     for (;;) {
       acquire_serial_gate();
       tx.begin(algo, Tx::Mode::Serial, tx.attempt_ + 1);
+      const bool traced = obs::enabled();
+      const std::uint64_t t_attempt = traced ? now_ns() : 0;
+      if (traced) {
+        obs::emit(obs::EventType::SerialEnter, obs::AbortCause::None,
+                  obs_algo(algo), 0, tx.attempt_);
+      }
       try {
         body(tx);
       } catch (RetryRequest& rr) {
@@ -195,6 +250,8 @@ struct Driver {
         stats().add(Counter::TxRetry);
         if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
           stats().add(Counter::RetryTimeouts);
+          obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
+                    obs_algo(algo), 0, tx.attempt_);
           throw RetryTimeout("stm::retry deadline expired (serial mode)");
         }
         // No read set to watch in direct mode: back off and re-execute.
@@ -216,6 +273,8 @@ struct Driver {
         discard_direct_attempt(tx);
         release_serial_gate();
         stats().add(Counter::TxAbortExplicit);
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::Explicit,
+                  obs_algo(algo), 0, tx.attempt_);
         return;
       } catch (...) {
         // Direct-mode effects are retained (GCC `synchronized` semantics);
@@ -226,13 +285,24 @@ struct Driver {
         runtime().serial_commits.fetch_add(1, std::memory_order_acq_rel);
         release_serial_gate();
         stats().add(Counter::TxCommit);
+        if (traced) {
+          obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
+                    obs_algo(algo), now_ns() - t_attempt, 0);
+        }
         run_epilogues(tx);
         throw;
       }
+      const std::uint64_t t_commit = traced ? now_ns() : 0;
       tx.commit();
       runtime().serial_commits.fetch_add(1, std::memory_order_acq_rel);
       release_serial_gate();
       stats().add(Counter::TxCommit);
+      if (traced) {
+        const std::uint64_t t_end = now_ns();
+        obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
+                  obs_algo(algo), t_end - t_attempt,
+                  static_cast<std::uint32_t>(t_end - t_commit));
+      }
       liveness::contention().on_commit();
       run_epilogues(tx);
       return;
@@ -244,6 +314,12 @@ struct Driver {
     std::unique_lock<std::mutex> lk(rt.cgl_mutex);
     for (;;) {
       tx.begin(Algo::CGL, Tx::Mode::CGL, tx.attempt_ + 1);
+      const bool traced = obs::enabled();
+      const std::uint64_t t_attempt = traced ? now_ns() : 0;
+      if (traced) {
+        obs::emit(obs::EventType::TxBegin, obs::AbortCause::None,
+                  obs_algo(Algo::CGL), 0, tx.attempt_);
+      }
       try {
         body(tx);
       } catch (RetryRequest& rr) {
@@ -270,6 +346,8 @@ struct Driver {
         for (;;) {
           if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
             stats().add(Counter::RetryTimeouts);
+            obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
+                      obs_algo(Algo::CGL), 0, tx.attempt_);
             throw RetryTimeout("stm::retry deadline expired (CGL)");
           }
           if (rt.cgl_cv.wait_for(lk, std::chrono::milliseconds(10), woken)) {
@@ -285,6 +363,8 @@ struct Driver {
         }
         discard_direct_attempt(tx);
         stats().add(Counter::TxAbortExplicit);
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::Explicit,
+                  obs_algo(Algo::CGL), 0, tx.attempt_);
         return;
       } catch (...) {
         tx.commit();
@@ -292,14 +372,25 @@ struct Driver {
         lk.unlock();
         rt.cgl_cv.notify_all();
         stats().add(Counter::TxCommit);
+        if (traced) {
+          obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
+                    obs_algo(Algo::CGL), now_ns() - t_attempt, 0);
+        }
         run_epilogues(tx);
         throw;
       }
+      const std::uint64_t t_commit = traced ? now_ns() : 0;
       tx.commit();
       ++rt.cgl_commit_gen;
       lk.unlock();
       rt.cgl_cv.notify_all();
       stats().add(Counter::TxCommit);
+      if (traced) {
+        const std::uint64_t t_end = now_ns();
+        obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
+                  obs_algo(Algo::CGL), t_end - t_attempt,
+                  static_cast<std::uint32_t>(t_end - t_commit));
+      }
       run_epilogues(tx);
       return;
     }
@@ -361,13 +452,28 @@ struct Driver {
         return;
       }
       ++attempt;
+      const bool traced = obs::enabled();
+      const std::uint64_t t_attempt = traced ? now_ns() : 0;
       tx.begin(cfg.algo, Tx::Mode::Speculative, attempt);
+      if (traced) {
+        obs::emit(obs::EventType::TxBegin, obs::AbortCause::None,
+                  obs_algo(cfg.algo), 0, attempt);
+      }
       try {
         body(tx);
+        const std::uint64_t t_commit = traced ? now_ns() : 0;
         tx.commit();
-      } catch (ConflictAbort&) {
+        if (traced) {
+          const std::uint64_t t_end = now_ns();
+          obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
+                    obs_algo(cfg.algo), t_end - t_attempt,
+                    static_cast<std::uint32_t>(t_end - t_commit));
+        }
+      } catch (ConflictAbort& ca) {
         tx.rollback();
         stats().add(Counter::TxAbortConflict);
+        obs::emit(obs::EventType::TxAbort, ca.cause, obs_algo(cfg.algo), 0,
+                  attempt);
         liveness::contention().on_conflict_abort();
         if (starvation_wants_serial(cfg)) {
           liveness::contention().on_escalation();
@@ -380,6 +486,8 @@ struct Driver {
       } catch (CapacityAbort&) {
         tx.rollback();
         stats().add(Counter::TxAbortCapacity);
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::Capacity,
+                  obs_algo(cfg.algo), 0, attempt);
         continue;
       } catch (RetryRequest& rr) {
         tx.capture_watch();
@@ -393,6 +501,8 @@ struct Driver {
           // must make the condition true).
           if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
             stats().add(Counter::RetryTimeouts);
+            obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
+                      obs_algo(cfg.algo), 0, attempt);
             throw RetryTimeout("stm::retry deadline expired");
           }
           bo.pause();
@@ -402,14 +512,25 @@ struct Driver {
       } catch (SerialRestart&) {
         tx.rollback();
         stats().add(Counter::TxIrrevocable);
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::SerialRestart,
+                  obs_algo(cfg.algo), 0, attempt);
         run_serial(tx, body, cfg.algo);
         return;
       } catch (UserAbort&) {
         tx.rollback();
         stats().add(Counter::TxAbortExplicit);
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::Explicit,
+                  obs_algo(cfg.algo), 0, attempt);
         return;
+      } catch (liveness::DeadlockError&) {
+        tx.rollback();
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::Deadlock,
+                  obs_algo(cfg.algo), 0, attempt);
+        throw;
       } catch (...) {
         tx.rollback();
+        obs::emit(obs::EventType::TxAbort, obs::AbortCause::Exception,
+                  obs_algo(cfg.algo), 0, attempt);
         throw;
       }
       stats().add(Counter::TxCommit);
@@ -492,6 +613,9 @@ void init(const Config& cfg) {
   if (c.serialize_after == 0) c.serialize_after = 1;
   if (c.htm_retries == 0) c.htm_retries = 1;
   detail::runtime().config = c;
+  // ADTM_TRACE=1 turns tracing on at the first init. Never turns it off:
+  // an explicit obs::enable() (or configure()) outranks the environment.
+  if (runtime_config().trace && !obs::enabled()) obs::enable();
 }
 
 const Config& config() noexcept { return detail::runtime().config; }
@@ -500,18 +624,10 @@ bool in_transaction() noexcept {
   return detail::Driver::active(detail::Driver::tls());
 }
 
-void retry(Tx&) { throw detail::RetryRequest{}; }
-
-void retry_until(Tx&, std::uint64_t deadline_ns) {
-  // deadline 0 means "no deadline" internally; an already-expired caller
-  // deadline still has to raise, so clamp to the smallest real timestamp.
-  if (deadline_ns == 0) deadline_ns = 1;
-  throw detail::RetryRequest{deadline_ns};
-}
-
-void retry_for(Tx& tx, std::chrono::nanoseconds timeout) {
-  const auto ns = timeout.count();
-  retry_until(tx, ns <= 0 ? 1 : now_ns() + static_cast<std::uint64_t>(ns));
+void retry(Tx&, Deadline deadline) {
+  // Deadline's raw encoding is the runtime's internal convention: 0 means
+  // "no deadline"; Deadline::at() already clamps explicit zeros.
+  throw detail::RetryRequest{deadline.raw_ns()};
 }
 
 void cancel(Tx&) { throw detail::UserAbort{}; }

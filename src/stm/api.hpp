@@ -25,16 +25,17 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/deadline.hpp"
 #include "stm/config.hpp"
 #include "stm/runtime.hpp"
 #include "stm/tx.hpp"
 
 namespace adtm::stm {
 
-// Raised out of atomic() when a deadline-aware retry (retry_until /
-// retry_for, or the timed TxLock/TxCondVar waits built on them) expired
-// before the awaited condition changed. The transaction has been rolled
-// back; catching this and re-invoking atomic() is always safe.
+// Raised out of atomic() when a deadline-aware retry (a retry with a
+// bounded Deadline, or the timed TxLock/TxCondVar waits built on it)
+// expired before the awaited condition changed. The transaction has been
+// rolled back; catching this and re-invoking atomic() is always safe.
 struct RetryTimeout : std::runtime_error {
   explicit RetryTimeout(const char* what) : std::runtime_error(what) {}
 };
@@ -118,23 +119,27 @@ auto atomic_nested(F&& body) -> std::invoke_result_t<F&, Tx&> {
 }
 
 // Condition synchronization: abort the transaction and re-execute once a
-// read-set location may have changed. Must be called inside a transaction.
-[[noreturn]] void retry(Tx& tx);
+// read-set location may have changed (Harris-style; must be called inside
+// a transaction). With a bounded Deadline, the driver raises RetryTimeout
+// out of the atomic() call once it passes instead of waiting forever.
+// Waiters also wake early when any thread exits (so orphaned-owner checks
+// re-run) and on lock poison (a transactional write like any other). An
+// absolute Deadline survives re-execution: construct it once *outside*
+// the transaction so a spurious wake-up does not extend the budget;
+// passing a duration here re-arms the window on every attempt (see
+// common/deadline.hpp).
+[[noreturn]] void retry(Tx& tx, Deadline deadline = {});
 
-// Deadline-aware retry: like retry(), but if `deadline_ns` (a now_ns()
-// timestamp) passes while waiting, the driver raises RetryTimeout out of
-// the atomic() call instead of waiting forever. Waiters also wake early
-// when any thread exits (so orphaned-owner checks re-run) and on lock
-// poison (a transactional write like any other). An absolute deadline
-// survives re-execution: compute it once *outside* the transaction so a
-// spurious wake-up does not extend the budget.
-[[noreturn]] void retry_until(Tx& tx, std::uint64_t deadline_ns);
+// Deprecated spellings from the pre-Deadline API; thin forwarders.
+[[noreturn]] [[deprecated("use retry(tx, Deadline::at(deadline_ns))")]]
+inline void retry_until(Tx& tx, std::uint64_t deadline_ns) {
+  retry(tx, Deadline::at(deadline_ns == 0 ? 1 : deadline_ns));
+}
 
-// Convenience: deadline = now + timeout, computed at the call. Inside a
-// re-executed body this re-arms the window on every attempt (a sliding
-// deadline); use retry_until with a precomputed deadline for a hard
-// budget.
-[[noreturn]] void retry_for(Tx& tx, std::chrono::nanoseconds timeout);
+[[noreturn]] [[deprecated("use retry(tx, timeout)")]]
+inline void retry_for(Tx& tx, std::chrono::nanoseconds timeout) {
+  retry(tx, Deadline(timeout));
+}
 
 // Abort the transaction, discarding all effects; atomic() returns normally
 // without re-executing. Illegal in CGL/serial modes (cannot roll back).

@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "common/env.hpp"
+#include "common/runtime_config.hpp"
 
 namespace adtm::stm {
 
@@ -78,8 +78,7 @@ struct Config {
   std::uint64_t priority_wait_ns = 100'000'000;
 
   static std::uint32_t default_starvation_threshold() noexcept {
-    return static_cast<std::uint32_t>(
-        env_u64("ADTM_STARVATION_THRESHOLD", 64));
+    return runtime_config().starvation_threshold;
   }
 };
 

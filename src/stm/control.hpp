@@ -8,11 +8,17 @@
 
 #include <cstdint>
 
+#include "obs/trace.hpp"
+
 namespace adtm::stm::detail {
 
 // Conflict detected (validation failure, lock-acquire timeout): roll back
-// and re-execute after contention-manager backoff.
-struct ConflictAbort {};
+// and re-execute after contention-manager backoff. Carries the structured
+// cause so the driver's TxAbort trace event and the run summary's abort
+// taxonomy record *why*, not just that it happened.
+struct ConflictAbort {
+  obs::AbortCause cause = obs::AbortCause::ConflictValidation;
+};
 
 // HTM-sim footprint exceeded the capacity budget: roll back; counts
 // against the hardware retry budget.

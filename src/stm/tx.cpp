@@ -215,7 +215,7 @@ std::uint64_t Tx::norec_validate() {
     }
     for (const auto& e : norec_reads_.entries()) {
       if (e.addr->load(std::memory_order_relaxed) != e.value) {
-        throw detail::ConflictAbort{};
+        throw detail::ConflictAbort{obs::AbortCause::ConflictNorecValue};
       }
     }
     if (seq.load(std::memory_order_acquire) == s) {
@@ -294,7 +294,9 @@ void Tx::arbitrate_busy_orec(OrecWord s, std::uint32_t& spins,
                              std::uint64_t& patience_deadline,
                              bool& outwaited) {
   const Config& cfg = detail::runtime().config;
-  if (algo_ == Algo::HTMSim) conflict_abort();  // hardware cannot spin
+  if (algo_ == Algo::HTMSim) {
+    conflict_abort(obs::AbortCause::ConflictLockBusy);  // hw cannot spin
+  }
   if (priority_) {
     // Privileged (starved past ADTM_STARVATION_THRESHOLD): outwait the
     // owner instead of self-aborting — this is the arbitration win that
@@ -308,7 +310,9 @@ void Tx::arbitrate_busy_orec(OrecWord s, std::uint32_t& spins,
       // Let the owner run (essential on few-core machines) and honor the
       // patience bound without paying a clock read per spin.
       std::this_thread::yield();
-      if (now_ns() >= patience_deadline) conflict_abort();
+      if (now_ns() >= patience_deadline) {
+        conflict_abort(obs::AbortCause::ConflictLockBusy);
+      }
     }
     cpu_relax();
     return;
@@ -317,9 +321,11 @@ void Tx::arbitrate_busy_orec(OrecWord s, std::uint32_t& spins,
     // The owner is the starved priority thread: step aside immediately
     // instead of spinning against it (low karma loses the conflict).
     stats().add(Counter::CmPriorityYields);
-    conflict_abort();
+    conflict_abort(obs::AbortCause::ConflictPriorityYield);
   }
-  if (++spins > cfg.lock_spin_limit) conflict_abort();
+  if (++spins > cfg.lock_spin_limit) {
+    conflict_abort(obs::AbortCause::ConflictLockBusy);
+  }
   cpu_relax();
 }
 
@@ -344,7 +350,7 @@ std::uint64_t Tx::read_word_speculative(const detail::Word* addr) {
       continue;
     }
     if (orec_version(s1) > start_) {
-      if (!extend()) conflict_abort();
+      if (!extend()) conflict_abort(obs::AbortCause::ConflictValidation);
       continue;  // resample under the extended snapshot
     }
     const std::uint64_t v = addr->load(std::memory_order_acquire);
@@ -388,7 +394,7 @@ void Tx::lock_orec_for_write(Orec& o) {
     if (orec_version(s) > start_) {
       // Owning a line makes all of its words readable in place, so the
       // snapshot must cover the line's current version (TinySTM rule).
-      if (!extend()) conflict_abort();
+      if (!extend()) conflict_abort(obs::AbortCause::ConflictValidation);
       continue;
     }
     if (o.compare_exchange_weak(s, make_orec_locked(tid_),
@@ -426,7 +432,7 @@ void Tx::validate_reads() {
         prev == e.seen) {
       continue;
     }
-    throw ConflictAbort{};
+    throw ConflictAbort{obs::AbortCause::ConflictValidation};
   }
 }
 
@@ -437,7 +443,7 @@ void Tx::check_htm_budget() {
   }
 }
 
-void Tx::conflict_abort() { throw ConflictAbort{}; }
+void Tx::conflict_abort(obs::AbortCause cause) { throw ConflictAbort{cause}; }
 
 // ---------------------------------------------------------------------------
 // Services

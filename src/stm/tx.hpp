@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "stm/config.hpp"
 #include "stm/logs.hpp"
 
@@ -110,7 +111,7 @@ class Tx {
   void capture_watch();           // snapshot read set for retry waiting
 
   bool extend();                  // timestamp extension; false = invalid
-  [[noreturn]] void conflict_abort();
+  [[noreturn]] void conflict_abort(obs::AbortCause cause);
   void arbitrate_busy_orec(OrecWord s, std::uint32_t& spins,
                            std::uint64_t& patience_deadline, bool& outwaited);
   void lock_orec_for_write(Orec& o);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/backoff.hpp"
+#include "obs/trace.hpp"
 #include "stm/api.hpp"
 #include "wal/crc32.hpp"
 
@@ -169,6 +170,7 @@ void WriteAheadLog::stage_and_flush_locked_drain() {
     // (and anything after) shortly.
     std::string buffer;
     Lsn last = 0;
+    std::uint64_t records = 0;
     {
       std::lock_guard<std::mutex> lk(staging_mutex_);
       for (;;) {
@@ -181,6 +183,7 @@ void WriteAheadLog::stage_and_flush_locked_drain() {
         last = next_to_write_;
         staged_.erase(it);
         ++next_to_write_;
+        ++records;
       }
     }
     if (buffer.empty()) return;
@@ -203,7 +206,10 @@ void WriteAheadLog::stage_and_flush_locked_drain() {
       poison("unknown error in group commit");
       throw;
     }
-    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t fsyncs =
+        fsyncs_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::emit(obs::EventType::WalFlush, obs::AbortCause::None, obs::kNoAlgo,
+              records, static_cast<std::uint32_t>(fsyncs));
     // Publish the new durable horizon transactionally so wait_durable
     // retry-waiters wake.
     stm::atomic([&](stm::Tx& tx) {

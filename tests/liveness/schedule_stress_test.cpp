@@ -78,7 +78,7 @@ TEST_P(ScheduleStressTest, CvWaitCycleDetectedAndResolved) {
     try {
       stm::atomic([&](stm::Tx& tx) {
         if (resolved.get(tx) != 0) return;  // peer broke the cycle
-        other.wait_until(tx, start + kBackstopNs);
+        other.wait(tx, Deadline::at(start + kBackstopNs));
       });
     } catch (const liveness::DeadlockError&) {
       deadlocks.fetch_add(1);
@@ -166,7 +166,7 @@ TEST_P(ScheduleStressTest, DeadOwnerParkResolvesPromptly) {
       jitter(rng);
       try {
         stm::atomic([&](stm::Tx& tx) {
-          lock.subscribe_until(tx, start + kBackstopNs);
+          lock.subscribe(tx, Deadline::at(start + kBackstopNs));
         });
       } catch (const TxLockOrphaned&) {
         orphaned.fetch_add(1);
@@ -191,7 +191,7 @@ TEST_P(ScheduleStressTest, DeadOwnerParkResolvesPromptly) {
 TEST_P(ScheduleStressTest, TimedOutCvEdgeIsRetractedThenRealCycleDetected) {
   TxCondVar lonely;  // never notified; no notifier registered
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
-                 lonely.wait_until(tx, now_ns() + 5'000'000);
+                 lonely.wait(tx, Deadline::at(now_ns() + 5'000'000));
                }),
                stm::RetryTimeout);
   // The edge died with the park: nothing published, nothing to cycle on.
@@ -216,7 +216,7 @@ TEST_P(ScheduleStressTest, TimedOutCvEdgeIsRetractedThenRealCycleDetected) {
     try {
       stm::atomic([&](stm::Tx& tx) {
         if (resolved.get(tx) != 0) return;
-        other.wait_until(tx, start + kBackstopNs);
+        other.wait(tx, Deadline::at(start + kBackstopNs));
       });
     } catch (const liveness::DeadlockError&) {
       deadlocks.fetch_add(1);

@@ -78,10 +78,10 @@ TEST_P(StallStressTest, PoisonedHolderUnblocksAllSubscribersWithinBudget) {
   std::vector<std::thread> subs;
   for (int i = 0; i < kSubscribers; ++i) {
     subs.emplace_back([&] {
-      const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+      const Deadline deadline = Deadline::at(now_ns() + 10'000'000'000ull);
       try {
         stm::atomic([&](stm::Tx& tx) {
-          res.txlock().subscribe_until(tx, deadline);
+          res.txlock().subscribe(tx, deadline);
           (void)res.value.get(tx);
         });
         ADD_FAILURE() << "subscriber ran while the failed op held the lock";
@@ -139,10 +139,10 @@ TEST_P(StallStressTest, KilledHolderUnblocksSubscribersViaOrphanDetection) {
   std::vector<std::thread> subs;
   for (int i = 0; i < kSubscribers; ++i) {
     subs.emplace_back([&] {
-      const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+      const Deadline deadline = Deadline::at(now_ns() + 10'000'000'000ull);
       try {
         stm::atomic([&](stm::Tx& tx) {
-          res.txlock().subscribe_until(tx, deadline);
+          res.txlock().subscribe(tx, deadline);
         });
         ADD_FAILURE() << "subscriber ran while a dead owner held the lock";
       } catch (const TxLockOrphaned&) {

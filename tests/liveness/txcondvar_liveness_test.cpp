@@ -24,7 +24,7 @@ TEST_P(TxCondVarLivenessTest, WaitForTimesOut) {
   TxCondVar cv;
   stm::tvar<int> gate{0};
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
-                 if (gate.get(tx) == 0) cv.wait_for(tx, 30ms);
+                 if (gate.get(tx) == 0) cv.wait(tx, 30ms);
                }),
                stm::RetryTimeout);
   EXPECT_GE(stats().total(Counter::RetryTimeouts), 1u);
@@ -35,9 +35,9 @@ TEST_P(TxCondVarLivenessTest, WaitUntilHardDeadline) {
   stm::tvar<int> gate{0};
   // An absolute deadline computed outside the transaction bounds the total
   // wait even across body re-executions.
-  const std::uint64_t deadline = now_ns() + 30'000'000ull;
+  const Deadline deadline = Deadline::at(now_ns() + 30'000'000ull);
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
-                 if (gate.get(tx) == 0) cv.wait_until(tx, deadline);
+                 if (gate.get(tx) == 0) cv.wait(tx, deadline);
                }),
                stm::RetryTimeout);
 }
@@ -47,9 +47,9 @@ TEST_P(TxCondVarLivenessTest, NotifyWakesTimedWaiterBeforeDeadline) {
   stm::tvar<int> gate{0};
   std::atomic<bool> consumed{false};
   std::thread waiter([&] {
-    const std::uint64_t deadline = now_ns() + 5'000'000'000ull;
+    const Deadline deadline = Deadline::at(now_ns() + 5'000'000'000ull);
     stm::atomic([&](stm::Tx& tx) {
-      if (gate.get(tx) == 0) cv.wait_until(tx, deadline);
+      if (gate.get(tx) == 0) cv.wait(tx, deadline);
       gate.set(tx, 0);
     });
     consumed.store(true);
@@ -76,7 +76,7 @@ TEST_P(TxCondVarLivenessTest, PoisonedWaitRaisesImmediately) {
   EXPECT_FALSE(cv.poisoned());
   // Functional again: a timed wait now times out instead of raising poison.
   EXPECT_THROW(
-      stm::atomic([&](stm::Tx& tx) { cv.wait_for(tx, 20ms); }),
+      stm::atomic([&](stm::Tx& tx) { cv.wait(tx, 20ms); }),
       stm::RetryTimeout);
 }
 

@@ -37,12 +37,12 @@ TEST_P(TxLockLivenessTest, AcquireForTimesOutOnContendedLock) {
     lock.release();
   });
   spin_until(held);
-  EXPECT_FALSE(lock.acquire_for(30ms));
+  EXPECT_FALSE(lock.acquire(Deadline(30ms)));
   EXPECT_GE(stats().total(Counter::RetryTimeouts), 1u);
   go_release.store(true);
   holder.join();
   // Free again: a generous timed acquire succeeds, and owns the lock.
-  ASSERT_TRUE(lock.acquire_for(5s));
+  ASSERT_TRUE(lock.acquire(Deadline(5s)));
   EXPECT_TRUE(lock.held_by_me());
   lock.release();
 }
@@ -57,7 +57,7 @@ TEST_P(TxLockLivenessTest, AcquireUntilSucceedsOnceHolderReleases) {
     lock.release();
   });
   spin_until(held);
-  EXPECT_TRUE(lock.acquire_until(now_ns() + 5'000'000'000ull));
+  EXPECT_TRUE(lock.acquire(Deadline::at(now_ns() + 5'000'000'000ull)));
   lock.release();
   holder.join();
 }
@@ -73,10 +73,10 @@ TEST_P(TxLockLivenessTest, SubscribeForTimesOutThenSucceeds) {
     lock.release();
   });
   spin_until(held);
-  EXPECT_FALSE(lock.subscribe_for(30ms));
+  EXPECT_FALSE(lock.subscribe(Deadline(30ms)));
   go_release.store(true);
   holder.join();
-  EXPECT_TRUE(lock.subscribe_for(5s));
+  EXPECT_TRUE(lock.subscribe(Deadline(5s)));
 }
 
 TEST_P(TxLockLivenessTest, TimedAcquireInsideTransactionRaisesOutOfAtomic) {
@@ -90,9 +90,9 @@ TEST_P(TxLockLivenessTest, TimedAcquireInsideTransactionRaisesOutOfAtomic) {
     lock.release();
   });
   spin_until(held);
-  const std::uint64_t deadline = now_ns() + 30'000'000ull;
+  const Deadline deadline = Deadline::at(now_ns() + 30'000'000ull);
   EXPECT_THROW(
-      stm::atomic([&](stm::Tx& tx) { lock.acquire_until(tx, deadline); }),
+      stm::atomic([&](stm::Tx& tx) { lock.acquire(tx, deadline); }),
       stm::RetryTimeout);
   go_release.store(true);
   holder.join();
@@ -311,7 +311,7 @@ TEST(TxLockLivenessCgl, TimedAcquireAndPoisonWakeUnderCgl) {
   spin_until(held);
   // CGL retry waiters park on the global commit condition variable; the
   // deadline must still bound the wait...
-  EXPECT_FALSE(lock.acquire_for(30ms));
+  EXPECT_FALSE(lock.acquire(Deadline(30ms)));
   // ...and a committed poison write must wake them.
   std::thread waiter([&] {
     try {

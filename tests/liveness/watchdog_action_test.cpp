@@ -168,7 +168,7 @@ TEST_F(WatchdogActionTest, PoisonOrphansWakesAllCvWaiters) {
     waiters.emplace_back([&] {
       try {
         stm::atomic([&](stm::Tx& tx) {
-          cv.wait_until(tx, now_ns() + 10'000'000'000ull);
+          cv.wait(tx, Deadline::at(now_ns() + 10'000'000'000ull));
         });
       } catch (const TxCondVarPoisoned&) {
         poisoned.fetch_add(1);

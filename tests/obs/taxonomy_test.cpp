@@ -1,0 +1,179 @@
+// Abort-cause taxonomy exactness: seeded scenarios whose abort cause is
+// known by construction must be classified exactly — right cause, right
+// count, right algorithm bucket.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.hpp"
+#include "common/timing.hpp"
+#include "obs/trace.hpp"
+#include "stm/api.hpp"
+#include "stm/tvar.hpp"
+
+namespace adtm {
+namespace {
+
+std::uint64_t aborts(const obs::RunSummary& s, const std::string& algo,
+                     obs::AbortCause cause) {
+  for (const obs::AlgoSummary& a : s.algos) {
+    if (a.algo == algo) {
+      return a.aborts[static_cast<std::size_t>(cause)];
+    }
+  }
+  return 0;
+}
+
+std::uint64_t commits(const obs::RunSummary& s, const std::string& algo) {
+  for (const obs::AlgoSummary& a : s.algos) {
+    if (a.algo == algo) return a.commits;
+  }
+  return 0;
+}
+
+class AbortTaxonomyTest : public ::testing::Test {
+ protected:
+  void init(stm::Algo algo, bool quiescence = true) {
+    stm::Config cfg;
+    cfg.algo = algo;
+    // The seeded-conflict tests commit from a rival thread while the main
+    // transaction is still open; with quiescence the rival would wait for
+    // it (and the main thread is joining the rival). Irrelevant to abort
+    // classification, so those tests turn it off.
+    cfg.quiescence = quiescence;
+    stm::init(cfg);
+    obs::clear();
+    obs::enable();
+  }
+  void TearDown() override {
+    obs::disable();
+    obs::clear();
+    stm::init(stm::Config{});
+  }
+};
+
+TEST_F(AbortTaxonomyTest, CancelIsExactlyOneExplicitAbort) {
+  init(stm::Algo::TL2);
+  stm::tvar<int> x{0};
+  stm::atomic([&](stm::Tx& tx) {
+    x.get(tx);
+    stm::cancel(tx);
+  });
+  obs::disable();
+  const obs::RunSummary s = obs::summary();
+  EXPECT_EQ(aborts(s, "TL2", obs::AbortCause::Explicit), 1u);
+  EXPECT_EQ(commits(s, "TL2"), 0u);
+  ASSERT_EQ(s.algos.size(), 1u);
+  EXPECT_EQ(s.algos[0].total_aborts, 1u);
+}
+
+TEST_F(AbortTaxonomyTest, CommitTimeInvalidationIsConflictValidation) {
+  // Attempt 1: read x, let a rival commit a new x, write y — TL2's
+  // commit-time read validation must fail with ConflictValidation (not
+  // lock-busy: the rival is long gone by then). Attempt 2 commits.
+  init(stm::Algo::TL2, /*quiescence=*/false);
+  stm::tvar<long> x{0};
+  stm::tvar<long> y{0};
+  int attempts = 0;
+  stm::atomic([&](stm::Tx& tx) {
+    const long seen = x.get(tx);
+    if (++attempts == 1) {
+      std::thread rival([&] {
+        stm::atomic([&](stm::Tx& rtx) { x.set(rtx, seen + 1); });
+      });
+      rival.join();
+    }
+    y.set(tx, seen + 1);
+  });
+  obs::disable();
+  EXPECT_EQ(attempts, 2);
+  const obs::RunSummary s = obs::summary();
+  EXPECT_EQ(aborts(s, "TL2", obs::AbortCause::ConflictValidation), 1u);
+  EXPECT_EQ(commits(s, "TL2"), 2u);  // the rival and the final attempt
+  ASSERT_EQ(s.algos.size(), 1u);
+  EXPECT_EQ(s.algos[0].total_aborts, 1u);
+}
+
+TEST_F(AbortTaxonomyTest, NorecValueValidationHasItsOwnCause) {
+  // The same seeded conflict under NOrec fails value-based validation:
+  // the taxonomy distinguishes it from TL2's timestamp validation.
+  init(stm::Algo::NOrec, /*quiescence=*/false);
+  stm::tvar<long> x{0};
+  stm::tvar<long> y{0};
+  int attempts = 0;
+  stm::atomic([&](stm::Tx& tx) {
+    const long seen = x.get(tx);
+    if (++attempts == 1) {
+      std::thread rival([&] {
+        stm::atomic([&](stm::Tx& rtx) { x.set(rtx, seen + 1); });
+      });
+      rival.join();
+    }
+    y.set(tx, seen + 1);
+  });
+  obs::disable();
+  EXPECT_EQ(attempts, 2);
+  const obs::RunSummary s = obs::summary();
+  EXPECT_EQ(aborts(s, "NOrec", obs::AbortCause::ConflictNorecValue), 1u);
+  EXPECT_EQ(aborts(s, "NOrec", obs::AbortCause::ConflictValidation), 0u);
+  EXPECT_EQ(commits(s, "NOrec"), 2u);
+}
+
+TEST_F(AbortTaxonomyTest, HtmFootprintOverflowIsCapacity) {
+  stm::Config cfg;
+  cfg.algo = stm::Algo::HTMSim;
+  cfg.htm_capacity = 4;  // tiny budget: the write set below must overflow
+  stm::init(cfg);
+  obs::clear();
+  obs::enable();
+
+  constexpr int kVars = 32;
+  std::vector<std::unique_ptr<stm::tvar<long>>> vars;
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(std::make_unique<stm::tvar<long>>(0));
+  }
+  stm::atomic([&](stm::Tx& tx) {
+    for (auto& v : vars) v->set(tx, 1);
+  });
+  obs::disable();
+
+  const obs::RunSummary s = obs::summary();
+  // Every hardware attempt dies on capacity; the serial fallback commits.
+  EXPECT_GE(aborts(s, "HTMSim", obs::AbortCause::Capacity), 1u);
+  EXPECT_GE(commits(s, "HTMSim"), 1u);
+  EXPECT_EQ(vars[kVars - 1]->load_direct(), 1);
+}
+
+TEST_F(AbortTaxonomyTest, RetryDeadlineExpiryIsTimeout) {
+  init(stm::Algo::TL2);
+  stm::tvar<bool> flag{false};
+  const Deadline deadline = Deadline::at(now_ns() + 20'000'000ull);  // 20 ms
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 if (!flag.get(tx)) stm::retry(tx, deadline);
+               }),
+               stm::RetryTimeout);
+  obs::disable();
+  const obs::RunSummary s = obs::summary();
+  EXPECT_EQ(aborts(s, "TL2", obs::AbortCause::Timeout), 1u);
+  EXPECT_EQ(commits(s, "TL2"), 0u);
+}
+
+TEST_F(AbortTaxonomyTest, UserExceptionIsClassifiedAsException) {
+  init(stm::Algo::TL2);
+  stm::tvar<int> x{0};
+  struct Boom {};
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 x.set(tx, 1);
+                 throw Boom{};
+               }),
+               Boom);
+  obs::disable();
+  const obs::RunSummary s = obs::summary();
+  EXPECT_EQ(aborts(s, "TL2", obs::AbortCause::Exception), 1u);
+  EXPECT_EQ(x.load_direct(), 0);  // the throw rolled the write back
+}
+
+}  // namespace
+}  // namespace adtm

@@ -1,0 +1,194 @@
+// Shared gtest support: a minimal JSON parser for schema-validating the
+// machine-readable outputs (Chrome traces, run summaries, bench reports).
+// Parses the subset those emitters produce — objects, arrays, strings
+// with backslash escapes, numbers, booleans, null — and throws
+// std::runtime_error with an offset on malformed input, which is exactly
+// what a schema test wants.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace adtm::test {
+
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_string() const { return type == Type::String; }
+  bool is_number() const { return type == Type::Number; }
+
+  bool has(const std::string& key) const {
+    return is_object() && object.count(key) != 0;
+  }
+
+  const Json& at(const std::string& key) const {
+    if (!is_object()) throw std::runtime_error("json: not an object");
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("json: no key " + key);
+    return it->second;
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", [] { Json j; j.type = Json::Type::Bool; j.boolean = true; return j; }());
+      case 'f': return literal("false", [] { Json j; j.type = Json::Type::Bool; return j; }());
+      case 'n': return literal("null", Json{});
+      default: return number();
+    }
+  }
+
+  Json literal(const std::string& word, Json result) {
+    if (text_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+    return result;
+  }
+
+  Json object() {
+    expect('{');
+    Json j;
+    j.type = Json::Type::Object;
+    if (consume('}')) return j;
+    for (;;) {
+      Json key = string_value();
+      expect(':');
+      j.object.emplace(std::move(key.str), value());
+      if (consume('}')) return j;
+      expect(',');
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json j;
+    j.type = Json::Type::Array;
+    if (consume(']')) return j;
+    for (;;) {
+      j.array.push_back(value());
+      if (consume(']')) return j;
+      expect(',');
+    }
+  }
+
+  Json string_value() {
+    expect('"');
+    Json j;
+    j.type = Json::Type::String;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return j;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': j.str += '\n'; break;
+          case 't': j.str += '\t'; break;
+          case 'r': j.str += '\r'; break;
+          case 'u':  // the emitters never produce \u; keep it raw
+            j.str += "\\u";
+            break;
+          default: j.str += e; break;
+        }
+      } else {
+        j.str += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Json j;
+    j.type = Json::Type::Number;
+    try {
+      j.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return j;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline Json json_parse(const std::string& text) {
+  return detail::JsonParser(text).parse();
+}
+
+}  // namespace adtm::test

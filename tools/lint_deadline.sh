@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Fails when a deprecated `_until`/`_for` timed-wait spelling is used
+# outside the files that are allowed to mention them:
+#   - the forwarder definitions themselves (kept for source compat), and
+#   - the equivalence test that proves forwarders match the Deadline forms.
+# New code must take adtm::Deadline instead. std::condition_variable
+# waits (`wait_for(lk, ...)` / `wait_until(lk, ...)`) are not ours and
+# are excluded by their lock-first-argument call shape.
+#
+# Run from the repository root (ctest does this via WORKING_DIRECTORY).
+set -u
+
+PATTERN='\b(acquire_until|acquire_for|subscribe_until|subscribe_for|retry_until|retry_for|wait_until|wait_for)[[:space:]]*\('
+
+ALLOWLIST='^(src/defer/txlock\.hpp|src/defer/txcondvar\.hpp|src/stm/api\.hpp|tests/common/deadline_test\.cpp):'
+
+hits=$(grep -rnE "$PATTERN" src tests bench examples \
+         --include='*.hpp' --include='*.cpp' 2>/dev/null \
+       | grep -v '(lk' \
+       | grep -vE "$ALLOWLIST")
+
+if [ -n "$hits" ]; then
+  echo "lint_deadline: deprecated _until/_for timed-wait spellings found." >&2
+  echo "Use adtm::Deadline overloads instead (see src/common/deadline.hpp):" >&2
+  echo "$hits" >&2
+  exit 1
+fi
+
+echo "lint_deadline: OK (no deprecated _until/_for uses outside forwarders)"
+exit 0
