@@ -57,6 +57,15 @@ struct RuntimeConfig {
   // "" disables the exit writer (call obs::write_chrome_trace yourself).
   // [ADTM_TRACE_OUT]
   std::string trace_out = "adtm_trace.json";
+
+  // --- TM-aware sanitizer (tmsan) ------------------------------------
+  // Mixed-mode race and deferral-contract checking; when set via the
+  // environment the checkers start at the first stm::init. [ADTM_TMSAN]
+  bool tmsan = false;
+  // Opacity checking (per-transaction read/write history validation at
+  // every commit and abort). Much heavier than the other checkers — for
+  // test schedules, not production. [ADTM_TMSAN_OPACITY]
+  bool tmsan_opacity = false;
 };
 
 // Fresh resolution of every knob from the current environment (defaults

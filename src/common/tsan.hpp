@@ -1,0 +1,58 @@
+// ThreadSanitizer happens-before annotations for the TM runtime.
+//
+// All transactional data is std::atomic, so TSan already models most of
+// the runtime's synchronization; these macros add explicit acquire/release
+// edges at the points where the protocol's ordering argument spans a chain
+// of relaxed accesses TSan cannot connect on its own:
+//
+//   * the global version clock (commit publishes, begin/extend observe),
+//   * orec lock acquire / version release (the relaxed redo-log and undo
+//     stores between them piggyback on the orec edge),
+//   * the NOrec sequence lock (relaxed value stores are published by the
+//     final seq store),
+//   * the TxLock hand-off from a committing transaction to the deferred
+//     operation's epilogue and from the epilogue's release to the next
+//     subscriber.
+//
+// ADTM_TSAN_ANNOTATE defaults to 1 under -fsanitize=thread (GCC defines
+// __SANITIZE_THREAD__, clang reports __has_feature(thread_sanitizer)) and
+// 0 otherwise; builds may force it with -DADTM_TSAN_ANNOTATE=0/1. When off
+// the macros are no-ops, so annotated code costs nothing in normal builds.
+#pragma once
+
+#ifndef ADTM_TSAN_ANNOTATE
+#if defined(__SANITIZE_THREAD__)
+#define ADTM_TSAN_ANNOTATE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ADTM_TSAN_ANNOTATE 1
+#else
+#define ADTM_TSAN_ANNOTATE 0
+#endif
+#else
+#define ADTM_TSAN_ANNOTATE 0
+#endif
+#endif
+
+#if ADTM_TSAN_ANNOTATE
+
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+
+// The casts accept any pointer (including pointer-to-const: annotating a
+// read-side acquire on logically-const lock metadata is the common case).
+#define ADTM_TSAN_ACQUIRE(addr) \
+  __tsan_acquire(const_cast<void*>(static_cast<const void*>(addr)))
+#define ADTM_TSAN_RELEASE(addr) \
+  __tsan_release(const_cast<void*>(static_cast<const void*>(addr)))
+
+#else
+
+// The argument is consumed (unevaluated would warn on otherwise-unused
+// locals) but the expression folds away entirely.
+#define ADTM_TSAN_ACQUIRE(addr) ((void)(addr))
+#define ADTM_TSAN_RELEASE(addr) ((void)(addr))
+
+#endif

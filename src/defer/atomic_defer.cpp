@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/stats.hpp"
+#include "common/tsan.hpp"
 #include "obs/trace.hpp"
+#include "tmsan/tmsan.hpp"
 
 namespace adtm {
 
@@ -23,9 +25,29 @@ void atomic_defer(stm::Tx& tx, std::function<void()> op,
   // epilogue events come from the driver's run_epilogues.
   obs::emit(obs::EventType::DeferEnqueue, obs::AbortCause::None, obs::kNoAlgo,
             0, static_cast<std::uint32_t>(objs.size()));
+  // tmsan deferral contract: the registration pends one epilogue on each
+  // lock (withdrawn if the attempt aborts); the epilogue itself runs
+  // bracketed so tmsan can check it touches only covered state. Attempt
+  // scope matches the lock acquisition above, so a re-execution re-pends.
+  std::vector<const void*> san_locks;
+  const bool san = tmsan::active();
+  if (san) {
+    san_locks.reserve(objs.size());
+    for (const Deferrable* o : objs) san_locks.push_back(&o->txlock());
+    tmsan::on_defer_registered(san_locks.data(), san_locks.size());
+    tx.on_abort([san_locks] {
+      tmsan::on_defer_cancelled(san_locks.data(), san_locks.size());
+    });
+  }
   tx.on_commit([op = std::move(op), objs = std::move(objs),
-                policy = std::move(policy)]() {
+                policy = std::move(policy), san_locks = std::move(san_locks),
+                san]() {
     stats().add(Counter::DeferredOps);
+    // The handoff edge: the registering transaction's writes (made before
+    // commit) happen-before the epilogue body, which may run on another
+    // logical phase of the same thread after arbitrary interleavings.
+    for (const void* l : san_locks) ADTM_TSAN_ACQUIRE(l);
+    if (san) tmsan::epilogue_begin(san_locks.data(), san_locks.size());
     // The locks are released on every exit path: a deferred operation
     // that fails permanently must not wedge its subscribers. Reentrancy
     // ensures an object shared by several deferred operations stays
@@ -33,6 +55,9 @@ void atomic_defer(stm::Tx& tx, std::function<void()> op,
     try {
       run_with_policy(policy, op);
     } catch (...) {
+      // The epilogue is over (even if failed) before any lock can reach
+      // its free transition, or on_lock_freed would see it still pending.
+      if (san) tmsan::epilogue_end(san_locks.data(), san_locks.size());
       // Poison first, release second: once released, a waiter can slip in
       // before the poison lands. Poisoning is a transactional write, so it
       // also wakes parked subscribers, which then raise TxLockPoisoned.
@@ -42,6 +67,7 @@ void atomic_defer(stm::Tx& tx, std::function<void()> op,
       for (const Deferrable* o : objs) o->txlock().release();
       throw;
     }
+    if (san) tmsan::epilogue_end(san_locks.data(), san_locks.size());
     for (const Deferrable* o : objs) o->txlock().release();
   });
 }

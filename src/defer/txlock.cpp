@@ -7,14 +7,19 @@
 #include "common/stats.hpp"
 #include "common/thread_id.hpp"
 #include "common/timing.hpp"
+#include "common/tsan.hpp"
 #include "liveness/wait_graph.hpp"
 #include "obs/trace.hpp"
 #include "stm/api.hpp"
 #include "stm/registry.hpp"
+#include "tmsan/tmsan.hpp"
 
 namespace adtm {
 
 std::uint32_t TxLock::owner_of(const void* lock) noexcept {
+  // Wait-graph / watchdog metadata sample: deliberately racy, never acted
+  // on without re-validation inside a transaction.
+  tmsan::ScopedRawIgnore ignore;
   return static_cast<const TxLock*>(lock)->owner_.load_direct();
 }
 
@@ -161,6 +166,7 @@ void TxLock::acquire(stm::Tx& tx, Deadline deadline) {
   stm::detail::locker_enter();
   tx.on_abort([] { stm::detail::locker_exit(); });
   tx.on_commit([] { liveness::pinned_enter(); });
+  ADTM_TSAN_ACQUIRE(this);
   sample_wait_timer(this);  // a park that ended here ends its wait now
   stats().add(Counter::TxLockAcquires);
 }
@@ -220,12 +226,19 @@ void TxLock::release(stm::Tx& tx) {
   if (d > 1) {
     depth_.set(tx, d - 1);
   } else {
+    ADTM_TSAN_RELEASE(this);
     depth_.set(tx, 0);
     owner_.set(tx, kNoThread);
     owner_gen_.set(tx, 0);
     if (lock_stats().enabled()) {
       tx.on_commit([this] { hold_end(this); });
     }
+    // Checked at the release call, not at commit: by commit time this
+    // transaction's own epilogues are already draining (they run before
+    // any on_commit bookkeeping below), so the pending count the check
+    // needs is only observable here. An attempt that later aborts still
+    // executed a release-while-pending — report it like TSan would.
+    tmsan::on_lock_freed(this);
   }
   // Drop the locker registration (and its pinned twin) only once the
   // release commits; until then the hold is still real.
@@ -260,6 +273,7 @@ void TxLock::subscribe(stm::Tx& tx, Deadline deadline) const {
       block(tx, deadline, "TxLock::subscribe");
     }
   }
+  ADTM_TSAN_ACQUIRE(this);
   sample_wait_timer(this);
   stats().add(Counter::TxLockSubscribes);
 }
@@ -297,6 +311,7 @@ bool TxLock::orphaned(stm::Tx& tx) const {
 }
 
 bool TxLock::orphaned() const {
+  tmsan::ScopedRawIgnore ignore;
   const std::uint32_t owner = owner_.load_direct();
   return owner != kNoThread &&
          !thread_incarnation_live(owner, owner_gen_.load_direct());
@@ -326,6 +341,7 @@ bool TxLock::held_by_me(stm::Tx& tx) const {
 }
 
 bool TxLock::held_by_me() const {
+  tmsan::ScopedRawIgnore ignore;
   return owner_.load_direct() == thread_id() &&
          owner_gen_.load_direct() == thread_id_generation();
 }

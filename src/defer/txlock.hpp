@@ -39,6 +39,7 @@
 
 #include "common/deadline.hpp"
 #include "stm/tvar.hpp"
+#include "tmsan/tmsan.hpp"
 
 namespace adtm {
 
@@ -145,7 +146,12 @@ class TxLock {
   void clear_poison(stm::Tx& tx);
   void clear_poison();
   bool poisoned(stm::Tx& tx) const { return poisoned_.get(tx) != 0; }
-  bool poisoned() const { return poisoned_.load_direct() != 0; }
+  bool poisoned() const {
+    // Deliberate racy metadata sample (like owner_of): not a data race to
+    // report, even when a transaction is concurrently poisoning.
+    tmsan::ScopedRawIgnore ignore;
+    return poisoned_.load_direct() != 0;
+  }
 
   // True if the recorded owner's thread incarnation has exited without
   // releasing (snapshot; can only become true while the lock is held).

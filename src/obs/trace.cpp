@@ -137,6 +137,10 @@ struct State {
   bool stop_requested = false;
   bool exit_writer_registered = false;
   Aggregates agg;
+  // stats() totals snapshotted at enable()/clear(): the run summary
+  // reports counter *deltas* for the traced window, not process totals.
+  std::uint64_t counter_baseline[static_cast<std::size_t>(Counter::kCount)] =
+      {};
 };
 
 // Leaked on purpose: emit() may run from thread-exit paths and the atexit
@@ -147,6 +151,13 @@ State& state() noexcept {
 }
 
 constexpr std::uint64_t kDrainIntervalMs = 100;
+
+// Caller holds s.mutex.
+void snapshot_counter_baseline(State& s) noexcept {
+  for (std::size_t c = 0; c < static_cast<std::size_t>(Counter::kCount); ++c) {
+    s.counter_baseline[c] = stats().total(static_cast<Counter>(c));
+  }
+}
 
 Ring* allocate_ring(State& s, std::uint32_t tid) noexcept {
   std::lock_guard<std::mutex> lk(s.mutex);
@@ -254,6 +265,11 @@ void enable() {
   // keep their size (documented: set knobs before enabling).
   s.ring_capacity = round_pow2(cfg.trace_ring_capacity);
   s.max_events = cfg.trace_max_events;
+  // Off->on transition starts a new counter-delta window (an idempotent
+  // re-enable mid-run must not shift the baseline under a live summary).
+  if (!detail::g_trace_on.load(std::memory_order_relaxed)) {
+    snapshot_counter_baseline(s);
+  }
   detail::g_trace_on.store(true, std::memory_order_relaxed);
   if (!s.collector_running) {
     s.stop_requested = false;
@@ -294,6 +310,7 @@ void clear() {
   s.collected.clear();
   s.overflow_dropped = 0;
   s.agg.reset();
+  snapshot_counter_baseline(s);
 }
 
 void drain() {
@@ -424,6 +441,16 @@ RunSummary summary() {
     std::lock_guard<std::mutex> lk(s.mutex);
     drain_locked(s);
     out.events = s.collected.size();
+    out.counters.reserve(static_cast<std::size_t>(Counter::kCount));
+    for (std::size_t c = 0; c < static_cast<std::size_t>(Counter::kCount);
+         ++c) {
+      const std::uint64_t total = stats().total(static_cast<Counter>(c));
+      const std::uint64_t base = s.counter_baseline[c];
+      // A stats().reset() inside the window makes totals go backwards;
+      // clamp instead of wrapping.
+      out.counters.emplace_back(counter_name(static_cast<Counter>(c)),
+                                total >= base ? total - base : 0);
+    }
   }
   out.dropped = dropped_count();
   for (std::size_t i = 0; i < kAlgoCount; ++i) {
@@ -450,7 +477,7 @@ RunSummary summary() {
 
 std::string summary_json() {
   const RunSummary sum = summary();
-  std::string out = "{\"schema\":\"adtm-obs-summary/v1\"";
+  std::string out = "{\"schema\":\"adtm-obs-summary/v2\"";
   char buf[160];
   std::snprintf(buf, sizeof buf,
                 ",\"events\":%" PRIu64 ",\"dropped\":%" PRIu64
@@ -481,6 +508,14 @@ std::string summary_json() {
       out += buf;
     }
     out += "}}";
+  }
+  out += "},\"counters\":{";
+  bool first_counter = true;
+  for (const auto& [name, delta] : sum.counters) {
+    if (!first_counter) out += ",";
+    first_counter = false;
+    std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64, name.c_str(), delta);
+    out += buf;
   }
   out += "}}";
   return out;

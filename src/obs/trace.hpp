@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace adtm::obs {
@@ -167,6 +168,10 @@ struct RunSummary {
   std::uint64_t epilogue_p50 = 0, epilogue_p99 = 0;
   std::uint64_t events = 0;          // collected
   std::uint64_t dropped = 0;
+  // stats() counter deltas for the traced window: total(c) minus the
+  // baseline snapshotted at enable() (off->on) and clear(). One entry per
+  // Counter, in declaration order, named by counter_name().
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 // Aggregate of everything recorded since clear() (independent of the

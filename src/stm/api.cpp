@@ -17,6 +17,7 @@
 #include "stm/control.hpp"
 #include "stm/orec.hpp"
 #include "stm/registry.hpp"
+#include "tmsan/tmsan.hpp"
 
 namespace adtm::stm {
 
@@ -90,6 +91,7 @@ struct Driver {
     tx.allocs_.clear();
     tx.frees_.clear();
     tx.epilogues_.clear();
+    tmsan::on_tx_abort();
     tx.in_tx_ = false;
     for (auto it = tx.abort_hooks_.rbegin(); it != tx.abort_hooks_.rend();
          ++it) {
@@ -616,6 +618,12 @@ void init(const Config& cfg) {
   // ADTM_TRACE=1 turns tracing on at the first init. Never turns it off:
   // an explicit obs::enable() (or configure()) outranks the environment.
   if (runtime_config().trace && !obs::enabled()) obs::enable();
+  // Same contract for the sanitizer knobs: the environment arms, an
+  // explicit tmsan::disable() (or configure()) outranks it afterwards.
+  if (runtime_config().tmsan) {
+    tmsan::enable(tmsan::kCheckRace | tmsan::kCheckDeferral);
+  }
+  if (runtime_config().tmsan_opacity) tmsan::enable(tmsan::kCheckOpacity);
 }
 
 const Config& config() noexcept { return detail::runtime().config; }

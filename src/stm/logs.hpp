@@ -224,6 +224,7 @@ class LockLog {
 
   void release_all(OrecWord new_word) noexcept {
     for (const auto& e : entries_) {
+      ADTM_TSAN_RELEASE(e.orec);
       e.orec->store(new_word, std::memory_order_release);
     }
   }
@@ -234,6 +235,7 @@ class LockLog {
   // acquired after a checkpoint, then forget them.
   void restore_from(std::size_t n) noexcept {
     for (std::size_t i = entries_.size(); i > n; --i) {
+      ADTM_TSAN_RELEASE(entries_[i - 1].orec);
       entries_[i - 1].orec->store(entries_[i - 1].prev,
                                   std::memory_order_release);
     }

@@ -15,6 +15,7 @@
 
 #include "common/align.hpp"
 #include "common/thread_id.hpp"
+#include "common/tsan.hpp"
 
 namespace adtm::stm {
 
@@ -56,11 +57,19 @@ inline Orec& orec_for(const void* addr) noexcept {
   return detail::g_orecs[a & (kOrecCount - 1)];
 }
 
+// The clock annotations give TSan the happens-before edge the algorithms
+// really rely on: a reader that samples timestamp T synchronizes with
+// every writer that advanced the clock to <= T. Without them TSan sees
+// only per-orec edges and reports the (correct) timestamp-ordered data
+// accesses as races.
 inline std::uint64_t clock_now() noexcept {
-  return detail::g_clock->load(std::memory_order_acquire);
+  const std::uint64_t t = detail::g_clock->load(std::memory_order_acquire);
+  ADTM_TSAN_ACQUIRE(&detail::g_clock);
+  return t;
 }
 
 inline std::uint64_t clock_advance() noexcept {
+  ADTM_TSAN_RELEASE(&detail::g_clock);
   return detail::g_clock->fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 

@@ -16,6 +16,7 @@
 #include <type_traits>
 
 #include "stm/tx.hpp"
+#include "tmsan/tmsan.hpp"
 
 namespace adtm::stm {
 
@@ -59,6 +60,7 @@ class tvar {
   T load_direct() const {
     std::uint64_t buf[kWords];
     for (std::size_t i = 0; i < kWords; ++i) {
+      tmsan::on_raw_read(&words_[i]);
       buf[i] = words_[i].load(std::memory_order_acquire);
     }
     return from_words(buf);
@@ -69,6 +71,7 @@ class tvar {
     std::uint64_t buf[kWords] = {};
     std::memcpy(buf, &v, sizeof(T));
     for (std::size_t i = 0; i < kWords; ++i) {
+      tmsan::on_raw_write(&words_[i]);
       words_[i].store(buf[i], std::memory_order_release);
     }
   }

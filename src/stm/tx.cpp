@@ -8,6 +8,7 @@
 #include "common/panic.hpp"
 #include "common/stats.hpp"
 #include "common/timing.hpp"
+#include "common/tsan.hpp"
 #include "liveness/activity.hpp"
 #include "liveness/contention.hpp"
 #include "liveness/wait_graph.hpp"
@@ -15,6 +16,7 @@
 #include "stm/orec.hpp"
 #include "stm/registry.hpp"
 #include "stm/runtime.hpp"
+#include "tmsan/tmsan.hpp"
 
 namespace adtm::stm {
 
@@ -33,7 +35,10 @@ std::uint64_t norec_snapshot() noexcept {
   auto& seq = detail::runtime().norec_seq;
   for (;;) {
     const std::uint64_t s = seq.load(std::memory_order_acquire);
-    if ((s & 1) == 0) return s;
+    if ((s & 1) == 0) {
+      ADTM_TSAN_ACQUIRE(&seq);
+      return s;
+    }
     cpu_relax();
   }
 }
@@ -84,11 +89,20 @@ void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
                       attempt == 1 ? now_ns() : 0);
   in_tx_ = true;
   stats().add(Counter::TxStart);
+  tmsan::on_tx_begin(mode_ != Mode::Speculative);
 }
 
 void Tx::commit() {
   if (mode_ != Mode::Speculative) {
-    // Direct modes have already applied their effects.
+    // Direct modes have already applied their effects. The opacity
+    // primary key is a post-effect clock/seq sample: every speculative
+    // transaction serialized after this one observes at least this value.
+    if (tmsan::active()) {
+      tmsan::on_tx_commit(
+          algo_ == Algo::NOrec
+              ? detail::runtime().norec_seq.load(std::memory_order_acquire)
+              : clock_now());
+    }
     in_tx_ = false;
     return;
   }
@@ -114,6 +128,7 @@ void Tx::commit() {
     }
     reads_.clear();
     detail::registry_leave();
+    tmsan::on_tx_commit(0);  // read-only: nothing enters the history
     in_tx_ = false;
     return;
   }
@@ -141,6 +156,12 @@ void Tx::commit() {
   writes_.clear();
   reads_.clear();
 
+  // Record the write set in the opacity history before leaving the
+  // registry: the serial gate drains registry slots, so a direct-mode
+  // transaction that ties this one's primary key (the clock does not
+  // advance for direct commits) must find this record already filed —
+  // arrival order then matches real commit order.
+  tmsan::on_tx_commit(wt);
   detail::registry_leave();
   // Privatization safety (paper §2): a writer must wait for every
   // transaction that was concurrently active before its caller may touch
@@ -166,6 +187,7 @@ void Tx::commit_norec() {
     }
     norec_reads_.clear();
     detail::registry_leave();
+    tmsan::on_tx_commit(0);  // read-only: nothing enters the history
     in_tx_ = false;
     return;
   }
@@ -194,10 +216,15 @@ void Tx::commit_norec() {
   for (const auto& e : writes_.entries()) {
     e.addr->store(e.value, std::memory_order_relaxed);
   }
+  ADTM_TSAN_RELEASE(&seq);
   seq.store(s + 2, std::memory_order_release);
 
   norec_reads_.clear();
   writes_.clear();
+  // Before registry_leave for the same reason as the orec path: a
+  // direct-mode commit tying this primary key (norec_seq is not bumped
+  // by direct commits) is gated behind our registry slot.
+  tmsan::on_tx_commit(s + 2);
   detail::registry_leave();
   if (cfg.quiescence) {
     detail::quiesce_until(s + 2);
@@ -219,6 +246,7 @@ std::uint64_t Tx::norec_validate() {
       }
     }
     if (seq.load(std::memory_order_acquire) == s) {
+      ADTM_TSAN_ACQUIRE(&seq);
       start_ = s;
       return s;
     }
@@ -235,6 +263,7 @@ std::uint64_t Tx::read_word_norec(const detail::Word* addr) {
     v = addr->load(std::memory_order_acquire);
   }
   norec_reads_.push(addr, v);
+  tmsan::on_tx_read(addr, v);
   return v;
 }
 
@@ -254,6 +283,7 @@ void Tx::rollback() noexcept {
   frees_.clear();
   epilogues_.clear();
   if (mode_ == Mode::Speculative) detail::registry_leave();
+  tmsan::on_tx_abort();
   in_tx_ = false;
   // Undo non-transactional bookkeeping registered by this attempt.
   for (auto it = abort_hooks_.rbegin(); it != abort_hooks_.rend(); ++it) {
@@ -279,7 +309,9 @@ void Tx::capture_watch() {
 std::uint64_t Tx::read_word(const detail::Word* addr) {
   ADTM_INVARIANT(in_tx_, "read_word outside a transaction");
   if (mode_ != Mode::Speculative) {
-    return addr->load(std::memory_order_relaxed);
+    const std::uint64_t v = addr->load(std::memory_order_relaxed);
+    tmsan::on_tx_read(addr, v);
+    return v;
   }
   if (algo_ == Algo::NOrec) return read_word_norec(addr);
   return read_word_speculative(addr);
@@ -358,6 +390,7 @@ std::uint64_t Tx::read_word_speculative(const detail::Word* addr) {
     reads_.push(&o, s1);
     if (algo_ == Algo::HTMSim) check_htm_budget();
     if (outwaited) stats().add(Counter::CmPriorityWins);
+    tmsan::on_tx_read(addr, v);
     return v;
   }
 }
@@ -367,10 +400,12 @@ void Tx::write_word(detail::Word* addr, std::uint64_t value) {
   if (mode_ != Mode::Speculative) {
     wrote_direct_ = true;
     addr->store(value, std::memory_order_relaxed);
+    tmsan::on_tx_write(addr, value);
     return;
   }
   if (algo_ == Algo::TL2 || algo_ == Algo::NOrec) {
     writes_.insert(addr, value);
+    tmsan::on_tx_write(addr, value);
     return;
   }
   // Eager / HTMSim: encounter-time lock, log old value, write in place.
@@ -378,6 +413,7 @@ void Tx::write_word(detail::Word* addr, std::uint64_t value) {
   lock_orec_for_write(o);
   undo_.push(addr, addr->load(std::memory_order_relaxed));
   addr->store(value, std::memory_order_relaxed);
+  tmsan::on_tx_write(addr, value);
 }
 
 void Tx::lock_orec_for_write(Orec& o) {
@@ -399,6 +435,7 @@ void Tx::lock_orec_for_write(Orec& o) {
     }
     if (o.compare_exchange_weak(s, make_orec_locked(tid_),
                                 std::memory_order_acq_rel)) {
+      ADTM_TSAN_ACQUIRE(&o);
       locks_.push(&o, s);
       if (algo_ == Algo::HTMSim) check_htm_budget();
       if (outwaited) stats().add(Counter::CmPriorityWins);
@@ -460,6 +497,7 @@ Tx::NestedCheckpoint Tx::nested_checkpoint() const {
 }
 
 void Tx::nested_abort(const NestedCheckpoint& cp) noexcept {
+  tmsan::on_nested_abort();
   // Order matters, mirroring full rollback: undo in-place values first,
   // then release the orecs acquired by the nested scope.
   undo_.rollback_from(cp.undo);

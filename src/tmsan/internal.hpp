@@ -1,0 +1,50 @@
+// tmsan internals shared between the checker translation units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmsan/tmsan.hpp"
+
+namespace adtm::tmsan::detail {
+
+// Captured call stack; resolved to symbols only when a report is filed.
+struct Stack {
+  static constexpr int kMaxFrames = 16;
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+void capture_stack(Stack& out) noexcept;
+std::string format_stack(const Stack& s);
+
+// File one violation (thread-safe; bounded storage, unbounded counts).
+void record_violation(ViolationKind kind, const void* addr,
+                      std::uint32_t tid_a, std::uint32_t tid_b,
+                      std::string detail_text, std::string stack_a,
+                      std::string stack_b) noexcept;
+
+// --- opacity checker (opacity.cpp) -----------------------------------------
+
+// One value-level access observed by the current transaction.
+struct Access {
+  const void* addr;
+  std::uint64_t value;
+};
+
+// Append a committed writer's deduplicated write set to the global
+// history. `primary` orders commits (see on_tx_commit); arrival order
+// under the history mutex breaks ties.
+void opacity_commit_writes(const std::vector<Access>& writes,
+                           std::uint64_t primary) noexcept;
+
+// Check that some single point in commit order explains every read;
+// reports OpacityViolation otherwise. `outcome` names the transaction
+// fate for the report ("commit" / "abort").
+void opacity_validate_reads(const std::vector<Access>& reads,
+                            const char* outcome) noexcept;
+
+void opacity_reset() noexcept;
+
+}  // namespace adtm::tmsan::detail

@@ -1,0 +1,221 @@
+// Opacity checker: per-word committed version history + snapshot
+// validation.
+//
+// Model. Every committed writer appends its (deduplicated) write set to a
+// global per-word history, keyed by the commit's position in the runtime's
+// own serialization order: the commit timestamp (TL2/Eager/HTMSim), the
+// post-publish sequence (NOrec), or the global clock snapshot for
+// direct-mode commits — with arrival order under the history mutex
+// breaking ties (correct because the commit hook runs after publication,
+// under the gate/mutex that serializes direct modes). A word's history is
+// then a sequence of half-open validity intervals: version i holds over
+// [key_i, key_{i+1}), and the pre-history baseline (first value any
+// transaction observed) holds over (-inf, key_0).
+//
+// A transaction's reads are consistent — opaque — iff the intersection of
+// their validity intervals is nonempty: some single point in commit order
+// explains every value it saw. Checked for committed AND aborted
+// transactions; an aborted transaction that acted on a torn snapshot is a
+// bug even though its effects were discarded.
+//
+// Deliberate under-approximation: a read whose value appears nowhere in
+// the word's history (insertion racing validation, values written by
+// mixed-mode stores, truncated histories) is counted as "unverifiable"
+// and treated as consistent. The checker reports only provable
+// inconsistency, so clean runs stay clean without schedule luck; the
+// negative tests prove detection by constructing a history that does
+// contain the impossible pair.
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_id.hpp"
+#include "tmsan/internal.hpp"
+#include "tmsan/tmsan.hpp"
+
+namespace adtm::tmsan::detail {
+
+namespace {
+
+// Global commit order position: (primary, arrival).
+using Key = std::pair<std::uint64_t, std::uint64_t>;
+constexpr Key kNegInf{0, 0};
+constexpr Key kPosInf{~std::uint64_t{0}, ~std::uint64_t{0}};
+
+struct Interval {
+  Key lo, hi;  // half-open [lo, hi)
+};
+
+struct Version {
+  Key key;
+  std::uint64_t value;
+};
+
+struct History {
+  bool baseline_set = false;
+  bool truncated = false;  // old versions dropped: baseline meaningless
+  std::uint64_t baseline = 0;
+  std::vector<Version> versions;  // sorted by key
+};
+
+// Cap per-word history; overflowing drops the oldest version and marks
+// the word truncated (its early reads become unverifiable, never wrong).
+constexpr std::size_t kMaxVersions = 512;
+
+struct OpacityState {
+  std::mutex mutex;
+  std::unordered_map<const void*, History> history;
+  std::uint64_t arrival = 0;
+  std::atomic<std::uint64_t> unverifiable{0};
+};
+
+OpacityState& ostate() noexcept {
+  static OpacityState* s = new OpacityState;
+  return *s;
+}
+
+// Intersect two sorted disjoint interval lists.
+std::vector<Interval> intersect(const std::vector<Interval>& a,
+                                const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Key lo = std::max(a[i].lo, b[j].lo);
+    const Key hi = std::min(a[i].hi, b[j].hi);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+// Validity intervals of value `v` in `h` (sorted, possibly empty). May
+// claim the baseline slot for a first pre-history observation.
+std::vector<Interval> intervals_for(History& h, std::uint64_t v) {
+  std::vector<Interval> out;
+  const auto& vs = h.versions;
+  if (h.baseline_set && h.baseline == v && !vs.empty()) {
+    out.push_back({kNegInf, vs.front().key});
+  }
+  bool found_version = false;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (vs[i].value != v) continue;
+    found_version = true;
+    const Key hi = i + 1 < vs.size() ? vs[i + 1].key : kPosInf;
+    if (vs[i].key < hi) out.push_back({vs[i].key, hi});
+  }
+  if (out.empty() && !found_version && !h.baseline_set && !h.truncated) {
+    // First observation of this word's pre-history value: claim the
+    // baseline. A later conflicting claim becomes unverifiable.
+    h.baseline = v;
+    h.baseline_set = true;
+    out.push_back({kNegInf, vs.empty() ? kPosInf : vs.front().key});
+  }
+  return out;
+}
+
+}  // namespace
+
+void opacity_commit_writes(const std::vector<Access>& writes,
+                           std::uint64_t primary) noexcept {
+  OpacityState& s = ostate();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  const Key key{primary, ++s.arrival};
+  // Deduplicate by address keeping the last (final) value: intermediate
+  // values of a word rewritten inside one transaction are never visible
+  // to a committed snapshot.
+  for (std::size_t i = writes.size(); i > 0; --i) {
+    const Access& w = writes[i - 1];
+    bool seen_later = false;
+    for (std::size_t j = i; j < writes.size(); ++j) {
+      if (writes[j].addr == w.addr) {
+        seen_later = true;
+        break;
+      }
+    }
+    if (seen_later) continue;
+    History& h = s.history[w.addr];
+    // Insert in key order; concurrent committers can reach the mutex out
+    // of primary-key order, so append is not always correct.
+    auto pos = h.versions.end();
+    while (pos != h.versions.begin() && key < std::prev(pos)->key) --pos;
+    h.versions.insert(pos, Version{key, w.value});
+    if (h.versions.size() > kMaxVersions) {
+      h.versions.erase(h.versions.begin());
+      h.truncated = true;
+      h.baseline_set = false;
+    }
+  }
+}
+
+void opacity_validate_reads(const std::vector<Access>& reads,
+                            const char* outcome) noexcept {
+  OpacityState& s = ostate();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  std::vector<Interval> feasible{{kNegInf, kPosInf}};
+  for (const Access& r : reads) {
+    auto it = s.history.find(r.addr);
+    if (it == s.history.end()) {
+      // Never written by a committed transaction: claim the baseline so
+      // a later conflicting pre-history claim is at least counted.
+      History& h = s.history[r.addr];
+      h.baseline = r.value;
+      h.baseline_set = true;
+      continue;  // unconstrained
+    }
+    History& h = it->second;
+    if (h.versions.empty()) {
+      if (h.baseline_set && h.baseline != r.value) {
+        s.unverifiable.fetch_add(1, std::memory_order_relaxed);
+      } else if (!h.baseline_set) {
+        h.baseline = r.value;
+        h.baseline_set = true;
+      }
+      continue;  // unconstrained
+    }
+    const std::vector<Interval> ivs = intervals_for(h, r.value);
+    if (ivs.empty()) {
+      s.unverifiable.fetch_add(1, std::memory_order_relaxed);
+      continue;  // cannot place this read: do not constrain
+    }
+    std::vector<Interval> next = intersect(feasible, ivs);
+    if (next.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%p=%llu", r.addr,
+                    static_cast<unsigned long long>(r.value));
+      record_violation(
+          ViolationKind::OpacityViolation, r.addr, thread_id(), 0,
+          std::string("transaction (") + outcome +
+              ") observed an inconsistent snapshot: no point in commit "
+              "order explains all its reads (first impossible read: " +
+              buf + ")",
+          "", "");
+      return;
+    }
+    feasible = std::move(next);
+  }
+}
+
+void opacity_reset() noexcept {
+  OpacityState& s = ostate();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  s.history.clear();
+  s.arrival = 0;
+  s.unverifiable.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace adtm::tmsan::detail
+
+namespace adtm::tmsan {
+
+std::uint64_t opacity_unverifiable_reads() {
+  return detail::ostate().unverifiable.load(std::memory_order_relaxed);
+}
+
+}  // namespace adtm::tmsan

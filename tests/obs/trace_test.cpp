@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/runtime_config.hpp"
+#include "common/stats.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
 #include "support/json.hpp"
@@ -161,7 +162,7 @@ TEST_F(ObsTraceTest, SummaryJsonIsSchemaValid) {
   }
   obs::disable();
   const test::Json doc = test::json_parse(obs::summary_json());
-  EXPECT_EQ(doc.at("schema").str, "adtm-obs-summary/v1");
+  EXPECT_EQ(doc.at("schema").str, "adtm-obs-summary/v2");
   ASSERT_TRUE(doc.at("algos").is_object());
   const test::Json& tl2 = doc.at("algos").at("TL2");
   EXPECT_GE(tl2.at("commits").number, 50.0);
@@ -169,6 +170,40 @@ TEST_F(ObsTraceTest, SummaryJsonIsSchemaValid) {
   EXPECT_TRUE(tl2.at("aborts").has("conflict-validation"));
   EXPECT_TRUE(tl2.at("tx_ns").at("p50").is_number());
   EXPECT_TRUE(tl2.at("commit_ns").at("p99").is_number());
+  // The counters object carries one entry per stats() counter, named by
+  // counter_name(), valued as the delta over the traced window.
+  ASSERT_TRUE(doc.at("counters").is_object());
+  EXPECT_EQ(doc.at("counters").object.size(),
+            static_cast<std::size_t>(Counter::kCount));
+  EXPECT_GE(doc.at("counters").at("tx_commit").number, 50.0);
+  EXPECT_TRUE(doc.at("counters").has("deferred_ops"));
+  EXPECT_TRUE(doc.at("counters").has("faults_injected"));
+}
+
+TEST_F(ObsTraceTest, SummaryCountersAreWindowDeltas) {
+  stm::tvar<int> x{0};
+  // Commits before enable() must not leak into the window.
+  for (int i = 0; i < 10; ++i) {
+    stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+  }
+  obs::enable();
+  for (int i = 0; i < 7; ++i) {
+    stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+  }
+  auto delta_of = [](const obs::RunSummary& s, const char* name) {
+    for (const auto& [n, d] : s.counters) {
+      if (n == name) return d;
+    }
+    ADD_FAILURE() << "no counter " << name;
+    return std::uint64_t{0};
+  };
+  const std::uint64_t commits = delta_of(obs::summary(), "tx_commit");
+  EXPECT_GE(commits, 7u);
+  EXPECT_LT(commits, 17u);  // the 10 pre-enable commits are excluded
+  // clear() re-baselines: the same counter reads zero afterwards.
+  obs::clear();
+  EXPECT_EQ(delta_of(obs::summary(), "tx_commit"), 0u);
+  obs::disable();
 }
 
 TEST_F(ObsTraceTest, RecentTailRendersNewestLast) {

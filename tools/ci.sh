@@ -1,0 +1,61 @@
+#!/bin/sh
+# Local CI: the build/test matrix a change must survive before it ships.
+#
+#   tools/ci.sh            # full matrix: default, tmsan-armed, tsan, asan
+#   tools/ci.sh quick      # default build + tests + lint only
+#
+# Run from the repository root (the presets use ${sourceDir}-relative
+# binary dirs). Every stage prints a PASS/FAIL line; the script stops at
+# the first failure (set -e), so the last line names the broken stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${ADTM_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+MODE="${1:-full}"
+
+stage() {
+  printf '\n=== ci: %s ===\n' "$1"
+}
+
+# --- default build: the tier-1 gate ----------------------------------------
+stage "default build"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$JOBS"
+
+stage "default tests (tier-1)"
+ctest --preset default -j "$JOBS"
+
+# --- static checks ----------------------------------------------------------
+stage "lint (adtmlint + clang-tidy if installed)"
+ctest --preset lint
+
+# --- tmsan: the suite again with every runtime checker armed ----------------
+stage "tmsan-armed sanitize suite (ADTM_TMSAN=1 ADTM_TMSAN_OPACITY=1)"
+ctest --preset tmsan -j "$JOBS"
+
+if [ "$MODE" = "quick" ]; then
+  printf '\nci: quick matrix PASS\n'
+  exit 0
+fi
+
+# --- compiler sanitizers ----------------------------------------------------
+stage "tsan build (-fsanitize=thread, -Werror=deprecated-declarations)"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS"
+
+stage "tsan: liveness + fault suites"
+ctest --preset tsan-concurrency -j "$JOBS"
+
+stage "tsan: tmsan suite under annotated TSan"
+ctest --preset tsan-sanitize -j "$JOBS"
+
+stage "asan build (-fsanitize=address, -Werror=deprecated-declarations)"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$JOBS"
+
+stage "asan: stats + obs suites"
+ctest --preset asan-stats
+ctest --preset asan-obs
+
+printf '\nci: full matrix PASS\n'
