@@ -1,0 +1,141 @@
+// Component bench: crash-recovery time vs log size.
+//
+// Recovery is the one code path whose latency the crash matrix never
+// measures (its logs are tiny). This driver builds wire-format WAL files
+// of increasing record counts and times three recovery flavors:
+//
+//   recover_clean  scan + checksum a boundary-exact log
+//   recover_torn   scan + truncate + durability barrier on a torn tail
+//   replay_fold    fold the recovered records into final KV state
+//
+// Percentiles (p50/p90/p99 over repeated runs) go to the adtm-bench/v1
+// run file — BENCH_crashsim.json unless ADTM_BENCH_OUT says otherwise.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/timing.hpp"
+#include "io/temp_dir.hpp"
+#include "kvcache/recoverable.hpp"
+#include "wal/crc32.hpp"
+#include "wal/wal.hpp"
+
+namespace {
+
+using namespace adtm;  // NOLINT
+
+constexpr int kRuns = 15;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Build a boundary-exact log of `records` RecoverableCache ops in the
+// exact wire format the group commit writes.
+std::string build_log(std::size_t records) {
+  std::string data;
+  data.reserve(records * 64);
+  for (std::size_t i = 0; i < records; ++i) {
+    kvcache::RecoverableCache::Op op;
+    op.id = "op" + std::to_string(i);
+    op.kind = 'S';
+    op.key = "k" + std::to_string(i % 512);
+    op.value = "v" + std::to_string(i) + std::string(24, 'x');
+    const std::string payload = kvcache::RecoverableCache::encode(op);
+    put_u32(data, static_cast<std::uint32_t>(payload.size()));
+    put_u32(data, wal::crc32(payload));
+    data += payload;
+  }
+  return data;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+double percentile(std::vector<double> ns, double p) {
+  std::sort(ns.begin(), ns.end());
+  const auto idx = static_cast<std::size_t>(p * (ns.size() - 1) + 0.5);
+  return ns[idx];
+}
+
+void report_percentiles(bench::BenchReport& report, const std::string& name,
+                        std::size_t records, const std::vector<double>& ns) {
+  report.add(name, percentile(ns, 0.50), records, "p50");
+  report.add(name, percentile(ns, 0.90), records, "p90");
+  report.add(name, percentile(ns, 0.99), records, "p99");
+  std::printf("%-24s %8zu records  p50 %10.0f ns  p90 %10.0f ns  p99 %10.0f "
+              "ns\n",
+              name.c_str(), records, percentile(ns, 0.50),
+              percentile(ns, 0.90), percentile(ns, 0.99));
+}
+
+}  // namespace
+
+int main() {
+  // This binary's measurements go to their own run file by default; an
+  // explicit ADTM_BENCH_OUT still wins.
+  ::setenv("ADTM_BENCH_OUT", "BENCH_crashsim.json", /*overwrite=*/0);
+  io::TempDir dir("adtm-bench-crashsim");
+  bench::BenchReport report("micro_crashsim");
+
+  for (const std::size_t records : {1024u, 8192u, 65536u}) {
+    const std::string clean = build_log(records);
+    const std::string path = dir.file("wal-" + std::to_string(records));
+
+    std::vector<double> recover_ns;
+    write_file(path, clean);
+    for (int run = 0; run < kRuns; ++run) {
+      Timer t;
+      const auto r = wal::WriteAheadLog::recover(path);
+      recover_ns.push_back(t.elapsed_s() * 1e9);
+      if (r.records.size() != records || !r.clean) {
+        std::fprintf(stderr, "micro_crashsim: clean recovery wrong\n");
+        return 1;
+      }
+    }
+    report_percentiles(report, "recover_clean", records, recover_ns);
+
+    std::vector<double> torn_ns;
+    for (int run = 0; run < kRuns; ++run) {
+      // Re-tear before every run: recover_and_truncate repairs the file
+      // (that durable repair is exactly what we are timing).
+      write_file(path, clean + "\x28\x00\x00\x00torn");
+      Timer t;
+      const auto r = wal::WriteAheadLog::recover_and_truncate(path);
+      torn_ns.push_back(t.elapsed_s() * 1e9);
+      if (r.records.size() != records || r.clean) {
+        std::fprintf(stderr, "micro_crashsim: torn recovery wrong\n");
+        return 1;
+      }
+    }
+    report_percentiles(report, "recover_torn", records, torn_ns);
+
+    std::vector<double> replay_ns;
+    const auto recovered = wal::WriteAheadLog::recover(path);
+    for (int run = 0; run < kRuns; ++run) {
+      Timer t;
+      const auto state = kvcache::RecoverableCache::replay(recovered.records);
+      replay_ns.push_back(t.elapsed_s() * 1e9);
+      if (state.empty()) {
+        std::fprintf(stderr, "micro_crashsim: replay fold wrong\n");
+        return 1;
+      }
+    }
+    report_percentiles(report, "replay_fold", records, replay_ns);
+  }
+
+  if (!report.write()) {
+    std::fprintf(stderr, "micro_crashsim: bench report write failed\n");
+    return 1;
+  }
+  return 0;
+}

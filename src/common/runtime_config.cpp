@@ -27,6 +27,8 @@ RuntimeConfig runtime_config_from_env() {
   cfg.tmsan = env_u64("ADTM_TMSAN", cfg.tmsan ? 1 : 0) != 0;
   cfg.tmsan_opacity =
       env_u64("ADTM_TMSAN_OPACITY", cfg.tmsan_opacity ? 1 : 0) != 0;
+  cfg.tmsan_stack_sample = static_cast<std::uint32_t>(
+      env_u64("ADTM_TMSAN_STACK_SAMPLE", cfg.tmsan_stack_sample));
   return cfg;
 }
 

@@ -66,6 +66,13 @@ struct RuntimeConfig {
   // every commit and abort). Much heavier than the other checkers — for
   // test schedules, not production. [ADTM_TMSAN_OPACITY]
   bool tmsan_opacity = false;
+  // Capture a real backtrace on only every Nth shadow-table update per
+  // thread (1 = every access, 0 = never). Violation-site stacks are
+  // always captured; sampling only thins the bookkeeping side, so a
+  // report's "other side" stack may read <no stack>. backtrace() is the
+  // dominant cost of the race checker — sample it down to make
+  // tmsan-armed torture cheap enough for CI. [ADTM_TMSAN_STACK_SAMPLE]
+  std::uint32_t tmsan_stack_sample = 1;
 };
 
 // Fresh resolution of every knob from the current environment (defaults

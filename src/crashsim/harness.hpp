@@ -1,0 +1,86 @@
+// crashmat core: fork-based crash-torture of the durable write paths.
+//
+// One torture case = one crash point × one STM algorithm × one crash
+// flavor (clean _exit, SIGKILL, torn-prefix persistence). run_case:
+//
+//   phase 1  fork; the child arms the point (or, for points in the
+//            recovery path, a WAL torn-write setup arm so phase 2 has a
+//            torn tail to recover) and runs the workload until the
+//            process dies there for real.
+//   phase 2  fork again over the same directory; recovery runs, the
+//            workload resumes, the re-armed point kills it again.
+//   phase 3  fork once more, unarmed; recovery must succeed and the
+//            workload must run to completion.
+//
+// After each death the parent classifies the wait status (exit 86 or the
+// arranged SIGKILL = crashed; anything unexpected fails the case), and at
+// the end verifies the wreckage against the phases' oracles: recovery is
+// deterministic and idempotent, every recovered record belongs to a
+// committed or in-flight transaction, no acked-durable LSN is lost, no
+// LSN regresses across phases, and the txlog/checkpoint/block side files
+// contain everything their acks promised.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crashsim/workload.hpp"
+#include "faultsim/crashpoint.hpp"
+
+namespace adtm::crashsim {
+
+struct TortureCase {
+  std::string point;  // crash point name (must be registered)
+  stm::Algo algo = stm::Algo::TL2;
+  faultsim::CrashAction action = faultsim::CrashAction::Exit;
+  std::size_t persist_bytes = faultsim::CrashArm::kPersistNone;
+  std::uint64_t skip = 2;  // batches let through before the crash
+  std::uint64_t seed = 1;
+  // Regression demo: restore the pre-fix recover_and_truncate (no
+  // durability barrier after the truncate) in phase 2 and stop before
+  // the clean phase, so the resurrected torn tail is observable.
+  bool demo_dirsync_bug = false;
+
+  std::string name() const;
+};
+
+enum class ChildOutcome { Crashed, Completed, Error, Timeout };
+
+const char* outcome_name(ChildOutcome o) noexcept;
+
+struct PhaseResult {
+  int phase = 0;
+  ChildOutcome outcome = ChildOutcome::Error;
+  int wait_status = 0;  // raw waitpid status
+};
+
+struct CaseResult {
+  TortureCase tc;
+  std::vector<PhaseResult> phases;
+  std::vector<std::string> violations;
+  bool passed = false;
+  std::string summary;  // one line: case name + outcome
+};
+
+// Run one case in `dir` (created if missing; caller owns cleanup —
+// leaving it behind on failure is deliberate, it is the crime scene).
+CaseResult run_case(const TortureCase& tc, const std::string& dir,
+                    const WorkloadOptions& base = {});
+
+// Verify a torture directory against its phase oracles. Standalone so
+// tests can aim it at hand-broken state. `last_phase_may_tear_wal` is
+// true when the final phase could legitimately leave a torn WAL tail
+// (it crashed mid-record or inside the recovery truncation window);
+// otherwise a torn tail means a truncation was lost.
+std::vector<std::string> verify_dir(const std::string& dir, int phases,
+                                    bool last_phase_may_tear_wal);
+
+// Case matrices. Quick: every registered point under TL2 (torn variants
+// on the write-path points) plus a cross-algorithm core — bounded for
+// CI. Full: every point × every algorithm × {clean, torn} × {Exit,
+// Kill}, for `ADTM_CRASHMAT_FULL=1` runs.
+std::vector<TortureCase> quick_matrix(std::uint64_t seed);
+std::vector<TortureCase> full_matrix(std::uint64_t seed);
+
+}  // namespace adtm::crashsim

@@ -1,0 +1,152 @@
+#include "crashsim/oracle.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <sstream>
+#include <system_error>
+
+#include "io/posix_file.hpp"
+
+namespace adtm::crashsim {
+
+OracleWriter::OracleWriter(const std::string& path) {
+  for (;;) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ >= 0) break;
+    if (errno == EINTR) continue;
+    throw std::system_error(errno, std::generic_category(), "oracle open");
+  }
+}
+
+OracleWriter::~OracleWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void OracleWriter::line(const std::string& s) {
+  // One write per line: O_APPEND makes it atomic, so concurrent workload
+  // threads (and transaction bodies) need no lock here. A crash mid-write
+  // leaves at most one torn final line, which the parser drops.
+  std::string buf = s;
+  buf.push_back('\n');
+  for (;;) {
+    const ssize_t rv = ::write(fd_, buf.data(), buf.size());
+    if (rv >= 0) return;  // O_APPEND small writes do not go short
+    if (errno == EINTR) continue;
+    throw std::system_error(errno, std::generic_category(), "oracle write");
+  }
+}
+
+void OracleWriter::intent(std::uint64_t lsn, const std::string& payload) {
+  line("I " + std::to_string(lsn) + " " + payload);
+}
+
+void OracleWriter::acked(std::uint64_t lsn, const std::string& payload) {
+  line("A " + std::to_string(lsn) + " " + payload);
+}
+
+void OracleWriter::durable(std::uint64_t lsn) {
+  line("D " + std::to_string(lsn));
+}
+
+void OracleWriter::recovered(std::uint64_t records, std::uint64_t valid_bytes,
+                             bool clean) {
+  line("R " + std::to_string(records) + " " + std::to_string(valid_bytes) +
+       " " + (clean ? "1" : "0"));
+}
+
+void OracleWriter::logline(const std::string& tag) { line("L " + tag); }
+
+void OracleWriter::checkpoint(const std::string& payload) {
+  line("C " + payload);
+}
+
+void OracleWriter::block(std::uint64_t offset, std::uint64_t len,
+                         std::uint32_t crc) {
+  line("B " + std::to_string(offset) + " " + std::to_string(len) + " " +
+       std::to_string(crc));
+}
+
+void OracleWriter::completed(std::uint64_t ops) {
+  line("W " + std::to_string(ops));
+}
+
+OracleLog parse_oracle(const std::string& path) {
+  OracleLog log;
+  std::string data;
+  try {
+    data = io::read_file(path);
+  } catch (const std::system_error&) {
+    return log;  // child died before the oracle existed
+  }
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn final line: drop
+    const std::string raw = data.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (raw.size() < 2 || raw[1] != ' ') continue;
+    const char kind = raw[0];
+    const std::string rest = raw.substr(2);
+    std::istringstream in(rest);
+    switch (kind) {
+      case 'I': {
+        std::uint64_t lsn = 0;
+        std::string payload;
+        if (in >> lsn >> payload) log.intents[lsn].insert(payload);
+        break;
+      }
+      case 'A': {
+        std::uint64_t lsn = 0;
+        std::string payload;
+        if (in >> lsn >> payload) log.acked[lsn] = payload;
+        break;
+      }
+      case 'D': {
+        std::uint64_t lsn = 0;
+        if (in >> lsn && lsn > log.max_durable) log.max_durable = lsn;
+        break;
+      }
+      case 'R': {
+        std::uint64_t records = 0;
+        std::uint64_t bytes = 0;
+        int clean = 1;
+        if (in >> records >> bytes >> clean) {
+          log.has_recovery = true;
+          log.recovered_records = records;
+          log.recovered_valid_bytes = bytes;
+          log.recovered_clean = clean != 0;
+        }
+        break;
+      }
+      case 'L':
+        log.log_acks.push_back(rest);
+        break;
+      case 'C':
+        log.ckpt_acks.push_back(rest);
+        break;
+      case 'B': {
+        OracleLog::BlockAck ack;
+        if (in >> ack.offset >> ack.len >> ack.crc) {
+          log.block_acks.push_back(ack);
+        }
+        break;
+      }
+      case 'W': {
+        std::uint64_t ops = 0;
+        if (in >> ops) {
+          log.completed = true;
+          log.completed_ops = ops;
+        }
+        break;
+      }
+      default:
+        break;  // unknown line kinds are ignored, not errors
+    }
+  }
+  return log;
+}
+
+}  // namespace adtm::crashsim

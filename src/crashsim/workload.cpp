@@ -1,0 +1,185 @@
+#include "crashsim/workload.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crashsim/oracle.hpp"
+#include "durable/durable.hpp"
+#include "fdpool/async_io.hpp"
+#include "io/posix_file.hpp"
+#include "kvcache/recoverable.hpp"
+#include "stm/api.hpp"
+#include "tmsan/tmsan.hpp"
+#include "txlog/txlog.hpp"
+#include "wal/crc32.hpp"
+#include "wal/wal.hpp"
+
+namespace adtm::crashsim {
+
+std::string wal_path(const std::string& dir) { return dir + "/wal.log"; }
+std::string diag_path(const std::string& dir) { return dir + "/diag.log"; }
+std::string ckpt_path(const std::string& dir) { return dir + "/ckpt.dat"; }
+std::string blocks_path(const std::string& dir) { return dir + "/blocks.dat"; }
+
+std::string oracle_path(const std::string& dir, int phase) {
+  return dir + "/oracle." + std::to_string(phase);
+}
+
+std::uint64_t block_offset(int phase, std::uint64_t k) {
+  return (static_cast<std::uint64_t>(phase - 1) * 1024 + k) * kBlockLen;
+}
+
+std::string block_payload(int phase, std::uint64_t k) {
+  std::string out = "blk-p" + std::to_string(phase) + "-k" + std::to_string(k);
+  out.push_back('-');
+  Xoshiro256 rng(0x626c6bU + static_cast<std::uint64_t>(phase) * 131 + k);
+  while (out.size() < kBlockLen) {
+    out.push_back(static_cast<char>('a' + rng.next_below(26)));
+  }
+  return out;
+}
+
+namespace {
+
+// One worker thread's slice of the workload. Thread 0 additionally runs
+// the checkpoint and async-block duties so those paths interleave with
+// the WAL traffic instead of running in a separate quiet period.
+struct ChildState {
+  const WorkloadOptions* opts;
+  kvcache::RecoverableCache* kv;
+  OracleWriter* oracle;
+  txlog::TxLogger* diag;
+  durable::DurableFile* ckpt;
+  io::PosixFile* blocks;
+  fdpool::AsyncIOEngine* engine;
+  std::atomic<bool> failed{false};
+};
+
+void worker(ChildState& st, unsigned tid) {
+  const WorkloadOptions& o = *st.opts;
+  Xoshiro256 rng(o.seed * 1000003 + tid * 7919 +
+                 static_cast<std::uint64_t>(o.phase));
+  try {
+    for (std::uint64_t i = 0; i < o.ops_per_thread; ++i) {
+      kvcache::RecoverableCache::Op op;
+      op.id = "p" + std::to_string(o.phase) + "t" + std::to_string(tid) + "n" +
+              std::to_string(i);
+      op.key = "k" + std::to_string(rng.next_below(o.keyspace));
+      if (rng.next_below(4) == 0) {
+        op.kind = 'D';
+      } else {
+        op.kind = 'S';
+        op.value = "v" + op.id + "x" + std::to_string(rng.next());
+      }
+      const std::string record = kvcache::RecoverableCache::encode(op);
+      const std::string tag = "diag-" + op.id;
+      const wal::Lsn lsn = stm::atomic([&](stm::Tx& tx) {
+        // Cache mutation + WAL append + diagnostic line: one transaction,
+        // so the crash contract is both-or-neither across all three.
+        //
+        // The ordered logger acquires its TxLock at registration, and a
+        // contended acquire blocks via stm::retry — so it must come
+        // before the transaction's first write. Under CGL writes are
+        // direct (irrevocable) and a retry after one is an error.
+        st.diag->log(tx, tag);
+        const wal::Lsn l = st.kv->apply(tx, op);
+        // Intent line from inside the body: may repeat on re-execution,
+        // by design (see oracle.hpp).
+        st.oracle->intent(l, record);
+        return l;
+      });
+      st.oracle->acked(lsn, record);
+      st.oracle->logline(tag);
+
+      if ((i + 1) % o.flush_every == 0) {
+        st.kv->flush();
+        st.oracle->durable(st.kv->wal().durable_lsn_direct());
+      }
+      if (tid == 0 && (i + 1) % o.ckpt_every == 0) {
+        const std::string payload = "ckpt-p" + std::to_string(o.phase) + "-n" +
+                                    std::to_string((i + 1) / o.ckpt_every) +
+                                    ";";
+        durable::DurableBuffer buf(payload);
+        stm::atomic(
+            [&](stm::Tx& tx) { durable::durable_write(tx, *st.ckpt, buf); });
+        stm::atomic(
+            [&](stm::Tx& tx) { durable::wait_durable(tx, buf); });
+        st.oracle->checkpoint(payload);
+      }
+      if (tid == 0 && (i + 1) % o.block_every == 0) {
+        const std::uint64_t k = (i + 1) / o.block_every;
+        const std::string data = block_payload(o.phase, k);
+        const std::uint64_t off =
+            block_offset(o.phase, k);
+        st.engine->submit_write(st.blocks->fd(), off, data);
+        st.engine->drain();
+        st.blocks->sync();
+        st.oracle->block(off, data.size(), wal::crc32(data));
+      }
+    }
+  } catch (...) {
+    st.failed.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void run_child_workload(const WorkloadOptions& options) {
+  try {
+    stm::init({.algo = options.algo});
+    OracleWriter oracle(oracle_path(options.dir, options.phase));
+    kvcache::RecoverableCache kv(4096, wal_path(options.dir));
+    const auto& found = kv.recovery();
+    // Recovery self-check (both-or-neither visibility): the cache the
+    // constructor rebuilt must agree with a fold of the recovered log.
+    for (const auto& [key, value] : kvcache::RecoverableCache::replay(
+             kv.recovery().records)) {
+      const auto got = kv.cache().get(key);
+      if (!got.has_value() || *got != value) ::_exit(kChildReplayMismatch);
+    }
+    oracle.recovered(found.records.size(), found.valid_bytes, found.clean);
+
+    txlog::TxLogger diag(diag_path(options.dir));
+    durable::DurableFile ckpt(ckpt_path(options.dir));
+    io::PosixFile blocks = io::PosixFile::open_rw(blocks_path(options.dir));
+    fdpool::AsyncIOEngine engine(2);
+
+    ChildState st;
+    st.opts = &options;
+    st.kv = &kv;
+    st.oracle = &oracle;
+    st.diag = &diag;
+    st.ckpt = &ckpt;
+    st.blocks = &blocks;
+    st.engine = &engine;
+
+    std::vector<std::thread> threads;
+    threads.reserve(options.threads);
+    for (unsigned t = 0; t < options.threads; ++t) {
+      threads.emplace_back([&st, t] { worker(st, t); });
+    }
+    for (auto& th : threads) th.join();
+    if (st.failed.load(std::memory_order_relaxed)) ::_exit(kChildException);
+
+    kv.flush();
+    oracle.durable(kv.wal().durable_lsn_direct());
+    // Under the crash preset the child runs with tmsan armed (inherited
+    // environment): a clean completion also vouches that the torture
+    // workload raced and deferred nothing illegally.
+    if (tmsan::active() && tmsan::violation_count() != 0) {
+      std::fputs(tmsan::report().c_str(), stderr);
+      ::_exit(kChildTmsanViolation);
+    }
+    oracle.completed(static_cast<std::uint64_t>(options.threads) *
+                     options.ops_per_thread);
+    ::_exit(kChildOk);
+  } catch (...) {
+    ::_exit(kChildException);
+  }
+}
+
+}  // namespace adtm::crashsim

@@ -1,0 +1,54 @@
+// The crashmat child workload: a deterministic multi-threaded exercise
+// of every durable write path in the tree (WAL group commit via
+// RecoverableCache, txlog deferred diagnostics, DurableBuffer
+// checkpoints, fdpool async block writes), streaming the commit oracle
+// as it goes. Runs in a forked child with exactly one crash point armed;
+// the process really dies there, and the parent verifies the wreckage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stm/config.hpp"
+
+namespace adtm::crashsim {
+
+struct WorkloadOptions {
+  stm::Algo algo = stm::Algo::TL2;
+  unsigned threads = 2;
+  std::uint64_t ops_per_thread = 120;
+  std::uint64_t flush_every = 16;  // wal flush + D ack cadence (per thread)
+  std::uint64_t ckpt_every = 12;   // durable checkpoint cadence (thread 0)
+  std::uint64_t block_every = 10;  // fdpool block cadence (thread 0)
+  std::uint64_t keyspace = 64;
+  std::uint64_t seed = 1;
+  int phase = 1;  // 1-based; selects the oracle file and block offsets
+  std::string dir;
+};
+
+// Child exit codes beyond faultsim::kCrashExitStatus (86 = armed crash).
+inline constexpr int kChildOk = 0;
+inline constexpr int kChildException = 2;      // unexpected throw
+inline constexpr int kChildReplayMismatch = 4; // recovery self-check failed
+inline constexpr int kChildBadPoint = 5;       // arm target not registered
+inline constexpr int kChildTmsanViolation = 6; // armed tmsan found a bug
+
+// Shared layout of the torture directory.
+std::string wal_path(const std::string& dir);
+std::string diag_path(const std::string& dir);
+std::string ckpt_path(const std::string& dir);
+std::string blocks_path(const std::string& dir);
+std::string oracle_path(const std::string& dir, int phase);
+
+// fdpool blocks: fixed-size, phase-disjoint offsets so no phase
+// overwrites another's acked block.
+inline constexpr std::uint64_t kBlockLen = 256;
+std::uint64_t block_offset(int phase, std::uint64_t k);
+std::string block_payload(int phase, std::uint64_t k);
+
+// Run the workload in the calling (forked) process. Never returns:
+// _exit(kChildOk) on completion, dies at the armed crash point, or
+// _exit with one of the error codes above.
+[[noreturn]] void run_child_workload(const WorkloadOptions& options);
+
+}  // namespace adtm::crashsim

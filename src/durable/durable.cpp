@@ -3,7 +3,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "faultsim/crashpoint.hpp"
+
 namespace adtm::durable {
+namespace {
+
+// Crash-torture sites in the deferred write+fsync (see tools/crashmat).
+const faultsim::CrashPointId kCpWrite =
+    faultsim::register_crash_point("durable.write", "durable", true);
+const faultsim::CrashPointId kCpPreFsync =
+    faultsim::register_crash_point("durable.pre_fsync", "durable", false);
+const faultsim::CrashPointId kCpPostFsync =
+    faultsim::register_crash_point("durable.post_fsync", "durable", false);
+
+}  // namespace
 
 void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer,
                    FailurePolicy policy) {
@@ -18,10 +31,14 @@ void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer,
         std::size_t done = 0;
         try {
           run_with_policy(policy, [&] {
+            faultsim::crash_point_write(kCpWrite, file.raw_file().fd(),
+                                        data.data() + done,
+                                        data.size() - done);
             while (done < data.size()) {
               done += file.raw_file().write_some(data.data() + done,
                                                  data.size() - done);
             }
+            faultsim::crash_point(kCpPreFsync);
             file.raw_file().sync();
           });
         } catch (...) {
@@ -31,6 +48,11 @@ void durable_write(stm::Tx& tx, DurableFile& file, DurableBuffer& buffer,
           buffer.mark_failed();
           throw;
         }
+        // Between here and mark_durable the data is on disk but the flag
+        // is not set: a crash must leave a recovery that still finds the
+        // payload (the flag is in-memory only, so both-or-neither holds
+        // trivially; the torture harness checks the payload side).
+        faultsim::crash_point(kCpPostFsync);
         buffer.mark_durable();
       },
       file, buffer);

@@ -1,0 +1,213 @@
+#include "faultsim/crashpoint.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "faultsim/faultsim.hpp"
+
+namespace adtm::faultsim {
+namespace {
+
+struct PointState {
+  CrashPointDesc desc;
+  bool armed = false;
+  CrashArm arm;
+  std::uint64_t hits = 0;  // counted while any point is armed
+};
+
+struct UndoEntry {
+  std::uint64_t token;
+  std::string path;
+  std::uint64_t offset;
+  std::string data;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<PointState> points;
+  std::vector<UndoEntry> undo;
+  std::uint64_t next_token = 1;
+};
+
+// Leaked: crash points are consulted from epilogue and worker threads that
+// may outlive static destruction.
+Registry& registry() noexcept {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+// Replay every uncommitted stash: the metadata operations they undo never
+// became durable, so the old bytes resurface. Raw syscalls only — this
+// runs on the way to _exit/SIGKILL.
+void replay_undo_locked(Registry& r) noexcept {
+  for (const UndoEntry& u : r.undo) {
+    const int fd = ::open(u.path.c_str(), O_WRONLY);
+    if (fd < 0) continue;
+    (void)!::pwrite(fd, u.data.data(), u.data.size(),
+                    static_cast<off_t>(u.offset));
+    ::close(fd);
+  }
+  r.undo.clear();
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_cp_active{false};
+}  // namespace detail
+
+CrashPointId register_crash_point(const char* name, const char* subsystem,
+                                  bool write_path) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  for (CrashPointId id = 0; id < r.points.size(); ++id) {
+    if (r.points[id].desc.name == name) return id;
+  }
+  PointState ps;
+  ps.desc = CrashPointDesc{name, subsystem, write_path};
+  r.points.push_back(std::move(ps));
+  return r.points.size() - 1;
+}
+
+std::vector<CrashPointDesc> crash_points() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  std::vector<CrashPointDesc> out;
+  out.reserve(r.points.size());
+  for (const PointState& ps : r.points) out.push_back(ps.desc);
+  return out;
+}
+
+CrashPointId find_crash_point(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  for (CrashPointId id = 0; id < r.points.size(); ++id) {
+    if (r.points[id].desc.name == name) return id;
+  }
+  return kNoCrashPoint;
+}
+
+void arm_crash_point(CrashPointId id, const CrashArm& arm) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  if (id >= r.points.size()) return;
+  r.points[id].armed = true;
+  r.points[id].arm = arm;
+  r.points[id].hits = 0;
+  detail::g_cp_active.store(true, std::memory_order_relaxed);
+}
+
+void disarm_crash_points() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  for (PointState& ps : r.points) {
+    ps.armed = false;
+    ps.hits = 0;
+  }
+  r.undo.clear();
+  detail::g_cp_active.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t crash_point_hits(CrashPointId id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  return id < r.points.size() ? r.points[id].hits : 0;
+}
+
+std::uint64_t stash_undo_write(const std::string& path, std::uint64_t offset,
+                               std::string data) {
+  if (!detail::g_cp_active.load(std::memory_order_relaxed)) return 0;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  const std::uint64_t token = r.next_token++;
+  r.undo.push_back(UndoEntry{token, path, offset, std::move(data)});
+  return token;
+}
+
+void commit_undo_stash(std::uint64_t token) {
+  if (token == 0) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  r.undo.erase(std::remove_if(r.undo.begin(), r.undo.end(),
+                              [token](const UndoEntry& u) {
+                                return u.token == token;
+                              }),
+               r.undo.end());
+}
+
+namespace detail {
+
+void crash_point_slow(CrashPointId id, int fd, const void* data,
+                      std::size_t len, std::uint64_t offset, bool positional) {
+  Registry& r = registry();
+  CrashArm arm;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lk(r.mutex);
+    if (id >= r.points.size()) return;
+    PointState& ps = r.points[id];
+    ++ps.hits;
+    if (!ps.armed) return;
+    if (ps.arm.skip > 0) {
+      --ps.arm.skip;
+      return;
+    }
+    ps.armed = false;  // fire once
+    arm = ps.arm;
+    name = ps.desc.name;
+    // Torn-write prefix: persisted below, outside the lock for Throw (the
+    // exception must not leave the registry locked) but the process is
+    // about to die for Exit/Kill, so ordering is free either way.
+  }
+
+  // Persist the torn prefix of the pending buffer, if asked and possible.
+  if (fd >= 0 && data != nullptr && len > 0 &&
+      arm.persist_bytes != CrashArm::kPersistNone) {
+    std::size_t persist = arm.persist_bytes;
+    if (persist == CrashArm::kPersistRandom) {
+      Xoshiro256 rng{arm.seed};
+      persist = static_cast<std::size_t>(rng.next_below(len + 1));
+    }
+    persist = std::min(persist, len);
+    if (persist > 0) {
+      if (positional) {
+        (void)!::pwrite(fd, data, persist, static_cast<off_t>(offset));
+      } else {
+        (void)!::write(fd, data, persist);
+      }
+    }
+  }
+
+  stats().add(Counter::FaultsInjected);
+
+  switch (arm.action) {
+    case CrashAction::Throw: {
+      std::lock_guard<std::mutex> lk(r.mutex);
+      replay_undo_locked(r);
+      detail::g_cp_active.store(false, std::memory_order_relaxed);
+      break;  // throw below, outside the lock scope
+    }
+    case CrashAction::Exit: {
+      std::lock_guard<std::mutex> lk(r.mutex);
+      replay_undo_locked(r);
+      ::_exit(kCrashExitStatus);
+    }
+    case CrashAction::Kill: {
+      std::lock_guard<std::mutex> lk(r.mutex);
+      replay_undo_locked(r);
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(kCrashExitStatus);  // SIGKILL cannot be outrun, but be safe
+    }
+  }
+  throw SimulatedCrash(name);
+}
+
+}  // namespace detail
+
+}  // namespace adtm::faultsim

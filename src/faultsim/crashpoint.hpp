@@ -1,0 +1,134 @@
+// Named crash points: the registry behind the crashmat torture harness.
+//
+// faultsim's Fault::crash fires at the *syscall* boundary and throws
+// SimulatedCrash — an in-process approximation. Crash points are the
+// complement: durability-critical sites in the WAL / DurableBuffer /
+// txlog / fdpool write paths name themselves at static-init time, so a
+// harness can *enumerate* every site, fork a child, arm exactly one, and
+// have the child really die there (`_exit` or SIGKILL — no unwinding, no
+// destructors, exactly what a crash leaves behind). Write-path sites pass
+// the buffer they are about to persist, so a torn-write arm can push a
+// seeded-random prefix to the descriptor before dying — the torn tail a
+// power cut would leave.
+//
+// The hook is one relaxed atomic load when nothing is armed, so the
+// production cost of a registered site is the same as faultsim's.
+//
+// Undo stash: process death does not lose syscalls that already returned,
+// but a real crash loses un-fsynced *metadata* (a truncate, a directory
+// entry). A site that performs such an operation stashes the bytes that
+// would resurface if the metadata update were lost; the crash action
+// replays uncommitted stashes before dying, and the site commits the
+// stash once the corresponding fsync has made the operation durable.
+// That is how crashmat proved the recover_and_truncate directory-fsync
+// bug (see DESIGN.md "Crash-recovery contract").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adtm::faultsim {
+
+using CrashPointId = std::size_t;
+
+inline constexpr CrashPointId kNoCrashPoint = static_cast<CrashPointId>(-1);
+
+// Exit status a crash-armed child dies with under CrashAction::Exit; the
+// harness treats any other status as a harness bug, not a crash.
+inline constexpr int kCrashExitStatus = 86;
+
+struct CrashPointDesc {
+  std::string name;       // e.g. "wal.commit.write"
+  std::string subsystem;  // "wal", "durable", "txlog", "fdpool"
+  bool write_path;        // true: site carries a buffer, torn arms apply
+};
+
+enum class CrashAction : std::uint8_t {
+  Throw,  // throw SimulatedCrash (in-process unit tests)
+  Exit,   // _exit(kCrashExitStatus): real death, no unwinding
+  Kill,   // raise(SIGKILL): death without even the exit path
+};
+
+struct CrashArm {
+  CrashAction action = CrashAction::Exit;
+  std::uint64_t skip = 0;        // let this many hits through first
+  // Torn-write persistence at a write-path site: bytes of the pending
+  // buffer pushed to the descriptor before dying. kPersistNone writes
+  // nothing; kPersistRandom draws uniformly in [0, len] from `seed`.
+  static constexpr std::size_t kPersistNone = 0;
+  static constexpr std::size_t kPersistRandom = static_cast<std::size_t>(-1);
+  std::size_t persist_bytes = kPersistNone;
+  std::uint64_t seed = 1;        // kPersistRandom draw (deterministic)
+};
+
+// Register a site (called from namespace-scope statics in the subsystem
+// .cpp, so linking a subsystem makes its points enumerable). Re-registering
+// an existing name returns the existing id.
+CrashPointId register_crash_point(const char* name, const char* subsystem,
+                                  bool write_path);
+
+// Every registered point, in registration order (index == id).
+std::vector<CrashPointDesc> crash_points();
+
+// Id for `name`, or kNoCrashPoint.
+CrashPointId find_crash_point(const std::string& name);
+
+// Arm exactly this point (points accumulate; disarm clears all).
+void arm_crash_point(CrashPointId id, const CrashArm& arm);
+void disarm_crash_points();
+
+// Times the site was reached (armed or not, while any point is armed —
+// hit counting needs the slow path; all-disarmed runs do not count).
+std::uint64_t crash_point_hits(CrashPointId id);
+
+namespace detail {
+extern std::atomic<bool> g_cp_active;
+void crash_point_slow(CrashPointId id, int fd, const void* data,
+                      std::size_t len, std::uint64_t offset, bool positional);
+}  // namespace detail
+
+// True while any crash point is armed — gates work done only to make a
+// simulated crash faithful (e.g. stashing a truncated tail).
+inline bool crash_points_armed() noexcept {
+  return detail::g_cp_active.load(std::memory_order_relaxed);
+}
+
+// Control-path site: nothing to tear.
+inline void crash_point(CrashPointId id) {
+  if (detail::g_cp_active.load(std::memory_order_relaxed)) {
+    detail::crash_point_slow(id, -1, nullptr, 0, 0, false);
+  }
+}
+
+// Write-path site: about to write [data, data+len) to fd (appending).
+inline void crash_point_write(CrashPointId id, int fd, const void* data,
+                              std::size_t len) {
+  if (detail::g_cp_active.load(std::memory_order_relaxed)) {
+    detail::crash_point_slow(id, fd, data, len, 0, false);
+  }
+}
+
+// Positional variant (fdpool pwrite path).
+inline void crash_point_pwrite(CrashPointId id, int fd, const void* data,
+                               std::size_t len, std::uint64_t offset) {
+  if (detail::g_cp_active.load(std::memory_order_relaxed)) {
+    detail::crash_point_slow(id, fd, data, len, offset, true);
+  }
+}
+
+// --- undo stash (lost-metadata modeling) -----------------------------------
+
+// Record that, were the process to crash before commit_undo_stash, the
+// bytes [offset, offset+data.size()) of `path` would hold `data` again
+// (e.g. a truncated torn tail whose truncation has not been fsynced).
+// Returns a token; no-op (returns 0) while no crash point is armed.
+std::uint64_t stash_undo_write(const std::string& path, std::uint64_t offset,
+                               std::string data);
+
+// The metadata operation is durable: drop the stash.
+void commit_undo_stash(std::uint64_t token);
+
+}  // namespace adtm::faultsim

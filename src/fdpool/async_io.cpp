@@ -7,11 +7,17 @@
 
 #include "common/backoff.hpp"
 #include "common/stats.hpp"
+#include "faultsim/crashpoint.hpp"
 #include "faultsim/faultsim.hpp"
 #include "obs/trace.hpp"
 
 namespace adtm::fdpool {
 namespace {
+
+// Crash-torture site: an async worker about to issue the positional write
+// for a submitted request (see tools/crashmat).
+const faultsim::CrashPointId kCpPwrite =
+    faultsim::register_crash_point("fdpool.pwrite", "fdpool", true);
 
 // A worker must never hang on an endlessly failing descriptor: transient
 // errors get this many backed-off retries, then the error escalates to
@@ -81,6 +87,7 @@ void AsyncIOEngine::worker_loop() {
     const char* p = req.data.data();
     std::size_t remaining = req.data.size();
     std::uint64_t off = req.offset;
+    faultsim::crash_point_pwrite(kCpPwrite, req.fd, p, remaining, off);
     Backoff backoff;
     unsigned retries = 0;
     while (remaining > 0) {

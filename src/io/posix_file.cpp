@@ -268,6 +268,37 @@ void PosixFile::close() {
   }
 }
 
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open dir");
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    // Some filesystems refuse fsync on directories (EINVAL): the barrier
+    // is unavailable rather than failed, and there is nothing to retry.
+    if (errno == EINVAL) break;
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(), "fsync dir");
+  }
+  ::close(fd);
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("open");
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(), "fsync");
+  }
+  ::close(fd);
+}
+
 std::string read_file(const std::string& path) {
   PosixFile f = PosixFile::open_read(path);
   std::string out;

@@ -81,6 +81,16 @@ class PosixFile {
   int fd_ = -1;
 };
 
+// fsync the directory containing `path` (durability of the *entry*: a
+// file creation, rename, or truncation is not crash-safe until the
+// directory — and for truncation also the file itself — has been synced).
+// Throws std::system_error on failure.
+void fsync_parent_dir(const std::string& path);
+
+// Open `path` read-only and fsync it (truncation/size-metadata barrier
+// for files the caller does not hold open for writing).
+void fsync_path(const std::string& path);
+
 // Read a whole file into a string (test/bench convenience).
 std::string read_file(const std::string& path);
 

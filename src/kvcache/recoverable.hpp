@@ -1,0 +1,78 @@
+// RecoverableCache: the TxCache with a durability story.
+//
+// The paper's §5.1 cache is volatile; crash torture needs a workload
+// whose post-crash state is checkable. RecoverableCache pairs every
+// cache mutation with a WAL append *in the same transaction*, so atomic
+// deferral gives the both-or-neither contract crashmat verifies: a crash
+// at any point leaves a log whose valid prefix corresponds exactly to a
+// prefix-closed set of committed transactions, and replaying that prefix
+// rebuilds the cache the survivors saw.
+//
+// Records are self-describing ops ("<op-id>|S|<key>|<value>" /
+// "<op-id>|D|<key>"); the op id makes replay idempotent — a duplicated
+// record (e.g. hand-crafted in tests) applies once.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kvcache/tx_cache.hpp"
+#include "wal/wal.hpp"
+
+namespace adtm::kvcache {
+
+class RecoverableCache {
+ public:
+  struct Op {
+    std::string id;     // unique per logical op; replay dedupe key
+    char kind = 'S';    // 'S' = set, 'D' = del
+    std::string key;    // must not contain '|' or '\n'
+    std::string value;  // sets only; must not contain '\n'
+  };
+
+  static std::string encode(const Op& op);
+  // False if `record` is not a well-formed op.
+  static bool decode(const std::string& record, Op& out);
+
+  // Fold records (in LSN order) into the final map. Records with an
+  // already-seen op id are skipped (counted in *duplicates if given);
+  // undecodable records are skipped and counted in *undecodable.
+  static std::map<std::string, std::string> replay(
+      const std::vector<std::string>& records,
+      std::size_t* duplicates = nullptr, std::size_t* undecodable = nullptr);
+
+  // Recovers `wal_path` (truncating any torn tail durably), replays the
+  // valid prefix into the cache, then accepts new operations. Requires
+  // stm::init to have been called.
+  RecoverableCache(std::size_t capacity, const std::string& wal_path);
+
+  // One transaction: mutate the cache AND append the serialized op.
+  wal::Lsn set(const std::string& key, const std::string& value,
+               const std::string& op_id);
+  wal::Lsn del(const std::string& key, const std::string& op_id);
+
+  // Building block for callers composing a larger transaction.
+  wal::Lsn apply(stm::Tx& tx, const Op& op);
+
+  void flush() { wal_.flush(); }
+
+  TxCache& cache() noexcept { return cache_; }
+  wal::WriteAheadLog& wal() noexcept { return wal_; }
+
+  // What the constructor's recovery scan found on disk (pre-truncation
+  // view: `clean` is false if a torn tail was present and cut).
+  const wal::WriteAheadLog::RecoveryResult& recovery() const noexcept {
+    return recovery_;
+  }
+
+ private:
+  // Order matters: scan first (pre-truncation view), then let the WAL
+  // constructor truncate and make the cut durable, then replay.
+  wal::WriteAheadLog::RecoveryResult recovery_;
+  wal::WriteAheadLog wal_;
+  TxCache cache_;
+};
+
+}  // namespace adtm::kvcache

@@ -163,6 +163,25 @@ thread_local int t_raw_ignore = 0;
 // lock set is the union of all levels (outer locks are still held).
 thread_local std::vector<std::vector<const void*>> t_epi_stack;
 
+// Shadow-side stack sampling (ADTM_TMSAN_STACK_SAMPLE): backtrace() on
+// every shadow update dominates the race checker's cost. Violation-site
+// stacks stay unconditional; only the bookkeeping side is thinned, to
+// every Nth access per thread (0 = never).
+std::atomic<std::uint32_t> g_stack_sample{1};
+thread_local std::uint32_t t_stack_tick = 0;
+
+void maybe_capture_stack(Stack& out) noexcept {
+  const std::uint32_t n = g_stack_sample.load(std::memory_order_relaxed);
+  if (n == 1) {
+    detail::capture_stack(out);
+  } else if (n != 0 && ++t_stack_tick >= n) {
+    t_stack_tick = 0;
+    detail::capture_stack(out);
+  } else {
+    out.depth = 0;
+  }
+}
+
 std::size_t shadow_index(const void* addr) noexcept {
   auto a = reinterpret_cast<std::uintptr_t>(addr) >> 3;
   a *= 0x9e3779b97f4a7c15ULL;
@@ -286,7 +305,7 @@ void raw_access_slow(const void* addr, bool is_write) noexcept {
     e.raw_read_seq = seq;
   }
   e.raw_epilogue = in_epilogue;
-  capture_stack(e.raw_stack);
+  maybe_capture_stack(e.raw_stack);
 }
 
 // --- transactional access --------------------------------------------------
@@ -356,7 +375,7 @@ void tx_access_slow(const void* addr, std::uint64_t value,
   e.tx_interval = t_tx.interval;
   e.tx_read = e.tx_read || !is_write;
   e.tx_write = e.tx_write || is_write;
-  capture_stack(e.tx_stack);
+  maybe_capture_stack(e.tx_stack);
 }
 
 }  // namespace detail
@@ -469,6 +488,8 @@ void cover(const void* base, std::size_t bytes, const void* lock) {
 
 void enable(std::uint32_t mask) {
   State& s = state();
+  g_stack_sample.store(runtime_config().tmsan_stack_sample,
+                       std::memory_order_relaxed);
   if (s.shadow.load(std::memory_order_acquire) == nullptr) {
     auto* table = new ShadowEntry[kShadowSize];
     ShadowEntry* expected = nullptr;

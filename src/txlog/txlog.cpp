@@ -6,7 +6,17 @@
 #include <system_error>
 #include <utility>
 
+#include "faultsim/crashpoint.hpp"
+
 namespace adtm::txlog {
+namespace {
+
+// Crash-torture site: the deferred (post-commit) log write. Torn arms
+// persist a prefix of the record — the half-line a crash mid-write leaves.
+const faultsim::CrashPointId kCpWrite =
+    faultsim::register_crash_point("txlog.write", "txlog", true);
+
+}  // namespace
 
 TxLogger::TxLogger(const std::string& path)
     : owned_(io::PosixFile::open_append(path)), fd_(owned_.fd()) {}
@@ -19,6 +29,7 @@ void TxLogger::write_record(std::string& message) {
   if (message.empty() || message.back() != '\n') message.push_back('\n');
   const char* p = message.data();
   std::size_t remaining = message.size();
+  faultsim::crash_point_write(kCpWrite, fd_, p, remaining);
   while (remaining > 0) {
     const ssize_t rv = ::write(fd_, p, remaining);
     if (rv < 0) {

@@ -8,12 +8,34 @@
 #include <utility>
 
 #include "common/backoff.hpp"
+#include "faultsim/crashpoint.hpp"
 #include "obs/trace.hpp"
 #include "stm/api.hpp"
 #include "wal/crc32.hpp"
 
 namespace adtm::wal {
 namespace {
+
+// Crash-torture sites (tools/crashmat enumerates these; see DESIGN.md
+// "Crash-recovery contract"). Registered at load so the harness can list
+// them without running a workload first.
+const faultsim::CrashPointId kCpCommitWrite =
+    faultsim::register_crash_point("wal.commit.write", "wal", true);
+const faultsim::CrashPointId kCpCommitPreFsync =
+    faultsim::register_crash_point("wal.commit.pre_fsync", "wal", false);
+const faultsim::CrashPointId kCpCommitPostFsync =
+    faultsim::register_crash_point("wal.commit.post_fsync", "wal", false);
+const faultsim::CrashPointId kCpOpenPostCreate =
+    faultsim::register_crash_point("wal.open.post_create", "wal", false);
+const faultsim::CrashPointId kCpRecoverPostTruncate =
+    faultsim::register_crash_point("wal.recover.post_truncate", "wal", false);
+const faultsim::CrashPointId kCpRecoverPostSync =
+    faultsim::register_crash_point("wal.recover.post_sync", "wal", false);
+
+// Pre-fix escape hatch for the crashmat dirsync regression demo: skips the
+// truncation durability barrier in recover_and_truncate, restoring the
+// bug this harness was built to catch. Never set outside tests/tools.
+std::atomic<bool> g_skip_truncate_sync{false};
 
 // On-disk record: u32 payload length (LE), u32 CRC-32 of the payload
 // (LE), payload bytes.
@@ -39,6 +61,11 @@ WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
   // after the valid prefix.
   const RecoveryResult recovered = recover_and_truncate(path_);
   file_ = io::PosixFile::open_append(path_);
+  // A newly created log is not crash-safe until its directory entry is:
+  // without this, the first group commit can fsync data into a file a
+  // crash then makes unreachable.
+  faultsim::crash_point(kCpOpenPostCreate);
+  io::fsync_parent_dir(path_);
   const Lsn base = recovered.records.size();
   next_lsn_.store_direct(base + 1);
   durable_lsn_.store_direct(base);
@@ -194,9 +221,13 @@ void WriteAheadLog::stage_and_flush_locked_drain() {
     std::size_t done = 0;
     try {
       run_with_policy(policy_, [&] {
+        faultsim::crash_point_write(kCpCommitWrite, file_.fd(),
+                                    buffer.data() + done,
+                                    buffer.size() - done);
         while (done < buffer.size()) {
           done += file_.write_some(buffer.data() + done, buffer.size() - done);
         }
+        faultsim::crash_point(kCpCommitPreFsync);
         file_.sync();
       });
     } catch (const std::exception& e) {
@@ -206,6 +237,7 @@ void WriteAheadLog::stage_and_flush_locked_drain() {
       poison("unknown error in group commit");
       throw;
     }
+    faultsim::crash_point(kCpCommitPostFsync);
     const std::uint64_t fsyncs =
         fsyncs_.fetch_add(1, std::memory_order_relaxed) + 1;
     obs::emit(obs::EventType::WalFlush, obs::AbortCause::None, obs::kNoAlgo,
@@ -255,13 +287,39 @@ WriteAheadLog::RecoveryResult WriteAheadLog::recover_and_truncate(
     const std::string& path) {
   RecoveryResult result = recover(path);
   if (!result.clean) {
+    // Under crash torture, stash the tail being cut: until the truncation
+    // is durable (file + directory fsync below), a crash resurfaces it —
+    // and a resurrected garbage tail sitting *under* records appended
+    // after this recovery severs them from the valid prefix, losing
+    // acked-durable data on the next recovery.
+    std::uint64_t stash = 0;
+    if (faultsim::crash_points_armed()) {
+      const std::string data = io::read_file(path);
+      if (data.size() > result.valid_bytes) {
+        stash = faultsim::stash_undo_write(path, result.valid_bytes,
+                                           data.substr(result.valid_bytes));
+      }
+    }
     if (::truncate(path.c_str(), static_cast<off_t>(result.valid_bytes)) !=
         0) {
       throw std::system_error(errno, std::generic_category(),
                               "wal truncate");
     }
+    faultsim::crash_point(kCpRecoverPostTruncate);
+    if (!g_skip_truncate_sync.load(std::memory_order_relaxed)) {
+      // Make the truncation itself durable before reporting recovery
+      // complete: the file's size metadata, then its directory entry.
+      io::fsync_path(path);
+      io::fsync_parent_dir(path);
+      faultsim::commit_undo_stash(stash);
+      faultsim::crash_point(kCpRecoverPostSync);
+    }
   }
   return result;
+}
+
+void WriteAheadLog::testing_skip_truncate_sync(bool skip) noexcept {
+  g_skip_truncate_sync.store(skip, std::memory_order_relaxed);
 }
 
 }  // namespace adtm::wal

@@ -115,8 +115,19 @@ class WriteAheadLog {
   // crash case; throws std::system_error only on I/O failure.
   static RecoveryResult recover(const std::string& path);
 
-  // Recover and truncate the file to the valid prefix.
+  // Recover and truncate the file to the valid prefix. The truncation is
+  // made durable before returning (file fsync + containing-directory
+  // fsync): without that barrier the cut itself can be lost on a second
+  // crash, and a resurrected garbage tail under newly appended records
+  // severs them from the valid prefix (found by tools/crashmat; see
+  // DESIGN.md "Crash-recovery contract").
   static RecoveryResult recover_and_truncate(const std::string& path);
+
+  // Harness-only: restore the pre-fix behavior of recover_and_truncate
+  // (no durability barrier after the truncate) so the crashmat dirsync
+  // regression demo can show the bug being caught. Never set in
+  // production code.
+  static void testing_skip_truncate_sync(bool skip) noexcept;
 
  private:
   void stage_and_flush(Lsn lsn, std::string payload);

@@ -1,0 +1,54 @@
+// The regression crashmat exists to catch: recover_and_truncate used to
+// cut the torn tail without making the truncation durable (no file/dir
+// fsync barrier). A crash in that window resurrects the garbage tail —
+// under records appended after recovery, severing them from the valid
+// prefix. The harness re-introduces the bug behind a testing knob and
+// the verifier must catch it; with the barrier in place the same
+// schedule is clean.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crashsim/harness.hpp"
+#include "io/temp_dir.hpp"
+
+namespace adtm::crashsim {
+namespace {
+
+WorkloadOptions small_workload() {
+  WorkloadOptions o;
+  o.threads = 2;
+  o.ops_per_thread = 32;
+  return o;
+}
+
+TEST(DirsyncRegressionTest, VerifierCatchesLostTruncation) {
+  io::TempDir dir{"adtm-dirsync"};
+  TortureCase tc;
+  tc.point = "wal.commit.write";
+  tc.demo_dirsync_bug = true;
+  const CaseResult broken = run_case(tc, dir.file("buggy"), small_workload());
+  ASSERT_FALSE(broken.violations.empty())
+      << "pre-fix behavior went undetected";
+  bool names_lost_truncation = false;
+  for (const auto& v : broken.violations) {
+    if (v.find("truncation was lost") != std::string::npos) {
+      names_lost_truncation = true;
+    }
+  }
+  EXPECT_TRUE(names_lost_truncation) << broken.violations.front();
+}
+
+TEST(DirsyncRegressionTest, BarrierMakesTheSameScheduleClean) {
+  io::TempDir dir{"adtm-dirsync"};
+  TortureCase tc;
+  tc.point = "wal.commit.write";
+  tc.demo_dirsync_bug = false;
+  const CaseResult fixed = run_case(tc, dir.file("fixed"), small_workload());
+  EXPECT_TRUE(fixed.passed);
+  EXPECT_TRUE(fixed.violations.empty())
+      << fixed.violations.front();
+}
+
+}  // namespace
+}  // namespace adtm::crashsim

@@ -1,0 +1,220 @@
+// WAL recovery edge cases the crash matrix can only hit by luck: empty
+// and boundary-exact logs, CRC-valid headers over truncated payloads,
+// duplicate-record replay, resumed mid-buffer retries, and recovery
+// after a poisoned group commit. Each crafts the on-disk state by hand
+// (or injects the fault deterministically) instead of waiting for a
+// torture schedule to produce it.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "faultsim/faultsim.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+#include "kvcache/recoverable.hpp"
+#include "stm/api.hpp"
+#include "wal/crc32.hpp"
+#include "wal/wal.hpp"
+
+namespace adtm::crashsim {
+namespace {
+
+using wal::WriteAheadLog;
+
+class RecoveryEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { stm::init({.algo = stm::Algo::TL2}); }
+
+  std::string log_path() const { return dir_.file("wal.log"); }
+
+  void write_raw(const std::string& bytes) const {
+    std::ofstream out(log_path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::uint64_t file_size() const {
+    return static_cast<std::uint64_t>(
+        std::filesystem::file_size(log_path()));
+  }
+
+  io::TempDir dir_{"adtm-crashsim-edge"};
+};
+
+std::string put32(std::uint32_t v) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+// A wire-format record exactly as the group commit writes it.
+std::string raw_record(const std::string& payload) {
+  return put32(static_cast<std::uint32_t>(payload.size())) +
+         put32(wal::crc32(payload)) + payload;
+}
+
+TEST_F(RecoveryEdgeTest, MissingLogIsEmptyAndClean) {
+  const auto r = WriteAheadLog::recover(dir_.file("never-created.log"));
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_TRUE(r.clean);
+}
+
+TEST_F(RecoveryEdgeTest, EmptyLogIsEmptyAndClean) {
+  write_raw("");
+  const auto r = WriteAheadLog::recover(log_path());
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_TRUE(r.clean);
+  // Truncation of an already-clean log is a no-op.
+  const auto t = WriteAheadLog::recover_and_truncate(log_path());
+  EXPECT_TRUE(t.clean);
+  EXPECT_EQ(file_size(), 0u);
+}
+
+TEST_F(RecoveryEdgeTest, LogEndingExactlyAtRecordBoundaryIsClean) {
+  WriteAheadLog log(log_path());
+  log.append("alpha");
+  log.append("beta");
+  log.append("gamma");
+  log.flush();
+  const auto r = WriteAheadLog::recover(log_path());
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_TRUE(r.clean);
+  // clean means the scan consumed every byte: no slack after the last
+  // record, no phantom truncation on the recover_and_truncate path.
+  EXPECT_EQ(r.valid_bytes, file_size());
+  const auto t = WriteAheadLog::recover_and_truncate(log_path());
+  EXPECT_TRUE(t.clean);
+  EXPECT_EQ(file_size(), r.valid_bytes);
+}
+
+TEST_F(RecoveryEdgeTest, CrcValidHeaderWithTruncatedPayloadIsTorn) {
+  // The nastiest torn tail: the header (length + CRC) made it to disk
+  // intact, but the payload behind it is short. The CRC in the header is
+  // *correct* for the full payload — only the length check can reject it.
+  const std::string full = "this-payload-never-fully-landed";
+  const std::string intact = raw_record("intact");
+  write_raw(intact + put32(static_cast<std::uint32_t>(full.size())) +
+            put32(wal::crc32(full)) + full.substr(0, 5));
+  const auto r = WriteAheadLog::recover(log_path());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "intact");
+  EXPECT_FALSE(r.clean);
+  EXPECT_EQ(r.valid_bytes, intact.size());
+  const auto t = WriteAheadLog::recover_and_truncate(log_path());
+  EXPECT_EQ(file_size(), intact.size());
+  EXPECT_TRUE(WriteAheadLog::recover(log_path()).clean);
+}
+
+TEST_F(RecoveryEdgeTest, TailShorterThanHeaderIsTorn) {
+  write_raw(raw_record("whole") + "\x03\x00");
+  const auto r = WriteAheadLog::recover(log_path());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_FALSE(r.clean);
+}
+
+TEST_F(RecoveryEdgeTest, CorruptCrcCutsTheSuffixNotJustTheRecord) {
+  // Prefix semantics: a mid-log corrupt record invalidates everything
+  // after it — records beyond the cut cannot be trusted to be the ones
+  // their LSNs claim.
+  std::string bad = raw_record("corrupt-me");
+  bad[bad.size() - 1] ^= 0x01;  // flip one payload bit; header CRC now lies
+  write_raw(raw_record("first") + bad + raw_record("unreachable"));
+  const auto r = WriteAheadLog::recover(log_path());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "first");
+  EXPECT_FALSE(r.clean);
+  const auto t = WriteAheadLog::recover_and_truncate(log_path());
+  EXPECT_EQ(t.records.size(), 1u);
+  EXPECT_EQ(file_size(), raw_record("first").size());
+}
+
+TEST_F(RecoveryEdgeTest, DuplicateRecordsReplayOnce) {
+  // A crash between the durable write and the oracle ack can make the
+  // application re-issue an op after recovery; the log then carries the
+  // same op id twice. Replay must fold duplicates, not double-apply.
+  kvcache::RecoverableCache::Op op;
+  op.id = "t0n7";
+  op.kind = 'S';
+  op.key = "k";
+  op.value = "v1";
+  const std::string once = kvcache::RecoverableCache::encode(op);
+  op.value = "v2";  // the re-issued attempt may even differ in value
+  const std::string twice = kvcache::RecoverableCache::encode(op);
+  std::size_t duplicates = 0;
+  std::size_t undecodable = 0;
+  const auto folded = kvcache::RecoverableCache::replay(
+      {once, twice, "garbage-no-pipes"}, &duplicates, &undecodable);
+  EXPECT_EQ(duplicates, 1u);
+  EXPECT_EQ(undecodable, 1u);
+  ASSERT_EQ(folded.size(), 1u);
+  // First write wins: the duplicate is the *same op*, so its first
+  // durable appearance is the authoritative one.
+  EXPECT_EQ(folded.at("k"), "v1");
+}
+
+TEST_F(RecoveryEdgeTest, ResumedMidBufferRetryWritesNoByteTwice) {
+  // Group commit under a transient fault: a short write makes partial
+  // progress, then EINTR fails the next call; the retry policy re-runs
+  // the drain body, which must resume at the partial offset. Any
+  // re-written prefix would corrupt the record stream.
+  WriteAheadLog log(log_path());
+  const std::string payload(64, 'r');
+  faultsim::FaultScope scope;
+  faultsim::engine().arm({.op = faultsim::Op::Write,
+                          .fault = faultsim::Fault::short_write(5),
+                          .skip = 0,
+                          .count = 1});
+  faultsim::engine().arm({.op = faultsim::Op::Write,
+                          .fault = faultsim::Fault::error(EINTR),
+                          .skip = 0,
+                          .count = 1});
+  log.append(payload);
+  log.flush();
+  EXPECT_FALSE(log.failed());
+  const auto r = WriteAheadLog::recover(log_path());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], payload);
+  EXPECT_TRUE(r.clean);
+  EXPECT_EQ(r.valid_bytes, file_size());
+}
+
+TEST_F(RecoveryEdgeTest, PoisonedGroupCommitLeavesRecoverableLog) {
+  WriteAheadLog log(log_path());
+  log.append("survives");
+  log.flush();
+  // EIO is permanent: the policy must not retry it, the log poisons, and
+  // every later operation raises instead of hanging a waiter.
+  {
+    faultsim::FaultScope scope;
+    faultsim::engine().arm({.op = faultsim::Op::Write,
+                            .fault = faultsim::Fault::error(EIO),
+                            .skip = 0,
+                            .count = 0});
+    EXPECT_THROW(log.append("lost"), std::exception);
+    EXPECT_TRUE(log.failed());
+    EXPECT_THROW(log.append("also-refused"), std::runtime_error);
+    EXPECT_THROW(log.flush(), std::runtime_error);
+  }
+  // Recovery path: the durable prefix is intact, and a fresh handle on
+  // the same file accepts appends again.
+  const auto r = WriteAheadLog::recover_and_truncate(log_path());
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "survives");
+  WriteAheadLog reopened(log_path());
+  reopened.append("after-reopen");
+  reopened.flush();
+  const auto r2 = WriteAheadLog::recover(log_path());
+  ASSERT_EQ(r2.records.size(), 2u);
+  EXPECT_EQ(r2.records[1], "after-reopen");
+  EXPECT_TRUE(r2.clean);
+}
+
+}  // namespace
+}  // namespace adtm::crashsim

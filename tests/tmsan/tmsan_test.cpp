@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/runtime_config.hpp"
 #include "defer/atomic_defer.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
@@ -289,6 +290,59 @@ TEST_F(TmsanTest, OpacityCountsUnverifiableReadsInsteadOfGuessing) {
   tmsan::on_tx_commit(20);
   EXPECT_EQ(tmsan::violation_count(), 0u) << tmsan::report();
   EXPECT_GE(tmsan::opacity_unverifiable_reads(), 1u);
+}
+
+// --- stack-capture sampling (ADTM_TMSAN_STACK_SAMPLE) ----------------------
+
+// Swap in a stack-sample rate via adtm::configure and restore the
+// process-wide snapshot on scope exit.
+class ScopedStackSample {
+ public:
+  explicit ScopedStackSample(std::uint32_t n) : saved_(runtime_config()) {
+    RuntimeConfig cfg = saved_;
+    cfg.tmsan_stack_sample = n;
+    configure(cfg);
+  }
+  ~ScopedStackSample() { configure(saved_); }
+
+ private:
+  RuntimeConfig saved_;
+};
+
+// format_stack renders a sampled-out (depth 0) capture as this marker.
+bool is_sampled_out(const std::string& stack) {
+  return stack.empty() || stack == "  <no stack>" ||
+         stack == "  <backtrace unavailable>";
+}
+
+TEST_F(TmsanTest, StackSamplingZeroStillDetectsRaces) {
+  ScopedStackSample sample(0);
+  tmsan::enable(tmsan::kCheckRace);
+  run_mixed_mode_race();
+  // Sampling thins the evidence, never the detection: the race is still
+  // reported, with the violation-site stack intact and only the shadow
+  // (bookkeeping) side missing.
+  EXPECT_GE(tmsan::violation_count(tmsan::ViolationKind::MixedModeRace), 1u);
+  for (const tmsan::Violation& v : tmsan::violations()) {
+    if (v.kind != tmsan::ViolationKind::MixedModeRace) continue;
+    EXPECT_TRUE(is_sampled_out(v.stack_b)) << v.stack_b;
+  }
+}
+
+TEST_F(TmsanTest, DefaultStackSamplingCapturesBothSides) {
+  ScopedStackSample sample(1);
+  tmsan::enable(tmsan::kCheckRace);
+  run_mixed_mode_race();
+  ASSERT_GE(tmsan::violation_count(tmsan::ViolationKind::MixedModeRace), 1u);
+  bool have_backtrace = false;
+  bool saw_shadow_stack = false;
+  for (const tmsan::Violation& v : tmsan::violations()) {
+    if (v.kind != tmsan::ViolationKind::MixedModeRace) continue;
+    if (v.stack_a.find('#') != std::string::npos) have_backtrace = true;
+    if (!is_sampled_out(v.stack_b)) saw_shadow_stack = true;
+  }
+  if (!have_backtrace) GTEST_SKIP() << "backtrace() unavailable here";
+  EXPECT_TRUE(saw_shadow_stack) << tmsan::report();
 }
 
 // --- clean concurrent workload under every checker -------------------------

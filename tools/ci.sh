@@ -34,6 +34,14 @@ ctest --preset lint
 stage "tmsan-armed sanitize suite (ADTM_TMSAN=1 ADTM_TMSAN_OPACITY=1)"
 ctest --preset tmsan -j "$JOBS"
 
+# --- crash torture: fork/kill/recover over every registered crash point -----
+# The children run tmsan-armed with sampled stack capture (the preset sets
+# ADTM_TMSAN_STACK_SAMPLE), so a clean run also vouches for the deferral
+# contract under torture. ADTM_CRASHMAT_FULL=1 in the environment upgrades
+# crashmat to the full point x algorithm x flavor enumeration.
+stage "crash-recovery torture (crashmat + crashsim suites)"
+ctest --preset crash -j "$JOBS"
+
 if [ "$MODE" = "quick" ]; then
   printf '\nci: quick matrix PASS\n'
   exit 0

@@ -1,0 +1,223 @@
+// crashmat: fork-based crash-recovery torture for the atomic-deferral
+// durability contract.
+//
+//   crashmat --list                  enumerate registered crash points
+//   crashmat --quick                 bounded CI matrix (default)
+//   crashmat --full                  every point x algorithm x flavor
+//   crashmat --point wal.commit.write [--algo NOrec] [--torn] [--kill]
+//   crashmat --demo-dirsync-bug      re-introduce the lost-truncation bug
+//                                    and show the verifier catching it
+//
+// Environment: ADTM_CRASHMAT_FULL=1 upgrades any matrix run to --full;
+// ADTM_CRASHMAT_KEEP=1 keeps passing case directories for inspection.
+// (Failing directories are always kept — they are the crime scene.)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "crashsim/harness.hpp"
+#include "faultsim/crashpoint.hpp"
+#include "stm/config.hpp"
+
+namespace {
+
+using adtm::crashsim::CaseResult;
+using adtm::crashsim::TortureCase;
+using adtm::crashsim::WorkloadOptions;
+
+bool parse_algo(const std::string& name, adtm::stm::Algo& out) {
+  for (const adtm::stm::Algo a :
+       {adtm::stm::Algo::TL2, adtm::stm::Algo::Eager, adtm::stm::Algo::CGL,
+        adtm::stm::Algo::HTMSim, adtm::stm::Algo::NOrec}) {
+    if (name == adtm::stm::algo_name(a)) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+int list_points() {
+  std::printf("%-26s %-8s %s\n", "point", "subsystem", "kind");
+  for (const auto& desc : adtm::faultsim::crash_points()) {
+    std::printf("%-26s %-8s %s\n", desc.name.c_str(),
+                desc.subsystem.c_str(),
+                desc.write_path ? "write-path (torn-capable)" : "control");
+  }
+  return 0;
+}
+
+std::string case_dir(const std::string& base, std::size_t index) {
+  return base + "/case" + std::to_string(index);
+}
+
+void print_result(const CaseResult& r) {
+  std::printf("  %-44s %s\n", r.tc.name().c_str(),
+              r.passed ? "ok" : "FAIL");
+  if (!r.passed) {
+    for (const auto& pr : r.phases) {
+      std::printf("    phase %d: %s (wait status %d)\n", pr.phase,
+                  adtm::crashsim::outcome_name(pr.outcome), pr.wait_status);
+    }
+    for (const auto& v : r.violations) {
+      std::printf("    violation: %s\n", v.c_str());
+    }
+  }
+}
+
+int run_demo(const std::string& base, const WorkloadOptions& opts) {
+  std::printf("crashmat dirsync regression demo\n");
+  std::printf("  scenario: crash leaves a torn WAL tail; recovery truncates "
+              "it; a second\n  crash strikes before the next fsync. Without "
+              "the post-truncate durability\n  barrier the truncation is "
+              "lost and the garbage tail resurfaces.\n\n");
+
+  TortureCase buggy;
+  buggy.point = "wal.commit.write";
+  buggy.demo_dirsync_bug = true;
+  CaseResult broken = run_case(buggy, case_dir(base, 0), opts);
+  const bool caught = !broken.violations.empty();
+  std::printf("  pre-fix behavior (barrier disabled): %s\n",
+              caught ? "verifier CAUGHT the lost truncation:"
+                     : "verifier missed the bug (demo FAILED)");
+  for (const auto& v : broken.violations) {
+    std::printf("    violation: %s\n", v.c_str());
+  }
+
+  TortureCase fixed = buggy;
+  fixed.demo_dirsync_bug = false;
+  fixed.skip = 2;
+  CaseResult ok = run_case(fixed, case_dir(base, 1), opts);
+  std::printf("  fixed behavior (barrier enabled): %s\n",
+              ok.passed ? "clean recovery, no violations" : "FAIL");
+  if (!ok.passed) print_result(ok);
+
+  return (caught && ok.passed) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool full = false;
+  bool demo = false;
+  bool keep = std::getenv("ADTM_CRASHMAT_KEEP") != nullptr;
+  std::string point;
+  std::string base;
+  TortureCase single;
+  WorkloadOptions opts;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "crashmat: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--quick") {
+      full = false;
+    } else if (arg == "--full") {
+      full = true;
+    } else if (arg == "--demo-dirsync-bug") {
+      demo = true;
+    } else if (arg == "--point") {
+      point = next();
+    } else if (arg == "--algo") {
+      if (!parse_algo(next(), single.algo)) {
+        std::fprintf(stderr, "crashmat: unknown algorithm\n");
+        return 2;
+      }
+    } else if (arg == "--torn") {
+      single.persist_bytes = adtm::faultsim::CrashArm::kPersistRandom;
+    } else if (arg == "--kill") {
+      single.action = adtm::faultsim::CrashAction::Kill;
+    } else if (arg == "--keep") {
+      keep = true;
+    } else if (arg == "--dir") {
+      base = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      opts.threads = static_cast<unsigned>(
+          std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--ops") {
+      opts.ops_per_thread = std::strtoull(next().c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: crashmat [--list] [--quick|--full] [--point NAME "
+                   "[--algo A] [--torn] [--kill]]\n"
+                   "                [--demo-dirsync-bug] [--dir D] [--seed N] "
+                   "[--threads N] [--ops N] [--keep]\n");
+      return 2;
+    }
+  }
+
+  if (list) return list_points();
+
+  const char* full_env = std::getenv("ADTM_CRASHMAT_FULL");
+  if (full_env != nullptr && std::string(full_env) == "1") full = true;
+
+  if (base.empty()) {
+    char tmpl[] = "/tmp/crashmat.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::perror("crashmat: mkdtemp");
+      return 2;
+    }
+    base = tmpl;
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(base, ec);
+  }
+
+  if (demo) return run_demo(base, opts);
+
+  std::vector<TortureCase> cases;
+  if (!point.empty()) {
+    if (adtm::faultsim::find_crash_point(point) ==
+        adtm::faultsim::kNoCrashPoint) {
+      std::fprintf(stderr, "crashmat: unknown crash point '%s' (--list)\n",
+                   point.c_str());
+      return 2;
+    }
+    single.point = point;
+    single.seed = seed;
+    cases.push_back(single);
+  } else {
+    cases = full ? adtm::crashsim::full_matrix(seed)
+                 : adtm::crashsim::quick_matrix(seed);
+  }
+
+  std::printf("crashmat: %zu case(s), %s matrix, base %s\n", cases.size(),
+              point.empty() ? (full ? "full" : "quick") : "single",
+              base.c_str());
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const std::string dir = case_dir(base, i);
+    const CaseResult r = run_case(cases[i], dir, opts);
+    print_result(r);
+    if (r.passed) {
+      if (!keep) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+      }
+    } else {
+      ++failures;
+      std::printf("    wreckage kept in %s\n", dir.c_str());
+    }
+  }
+  if (failures == 0 && !keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+  }
+  std::printf("crashmat: %zu/%zu cases passed\n", cases.size() - failures,
+              cases.size());
+  return failures == 0 ? 0 : 1;
+}
