@@ -1,0 +1,151 @@
+// Component bench: overload-control hot and cold paths.
+//
+// The overload layer's contract is "invisible until something degrades":
+// a closed breaker on the I/O path and a healthy admission gate at the
+// front door must cost nothing measurable, and the shed path must be
+// cheap precisely when the process can least afford work. Four probes:
+//
+//   baseline_loop    the measurement loop with no health calls at all
+//   breaker_closed   allow() + record_success() on a closed breaker
+//   gate_healthy     AdmissionGate::enter on a Healthy process
+//   shed_path        AdmissionGate::enter under Critical (throw + catch)
+//   healthz_snapshot monitor().healthz() with registered breakers
+//
+// Per-op nanoseconds go to the adtm-bench/v1 run file —
+// BENCH_health.json unless ADTM_BENCH_OUT says otherwise.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "common/timing.hpp"
+#include "health/breaker.hpp"
+#include "health/gate.hpp"
+#include "health/health.hpp"
+
+namespace {
+
+using namespace adtm;  // NOLINT
+
+constexpr std::uint64_t kIters = 2'000'000;
+constexpr std::uint64_t kSlowIters = 200'000;
+
+// Keep the measured calls observable so the loop cannot fold away.
+volatile std::uint64_t g_sink = 0;
+
+double per_op_ns(double seconds, std::uint64_t iters) {
+  return seconds * 1e9 / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main() {
+  ::setenv("ADTM_BENCH_OUT", "BENCH_health.json", /*overwrite=*/0);
+  bench::BenchReport report("micro_health");
+  health::monitor().reset();
+
+  // --- baseline: the empty loop --------------------------------------
+  double baseline;
+  {
+    Timer t;
+    for (std::uint64_t i = 0; i < kIters; ++i) g_sink = g_sink + i;
+    baseline = per_op_ns(t.elapsed_s(), kIters);
+    report.add("baseline_loop", baseline, kIters);
+  }
+
+  // --- closed-breaker hot path ----------------------------------------
+  // An *enabled* breaker (threshold > 0) that never trips: the per-op
+  // cost over baseline is the number the DESIGN doc claims is <= noise.
+  double closed;
+  {
+    health::BreakerOptions opts;
+    opts.failure_threshold = 4;
+    opts.cooldown_ms = 100;
+    opts.max_cooldown_ms = 1000;
+    opts.name = "bench.closed";
+    opts.report_to_monitor = false;
+    health::CircuitBreaker breaker(std::move(opts));
+    Timer t;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      if (breaker.allow()) {
+        breaker.record_success();
+        g_sink = g_sink + i;
+      }
+    }
+    closed = per_op_ns(t.elapsed_s(), kIters);
+    report.add("breaker_closed", closed, kIters);
+  }
+
+  // --- healthy admission gate ------------------------------------------
+  double healthy;
+  {
+    health::AdmissionGate gate(health::monitor());
+    Timer t;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      const auto guard = gate.enter("bench.front-door");
+      g_sink = g_sink + static_cast<std::uint64_t>(guard.admission());
+    }
+    healthy = per_op_ns(t.elapsed_s(), kIters);
+    report.add("gate_healthy", healthy, kIters);
+  }
+
+  // --- shed path under Critical ----------------------------------------
+  // Two signals force Critical; every enter throws Overloaded. This is
+  // the full shed latency a front-door caller pays: decide + construct +
+  // throw + catch — no TM work, no tvar reads, no deferred ops.
+  double shed;
+  {
+    int queue_a = 0;
+    health::monitor().set_queue_pressure(&queue_a, true);
+    health::monitor().set_watchdog_stall(true);
+    health::AdmissionGate gate(health::monitor());
+    std::uint64_t caught = 0;
+    Timer t;
+    for (std::uint64_t i = 0; i < kSlowIters; ++i) {
+      try {
+        const auto guard = gate.enter("bench.front-door");
+        g_sink = g_sink + static_cast<std::uint64_t>(guard.admission());
+      } catch (const health::Overloaded&) {
+        ++caught;
+      }
+    }
+    shed = per_op_ns(t.elapsed_s(), kSlowIters);
+    report.add("shed_path", shed, kSlowIters);
+    if (caught != kSlowIters) {
+      std::fprintf(stderr, "micro_health: shed path admitted work\n");
+      return 1;
+    }
+    health::monitor().reset();
+  }
+
+  // --- healthz snapshot -------------------------------------------------
+  double snapshot;
+  {
+    health::BreakerOptions opts;
+    opts.failure_threshold = 4;
+    opts.name = "bench.snap";
+    health::CircuitBreaker b1(opts), b2(opts), b3(opts);
+    Timer t;
+    for (std::uint64_t i = 0; i < kSlowIters; ++i) {
+      g_sink = g_sink + health::monitor().healthz().breakers.size();
+    }
+    snapshot = per_op_ns(t.elapsed_s(), kSlowIters);
+    report.add("healthz_snapshot", snapshot, kSlowIters);
+  }
+  health::monitor().reset();
+
+  std::printf("%-18s %10.2f ns/op\n", "baseline_loop", baseline);
+  std::printf("%-18s %10.2f ns/op  (closed-breaker overhead %.2f ns)\n",
+              "breaker_closed", closed, closed - baseline);
+  std::printf("%-18s %10.2f ns/op\n", "gate_healthy", healthy);
+  std::printf("%-18s %10.2f ns/op\n", "shed_path", shed);
+  std::printf("%-18s %10.2f ns/op\n", "healthz_snapshot", snapshot);
+  std::printf("(sink %llu)\n", static_cast<unsigned long long>(g_sink));
+
+  if (!report.write()) {
+    std::fprintf(stderr, "micro_health: bench report write failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -34,6 +34,11 @@
 // --- observability ---------------------------------------------------------
 #include "obs/trace.hpp"
 
+// --- overload control & graceful degradation -------------------------------
+#include "health/breaker.hpp"
+#include "health/gate.hpp"
+#include "health/health.hpp"
+
 // --- transactional memory --------------------------------------------------
 #include "stm/api.hpp"
 #include "stm/config.hpp"

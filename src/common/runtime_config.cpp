@@ -24,6 +24,21 @@ RuntimeConfig runtime_config_from_env() {
   cfg.trace_max_events = static_cast<std::size_t>(
       env_u64("ADTM_TRACE_MAX_EVENTS", cfg.trace_max_events));
   cfg.trace_out = env_str("ADTM_TRACE_OUT", cfg.trace_out);
+  cfg.admission_gate =
+      env_u64("ADTM_ADMISSION", cfg.admission_gate ? 1 : 0) != 0;
+  cfg.breaker_threshold = static_cast<std::uint32_t>(
+      env_u64("ADTM_BREAKER_THRESHOLD", cfg.breaker_threshold));
+  cfg.breaker_cooldown_ms =
+      env_u64("ADTM_BREAKER_COOLDOWN_MS", cfg.breaker_cooldown_ms);
+  cfg.breaker_max_cooldown_ms =
+      env_u64("ADTM_BREAKER_MAX_COOLDOWN_MS", cfg.breaker_max_cooldown_ms);
+  cfg.queue_cap =
+      static_cast<std::size_t>(env_u64("ADTM_QUEUE_CAP", cfg.queue_cap));
+  cfg.queue_policy = env_str("ADTM_QUEUE_POLICY", cfg.queue_policy);
+  cfg.queue_deadline_ms =
+      env_u64("ADTM_QUEUE_DEADLINE_MS", cfg.queue_deadline_ms);
+  cfg.wal_group_window_us =
+      env_u64("ADTM_WAL_GROUP_WINDOW_US", cfg.wal_group_window_us);
   cfg.tmsan = env_u64("ADTM_TMSAN", cfg.tmsan ? 1 : 0) != 0;
   cfg.tmsan_opacity =
       env_u64("ADTM_TMSAN_OPACITY", cfg.tmsan_opacity ? 1 : 0) != 0;

@@ -58,6 +58,35 @@ struct RuntimeConfig {
   // [ADTM_TRACE_OUT]
   std::string trace_out = "adtm_trace.json";
 
+  // --- overload control (health) -------------------------------------
+  // Admission gate at the kvcache/RecoverableCache front doors: Healthy
+  // admits, Degraded serializes, Critical sheds. [ADTM_ADMISSION]
+  bool admission_gate = true;
+  // Consecutive failures that trip a circuit breaker (fdpool I/O, WAL
+  // flush, FailurePolicy escalation). 0 disables every breaker — the
+  // default, so retry/escalation semantics are unchanged unless overload
+  // control is armed. [ADTM_BREAKER_THRESHOLD]
+  std::uint32_t breaker_threshold = 0;
+  // Open-state cooldown before the first half-open probe; doubles with
+  // jitter on each failed probe up to the max (common::Backoff idiom).
+  // [ADTM_BREAKER_COOLDOWN_MS] / [ADTM_BREAKER_MAX_COOLDOWN_MS]
+  std::uint64_t breaker_cooldown_ms = 100;
+  std::uint64_t breaker_max_cooldown_ms = 2000;
+  // AsyncIOEngine submission-queue capacity; 0 = unbounded (pre-overload
+  // behavior). [ADTM_QUEUE_CAP]
+  std::size_t queue_cap = 4096;
+  // What a submitter does when the queue is full: "block" (wait for
+  // space), "shed" (fail the request with EAGAIN), or "deadline" (block
+  // up to queue_deadline_ms, then shed). [ADTM_QUEUE_POLICY]
+  std::string queue_policy = "block";
+  // Block budget for the "deadline" policy. [ADTM_QUEUE_DEADLINE_MS]
+  std::uint64_t queue_deadline_ms = 100;
+  // WAL group-commit gather window cap in microseconds: the flush-lock
+  // holder waits up to this long (scaled by backlog depth) for
+  // reserved-but-unstaged records to arrive before fsyncing. 0 = off.
+  // [ADTM_WAL_GROUP_WINDOW_US]
+  std::uint64_t wal_group_window_us = 0;
+
   // --- TM-aware sanitizer (tmsan) ------------------------------------
   // Mixed-mode race and deferral-contract checking; when set via the
   // environment the checkers start at the first stm::init. [ADTM_TMSAN]

@@ -43,6 +43,13 @@ enum class Counter : std::uint32_t {
   CmPriorityWins,       // conflicts a privileged thread won by outwaiting
   CmPriorityYields,     // attempts that stood aside for the priority thread
   WatchdogActions,      // enforcement actions (poison/reap) the watchdog fired
+  QueueSheds,           // bounded submission-queue rejections (shed/deadline)
+  QueueBlockWaits,      // submits that blocked on a full queue (backpressure)
+  AdmissionShed,        // front-door work shed by the admission gate
+  AdmissionSerialized,  // front-door work serialized while degraded
+  BreakerTrips,         // circuit breaker closed/half-open -> open transitions
+  DegradedMs,           // milliseconds spent non-Healthy (added at recovery)
+  IoCallbackErrors,     // async-I/O completion callbacks that threw
   kCount
 };
 

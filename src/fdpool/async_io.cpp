@@ -4,11 +4,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 
 #include "common/backoff.hpp"
+#include "common/runtime_config.hpp"
 #include "common/stats.hpp"
 #include "faultsim/crashpoint.hpp"
 #include "faultsim/faultsim.hpp"
+#include "health/health.hpp"
 #include "obs/trace.hpp"
 
 namespace adtm::fdpool {
@@ -19,6 +22,17 @@ namespace {
 const faultsim::CrashPointId kCpPwrite =
     faultsim::register_crash_point("fdpool.pwrite", "fdpool", true);
 
+// Crash-torture site: a worker just dequeued a request it has not yet
+// written — dying here loses an accepted-but-unpersisted submission, the
+// window the fd-pool's pending counts must tolerate.
+const faultsim::CrashPointId kCpDequeue =
+    faultsim::register_crash_point("fdpool.worker.dequeue", "fdpool", false);
+
+// Crash-torture site: a caller entered drain() while requests may still
+// be queued or in flight — death during the quiesce barrier.
+const faultsim::CrashPointId kCpDrain =
+    faultsim::register_crash_point("fdpool.drain", "fdpool", false);
+
 // A worker must never hang on an endlessly failing descriptor: transient
 // errors get this many backed-off retries, then the error escalates to
 // the completion callback.
@@ -28,9 +42,42 @@ bool transient_errno(int e) noexcept {
   return e == EINTR || e == EAGAIN || e == ENOSPC;
 }
 
+health::BreakerOptions engine_breaker_options() {
+  health::BreakerOptions opts;  // thresholds from runtime_config
+  opts.name = "fdpool.io";
+  return opts;
+}
+
 }  // namespace
 
-AsyncIOEngine::AsyncIOEngine(unsigned workers) {
+QueuePolicy parse_queue_policy(const std::string& s) noexcept {
+  if (s == "shed") return QueuePolicy::Shed;
+  if (s == "deadline") return QueuePolicy::Deadline;
+  return QueuePolicy::Block;
+}
+
+const char* queue_policy_name(QueuePolicy p) noexcept {
+  switch (p) {
+    case QueuePolicy::Block: return "block";
+    case QueuePolicy::Shed: return "shed";
+    case QueuePolicy::Deadline: return "deadline";
+  }
+  return "unknown";
+}
+
+QueueOptions::QueueOptions() {
+  const RuntimeConfig& cfg = runtime_config();
+  cap = cfg.queue_cap;
+  policy = parse_queue_policy(cfg.queue_policy);
+  deadline_ms = cfg.queue_deadline_ms;
+}
+
+AsyncIOEngine::AsyncIOEngine(unsigned workers)
+    : AsyncIOEngine(workers, QueueOptions(), engine_breaker_options()) {}
+
+AsyncIOEngine::AsyncIOEngine(unsigned workers, QueueOptions queue,
+                             health::BreakerOptions breaker)
+    : queue_opts_(queue), breaker_(std::move(breaker)) {
   if (workers == 0) workers = 1;
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
@@ -44,19 +91,80 @@ AsyncIOEngine::~AsyncIOEngine() {
     stopping_ = true;
   }
   have_work_.notify_all();
+  have_space_.notify_all();  // blocked submitters give up (shed)
   for (auto& w : workers_) w.join();
+  health::monitor().forget_queue(this);
 }
 
-void AsyncIOEngine::submit_write(int fd, std::uint64_t offset,
+// Completion callbacks may run user code; one that throws must not kill
+// the worker thread (or the submitter, on the synchronous shed path) —
+// catch, count, and surface through the health layer instead.
+void AsyncIOEngine::run_completion(const Completion& done,
+                                   std::error_code ec) noexcept {
+  if (!done) return;
+  try {
+    done(ec);
+  } catch (...) {
+    callback_errors_.fetch_add(1, std::memory_order_relaxed);
+    stats().add(Counter::IoCallbackErrors);
+    health::monitor().note_io_callback_error();
+  }
+}
+
+bool AsyncIOEngine::submit_write(int fd, std::uint64_t offset,
                                  std::string data, Completion done) {
+  bool shed = false;
+  int pressure_flip = 0;  // +1: report saturated, outside the lock
   {
-    std::lock_guard<std::mutex> lk(mutex_);
-    queue_.push_back(Request{fd, offset, std::move(data), std::move(done)});
+    std::unique_lock<std::mutex> lk(mutex_);
+    const std::size_t cap = queue_opts_.cap;
+    if (stopping_) {
+      shed = true;
+    } else if (cap != 0 && queue_.size() >= cap) {
+      if (!pressure_reported_) {
+        pressure_reported_ = true;
+        pressure_flip = +1;
+      }
+      switch (queue_opts_.policy) {
+        case QueuePolicy::Block:
+          stats().add(Counter::QueueBlockWaits);
+          have_space_.wait(lk, [this, cap] {
+            return stopping_ || queue_.size() < cap;
+          });
+          shed = stopping_;
+          break;
+        case QueuePolicy::Deadline:
+          stats().add(Counter::QueueBlockWaits);
+          have_space_.wait_for(lk,
+              std::chrono::milliseconds(queue_opts_.deadline_ms),
+              [this, cap] { return stopping_ || queue_.size() < cap; });
+          shed = stopping_ || queue_.size() >= cap;
+          break;
+        case QueuePolicy::Shed:
+          shed = true;
+          break;
+      }
+    }
+    if (!shed) {
+      queue_.push_back(Request{fd, offset, std::move(data), std::move(done)});
+      high_water_ = std::max(high_water_, queue_.size());
+    }
+  }
+  if (pressure_flip > 0) health::monitor().set_queue_pressure(this, true);
+  if (shed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    stats().add(Counter::QueueSheds);
+    obs::emit(obs::EventType::IoComplete, obs::AbortCause::None, obs::kNoAlgo,
+              0, static_cast<std::uint32_t>(EAGAIN));
+    run_completion(done, std::error_code(EAGAIN, std::generic_category()));
+    return false;
   }
   have_work_.notify_one();
+  return true;
 }
 
 void AsyncIOEngine::drain() {
+  faultsim::crash_point(kCpDrain);
   std::unique_lock<std::mutex> lk(mutex_);
   drained_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
 }
@@ -71,9 +179,20 @@ std::uint64_t AsyncIOEngine::failed() const noexcept {
   return failed_;
 }
 
+std::size_t AsyncIOEngine::depth() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return queue_.size();
+}
+
+std::size_t AsyncIOEngine::high_water() const noexcept {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return high_water_;
+}
+
 void AsyncIOEngine::worker_loop() {
   for (;;) {
     Request req;
+    int pressure_flip = 0;  // -1: report pressure cleared, outside the lock
     {
       std::unique_lock<std::mutex> lk(mutex_);
       have_work_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
@@ -81,66 +200,88 @@ void AsyncIOEngine::worker_loop() {
       req = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      if (queue_opts_.cap != 0) {
+        have_space_.notify_one();
+        // Hysteresis: saturation clears at half capacity, not cap-1, so
+        // one pop does not flap the health signal.
+        if (pressure_reported_ && queue_.size() <= queue_opts_.cap / 2) {
+          pressure_reported_ = false;
+          pressure_flip = -1;
+        }
+      }
     }
+    if (pressure_flip < 0) health::monitor().set_queue_pressure(this, false);
+    faultsim::crash_point(kCpDequeue);
 
     std::error_code ec;
     const char* p = req.data.data();
     std::size_t remaining = req.data.size();
     std::uint64_t off = req.offset;
-    faultsim::crash_point_pwrite(kCpPwrite, req.fd, p, remaining, off);
-    Backoff backoff;
-    unsigned retries = 0;
-    while (remaining > 0) {
-      std::size_t ask = remaining;
-      ssize_t rv;
-      int injected = 0;
-      if (faultsim::active()) {
-        const faultsim::Fault f =
-            faultsim::engine().on_syscall(faultsim::Op::Pwrite, req.fd);
-        if (f.kind == faultsim::FaultKind::Errno) {
-          injected = f.err;
-        } else if (f.kind == faultsim::FaultKind::ShortWrite) {
-          ask = std::max<std::size_t>(std::min(ask, f.max_bytes), 1);
-        } else if (f.kind == faultsim::FaultKind::Crash) {
-          // A crash point in an async worker cannot unwind the submitter;
-          // persist the torn prefix and surface a permanent I/O error.
-          const std::size_t persist = std::min(remaining, f.max_bytes);
-          if (persist > 0) {
-            (void)!::pwrite(req.fd, p, persist, static_cast<off_t>(off));
+    if (!breaker_.allow()) {
+      // Breaker open: the descriptor is known to be dying — fast-fail
+      // without touching it (no retry burst, no syscall).
+      ec = std::error_code(EIO, std::generic_category());
+    } else {
+      faultsim::crash_point_pwrite(kCpPwrite, req.fd, p, remaining, off);
+      Backoff backoff;
+      unsigned retries = 0;
+      while (remaining > 0) {
+        std::size_t ask = remaining;
+        ssize_t rv;
+        int injected = 0;
+        if (faultsim::active()) {
+          const faultsim::Fault f =
+              faultsim::engine().on_syscall(faultsim::Op::Pwrite, req.fd);
+          if (f.kind == faultsim::FaultKind::Errno) {
+            injected = f.err;
+          } else if (f.kind == faultsim::FaultKind::ShortWrite) {
+            ask = std::max<std::size_t>(std::min(ask, f.max_bytes), 1);
+          } else if (f.kind == faultsim::FaultKind::Crash) {
+            // A crash point in an async worker cannot unwind the submitter;
+            // persist the torn prefix and surface a permanent I/O error.
+            const std::size_t persist = std::min(remaining, f.max_bytes);
+            if (persist > 0) {
+              (void)!::pwrite(req.fd, p, persist, static_cast<off_t>(off));
+            }
+            ec = std::error_code(EIO, std::generic_category());
+            stats().add(Counter::FailureEscalations);
+            break;
           }
-          ec = std::error_code(EIO, std::generic_category());
+        }
+        if (injected != 0) {
+          errno = injected;
+          rv = -1;
+        } else {
+          rv = ::pwrite(req.fd, p, ask, static_cast<off_t>(off));
+        }
+        if (rv < 0) {
+          if (transient_errno(errno) && retries < kMaxTransientRetries) {
+            ++retries;
+            stats().add(Counter::FailureRetries);
+            backoff.pause();
+            continue;
+          }
+          // Permanent (or retry budget exhausted): report to the callback
+          // rather than dropping the error on the worker thread.
+          ec = std::error_code(errno, std::generic_category());
           stats().add(Counter::FailureEscalations);
           break;
         }
+        p += rv;
+        remaining -= static_cast<std::size_t>(rv);
+        off += static_cast<std::uint64_t>(rv);
       }
-      if (injected != 0) {
-        errno = injected;
-        rv = -1;
+      if (ec) {
+        breaker_.record_failure();
       } else {
-        rv = ::pwrite(req.fd, p, ask, static_cast<off_t>(off));
+        breaker_.record_success();
       }
-      if (rv < 0) {
-        if (transient_errno(errno) && retries < kMaxTransientRetries) {
-          ++retries;
-          stats().add(Counter::FailureRetries);
-          backoff.pause();
-          continue;
-        }
-        // Permanent (or retry budget exhausted): report to the callback
-        // rather than dropping the error on the worker thread.
-        ec = std::error_code(errno, std::generic_category());
-        stats().add(Counter::FailureEscalations);
-        break;
-      }
-      p += rv;
-      remaining -= static_cast<std::size_t>(rv);
-      off += static_cast<std::uint64_t>(rv);
     }
 
     obs::emit(obs::EventType::IoComplete, obs::AbortCause::None, obs::kNoAlgo,
               req.data.size() - remaining,
               static_cast<std::uint32_t>(ec.value()));
-    if (req.done) req.done(ec);
+    run_completion(req.done, ec);
 
     {
       std::lock_guard<std::mutex> lk(mutex_);

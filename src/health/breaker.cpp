@@ -1,0 +1,187 @@
+#include "health/breaker.hpp"
+
+#include "common/rng.hpp"
+#include "common/runtime_config.hpp"
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "health/health.hpp"
+#include "obs/trace.hpp"
+
+namespace adtm::health {
+
+const char* breaker_state_name(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerOptions::BreakerOptions() {
+  const RuntimeConfig& cfg = runtime_config();
+  failure_threshold = cfg.breaker_threshold;
+  cooldown_ms = cfg.breaker_cooldown_ms;
+  max_cooldown_ms = cfg.breaker_max_cooldown_ms;
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions opts) : opts_(std::move(opts)) {
+  cooldown_ms_ = opts_.cooldown_ms;
+  if (opts_.report_to_monitor) monitor().register_breaker(this);
+}
+
+CircuitBreaker::~CircuitBreaker() {
+  if (opts_.report_to_monitor) monitor().unregister_breaker(this);
+}
+
+// Same decorrelation idiom as common::Backoff's jittered saturation cap:
+// draw the actual cooldown uniformly from [3/4·cooldown, cooldown] so
+// breakers tripped by the same dying disk don't probe in lockstep.
+std::uint64_t CircuitBreaker::jittered_cooldown_ns() noexcept {
+  const std::uint64_t ns = cooldown_ms_ * 1'000'000;
+  const std::uint64_t jitter_window = ns / 4;
+  if (jitter_window == 0) return ns;
+  return ns - thread_rng().next_below(jitter_window + 1);
+}
+
+void CircuitBreaker::transition_locked(BreakerState to) noexcept {
+  state_.store(to, std::memory_order_relaxed);
+}
+
+void CircuitBreaker::publish(BreakerState from, BreakerState to) noexcept {
+  obs::emit(obs::EventType::BreakerTransition, obs::AbortCause::None,
+            obs::kNoAlgo, static_cast<std::uint64_t>(from),
+            static_cast<std::uint32_t>(to));
+  if (opts_.report_to_monitor) monitor().breaker_transition(this, from, to);
+  if (opts_.on_state_change) opts_.on_state_change(from, to);
+}
+
+bool CircuitBreaker::allow() noexcept {
+  if (state_.load(std::memory_order_relaxed) == BreakerState::Closed) {
+    return true;  // hot path: one relaxed load
+  }
+  if (!enabled()) return true;
+
+  BreakerState from;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    switch (state_.load(std::memory_order_relaxed)) {
+      case BreakerState::Closed:
+        return true;
+      case BreakerState::Open:
+        if (now_ns() < reopen_at_ns_) {
+          fast_fails_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        // Cooldown over: this caller becomes the half-open probe.
+        from = BreakerState::Open;
+        transition_locked(BreakerState::HalfOpen);
+        probe_inflight_ = true;
+        break;
+      case BreakerState::HalfOpen:
+        if (!probe_inflight_) {
+          probe_inflight_ = true;
+          return true;  // probe slot freed without a verdict; reclaim it
+        }
+        fast_fails_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+  }
+  publish(from, BreakerState::HalfOpen);
+  return true;
+}
+
+void CircuitBreaker::record_success() noexcept {
+  if (state_.load(std::memory_order_relaxed) == BreakerState::Closed &&
+      streak_.load(std::memory_order_relaxed) == 0) {
+    return;  // hot path: clean resource, no writes at all
+  }
+  if (!enabled()) {
+    streak_.store(0, std::memory_order_relaxed);
+    return;
+  }
+
+  BreakerState from;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    streak_.store(0, std::memory_order_relaxed);
+    switch (state_.load(std::memory_order_relaxed)) {
+      case BreakerState::Closed:
+        return;
+      case BreakerState::Open:
+        return;  // straggler from before the trip; the probe decides
+      case BreakerState::HalfOpen:
+        from = BreakerState::HalfOpen;
+        probe_inflight_ = false;
+        cooldown_ms_ = opts_.cooldown_ms;  // recovered: back to base
+        transition_locked(BreakerState::Closed);
+        break;
+    }
+  }
+  publish(from, BreakerState::Closed);
+}
+
+void CircuitBreaker::record_failure() noexcept {
+  if (!enabled()) {
+    streak_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  BreakerState from;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    switch (state_.load(std::memory_order_relaxed)) {
+      case BreakerState::Closed:
+        if (streak_.fetch_add(1, std::memory_order_relaxed) + 1 <
+            opts_.failure_threshold) {
+          return;
+        }
+        from = BreakerState::Closed;
+        break;
+      case BreakerState::HalfOpen:
+        // The probe failed: back off harder before the next one.
+        probe_inflight_ = false;
+        cooldown_ms_ = std::min(cooldown_ms_ * 2, opts_.max_cooldown_ms);
+        from = BreakerState::HalfOpen;
+        break;
+      case BreakerState::Open:
+        return;  // straggler failure while already open
+    }
+    reopen_at_ns_ = now_ns() + jittered_cooldown_ns();
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    stats().add(Counter::BreakerTrips);
+    transition_locked(BreakerState::Open);
+  }
+  publish(from, BreakerState::Open);
+}
+
+void CircuitBreaker::trip() noexcept {
+  BreakerState from;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    from = state_.load(std::memory_order_relaxed);
+    if (from == BreakerState::Open) return;
+    probe_inflight_ = false;
+    reopen_at_ns_ = now_ns() + jittered_cooldown_ns();
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    stats().add(Counter::BreakerTrips);
+    transition_locked(BreakerState::Open);
+  }
+  publish(from, BreakerState::Open);
+}
+
+void CircuitBreaker::reset() noexcept {
+  BreakerState from;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    from = state_.load(std::memory_order_relaxed);
+    streak_.store(0, std::memory_order_relaxed);
+    probe_inflight_ = false;
+    cooldown_ms_ = opts_.cooldown_ms;
+    if (from == BreakerState::Closed) return;
+    transition_locked(BreakerState::Closed);
+  }
+  publish(from, BreakerState::Closed);
+}
+
+}  // namespace adtm::health

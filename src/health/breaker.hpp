@@ -1,0 +1,121 @@
+// Per-resource circuit breakers for the deferred-I/O pipeline.
+//
+// A breaker sits in front of a failure-prone resource (a pooled fd, the
+// WAL's disk, a FailurePolicy-guarded deferred op) and turns a persistent
+// failure streak into fast-fail instead of a retry storm:
+//
+//            failure streak >= threshold
+//   Closed ------------------------------> Open
+//     ^                                     | cooldown elapsed (jittered,
+//     | probe succeeds                      v  doubling per failed probe)
+//     +--------------------------------- HalfOpen
+//                                           | probe fails -> Open again
+//
+// Closed is the hot path: allow() is a single relaxed load, and
+// record_success() is load-only while the failure streak is zero, so a
+// closed breaker costs nothing measurable on the I/O fast path (pinned in
+// BENCH_health.json). Open fast-fails every caller until the cooldown
+// expires; HalfOpen lets exactly one probe through and everyone else keeps
+// fast-failing until the probe's verdict is in. Failed probes double the
+// cooldown up to a cap, with the same decorrelating jitter idiom as
+// common::Backoff (uniform in [3/4·cooldown, cooldown]) so a fleet of
+// breakers tripped by one dying disk does not probe in lockstep.
+//
+// A breaker constructed with failure_threshold == 0 is disabled: allow()
+// always returns true and record_*() never changes state. That is the
+// process default (ADTM_BREAKER_THRESHOLD=0), so nothing trips unless
+// overload control is armed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace adtm::health {
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+const char* breaker_state_name(BreakerState s) noexcept;
+
+struct BreakerOptions {
+  // Consecutive failures that trip the breaker; 0 disables it.
+  std::uint32_t failure_threshold;
+  // First cooldown before a half-open probe; doubles (jittered) on each
+  // failed probe up to max_cooldown_ms.
+  std::uint64_t cooldown_ms;
+  std::uint64_t max_cooldown_ms;
+  // Resource name carried into healthz() and trace events.
+  std::string name = "breaker";
+  // Observer invoked after every state transition, outside the breaker's
+  // lock (the breaker may already have moved on when it runs).
+  std::function<void(BreakerState from, BreakerState to)> on_state_change;
+  // Report transitions to the process-wide health monitor so open
+  // breakers degrade the admission gate. Off for breakers unit-tested in
+  // isolation.
+  bool report_to_monitor = true;
+
+  // Defaults resolve from adtm::runtime_config() (ADTM_BREAKER_*).
+  BreakerOptions();
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions opts = BreakerOptions());
+  ~CircuitBreaker();
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // May this attempt proceed? Closed: yes (one relaxed load). Open: no,
+  // until the cooldown expires, at which point the first caller becomes
+  // the half-open probe. HalfOpen: only the single probe slot.
+  bool allow() noexcept;
+
+  // Verdict of an attempt that allow() admitted.
+  void record_success() noexcept;
+  void record_failure() noexcept;
+
+  BreakerState state() const noexcept {
+    return state_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept { return opts_.failure_threshold != 0; }
+  const std::string& name() const noexcept { return opts_.name; }
+
+  // Closed/half-open -> open transitions (also Counter::BreakerTrips).
+  std::uint64_t trips() const noexcept {
+    return trips_.load(std::memory_order_relaxed);
+  }
+  // Attempts rejected without touching the resource.
+  std::uint64_t fast_fails() const noexcept {
+    return fast_fails_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t consecutive_failures() const noexcept {
+    return streak_.load(std::memory_order_relaxed);
+  }
+
+  // Test support: force the breaker open as if the threshold had been
+  // hit, or back to Closed with a fresh streak and base cooldown.
+  void trip() noexcept;
+  void reset() noexcept;
+
+ private:
+  // Returns the transition to publish (observer + monitor), fired by the
+  // caller after dropping the lock.
+  void transition_locked(BreakerState to) noexcept;
+  void publish(BreakerState from, BreakerState to) noexcept;
+  std::uint64_t jittered_cooldown_ns() noexcept;
+
+  BreakerOptions opts_;
+  mutable std::mutex mutex_;
+  std::atomic<BreakerState> state_{BreakerState::Closed};
+  std::atomic<std::uint32_t> streak_{0};
+  std::uint64_t reopen_at_ns_ = 0;   // guarded by mutex_
+  std::uint64_t cooldown_ms_ = 0;    // current (doubling) cooldown
+  bool probe_inflight_ = false;      // the single HalfOpen probe slot
+  std::atomic<std::uint64_t> trips_{0};
+  std::atomic<std::uint64_t> fast_fails_{0};
+};
+
+}  // namespace adtm::health

@@ -1,0 +1,59 @@
+#include "health/gate.hpp"
+
+#include "common/runtime_config.hpp"
+#include "common/stats.hpp"
+
+namespace adtm::health {
+
+const char* admission_name(Admission a) noexcept {
+  switch (a) {
+    case Admission::Admit: return "admit";
+    case Admission::Serialize: return "serialize";
+    case Admission::Shed: return "shed";
+  }
+  return "unknown";
+}
+
+Overloaded::Overloaded(const std::string& door)
+    : std::runtime_error("adtm: overloaded, shedding at " + door) {}
+
+AdmissionGate::AdmissionGate(Monitor& m)
+    : monitor_(m), enabled_(runtime_config().admission_gate) {}
+
+AdmissionGate::Guard AdmissionGate::enter(const char* door) {
+  switch (decide()) {
+    case Admission::Admit:
+      return Guard(nullptr, Admission::Admit);
+    case Admission::Serialize:
+      serialize_mutex_.lock();
+      serialized_.fetch_add(1, std::memory_order_relaxed);
+      stats().add(Counter::AdmissionSerialized);
+      return Guard(&serialize_mutex_, Admission::Serialize);
+    case Admission::Shed:
+      break;
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  stats().add(Counter::AdmissionShed);
+  throw Overloaded(door);
+}
+
+namespace {
+
+// configure() applier: keeps the live gate tracking ADTM_ADMISSION
+// overrides, mirroring the obs registration idiom.
+void apply_config(const RuntimeConfig& cfg) {
+  gate().set_enabled(cfg.admission_gate);
+}
+
+struct RegisterApplier {
+  RegisterApplier() { detail::register_config_applier(&apply_config); }
+} g_register_applier;
+
+}  // namespace
+
+AdmissionGate& gate() noexcept {
+  static AdmissionGate g(monitor());
+  return g;
+}
+
+}  // namespace adtm::health

@@ -1,0 +1,113 @@
+// Admission control at the transactional front doors.
+//
+// The gate is consulted where new work enters the system (kvcache /
+// RecoverableCache non-transactional wrappers) and maps the monitor's
+// health state to an admission decision:
+//
+//   Healthy  -> Admit      zero-cost pass-through (one relaxed load)
+//   Degraded -> Serialize  the op runs under the gate's mutex — one
+//                          front-door op at a time; optimistic concurrency
+//                          is what melts under contention, so a degraded
+//                          process falls back to lock-based progress
+//   Critical -> Shed       throw health::Overloaded before any TM work
+//
+// Shedding before stm::atomic means a shed request costs no tvar reads,
+// no lock acquisitions and no deferred work — the fast-fail latency is
+// pinned in BENCH_health.json. The gate is on by default but Healthy
+// short-circuits, so it is invisible until something degrades; set
+// ADTM_ADMISSION=0 (or set_enabled(false)) to remove it entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "health/health.hpp"
+
+namespace adtm::health {
+
+enum class Admission : std::uint8_t { Admit, Serialize, Shed };
+
+const char* admission_name(Admission a) noexcept;
+
+// Thrown by AdmissionGate::enter when the process is Critical. Callers at
+// the front door translate this into their transport's overload error
+// (HTTP 503, kvcache miss, ...).
+class Overloaded : public std::runtime_error {
+ public:
+  explicit Overloaded(const std::string& door);
+};
+
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(Monitor& m);
+
+  // RAII admission: released (serialization mutex dropped) at scope exit.
+  class Guard {
+   public:
+    Guard(Guard&& other) noexcept
+        : serial_(other.serial_), admission_(other.admission_) {
+      other.serial_ = nullptr;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard() {
+      if (serial_ != nullptr) serial_->unlock();
+    }
+    Admission admission() const noexcept { return admission_; }
+
+   private:
+    friend class AdmissionGate;
+    Guard(std::mutex* serial, Admission a) noexcept
+        : serial_(serial), admission_(a) {}
+    std::mutex* serial_;
+    Admission admission_;
+  };
+
+  // The decision the gate would make right now (no side effects).
+  Admission decide() const noexcept {
+    if (!enabled_.load(std::memory_order_relaxed)) return Admission::Admit;
+    switch (monitor_.state()) {
+      case HealthState::Healthy: return Admission::Admit;
+      case HealthState::Degraded: return Admission::Serialize;
+      case HealthState::Critical: return Admission::Shed;
+    }
+    return Admission::Admit;
+  }
+
+  // Front-door entry: Admit returns a trivial guard, Serialize returns a
+  // guard holding the serialization mutex, Shed throws Overloaded (and
+  // bumps Counter::AdmissionShed). `door` names the entry point for the
+  // exception message.
+  Guard enter(const char* door);
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  std::uint64_t shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t serialized() const noexcept {
+    return serialized_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Monitor& monitor_;
+  std::atomic<bool> enabled_;
+  std::mutex serialize_mutex_;
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> serialized_{0};
+};
+
+// The process-wide gate over monitor(). Enabled per ADTM_ADMISSION at
+// first use; configure() re-applies the knob.
+AdmissionGate& gate() noexcept;
+
+}  // namespace adtm::health

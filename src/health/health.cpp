@@ -1,0 +1,216 @@
+#include "health/health.hpp"
+
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "obs/trace.hpp"
+
+namespace adtm::health {
+
+const char* health_state_name(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Degraded: return "degraded";
+    case HealthState::Critical: return "critical";
+  }
+  return "unknown";
+}
+
+bool Monitor::recompute_locked(HealthState* from, HealthState* to) {
+  const int signals = (open_breakers_.empty() ? 0 : 1) +
+                      (saturated_.empty() ? 0 : 1) + (watchdog_stall_ ? 1 : 0);
+  const HealthState next = signals == 0   ? HealthState::Healthy
+                           : signals == 1 ? HealthState::Degraded
+                                          : HealthState::Critical;
+  const HealthState cur = state_.load(std::memory_order_relaxed);
+  if (next == cur) return false;
+
+  const std::uint64_t now = now_ns();
+  if (cur == HealthState::Healthy) {
+    unhealthy_since_ns_ = now;  // episode starts
+  } else if (next == HealthState::Healthy) {
+    // Episode over: credit the degraded wall time.
+    const std::uint64_t ms = (now - unhealthy_since_ns_) / 1'000'000;
+    degraded_ms_.fetch_add(ms, std::memory_order_relaxed);
+    stats().add(Counter::DegradedMs, ms);
+    unhealthy_since_ns_ = 0;
+  }
+  state_.store(next, std::memory_order_relaxed);
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  *from = cur;
+  *to = next;
+  return true;
+}
+
+void Monitor::publish(HealthState from, HealthState to) {
+  obs::emit(obs::EventType::HealthTransition, obs::AbortCause::None,
+            obs::kNoAlgo, static_cast<std::uint64_t>(from),
+            static_cast<std::uint32_t>(to));
+  Observer obs_copy;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    obs_copy = observer_;
+  }
+  if (obs_copy) obs_copy(from, to);
+}
+
+void Monitor::register_breaker(CircuitBreaker* b) {
+  HealthState from, to;
+  bool changed;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    breakers_.insert(b);
+    if (b->state() != BreakerState::Closed) open_breakers_.insert(b);
+    changed = recompute_locked(&from, &to);
+  }
+  if (changed) publish(from, to);
+}
+
+void Monitor::unregister_breaker(CircuitBreaker* b) {
+  HealthState from, to;
+  bool changed;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    breakers_.erase(b);
+    open_breakers_.erase(b);
+    changed = recompute_locked(&from, &to);
+  }
+  if (changed) publish(from, to);
+}
+
+void Monitor::breaker_transition(CircuitBreaker* b, BreakerState /*from*/,
+                                 BreakerState to) {
+  HealthState hfrom, hto;
+  bool changed;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (breakers_.count(b) == 0) return;  // raced with unregister
+    if (to == BreakerState::Closed) {
+      open_breakers_.erase(b);
+    } else {
+      open_breakers_.insert(b);
+    }
+    changed = recompute_locked(&hfrom, &hto);
+  }
+  if (changed) publish(hfrom, hto);
+}
+
+void Monitor::set_queue_pressure(const void* source, bool saturated) {
+  HealthState from, to;
+  bool changed;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (saturated) {
+      saturated_.insert(source);
+    } else {
+      saturated_.erase(source);
+    }
+    changed = recompute_locked(&from, &to);
+  }
+  if (changed) publish(from, to);
+}
+
+void Monitor::forget_queue(const void* source) {
+  set_queue_pressure(source, false);
+}
+
+void Monitor::set_watchdog_stall(bool stalled) {
+  HealthState from, to;
+  bool changed;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    watchdog_stall_ = stalled;
+    changed = recompute_locked(&from, &to);
+  }
+  if (changed) publish(from, to);
+}
+
+void Monitor::note_io_callback_error() noexcept {
+  io_cb_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HealthSnapshot Monitor::healthz() const {
+  HealthSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    snap.state = state_.load(std::memory_order_relaxed);
+    snap.open_breakers = static_cast<std::uint32_t>(open_breakers_.size());
+    snap.saturated_queues = static_cast<std::uint32_t>(saturated_.size());
+    snap.watchdog_stall = watchdog_stall_;
+    snap.degraded_ms = degraded_ms_.load(std::memory_order_relaxed);
+    if (snap.state != HealthState::Healthy && unhealthy_since_ns_ != 0) {
+      snap.degraded_ms += (now_ns() - unhealthy_since_ns_) / 1'000'000;
+    }
+    snap.transitions = transitions_.load(std::memory_order_relaxed);
+    snap.breakers.reserve(breakers_.size());
+    for (const CircuitBreaker* b : breakers_) {
+      snap.breakers.push_back(BreakerInfo{b->name(), b->state(), b->trips()});
+    }
+  }
+  snap.shed = stats().total(Counter::AdmissionShed);
+  snap.serialized = stats().total(Counter::AdmissionSerialized);
+  snap.breaker_trips = stats().total(Counter::BreakerTrips);
+  snap.io_callback_errors = io_cb_errors_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::string Monitor::healthz_json() const {
+  const HealthSnapshot snap = healthz();
+  std::ostringstream out;
+  out << "{\"state\":\"" << health_state_name(snap.state) << "\""
+      << ",\"open_breakers\":" << snap.open_breakers
+      << ",\"saturated_queues\":" << snap.saturated_queues
+      << ",\"watchdog_stall\":" << (snap.watchdog_stall ? "true" : "false")
+      << ",\"degraded_ms\":" << snap.degraded_ms
+      << ",\"transitions\":" << snap.transitions
+      << ",\"shed\":" << snap.shed
+      << ",\"serialized\":" << snap.serialized
+      << ",\"breaker_trips\":" << snap.breaker_trips
+      << ",\"io_callback_errors\":" << snap.io_callback_errors
+      << ",\"breakers\":[";
+  for (std::size_t i = 0; i < snap.breakers.size(); ++i) {
+    const BreakerInfo& b = snap.breakers[i];
+    if (i != 0) out << ',';
+    out << "{\"name\":\"" << b.name << "\",\"state\":\""
+        << breaker_state_name(b.state) << "\",\"trips\":" << b.trips << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+void Monitor::set_observer(Observer obs) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  observer_ = std::move(obs);
+}
+
+void Monitor::reset() {
+  HealthState from, to;
+  bool changed;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    saturated_.clear();
+    watchdog_stall_ = false;
+    open_breakers_.clear();
+    for (CircuitBreaker* b : breakers_) {
+      if (b->state() != BreakerState::Closed) open_breakers_.insert(b);
+    }
+    degraded_ms_.store(0, std::memory_order_relaxed);
+    io_cb_errors_.store(0, std::memory_order_relaxed);
+    unhealthy_since_ns_ =
+        state_.load(std::memory_order_relaxed) == HealthState::Healthy
+            ? 0
+            : now_ns();
+    changed = recompute_locked(&from, &to);
+  }
+  if (changed) publish(from, to);
+}
+
+Monitor& monitor() noexcept {
+  static Monitor m;
+  return m;
+}
+
+std::string healthz() { return monitor().healthz_json(); }
+
+}  // namespace adtm::health

@@ -1,0 +1,124 @@
+// Process-wide health state machine for overload control.
+//
+// The monitor folds three degradation signals into one state:
+//
+//   - open circuit breakers (any breaker not Closed),
+//   - saturated submission queues (AsyncIOEngine at capacity),
+//   - liveness watchdog stall reports (action "degrade").
+//
+//   0 active signals -> Healthy    (admission gate admits everything)
+//   1 active signal  -> Degraded   (gate serializes front-door work)
+//   2+ active signals -> Critical  (gate sheds front-door work)
+//
+// Every transition emits an obs HealthTransition trace event; time spent
+// non-Healthy accumulates into Counter::DegradedMs (credited when the
+// process recovers, with the in-progress episode included in snapshots).
+// healthz() returns a point-in-time snapshot for the future server's
+// health endpoint; healthz_json() renders it as a single JSON object.
+//
+// state() is one relaxed atomic load — the admission gate reads it per
+// front-door transaction, so it must stay free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "health/breaker.hpp"
+
+namespace adtm::health {
+
+enum class HealthState : std::uint8_t { Healthy, Degraded, Critical };
+
+const char* health_state_name(HealthState s) noexcept;
+
+struct BreakerInfo {
+  std::string name;
+  BreakerState state;
+  std::uint64_t trips;
+};
+
+struct HealthSnapshot {
+  HealthState state = HealthState::Healthy;
+  std::uint32_t open_breakers = 0;    // breakers not currently Closed
+  std::uint32_t saturated_queues = 0; // queues reporting pressure
+  bool watchdog_stall = false;
+  std::uint64_t degraded_ms = 0;      // cumulative, incl. current episode
+  std::uint64_t transitions = 0;      // health state changes so far
+  std::uint64_t shed = 0;             // admission-gate sheds (Counter)
+  std::uint64_t serialized = 0;       // admission-gate serializations
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t io_callback_errors = 0;
+  std::vector<BreakerInfo> breakers;  // every registered breaker
+};
+
+class Monitor {
+ public:
+  HealthState state() const noexcept {
+    return state_.load(std::memory_order_relaxed);
+  }
+
+  // --- signal sources ------------------------------------------------
+  // Breakers register on construction (BreakerOptions::report_to_monitor)
+  // and report every state transition.
+  void register_breaker(CircuitBreaker* b);
+  void unregister_breaker(CircuitBreaker* b);
+  void breaker_transition(CircuitBreaker* b, BreakerState from,
+                          BreakerState to);
+
+  // Bounded queues report saturation flips, keyed by owner address so
+  // independent queues are independent signals.
+  void set_queue_pressure(const void* source, bool saturated);
+  void forget_queue(const void* source);
+
+  // Liveness watchdog stall signal (action "degrade").
+  void set_watchdog_stall(bool stalled);
+
+  // Completion callbacks that threw (fdpool worker survival fix); feeds
+  // the snapshot, not the state machine.
+  void note_io_callback_error() noexcept;
+
+  // --- observation ---------------------------------------------------
+  HealthSnapshot healthz() const;
+  std::string healthz_json() const;
+
+  // Single-slot observer fired after every state transition, outside the
+  // monitor's lock. Test hook and future server hook.
+  using Observer = std::function<void(HealthState from, HealthState to)>;
+  void set_observer(Observer obs);
+
+  // Test isolation: drop every signal source and return to Healthy
+  // (publishing the transition if one happens). Registered breakers stay
+  // registered; their current state is re-counted.
+  void reset();
+
+ private:
+  // Recomputes the folded state; returns true and fills from/to when the
+  // state changed (caller publishes after unlock).
+  bool recompute_locked(HealthState* from, HealthState* to);
+  void publish(HealthState from, HealthState to);
+
+  mutable std::mutex mutex_;
+  std::atomic<HealthState> state_{HealthState::Healthy};
+  std::set<CircuitBreaker*> breakers_;      // all registered
+  std::set<CircuitBreaker*> open_breakers_; // subset not Closed
+  std::set<const void*> saturated_;
+  bool watchdog_stall_ = false;
+  std::uint64_t unhealthy_since_ns_ = 0;
+  std::atomic<std::uint64_t> degraded_ms_{0};
+  std::atomic<std::uint64_t> io_cb_errors_{0};
+  std::atomic<std::uint64_t> transitions_{0};
+  Observer observer_;
+};
+
+// The process-wide monitor fed by fdpool, wal, defer, and liveness.
+Monitor& monitor() noexcept;
+
+// Convenience: monitor().healthz_json().
+std::string healthz();
+
+}  // namespace adtm::health

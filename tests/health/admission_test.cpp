@@ -1,0 +1,164 @@
+// Admission control: the monitor's signal fold (breakers + queues +
+// watchdog -> Healthy/Degraded/Critical) drives the gate's decision at
+// the kvcache front doors — serialize when degraded, shed when critical,
+// and recover cleanly when the signals clear.
+#include "health/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "health/breaker.hpp"
+#include "health/health.hpp"
+#include "io/temp_dir.hpp"
+#include "kvcache/recoverable.hpp"
+#include "kvcache/tx_cache.hpp"
+#include "stm/api.hpp"
+
+namespace adtm::health {
+namespace {
+
+using namespace std::chrono_literals;
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stm::init({.algo = stm::Algo::TL2});
+    stats().reset();
+    monitor().reset();
+    gate().set_enabled(true);
+  }
+  void TearDown() override {
+    gate().set_enabled(true);
+    monitor().reset();
+  }
+
+  BreakerOptions reporting(const char* name) {
+    BreakerOptions opts;
+    opts.failure_threshold = 1;
+    opts.cooldown_ms = 60'000;  // stays open for the whole test
+    opts.max_cooldown_ms = 60'000;
+    opts.name = name;
+    opts.report_to_monitor = true;
+    return opts;
+  }
+};
+
+TEST_F(AdmissionTest, OneSignalDegradesAndSerializes) {
+  CircuitBreaker breaker(reporting("admission.one"));
+  const std::uint64_t serialized0 = gate().serialized();
+  breaker.record_failure();  // threshold 1: open, reported to the monitor
+  EXPECT_EQ(monitor().state(), HealthState::Degraded);
+  EXPECT_EQ(gate().decide(), Admission::Serialize);
+
+  // Front-door ops still succeed — one at a time, under the gate's lock.
+  kvcache::TxCache cache(16);
+  cache.set("k", "v");
+  EXPECT_EQ(cache.get("k"), std::optional<std::string>("v"));
+  EXPECT_GE(gate().serialized(), serialized0 + 2);
+  EXPECT_GE(stats().total(Counter::AdmissionSerialized), 2u);
+}
+
+TEST_F(AdmissionTest, TwoSignalsGoCriticalAndShed) {
+  CircuitBreaker breaker(reporting("admission.two"));
+  breaker.record_failure();
+  int dummy_queue = 0;
+  monitor().set_queue_pressure(&dummy_queue, true);
+  EXPECT_EQ(monitor().state(), HealthState::Critical);
+  EXPECT_EQ(gate().decide(), Admission::Shed);
+
+  kvcache::TxCache cache(16);
+  const std::uint64_t shed0 = gate().shed();
+  EXPECT_THROW(cache.set("k", "v"), Overloaded);
+  EXPECT_THROW(cache.get("k"), Overloaded);
+  EXPECT_THROW(cache.del("k"), Overloaded);
+  EXPECT_THROW(cache.incr("k", 1), Overloaded);
+  EXPECT_EQ(gate().shed(), shed0 + 4);
+  EXPECT_GE(stats().total(Counter::AdmissionShed), 4u);
+
+  // Transaction-taking overloads stay ungated: composition into a larger
+  // transaction must not consult admission twice (or at all — the outer
+  // front door already did).
+  stm::atomic([&](stm::Tx& tx) { cache.set(tx, "inner", "ok"); });
+  EXPECT_EQ(cache.size(), 1u);
+
+  const HealthSnapshot snap = monitor().healthz();
+  EXPECT_EQ(snap.state, HealthState::Critical);
+  EXPECT_EQ(snap.open_breakers, 1u);
+  EXPECT_EQ(snap.saturated_queues, 1u);
+  EXPECT_GE(snap.shed, 4u);
+  EXPECT_NE(monitor().healthz_json().find("\"critical\""), std::string::npos);
+}
+
+TEST_F(AdmissionTest, RecoveryReturnsToHealthyAndCountsDegradedTime) {
+  CircuitBreaker breaker(reporting("admission.recover"));
+  breaker.record_failure();
+  ASSERT_EQ(monitor().state(), HealthState::Degraded);
+  std::this_thread::sleep_for(15ms);  // accrue measurable degraded time
+  breaker.reset();  // repaired: the monitor sees the Open -> Closed flip
+  EXPECT_EQ(monitor().state(), HealthState::Healthy);
+  EXPECT_EQ(gate().decide(), Admission::Admit);
+
+  const HealthSnapshot snap = monitor().healthz();
+  EXPECT_GE(snap.degraded_ms, 5u);
+  EXPECT_GE(snap.transitions, 2u);  // down and back up
+
+  kvcache::TxCache cache(16);
+  cache.set("k", "v");  // healthy fast path again
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(AdmissionTest, DisabledGateAdmitsEvenWhenCritical) {
+  CircuitBreaker breaker(reporting("admission.disabled"));
+  breaker.record_failure();
+  int dummy_queue = 0;
+  monitor().set_queue_pressure(&dummy_queue, true);
+  ASSERT_EQ(monitor().state(), HealthState::Critical);
+  gate().set_enabled(false);
+  EXPECT_EQ(gate().decide(), Admission::Admit);
+  kvcache::TxCache cache(16);
+  EXPECT_NO_THROW(cache.set("k", "v"));
+}
+
+TEST_F(AdmissionTest, RecoverableCacheFrontDoorShedsButRecoveryBypasses) {
+  io::TempDir dir("adtm-health-adm");
+  const std::string wal_path = dir.file("wal.log");
+  {
+    kvcache::RecoverableCache rc(16, wal_path);
+    rc.set("k", "v", "op-1");
+    rc.flush();
+  }
+  CircuitBreaker breaker(reporting("admission.rc"));
+  breaker.record_failure();
+  int dummy_queue = 0;
+  monitor().set_queue_pressure(&dummy_queue, true);
+  ASSERT_EQ(monitor().state(), HealthState::Critical);
+
+  // Constructor-time WAL replay is internal work, not front-door work:
+  // it must not be shed even while the process is critical.
+  kvcache::RecoverableCache rc(16, wal_path);
+  EXPECT_EQ(rc.cache().size(), 1u);
+  // New front-door mutations are shed.
+  EXPECT_THROW(rc.set("k2", "v2", "op-2"), Overloaded);
+  EXPECT_THROW(rc.del("k", "op-3"), Overloaded);
+}
+
+TEST_F(AdmissionTest, HealthzJsonNamesRegisteredBreakers) {
+  CircuitBreaker breaker(reporting("admission.json"));
+  const std::string json = monitor().healthz_json();
+  EXPECT_NE(json.find("\"state\":\"healthy\""), std::string::npos) << json;
+  EXPECT_NE(json.find("admission.json"), std::string::npos) << json;
+  EXPECT_NE(healthz().find("\"state\""), std::string::npos);
+}
+
+TEST_F(AdmissionTest, AdmissionNames) {
+  EXPECT_STREQ(admission_name(Admission::Admit), "admit");
+  EXPECT_STREQ(admission_name(Admission::Serialize), "serialize");
+  EXPECT_STREQ(admission_name(Admission::Shed), "shed");
+}
+
+}  // namespace
+}  // namespace adtm::health

@@ -1,0 +1,153 @@
+// Circuit breaker state machine: Closed -> Open -> HalfOpen -> Closed,
+// probe exclusivity, cooldown doubling, and the disabled (threshold 0)
+// process default.
+#include "health/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace adtm::health {
+namespace {
+
+using namespace std::chrono_literals;
+
+BreakerOptions isolated(std::uint32_t threshold,
+                        std::uint64_t cooldown_ms = 30,
+                        std::uint64_t max_cooldown_ms = 500) {
+  BreakerOptions opts;
+  opts.failure_threshold = threshold;
+  opts.cooldown_ms = cooldown_ms;
+  opts.max_cooldown_ms = max_cooldown_ms;
+  opts.name = "test.breaker";
+  opts.report_to_monitor = false;
+  return opts;
+}
+
+// Spin until the breaker hands out the half-open probe (the cooldown is
+// jittered, so sleep-then-check once would race the jitter window).
+bool wait_for_probe(CircuitBreaker& b, std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (b.allow()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return false;
+}
+
+TEST(Breaker, DisabledByDefaultThresholdZero) {
+  CircuitBreaker b(isolated(0));
+  EXPECT_FALSE(b.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(b.allow());
+    b.record_failure();
+  }
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.trips(), 0u);
+  EXPECT_EQ(b.fast_fails(), 0u);
+}
+
+TEST(Breaker, TripsAtConsecutiveFailureThreshold) {
+  stats().reset();
+  CircuitBreaker b(isolated(3));
+  EXPECT_TRUE(b.enabled());
+  b.record_failure();
+  b.record_failure();
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 2u);
+  EXPECT_TRUE(b.allow());
+  b.record_failure();  // third consecutive: trip
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.trips(), 1u);
+  EXPECT_GE(stats().total(Counter::BreakerTrips), 1u);
+  EXPECT_FALSE(b.allow());  // freshly open: cooldown not yet elapsed
+  EXPECT_GE(b.fast_fails(), 1u);
+}
+
+TEST(Breaker, SuccessResetsTheStreak) {
+  CircuitBreaker b(isolated(3));
+  b.record_failure();
+  b.record_failure();
+  b.record_success();
+  EXPECT_EQ(b.consecutive_failures(), 0u);
+  b.record_failure();
+  b.record_failure();
+  EXPECT_EQ(b.state(), BreakerState::Closed);  // streak restarted at 0
+}
+
+TEST(Breaker, HalfOpenProbeSuccessCloses) {
+  CircuitBreaker b(isolated(1, 20, 100));
+  b.record_failure();
+  ASSERT_EQ(b.state(), BreakerState::Open);
+  ASSERT_TRUE(wait_for_probe(b, 2s));  // first caller past cooldown probes
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+  // Only one probe slot: everyone else keeps fast-failing.
+  const std::uint64_t ff = b.fast_fails();
+  EXPECT_FALSE(b.allow());
+  EXPECT_EQ(b.fast_fails(), ff + 1);
+  b.record_success();
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 0u);
+  EXPECT_TRUE(b.allow());
+}
+
+TEST(Breaker, FailedProbeReopensAndEventuallyReprobes) {
+  CircuitBreaker b(isolated(1, 20, 100));
+  b.record_failure();
+  ASSERT_TRUE(wait_for_probe(b, 2s));
+  b.record_failure();  // probe verdict: still broken
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.trips(), 2u);
+  // The doubled cooldown still expires; a later probe can close it.
+  ASSERT_TRUE(wait_for_probe(b, 2s));
+  b.record_success();
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(Breaker, ObserverSeesEveryTransitionInOrder) {
+  std::mutex mu;
+  std::vector<std::pair<BreakerState, BreakerState>> seen;
+  BreakerOptions opts = isolated(1, 20, 100);
+  opts.on_state_change = [&](BreakerState from, BreakerState to) {
+    std::lock_guard<std::mutex> lk(mu);
+    seen.emplace_back(from, to);
+  };
+  CircuitBreaker b(std::move(opts));
+  b.record_failure();
+  ASSERT_TRUE(wait_for_probe(b, 2s));
+  b.record_success();
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], std::make_pair(BreakerState::Closed, BreakerState::Open));
+  EXPECT_EQ(seen[1],
+            std::make_pair(BreakerState::Open, BreakerState::HalfOpen));
+  EXPECT_EQ(seen[2],
+            std::make_pair(BreakerState::HalfOpen, BreakerState::Closed));
+}
+
+TEST(Breaker, TripAndResetTestHelpers) {
+  CircuitBreaker b(isolated(5));
+  b.trip();
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.trips(), 1u);
+  EXPECT_FALSE(b.allow());
+  b.reset();
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 0u);
+  EXPECT_TRUE(b.allow());
+}
+
+TEST(Breaker, StateNamesRoundTrip) {
+  EXPECT_STREQ(breaker_state_name(BreakerState::Closed), "closed");
+  EXPECT_STREQ(breaker_state_name(BreakerState::Open), "open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::HalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace adtm::health

@@ -1,0 +1,219 @@
+// Bounded submission queue: block / shed / deadline policies, saturation
+// signalling to the health monitor with hysteresis, and worker survival
+// when a completion callback throws.
+#include "fdpool/async_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "health/health.hpp"
+#include "io/posix_file.hpp"
+#include "io/temp_dir.hpp"
+
+namespace adtm::fdpool {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A completion callback that parks its worker until release(): with one
+// worker and the plug in flight, every further submission stays queued,
+// so the test controls the queue depth exactly.
+struct Plug {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<bool> plugged{false};
+
+  AsyncIOEngine::Completion callback() {
+    return [this](std::error_code) {
+      plugged.store(true);
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [this] { return released; });
+    };
+  }
+  void await_plugged() {
+    while (!plugged.load()) std::this_thread::yield();
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class QueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stats().reset();
+    health::monitor().reset();
+  }
+  void TearDown() override { health::monitor().reset(); }
+
+  QueueOptions bounded(QueuePolicy policy, std::uint64_t deadline_ms = 50) {
+    QueueOptions q;
+    q.cap = 4;
+    q.policy = policy;
+    q.deadline_ms = deadline_ms;
+    return q;
+  }
+  health::BreakerOptions quiet_breaker() {
+    health::BreakerOptions b;
+    b.failure_threshold = 0;
+    b.name = "queue-test.io";
+    b.report_to_monitor = false;
+    return b;
+  }
+
+  io::TempDir dir_{"adtm-health-q"};
+};
+
+TEST_F(QueueTest, BlockPolicyBackpressuresTheSubmitter) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("a"));
+  Plug plug;
+  std::atomic<bool> submitted{false};
+  {
+    AsyncIOEngine engine(1, bounded(QueuePolicy::Block), quiet_breaker());
+    ASSERT_TRUE(engine.submit_write(f.fd(), 0, "p", plug.callback()));
+    plug.await_plugged();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(engine.submit_write(f.fd(), 0, "fill"));
+    }
+    EXPECT_EQ(engine.depth(), 4u);
+
+    std::thread blocked([&] {
+      EXPECT_TRUE(engine.submit_write(f.fd(), 0, "blocked"));
+      submitted.store(true);
+    });
+    std::this_thread::sleep_for(30ms);
+    EXPECT_FALSE(submitted.load());  // full queue: submitter is parked
+    plug.release();
+    blocked.join();
+    EXPECT_TRUE(submitted.load());
+    engine.drain();
+    EXPECT_EQ(engine.completed(), 6u);
+    EXPECT_EQ(engine.shed(), 0u);
+  }
+  EXPECT_GE(stats().total(Counter::QueueBlockWaits), 1u);
+}
+
+TEST_F(QueueTest, ShedPolicyFailsFastWithEagain) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("b"));
+  Plug plug;
+  AsyncIOEngine engine(1, bounded(QueuePolicy::Shed), quiet_breaker());
+  ASSERT_TRUE(engine.submit_write(f.fd(), 0, "p", plug.callback()));
+  plug.await_plugged();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.submit_write(f.fd(), 0, "fill"));
+  }
+  std::error_code shed_ec;
+  const bool accepted = engine.submit_write(
+      f.fd(), 0, "shed", [&](std::error_code ec) { shed_ec = ec; });
+  EXPECT_FALSE(accepted);  // callback already ran, synchronously
+  EXPECT_EQ(shed_ec.value(), EAGAIN);
+  EXPECT_EQ(engine.shed(), 1u);
+  EXPECT_GE(stats().total(Counter::QueueSheds), 1u);
+  plug.release();
+  engine.drain();
+  EXPECT_EQ(engine.completed(), 5u);  // the shed request never ran
+}
+
+TEST_F(QueueTest, DeadlinePolicyBlocksThenSheds) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("c"));
+  Plug plug;
+  AsyncIOEngine engine(1, bounded(QueuePolicy::Deadline, 50), quiet_breaker());
+  ASSERT_TRUE(engine.submit_write(f.fd(), 0, "p", plug.callback()));
+  plug.await_plugged();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.submit_write(f.fd(), 0, "fill"));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool accepted = engine.submit_write(f.fd(), 0, "late");
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(accepted);
+  EXPECT_GE(waited, 40ms);  // held on for (about) the deadline first
+  EXPECT_EQ(engine.shed(), 1u);
+  plug.release();
+  engine.drain();
+}
+
+TEST_F(QueueTest, UnboundedCapZeroNeverSheds) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("d"));
+  Plug plug;
+  QueueOptions q = bounded(QueuePolicy::Shed);
+  q.cap = 0;
+  AsyncIOEngine engine(1, q, quiet_breaker());
+  ASSERT_TRUE(engine.submit_write(f.fd(), 0, "p", plug.callback()));
+  plug.await_plugged();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(engine.submit_write(f.fd(), 0, "fill"));
+  }
+  EXPECT_EQ(engine.shed(), 0u);
+  EXPECT_GE(engine.high_water(), 64u);
+  plug.release();
+  engine.drain();
+}
+
+TEST_F(QueueTest, SaturationSignalsTheMonitorAndClears) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("e"));
+  Plug plug;
+  AsyncIOEngine engine(1, bounded(QueuePolicy::Shed), quiet_breaker());
+  ASSERT_TRUE(engine.submit_write(f.fd(), 0, "p", plug.callback()));
+  plug.await_plugged();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.submit_write(f.fd(), 0, "fill"));
+  }
+  EXPECT_FALSE(engine.submit_write(f.fd(), 0, "over"));  // reports pressure
+  {
+    const health::HealthSnapshot snap = health::monitor().healthz();
+    EXPECT_EQ(snap.saturated_queues, 1u);
+    EXPECT_EQ(snap.state, health::HealthState::Degraded);
+  }
+  plug.release();
+  engine.drain();  // workers popped past cap/2: hysteresis clears pressure
+  {
+    const health::HealthSnapshot snap = health::monitor().healthz();
+    EXPECT_EQ(snap.saturated_queues, 0u);
+    EXPECT_EQ(snap.state, health::HealthState::Healthy);
+  }
+}
+
+TEST_F(QueueTest, ThrowingCompletionCallbackDoesNotKillWorker) {
+  io::PosixFile f = io::PosixFile::open_rw(dir_.file("g"));
+  AsyncIOEngine engine(1, bounded(QueuePolicy::Block), quiet_breaker());
+  engine.submit_write(f.fd(), 0, "boom", [](std::error_code) {
+    throw std::runtime_error("completion callback misbehaves");
+  });
+  engine.drain();
+  EXPECT_EQ(engine.callback_errors(), 1u);
+  EXPECT_GE(stats().total(Counter::IoCallbackErrors), 1u);
+  EXPECT_GE(health::monitor().healthz().io_callback_errors, 1u);
+  // The worker survived: it still services new submissions.
+  std::atomic<bool> ran{false};
+  engine.submit_write(f.fd(), 4, "next",
+                      [&](std::error_code ec) { ran.store(!ec); });
+  engine.drain();
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(engine.completed(), 2u);
+}
+
+TEST_F(QueueTest, PolicyParsing) {
+  EXPECT_EQ(parse_queue_policy("block"), QueuePolicy::Block);
+  EXPECT_EQ(parse_queue_policy("shed"), QueuePolicy::Shed);
+  EXPECT_EQ(parse_queue_policy("deadline"), QueuePolicy::Deadline);
+  EXPECT_EQ(parse_queue_policy("nonsense"), QueuePolicy::Block);
+  EXPECT_STREQ(queue_policy_name(QueuePolicy::Deadline), "deadline");
+}
+
+}  // namespace
+}  // namespace adtm::fdpool

@@ -1,0 +1,112 @@
+// Watchdog "degrade" action: a stalled thread raises the health
+// monitor's watchdog-stall signal (degrading the admission gate) instead
+// of poisoning or reaping, and the first clean scan clears it.
+#include "liveness/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "defer/txlock.hpp"
+#include "health/gate.hpp"
+#include "health/health.hpp"
+#include "stm/api.hpp"
+
+namespace adtm {
+namespace {
+
+using namespace std::chrono_literals;
+
+liveness::WatchdogOptions degrade_options() {
+  liveness::WatchdogOptions opts;
+  opts.stall_budget_ns = 1'000'000;  // flag after 1 ms
+  opts.interval_ns = 5'000'000;
+  opts.action = liveness::WatchdogAction::Degrade;
+  opts.sink = nullptr;
+  return opts;
+}
+
+TEST(WatchdogDegrade, ParseAndName) {
+  EXPECT_EQ(liveness::parse_watchdog_action("degrade"),
+            liveness::WatchdogAction::Degrade);
+  EXPECT_STREQ(liveness::watchdog_action_name(
+                   liveness::WatchdogAction::Degrade),
+               "degrade");
+}
+
+TEST(WatchdogDegrade, StallRaisesMonitorSignalAndClearsOnRecovery) {
+  stm::init(stm::Config{});
+  stats().reset();
+  health::monitor().reset();
+
+  TxLock lock;
+  std::atomic<bool> held{false};
+  std::atomic<bool> go_release{false};
+  std::thread holder([&] {
+    lock.acquire();
+    held.store(true);
+    while (!go_release.load()) std::this_thread::yield();
+    lock.release();
+  });
+  while (!held.load()) std::this_thread::yield();
+  std::thread waiter([&] {
+    lock.acquire();
+    lock.release();
+  });
+  std::this_thread::sleep_for(100ms);  // waiter parks well past the budget
+
+  std::mutex mu;
+  std::vector<liveness::WatchdogEvent> events;
+  liveness::WatchdogOptions opts = degrade_options();
+  opts.on_action = [&](const liveness::WatchdogEvent& ev) {
+    std::lock_guard<std::mutex> lk(mu);
+    events.push_back(ev);
+  };
+  liveness::Watchdog wd;
+  wd.configure(opts);
+
+  const std::string report = wd.scan_once();
+  ASSERT_NE(report, "");
+  EXPECT_NE(report.find("health degraded"), std::string::npos) << report;
+  EXPECT_TRUE(health::monitor().healthz().watchdog_stall);
+  EXPECT_EQ(health::monitor().state(), health::HealthState::Degraded);
+  EXPECT_EQ(health::gate().decide(), health::Admission::Serialize);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind,
+              liveness::WatchdogEvent::Kind::HealthDegraded);
+    EXPECT_GT(events[0].stalled_ns, 0u);
+  }
+
+  // Still stalled: the signal is already raised, so no second
+  // HealthDegraded fires for the same episode.
+  (void)wd.scan_once();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(events.size(), 1u);
+  }
+  EXPECT_TRUE(health::monitor().healthz().watchdog_stall);
+
+  // Degrade never poisons or reaps: the waiter proceeds normally once
+  // the holder releases.
+  go_release.store(true);
+  holder.join();
+  waiter.join();
+
+  // First clean scan clears the signal and the process re-admits.
+  EXPECT_EQ(wd.scan_once(), "");
+  EXPECT_FALSE(health::monitor().healthz().watchdog_stall);
+  EXPECT_EQ(health::monitor().state(), health::HealthState::Healthy);
+  EXPECT_EQ(health::gate().decide(), health::Admission::Admit);
+  health::monitor().reset();
+}
+
+}  // namespace
+}  // namespace adtm

@@ -42,6 +42,14 @@ ctest --preset tmsan -j "$JOBS"
 stage "crash-recovery torture (crashmat + crashsim suites)"
 ctest --preset crash -j "$JOBS"
 
+# Soak: the quick matrix repeated with a seed sweep (different torn-write
+# prefixes and interleavings each round), failing on the first oracle
+# violation. Kept out of ctest so tier-1 wall time is unchanged;
+# ADTM_CI_SOAK picks the iteration count.
+stage "crash-recovery soak (crashmat --soak)"
+ADTM_TMSAN=1 ADTM_TMSAN_STACK_SAMPLE=64 \
+  build/tools/crashmat --soak "${ADTM_CI_SOAK:-2}" --threads 2 --ops 32
+
 if [ "$MODE" = "quick" ]; then
   printf '\nci: quick matrix PASS\n'
   exit 0
@@ -57,6 +65,9 @@ ctest --preset tsan-concurrency -j "$JOBS"
 
 stage "tsan: tmsan suite under annotated TSan"
 ctest --preset tsan-sanitize -j "$JOBS"
+
+stage "tsan: overload-control stress suite (health)"
+ctest --preset overload -j "$JOBS"
 
 stage "asan build (-fsanitize=address, -Werror=deprecated-declarations)"
 cmake --preset asan >/dev/null

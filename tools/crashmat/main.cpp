@@ -5,6 +5,9 @@
 //   crashmat --quick                 bounded CI matrix (default)
 //   crashmat --full                  every point x algorithm x flavor
 //   crashmat --point wal.commit.write [--algo NOrec] [--torn] [--kill]
+//   crashmat --soak N                quick matrix N times with a seed
+//                                    sweep, stopping at the first oracle
+//                                    violation (long-running torture)
 //   crashmat --demo-dirsync-bug      re-introduce the lost-truncation bug
 //                                    and show the verifier catching it
 //
@@ -68,6 +71,49 @@ void print_result(const CaseResult& r) {
   }
 }
 
+// Soak mode: the quick matrix (or full, under ADTM_CRASHMAT_FULL) over
+// and over with a distinct seed per iteration — distinct torn-write
+// prefixes, distinct workload interleavings — failing fast on the first
+// oracle violation so the wreckage that triggered it is the one kept.
+int run_soak(std::uint64_t iterations, std::uint64_t seed, bool full,
+             bool keep, const std::string& base, const WorkloadOptions& opts) {
+  std::size_t total = 0;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    // Large odd stride: consecutive iterations share no related seeds.
+    const std::uint64_t sweep_seed = seed + it * 10007;
+    const std::vector<TortureCase> cases =
+        full ? adtm::crashsim::full_matrix(sweep_seed)
+             : adtm::crashsim::quick_matrix(sweep_seed);
+    std::printf("crashmat soak %llu/%llu: %zu case(s), seed %llu\n",
+                static_cast<unsigned long long>(it + 1),
+                static_cast<unsigned long long>(iterations), cases.size(),
+                static_cast<unsigned long long>(sweep_seed));
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const std::string dir = case_dir(base, total + i);
+      const CaseResult r = run_case(cases[i], dir, opts);
+      if (!r.passed) {
+        print_result(r);
+        std::printf("    wreckage kept in %s\n", dir.c_str());
+        std::printf("crashmat soak: FAILED at iteration %llu, case %zu\n",
+                    static_cast<unsigned long long>(it + 1), i);
+        return 1;
+      }
+      if (!keep) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+      }
+    }
+    total += cases.size();
+  }
+  if (!keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+  }
+  std::printf("crashmat soak: %zu case(s) over %llu iteration(s), all ok\n",
+              total, static_cast<unsigned long long>(iterations));
+  return 0;
+}
+
 int run_demo(const std::string& base, const WorkloadOptions& opts) {
   std::printf("crashmat dirsync regression demo\n");
   std::printf("  scenario: crash leaves a torn WAL tail; recovery truncates "
@@ -110,6 +156,7 @@ int main(int argc, char** argv) {
   TortureCase single;
   WorkloadOptions opts;
   std::uint64_t seed = 1;
+  std::uint64_t soak = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +192,12 @@ int main(int argc, char** argv) {
       base = next();
     } else if (arg == "--seed") {
       seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--soak") {
+      soak = std::strtoull(next().c_str(), nullptr, 10);
+      if (soak == 0) {
+        std::fprintf(stderr, "crashmat: --soak needs a count >= 1\n");
+        return 2;
+      }
     } else if (arg == "--threads") {
       opts.threads = static_cast<unsigned>(
           std::strtoul(next().c_str(), nullptr, 10));
@@ -154,8 +207,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: crashmat [--list] [--quick|--full] [--point NAME "
                    "[--algo A] [--torn] [--kill]]\n"
-                   "                [--demo-dirsync-bug] [--dir D] [--seed N] "
-                   "[--threads N] [--ops N] [--keep]\n");
+                   "                [--soak N] [--demo-dirsync-bug] [--dir D] "
+                   "[--seed N] [--threads N] [--ops N] [--keep]\n");
       return 2;
     }
   }
@@ -178,6 +231,7 @@ int main(int argc, char** argv) {
   }
 
   if (demo) return run_demo(base, opts);
+  if (soak > 0) return run_soak(soak, seed, full, keep, base, opts);
 
   std::vector<TortureCase> cases;
   if (!point.empty()) {
