@@ -1,14 +1,20 @@
 // Component bench: transactional containers vs lock-based baselines — the
-// red-black tree is the paper's own motivating example for TM.
+// red-black tree is the paper's own motivating example for TM. Results
+// also land in the adtm-bench/v1 run file (BENCH_stm.json /
+// ADTM_BENCH_OUT) like the other micro benches.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <mutex>
 
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
+#include "containers/btree.hpp"
 #include "containers/hashmap.hpp"
 #include "containers/queue.hpp"
 #include "containers/rbtree.hpp"
+#include "containers/skiplist.hpp"
 #include "stm/api.hpp"
 
 namespace {
@@ -99,6 +105,128 @@ void BM_QueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_QueuePushPop)->DenseRange(0, 4);
 
+void BM_BTreeInsertErase(benchmark::State& state) {
+  init_algo(state);
+  containers::TxBTree<long, long> tree;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 512; k += 2) tree.put(tx, k, k);
+  });
+  Xoshiro256 rng{8};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(512));
+    stm::atomic([&](stm::Tx& tx) {
+      if (!tree.remove(tx, key)) tree.put(tx, key, key);
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_BTreeInsertErase)->DenseRange(0, 4);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  init_algo(state);
+  containers::TxBTree<long, long> tree;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 1024; ++k) tree.put(tx, k, k);
+  });
+  Xoshiro256 rng{9};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(1024));
+    const auto v = stm::atomic([&](stm::Tx& tx) { return tree.get(tx, key); });
+    benchmark::DoNotOptimize(v);
+  }
+  set_label(state);
+}
+BENCHMARK(BM_BTreeLookup)->DenseRange(0, 4);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  init_algo(state);
+  containers::TxBTree<long, long> tree;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 1024; ++k) tree.put(tx, k, k);
+  });
+  Xoshiro256 rng{10};
+  for (auto _ : state) {
+    const long lo = static_cast<long>(rng.next_below(1024 - 64));
+    long sum = 0;
+    stm::atomic([&](stm::Tx& tx) {
+      tree.range_scan(tx, lo, lo + 63, 64,
+                      [&sum](const long&, const long& v) {
+                        sum += v;
+                        return true;
+                      });
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  set_label(state);
+}
+BENCHMARK(BM_BTreeRangeScan)->DenseRange(0, 4);
+
+void BM_SkipListInsertErase(benchmark::State& state) {
+  init_algo(state);
+  containers::TxSkipList<long, long> list;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 512; k += 2) list.put(tx, k, k);
+  });
+  Xoshiro256 rng{11};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(512));
+    stm::atomic([&](stm::Tx& tx) {
+      if (!list.remove(tx, key)) list.put(tx, key, key);
+    });
+  }
+  set_label(state);
+}
+BENCHMARK(BM_SkipListInsertErase)->DenseRange(0, 4);
+
+void BM_SkipListLookup(benchmark::State& state) {
+  init_algo(state);
+  containers::TxSkipList<long, long> list;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 1024; ++k) list.put(tx, k, k);
+  });
+  Xoshiro256 rng{12};
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.next_below(1024));
+    const auto v = stm::atomic([&](stm::Tx& tx) { return list.get(tx, key); });
+    benchmark::DoNotOptimize(v);
+  }
+  set_label(state);
+}
+BENCHMARK(BM_SkipListLookup)->DenseRange(0, 4);
+
+// Forwards console output unchanged while capturing every run for the
+// machine-readable bench record (same shape as micro_stm_ops).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(adtm::bench::BenchReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  static_cast<std::uint64_t>(run.iterations),
+                  run.report_label);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  adtm::bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  adtm::bench::BenchReport report("micro_containers");
+  CaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report.write()) {
+    std::fprintf(stderr, "micro_containers: failed to write bench report\n");
+    return 1;
+  }
+  return 0;
+}

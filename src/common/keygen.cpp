@@ -1,0 +1,40 @@
+#include "common/keygen.hpp"
+
+#include <cmath>
+
+namespace adtm {
+
+ZipfianSpec::ZipfianSpec(std::uint64_t items, double theta)
+    : items_(items == 0 ? 1 : items), theta_(theta) {
+  // zeta(n, theta) = sum_{i=1..n} 1/i^theta, the only O(n) step. For the
+  // degenerate theta ~ 0 case the formula below still holds (it converges
+  // to uniform), so no special-casing.
+  double zeta2 = 0.0;
+  double zetan = 0.0;
+  for (std::uint64_t i = 1; i <= items_; ++i) {
+    const double term = 1.0 / std::pow(static_cast<double>(i), theta_);
+    zetan += term;
+    if (i == 2) zeta2 = zetan;
+  }
+  if (items_ == 1) zeta2 = zetan;
+  zetan_ = zetan;
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_ = std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfianGen::next() noexcept {
+  // Gray et al., "Quickly generating billion-record synthetic databases"
+  // (SIGMOD '94) — the YCSB ZipfianGenerator formula.
+  const ZipfianSpec& s = *spec_;
+  const double u = rng_.next_double();
+  const double uz = u * s.zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + s.half_pow_) return 1;
+  const double frac = std::pow(s.eta_ * u - s.eta_ + 1.0, s.alpha_);
+  auto rank = static_cast<std::uint64_t>(static_cast<double>(s.items_) * frac);
+  return rank >= s.items_ ? s.items_ - 1 : rank;
+}
+
+}  // namespace adtm

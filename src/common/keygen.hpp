@@ -1,0 +1,102 @@
+// Seeded key-distribution generators for OLTP-scale workloads.
+//
+// The OLTP harness (bench/oltp_*) needs the two access patterns every
+// serious TM evaluation uses: uniform (the progressiveness-friendly case —
+// conflicts scale with 1/keyspace) and zipfian (the skewed case where a
+// handful of hot keys carry most of the traffic and contention management
+// earns its keep). The zipfian generator is the Gray et al. rejection-free
+// construction that YCSB popularized: O(items) precompute of the zeta sum,
+// O(1) per sample afterwards.
+//
+// Everything here is deterministic for a given seed — the statistical
+// tests and the perf gate's repeat runs rely on that.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace adtm {
+
+// The O(items) part of zipfian generation, shared across per-thread
+// generators: zeta(n, theta) plus the derived constants of Gray's
+// formula. Construction walks the harmonic-like sum once; a bench driver
+// builds one spec per (items, theta) pair and hands it to every thread.
+class ZipfianSpec {
+ public:
+  ZipfianSpec(std::uint64_t items, double theta);
+
+  std::uint64_t items() const noexcept { return items_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  friend class ZipfianGen;
+  std::uint64_t items_;
+  double theta_;
+  double zetan_;       // zeta(items, theta)
+  double alpha_;       // 1 / (1 - theta)
+  double eta_;
+  double half_pow_;    // 0.5^theta
+};
+
+// Per-thread zipfian rank generator (Gray et al. / YCSB ZipfianGenerator).
+// next() returns a *rank* in [0, items): 0 is the most popular item, and
+// item frequency follows f(r) ~ 1/(r+1)^theta. Use scramble() to scatter
+// the hot ranks across the key space so that popularity does not correlate
+// with key adjacency (YCSB's "scrambled zipfian").
+class ZipfianGen {
+ public:
+  // A default-constructed generator is inert (KeyPicker's uniform mode);
+  // calling next() on it is undefined.
+  ZipfianGen() noexcept : spec_(nullptr), rng_(0) {}
+  ZipfianGen(const ZipfianSpec& spec, std::uint64_t seed) noexcept
+      : spec_(&spec), rng_(seed) {}
+
+  std::uint64_t next() noexcept;
+
+ private:
+  const ZipfianSpec* spec_;
+  Xoshiro256 rng_;
+};
+
+// splitmix64 finalizer: a cheap stateless bijection on 64-bit words, used
+// to scatter zipfian ranks over the key space deterministically.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t scramble(std::uint64_t rank,
+                              std::uint64_t items) noexcept {
+  return mix64(rank) % items;
+}
+
+// One knob-driven key source: uniform over [0, items) or scrambled
+// zipfian with the given spec. The spec may be null for uniform.
+class KeyPicker {
+ public:
+  // Uniform.
+  KeyPicker(std::uint64_t items, std::uint64_t seed)
+      : items_(items), uniform_(seed) {}
+
+  // Scrambled zipfian over spec.items() keys. The spec must outlive the
+  // picker.
+  KeyPicker(const ZipfianSpec& spec, std::uint64_t seed)
+      : items_(spec.items()), uniform_(seed), zipfian_(true),
+        gen_(spec, seed) {}
+
+  std::uint64_t next() noexcept {
+    if (!zipfian_) return uniform_.next_below(items_);
+    return scramble(gen_.next(), items_);
+  }
+
+ private:
+  std::uint64_t items_;
+  Xoshiro256 uniform_;
+  bool zipfian_ = false;
+  ZipfianGen gen_;
+};
+
+}  // namespace adtm

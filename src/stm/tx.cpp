@@ -150,18 +150,23 @@ void Tx::commit() {
       e.addr->store(e.value, std::memory_order_relaxed);
     }
   }
+  // Record the write set in the opacity history before releasing the
+  // write locks: rival readers spin on the locked orecs, so no value this
+  // commit publishes can be observed — let alone validated against the
+  // history — before its record is filed. Filing after release leaves a
+  // window where a reader validates a value whose version is missing
+  // (usually just "unverifiable", but under address-recycling ABA the
+  // value maps onto a stale interval: a false inconsistency). Also before
+  // leaving the registry: the serial gate drains registry slots, so a
+  // direct-mode transaction that ties this one's primary key (the clock
+  // does not advance for direct commits) must find this record already
+  // filed — arrival order then matches real commit order.
+  tmsan::on_tx_commit(wt);
   locks_.release_all(make_orec_version(wt));
   locks_.clear();
   undo_.clear();
   writes_.clear();
   reads_.clear();
-
-  // Record the write set in the opacity history before leaving the
-  // registry: the serial gate drains registry slots, so a direct-mode
-  // transaction that ties this one's primary key (the clock does not
-  // advance for direct commits) must find this record already filed —
-  // arrival order then matches real commit order.
-  tmsan::on_tx_commit(wt);
   detail::registry_leave();
   // Privatization safety (paper §2): a writer must wait for every
   // transaction that was concurrently active before its caller may touch
@@ -216,15 +221,18 @@ void Tx::commit_norec() {
   for (const auto& e : writes_.entries()) {
     e.addr->store(e.value, std::memory_order_relaxed);
   }
+  // File the write set while the sequence lock is still odd: readers wait
+  // for an even sequence, so publication (the store below) cannot beat the
+  // history record — same ABA-filing argument as the orec path. Also
+  // before registry_leave: a direct-mode commit tying this primary key
+  // (norec_seq is not bumped by direct commits) is gated behind our
+  // registry slot.
+  tmsan::on_tx_commit(s + 2);
   ADTM_TSAN_RELEASE(&seq);
   seq.store(s + 2, std::memory_order_release);
 
   norec_reads_.clear();
   writes_.clear();
-  // Before registry_leave for the same reason as the orec path: a
-  // direct-mode commit tying this primary key (norec_seq is not bumped
-  // by direct commits) is gated behind our registry slot.
-  tmsan::on_tx_commit(s + 2);
   detail::registry_leave();
   if (cfg.quiescence) {
     detail::quiesce_until(s + 2);
@@ -536,6 +544,9 @@ void* Tx::alloc(std::size_t bytes) {
   void* p = std::malloc(bytes);
   if (p == nullptr) throw std::bad_alloc{};
   allocs_.push_back(p);
+  // The allocator may recycle an address whose words carry tmsan state
+  // from a freed object; that state must not constrain this one.
+  tmsan::on_tx_alloc(p, bytes);
   return p;
 }
 

@@ -1,6 +1,7 @@
 // tmsan internals shared between the checker translation units.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,15 +36,24 @@ struct Access {
 
 // Append a committed writer's deduplicated write set to the global
 // history. `primary` orders commits (see on_tx_commit); arrival order
-// under the history mutex breaks ties.
-void opacity_commit_writes(const std::vector<Access>& writes,
-                           std::uint64_t primary) noexcept;
+// under the history mutex breaks ties. Returns the arrival tie-breaker
+// assigned to this commit, for self-exclusion during read validation.
+std::uint64_t opacity_commit_writes(const std::vector<Access>& writes,
+                                    std::uint64_t primary) noexcept;
+
+// Drop any history filed under words of [base, base + bytes): the range
+// was handed out by a transactional allocation, so prior versions belong
+// to a freed object and must not constrain the new one's reads.
+void opacity_on_alloc(const void* base, std::size_t bytes) noexcept;
 
 // Check that some single point in commit order explains every read;
 // reports OpacityViolation otherwise. `outcome` names the transaction
-// fate for the report ("commit" / "abort").
+// fate for the report ("commit" / "abort"). `self_arrival` (nonzero for
+// a committed writer) hides that commit's own versions: the reads all
+// predate them.
 void opacity_validate_reads(const std::vector<Access>& reads,
-                            const char* outcome) noexcept;
+                            const char* outcome,
+                            std::uint64_t self_arrival = 0) noexcept;
 
 void opacity_reset() noexcept;
 

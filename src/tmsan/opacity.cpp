@@ -26,6 +26,7 @@
 // negative tests prove detection by constructing a history that does
 // contain the impossible pair.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <unordered_map>
@@ -97,17 +98,34 @@ std::vector<Interval> intersect(const std::vector<Interval>& a,
 
 // Validity intervals of value `v` in `h` (sorted, possibly empty). May
 // claim the baseline slot for a first pre-history observation.
-std::vector<Interval> intervals_for(History& h, std::uint64_t v) {
+//
+// `skip_arrival` hides versions committed by the validating transaction
+// itself: its reads all happened before its commit, so its own committed
+// values cannot explain them. Without this a transaction that reads a
+// word's pre-history value and later overwrites the word with that same
+// value (a split restoring a node's fanout count, say) would see its read
+// mapped onto its own post-commit interval — a guaranteed-empty
+// intersection with every pre-commit read. The word's history is walked
+// as if the transaction's writes were absent: a hidden version's interval
+// is absorbed by its predecessor.
+std::vector<Interval> intervals_for(History& h, std::uint64_t v,
+                                    std::uint64_t skip_arrival) {
   std::vector<Interval> out;
   const auto& vs = h.versions;
-  if (h.baseline_set && h.baseline == v && !vs.empty()) {
-    out.push_back({kNegInf, vs.front().key});
+  const auto next_visible = [&](std::size_t i) {
+    while (i < vs.size() && vs[i].key.second == skip_arrival) ++i;
+    return i;
+  };
+  const std::size_t first = next_visible(0);
+  if (h.baseline_set && h.baseline == v && first < vs.size()) {
+    out.push_back({kNegInf, vs[first].key});
   }
   bool found_version = false;
-  for (std::size_t i = 0; i < vs.size(); ++i) {
+  for (std::size_t i = first; i < vs.size(); i = next_visible(i + 1)) {
     if (vs[i].value != v) continue;
     found_version = true;
-    const Key hi = i + 1 < vs.size() ? vs[i + 1].key : kPosInf;
+    const std::size_t j = next_visible(i + 1);
+    const Key hi = j < vs.size() ? vs[j].key : kPosInf;
     if (vs[i].key < hi) out.push_back({vs[i].key, hi});
   }
   if (out.empty() && !found_version && !h.baseline_set && !h.truncated) {
@@ -115,15 +133,15 @@ std::vector<Interval> intervals_for(History& h, std::uint64_t v) {
     // baseline. A later conflicting claim becomes unverifiable.
     h.baseline = v;
     h.baseline_set = true;
-    out.push_back({kNegInf, vs.empty() ? kPosInf : vs.front().key});
+    out.push_back({kNegInf, first < vs.size() ? vs[first].key : kPosInf});
   }
   return out;
 }
 
 }  // namespace
 
-void opacity_commit_writes(const std::vector<Access>& writes,
-                           std::uint64_t primary) noexcept {
+std::uint64_t opacity_commit_writes(const std::vector<Access>& writes,
+                                    std::uint64_t primary) noexcept {
   OpacityState& s = ostate();
   std::lock_guard<std::mutex> lk(s.mutex);
   const Key key{primary, ++s.arrival};
@@ -152,10 +170,27 @@ void opacity_commit_writes(const std::vector<Access>& writes,
       h.baseline_set = false;
     }
   }
+  return key.second;
+}
+
+void opacity_on_alloc(const void* base, std::size_t bytes) noexcept {
+  // Fresh transactional memory has no past: any history filed under these
+  // addresses belongs to a previous (freed) object. Left in place it would
+  // constrain reads of the new object's raw-initialized values to the dead
+  // object's intervals — a false inconsistency whenever the values alias.
+  OpacityState& s = ostate();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  if (s.history.empty()) return;
+  auto p = reinterpret_cast<std::uintptr_t>(base) & ~std::uintptr_t{7};
+  const auto end = reinterpret_cast<std::uintptr_t>(base) + bytes;
+  for (; p < end; p += 8) {
+    s.history.erase(reinterpret_cast<const void*>(p));
+  }
 }
 
 void opacity_validate_reads(const std::vector<Access>& reads,
-                            const char* outcome) noexcept {
+                            const char* outcome,
+                            std::uint64_t self_arrival) noexcept {
   OpacityState& s = ostate();
   std::lock_guard<std::mutex> lk(s.mutex);
   std::vector<Interval> feasible{{kNegInf, kPosInf}};
@@ -179,7 +214,7 @@ void opacity_validate_reads(const std::vector<Access>& reads,
       }
       continue;  // unconstrained
     }
-    const std::vector<Interval> ivs = intervals_for(h, r.value);
+    const std::vector<Interval> ivs = intervals_for(h, r.value, self_arrival);
     if (ivs.empty()) {
       s.unverifiable.fetch_add(1, std::memory_order_relaxed);
       continue;  // cannot place this read: do not constrain

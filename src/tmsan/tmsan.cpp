@@ -155,6 +155,11 @@ struct TxLog {
   std::uint64_t raw_seq_at_begin = 0;
   std::vector<Access> reads;
   std::vector<Access> writes;
+  // Ranges handed out by tx.alloc this attempt. Raw stores into them are
+  // private initialization: ordered before every reader by the publishing
+  // commit (or freed by the abort), so their shadow marks are withdrawn
+  // when the transaction ends instead of lingering as phantom racers.
+  std::vector<std::pair<const void*, std::size_t>> allocs;
 };
 thread_local TxLog t_tx;
 thread_local int t_raw_ignore = 0;
@@ -378,6 +383,45 @@ void tx_access_slow(const void* addr, std::uint64_t value,
   maybe_capture_stack(e.tx_stack);
 }
 
+namespace {
+
+// Drop shadow entries for every word of [base, base + bytes).
+void clear_shadow_range(const void* base, std::size_t bytes) noexcept {
+  ShadowEntry* table = shadow_table();
+  if (table == nullptr) return;
+  State& s = state();
+  auto p = reinterpret_cast<std::uintptr_t>(base) & ~std::uintptr_t{7};
+  const auto end = reinterpret_cast<std::uintptr_t>(base) + bytes;
+  for (; p < end; p += 8) {
+    const void* addr = reinterpret_cast<const void*>(p);
+    const std::size_t idx = shadow_index(addr);
+    std::lock_guard<std::mutex> lk(s.stripes[idx % kStripes]);
+    ShadowEntry& e = table[idx];
+    if (e.addr == addr) e = ShadowEntry{};
+  }
+}
+
+// Withdraw the shadow marks left by this attempt's private initialization
+// of freshly allocated ranges (see TxLog::allocs).
+void retire_tx_allocs() noexcept {
+  for (const auto& [base, bytes] : t_tx.allocs) {
+    clear_shadow_range(base, bytes);
+  }
+}
+
+}  // namespace
+
+void tx_alloc_slow(const void* base, std::size_t bytes) noexcept {
+  // A transactional allocation recycles whatever the allocator hands
+  // back: per-word state filed under these addresses describes a freed
+  // object, not this one. Forget it before the new object's raw
+  // initialization runs.
+  if (active(kCheckOpacity)) opacity_on_alloc(base, bytes);
+  if (!active(kCheckRace)) return;
+  clear_shadow_range(base, bytes);
+  if (t_tx.in_tx) t_tx.allocs.push_back({base, bytes});
+}
+
 }  // namespace detail
 
 // --- lifecycle -------------------------------------------------------------
@@ -404,13 +448,21 @@ void on_tx_commit(std::uint64_t primary_key) noexcept {
   State& s = state();
   s.active_interval[thread_id()].store(0, std::memory_order_release);
   if (active(kCheckOpacity) && t_tx.in_tx && !t_tx.opacity_skip) {
+    std::uint64_t self = 0;
     if (!t_tx.writes.empty()) {
-      detail::opacity_commit_writes(t_tx.writes, primary_key);
+      self = detail::opacity_commit_writes(t_tx.writes, primary_key);
     }
     if (!t_tx.reads.empty()) {
-      detail::opacity_validate_reads(t_tx.reads, "commit");
+      // Validate against history minus this commit's own versions: every
+      // read here predates the write set that was just filed.
+      detail::opacity_validate_reads(t_tx.reads, "commit", self);
     }
   }
+  // Publication: the commit orders this attempt's private initialization
+  // of fresh allocations before any reader that can reach them (we run
+  // before the locks/sequence publishing the writes are released), so
+  // those raw marks must not survive as phantom racers.
+  detail::retire_tx_allocs();
   t_tx = TxLog{};
 }
 
@@ -424,6 +476,9 @@ void on_tx_abort() noexcept {
       !t_tx.reads.empty()) {
     detail::opacity_validate_reads(t_tx.reads, "abort");
   }
+  // The rollback freed this attempt's fresh allocations; their raw
+  // initialization marks describe memory that no longer exists.
+  detail::retire_tx_allocs();
   t_tx = TxLog{};
 }
 

@@ -77,6 +77,7 @@ namespace detail {
 extern std::atomic<std::uint32_t> g_mode;
 
 void raw_access_slow(const void* addr, bool is_write) noexcept;
+void tx_alloc_slow(const void* base, std::size_t bytes) noexcept;
 void tx_access_slow(const void* addr, std::uint64_t value,
                     bool is_write) noexcept;
 }  // namespace detail
@@ -145,6 +146,13 @@ inline void on_tx_read(const void* addr, std::uint64_t value) noexcept {
 }
 inline void on_tx_write(const void* addr, std::uint64_t value) noexcept {
   if (active()) detail::tx_access_slow(addr, value, true);
+}
+
+// Memory handed out by a transactional allocation: stale per-word state
+// (opacity history, race shadow marks) under the range belongs to a freed
+// previous occupant and is dropped.
+inline void on_tx_alloc(const void* base, std::size_t bytes) noexcept {
+  if (active()) detail::tx_alloc_slow(base, bytes);
 }
 
 // Transaction lifecycle. `direct_mode` transactions (serial/CGL) skip

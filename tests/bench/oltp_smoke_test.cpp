@@ -1,0 +1,148 @@
+// OLTP harness smoke matrix (label: oltp): a seconds-scale run of both
+// workloads over every algorithm, checking the things a bench binary
+// can only print — the container-size oracle, and that driver-counted
+// commits reconcile with the obs layer's taxonomy.
+#include "bench/oltp_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/algo_param.hpp"
+
+namespace adtm::oltp {
+namespace {
+
+constexpr stm::Algo kAlgos[] = {stm::Algo::TL2, stm::Algo::Eager,
+                                stm::Algo::CGL, stm::Algo::HTMSim,
+                                stm::Algo::NOrec};
+
+ScenarioConfig quick_config(stm::Algo algo, Dist dist, unsigned threads) {
+  ScenarioConfig cfg;
+  cfg.algo = algo;
+  cfg.dist = dist;
+  cfg.threads = threads;
+  cfg.duration_ms = 40;
+  cfg.key_space = 4096;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::uint64_t taxonomy_total(const ScenarioResult& res) {
+  std::uint64_t total = 0;
+  for (const auto& [cause, count] : res.abort_causes) total += count;
+  return total;
+}
+
+class OltpSmokeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { setup_observability(); }
+};
+
+TEST_F(OltpSmokeTest, YcsbBTreeCommitsReconcileWithObs) {
+  YcsbRunner<containers::TxBTree<std::uint64_t, std::uint64_t>> runner(
+      4096, 7);
+  for (const auto algo : kAlgos) {
+    for (const Dist dist : {Dist::Uniform, Dist::Zipf}) {
+      const auto res = runner.run(quick_config(algo, dist, 2));
+      const char* name = stm::algo_name(algo);
+      EXPECT_GT(res.commits, 0u) << name;
+      EXPECT_TRUE(res.oracle_ok) << name << ": size oracle mismatch";
+      // YCSB ops are exactly one transaction each and nothing else runs
+      // in the window, so the obs commit count must match the driver's.
+      EXPECT_EQ(res.obs_commits, res.commits) << name;
+      // The abort taxonomy must account for every abort it reports.
+      EXPECT_EQ(taxonomy_total(res), res.obs_aborts) << name;
+      if (algo == stm::Algo::CGL) {
+        EXPECT_EQ(res.obs_aborts, 0u) << "CGL cannot abort";
+      }
+    }
+  }
+}
+
+TEST_F(OltpSmokeTest, YcsbSkipListCommitsReconcileWithObs) {
+  YcsbRunner<containers::TxSkipList<std::uint64_t, std::uint64_t>> runner(
+      4096, 7);
+  for (const auto algo : kAlgos) {
+    const auto res = runner.run(quick_config(algo, Dist::Zipf, 2));
+    const char* name = stm::algo_name(algo);
+    EXPECT_GT(res.commits, 0u) << name;
+    EXPECT_TRUE(res.oracle_ok) << name << ": size oracle mismatch";
+    EXPECT_EQ(res.obs_commits, res.commits) << name;
+    EXPECT_EQ(taxonomy_total(res), res.obs_aborts) << name;
+  }
+}
+
+TEST_F(OltpSmokeTest, WarehouseOrderedLogReconciles) {
+  WarehouseRunner runner(4096, 7);
+  for (const auto algo : kAlgos) {
+    const auto res = runner.run(quick_config(algo, Dist::Zipf, 2));
+    const char* name = stm::algo_name(algo);
+    EXPECT_GT(res.commits, 0u) << name;
+    // oracle_ok covers both tables: one skip-list order row AND one
+    // ordered txlog record per committed transaction (atomic deferral's
+    // both-or-neither at workload scale).
+    EXPECT_TRUE(res.oracle_ok) << name << ": order/log oracle mismatch";
+    // Deferred epilogues release TxLocks in their own small transactions,
+    // so obs counts at least the driver's commits, never fewer.
+    EXPECT_GE(res.obs_commits, res.commits) << name;
+    EXPECT_EQ(taxonomy_total(res), res.obs_aborts) << name;
+  }
+}
+
+TEST_F(OltpSmokeTest, OpenLoopPacingBoundsThroughput) {
+  // At a 20k ops/s target the closed-loop rate (hundreds of k) must be
+  // throttled down to roughly the requested rate.
+  YcsbRunner<containers::TxBTree<std::uint64_t, std::uint64_t>> runner(
+      4096, 7);
+  ScenarioConfig cfg = quick_config(stm::Algo::TL2, Dist::Uniform, 2);
+  cfg.duration_ms = 100;
+  cfg.rate = 20000;
+  const auto res = runner.run(cfg);
+  EXPECT_TRUE(res.oracle_ok);
+  const double tput = static_cast<double>(res.commits) / res.wall_s;
+  EXPECT_GT(tput, 10000.0);
+  EXPECT_LT(tput, 30000.0);
+}
+
+TEST(OltpMatrixTest, MatrixFromEnvParsesAndClamps) {
+  ::setenv("ADTM_OLTP_THREADS", "2,8", 1);
+  ::setenv("ADTM_OLTP_DURATION_MS", "123", 1);
+  ::setenv("ADTM_OLTP_KEYS", "777", 1);
+  ::setenv("ADTM_OLTP_THETA", "0.5", 1);
+  ::setenv("ADTM_OLTP_READ_PCT", "90", 1);
+  ::setenv("ADTM_OLTP_SCAN_PCT", "50", 1);  // clamped to 100 - read_pct
+  ::setenv("ADTM_OLTP_SPIN_NS", "42", 1);
+  ::setenv("ADTM_OLTP_CONTAINER", "skiplist", 1);
+  const MatrixConfig m = matrix_from_env();
+  ASSERT_EQ(m.threads.size(), 2u);
+  EXPECT_EQ(m.threads[0], 2u);
+  EXPECT_EQ(m.threads[1], 8u);
+  EXPECT_EQ(m.duration_ms, 123u);
+  EXPECT_EQ(m.keys, 777u);
+  EXPECT_DOUBLE_EQ(m.theta, 0.5);
+  EXPECT_EQ(m.read_pct, 90u);
+  EXPECT_EQ(m.scan_pct, 10u);
+  EXPECT_EQ(m.spin_ns, 42u);
+  EXPECT_EQ(m.container, "skiplist");
+  for (const char* var :
+       {"ADTM_OLTP_THREADS", "ADTM_OLTP_DURATION_MS", "ADTM_OLTP_KEYS",
+        "ADTM_OLTP_THETA", "ADTM_OLTP_READ_PCT", "ADTM_OLTP_SCAN_PCT",
+        "ADTM_OLTP_SPIN_NS", "ADTM_OLTP_CONTAINER"}) {
+    ::unsetenv(var);
+  }
+  // Defaults after cleanup: the committed-matrix shape.
+  const MatrixConfig d = matrix_from_env();
+  ASSERT_EQ(d.threads.size(), 3u);
+  EXPECT_EQ(d.keys, std::uint64_t{1} << 20);
+  EXPECT_DOUBLE_EQ(d.theta, 0.99);
+}
+
+TEST(OltpNamingTest, DistTags) {
+  EXPECT_EQ(dist_tag(Dist::Uniform, 0.99), "u");
+  EXPECT_EQ(dist_tag(Dist::Zipf, 0.99), "z99");
+  EXPECT_EQ(dist_tag(Dist::Zipf, 0.8), "z80");
+}
+
+}  // namespace
+}  // namespace adtm::oltp

@@ -1,0 +1,150 @@
+// Seeded key-distribution generators: determinism and the zipfian
+// frequency-rank law (the property the OLTP harness's skew knob depends
+// on).
+#include "common/keygen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace adtm {
+namespace {
+
+TEST(ZipfianGenTest, DeterministicForSeed) {
+  const ZipfianSpec spec(1024, 0.99);
+  ZipfianGen a(spec, 42), b(spec, 42), c(spec, 43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next()) << "same seed diverged at sample " << i;
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical streams";
+}
+
+TEST(ZipfianGenTest, RanksStayInRange) {
+  const ZipfianSpec spec(100, 0.5);
+  ZipfianGen gen(spec, 7);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(gen.next(), 100u);
+  }
+}
+
+TEST(ZipfianGenTest, FrequencyRankSlopeMatchesTheta) {
+  // Under zipf(theta), freq(rank) ~ 1/(rank+1)^theta: the least-squares
+  // slope of log(freq) against log(rank+1) over the well-sampled head
+  // must come out near -theta. Seeded, so this is deterministic — the
+  // tolerance covers sampling noise at this N, not run-to-run variance.
+  constexpr double kTheta = 0.99;
+  constexpr std::uint64_t kItems = 1000;
+  constexpr int kSamples = 400000;
+  const ZipfianSpec spec(kItems, kTheta);
+  ZipfianGen gen(spec, 12345);
+  std::vector<std::uint64_t> counts(kItems, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[gen.next()];
+
+  constexpr int kHead = 50;  // every head rank has thousands of hits
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (int r = 0; r < kHead; ++r) {
+    ASSERT_GT(counts[r], 0u) << "head rank " << r << " never drawn";
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(counts[r]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double slope =
+      (kHead * sxy - sx * sy) / (kHead * sxx - sx * sx);
+  EXPECT_NEAR(slope, -kTheta, 0.08) << "zipf law violated";
+
+  // The head carries most of the mass; rank 0 dominates rank 1 by ~2^theta.
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, std::pow(2.0, kTheta), 0.25);
+}
+
+TEST(ZipfianGenTest, LowThetaApproachesUniform) {
+  constexpr std::uint64_t kItems = 64;
+  constexpr int kSamples = 256000;
+  const ZipfianSpec spec(kItems, 0.01);
+  ZipfianGen gen(spec, 99);
+  std::vector<std::uint64_t> counts(kItems, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[gen.next()];
+  const double expected = static_cast<double>(kSamples) / kItems;
+  for (std::uint64_t r = 0; r < kItems; ++r) {
+    EXPECT_GT(counts[r], expected * 0.7) << "rank " << r;
+    EXPECT_LT(counts[r], expected * 1.4) << "rank " << r;
+  }
+}
+
+TEST(ScrambleTest, BijectiveOverSampledRanksAndInRange) {
+  // mix64 is a bijection on 64-bit words, so distinct ranks rarely
+  // collide after the modulo; what matters here is range and that the
+  // scramble decorrelates adjacent ranks.
+  constexpr std::uint64_t kItems = 1u << 20;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t r = 0; r < 1000; ++r) {
+    const std::uint64_t k = scramble(r, kItems);
+    EXPECT_LT(k, kItems);
+    seen.insert(k);
+  }
+  // A 1000-draw birthday collision over 2^20 slots is ~38% likely, but
+  // more than a handful means mixing is broken.
+  EXPECT_GE(seen.size(), 995u);
+  // Determinism.
+  EXPECT_EQ(scramble(17, kItems), scramble(17, kItems));
+}
+
+TEST(KeyPickerTest, UniformCoversSpaceDeterministically) {
+  constexpr std::uint64_t kItems = 4096;
+  KeyPicker a(kItems, 5), b(kItems, 5);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t k = a.next();
+    EXPECT_EQ(k, b.next());
+    EXPECT_LT(k, kItems);
+    sum += static_cast<double>(k);
+  }
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, kItems / 2.0, kItems * 0.02);
+}
+
+TEST(KeyPickerTest, ZipfianModeScattersHotKeys) {
+  // Scrambled zipfian: heavy skew must survive the scramble (a few keys
+  // carry much of the mass) but the hot keys must not be adjacent.
+  constexpr std::uint64_t kItems = 1u << 16;
+  const ZipfianSpec spec(kItems, 0.99);
+  KeyPicker picker(spec, 31);
+  std::vector<std::uint32_t> counts(kItems, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[picker.next()];
+
+  std::vector<std::uint64_t> hot;
+  for (std::uint64_t k = 0; k < kItems; ++k) {
+    if (counts[k] > kSamples / 100) hot.push_back(k);
+  }
+  ASSERT_GE(hot.size(), 2u) << "no hot keys: skew lost in scrambling";
+  ASSERT_LE(hot.size(), 32u) << "too many hot keys: distribution flat";
+  for (std::size_t i = 1; i < hot.size(); ++i) {
+    EXPECT_GT(hot[i] - hot[i - 1], 1u) << "hot keys adjacent: not scrambled";
+  }
+}
+
+TEST(ZipfianSpecTest, ExposesParameters) {
+  const ZipfianSpec spec(123, 0.7);
+  EXPECT_EQ(spec.items(), 123u);
+  EXPECT_DOUBLE_EQ(spec.theta(), 0.7);
+  // Degenerate sizes clamp instead of dividing by zero.
+  const ZipfianSpec tiny(0, 0.5);
+  EXPECT_EQ(tiny.items(), 1u);
+  ZipfianGen gen(tiny, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.next(), 0u);
+}
+
+}  // namespace
+}  // namespace adtm

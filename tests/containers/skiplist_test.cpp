@@ -1,0 +1,307 @@
+// Transactional skip list: ordering and tower invariants, oracle
+// equivalence, abort-path re-execution, and tmsan-armed concurrent stress
+// across algorithms.
+#include "containers/skiplist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
+#include "tmsan/tmsan.hpp"
+
+namespace adtm::containers {
+namespace {
+
+using test::AlgoTest;
+
+class SkipListTest : public AlgoTest {
+ protected:
+  void SetUp() override {
+    AlgoTest::SetUp();
+    tmsan::reset();
+    tmsan::enable(tmsan::kCheckAll);
+  }
+  void TearDown() override {
+    EXPECT_EQ(tmsan::violation_count(), 0u) << tmsan::report();
+    tmsan::disable(tmsan::kCheckAll);
+    tmsan::reset();
+  }
+};
+
+TEST_P(SkipListTest, PutGetRemove) {
+  TxSkipList<long, long> list;
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(list.put(tx, 5, 50));
+    EXPECT_TRUE(list.put(tx, 3, 30));
+    EXPECT_TRUE(list.put(tx, 8, 80));
+    EXPECT_FALSE(list.put(tx, 5, 55));  // update
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_EQ(list.get(tx, 5), 55);
+    EXPECT_EQ(list.get(tx, 3), 30);
+    EXPECT_EQ(list.get(tx, 8), 80);
+    EXPECT_FALSE(list.get(tx, 4).has_value());
+    EXPECT_EQ(list.size(tx), 3u);
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(list.remove(tx, 3));
+    EXPECT_FALSE(list.remove(tx, 3));
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_FALSE(list.contains(tx, 3));
+    EXPECT_EQ(list.size(tx), 2u);
+  });
+  EXPECT_TRUE(list.sorted_direct());
+  EXPECT_TRUE(list.levels_consistent_direct());
+}
+
+TEST_P(SkipListTest, TowerDistributionIsGeometric) {
+  // With a p = 1/2 coin, about half the nodes should have towers of
+  // height >= 2. Way outside [0.35, 0.65] over 4000 nodes means the
+  // height draw is broken (e.g. every re-executed insert drawing 1).
+  TxSkipList<long, long> list;
+  for (long base = 0; base < 4000; base += 200) {
+    stm::atomic([&](stm::Tx& tx) {
+      for (long k = base; k < base + 200; ++k) list.put(tx, k, k);
+    });
+  }
+  const double tall = list.tall_fraction_direct();
+  EXPECT_GT(tall, 0.35);
+  EXPECT_LT(tall, 0.65);
+  EXPECT_TRUE(list.sorted_direct());
+  EXPECT_TRUE(list.levels_consistent_direct());
+}
+
+TEST_P(SkipListTest, SequentialOracleEquivalence) {
+  TxSkipList<long, long> list;
+  std::map<long, long> oracle;
+  Xoshiro256 rng{2026};
+  for (int step = 0; step < 3000; ++step) {
+    const long key = static_cast<long>(rng.next_below(300));
+    const int op = static_cast<int>(rng.next_below(3));
+    stm::atomic([&](stm::Tx& tx) {
+      switch (op) {
+        case 0: {
+          const long value = static_cast<long>(rng.next());
+          const bool added = list.put(tx, key, value);
+          EXPECT_EQ(added, oracle.find(key) == oracle.end());
+          oracle[key] = value;
+          break;
+        }
+        case 1: {
+          const bool removed = list.remove(tx, key);
+          EXPECT_EQ(removed, oracle.erase(key) == 1);
+          break;
+        }
+        default: {
+          const auto found = list.get(tx, key);
+          const auto it = oracle.find(key);
+          EXPECT_EQ(found.has_value(), it != oracle.end());
+          if (found && it != oracle.end()) EXPECT_EQ(*found, it->second);
+          break;
+        }
+      }
+      EXPECT_EQ(list.size(tx), oracle.size());
+    });
+    if (step % 500 == 0) {
+      ASSERT_TRUE(list.sorted_direct()) << "step " << step;
+      ASSERT_TRUE(list.levels_consistent_direct()) << "step " << step;
+    }
+  }
+
+  std::vector<std::pair<long, long>> contents;
+  stm::atomic([&](stm::Tx& tx) {
+    contents.clear();
+    list.range_scan(tx, -1, 1000000, 0, [&](const long& k, const long& v) {
+      contents.emplace_back(k, v);
+      return true;
+    });
+  });
+  ASSERT_EQ(contents.size(), oracle.size());
+  auto it = oracle.begin();
+  for (const auto& [k, v] : contents) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST_P(SkipListTest, RangeScanWindowLimitAndEarlyStop) {
+  TxSkipList<long, long> list;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 500; k += 5) list.put(tx, k, k * 2);
+  });
+  std::vector<long> keys;
+  stm::atomic([&](stm::Tx& tx) {
+    keys.clear();
+    const std::size_t n =
+        list.range_scan(tx, 100, 200, 0, [&](const long& k, const long& v) {
+          EXPECT_EQ(v, k * 2);
+          keys.push_back(k);
+          return true;
+        });
+    EXPECT_EQ(n, 21u);
+  });
+  ASSERT_EQ(keys.size(), 21u);
+  EXPECT_EQ(keys.front(), 100);
+  EXPECT_EQ(keys.back(), 200);
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_EQ(list.range_scan(tx, 100, 200, 5,
+                              [](const long&, const long&) { return true; }),
+              5u);
+  });
+  stm::atomic([&](stm::Tx& tx) {
+    std::size_t seen = 0;
+    list.range_scan(tx, 0, 1000, 0, [&](const long&, const long&) {
+      return ++seen < 3;
+    });
+    EXPECT_EQ(seen, 3u);
+  });
+}
+
+TEST_P(SkipListTest, AbortRollsBackStructure) {
+  if (GetParam() == stm::Algo::CGL) GTEST_SKIP() << "CGL cannot roll back";
+  TxSkipList<long, long> list;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 20; ++k) list.put(tx, k, k);
+  });
+  EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
+                 for (long k = 20; k < 40; ++k) list.put(tx, k, k);
+                 list.remove(tx, 5);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(list.size_direct(), 20u);
+  EXPECT_TRUE(list.sorted_direct());
+  EXPECT_TRUE(list.levels_consistent_direct());
+  stm::atomic([&](stm::Tx& tx) {
+    EXPECT_TRUE(list.contains(tx, 5));
+    EXPECT_FALSE(list.contains(tx, 25));
+  });
+}
+
+TEST_P(SkipListTest, AbortPathReExecutionLeavesOneInsert) {
+  // Forced re-execution via stm::retry: each attempt draws a fresh tower
+  // height and allocates a fresh node; only the final attempt's node may
+  // be visible afterwards.
+  if (GetParam() == stm::Algo::CGL) {
+    GTEST_SKIP() << "retry after a direct-mode write is illegal under CGL";
+  }
+  TxSkipList<long, long> list;
+  stm::atomic([&](stm::Tx& tx) {
+    for (long k = 0; k < 100; k += 2) list.put(tx, k, k);
+  });
+  stm::tvar<bool> flag{false};
+  std::atomic<int> attempts{0};
+  std::atomic<bool> observed_unset{false};
+  std::thread writer([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      attempts.fetch_add(1, std::memory_order_relaxed);
+      list.put(tx, 51, 51);
+      if (!flag.get(tx)) {
+        observed_unset.store(true, std::memory_order_relaxed);
+        stm::retry(tx);
+      }
+    });
+  });
+  // Wait for an attempt that SAW the flag unset (and so will retry), not
+  // merely for one that started: the flag commit below could otherwise
+  // land before the writer's first read and no re-execution would happen.
+  while (!observed_unset.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
+  stm::atomic([&](stm::Tx& tx) { flag.set(tx, true); });
+  writer.join();
+  EXPECT_GE(attempts.load(), 2) << "retry did not force a re-execution";
+  EXPECT_EQ(list.size_direct(), 51u);
+  EXPECT_TRUE(list.sorted_direct());
+  EXPECT_TRUE(list.levels_consistent_direct());
+  stm::atomic([&](stm::Tx& tx) { EXPECT_EQ(list.get(tx, 51), 51); });
+}
+
+TEST_P(SkipListTest, ConcurrentDisjointStripesMatchPerThreadOracles) {
+  TxSkipList<long, long> list;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  constexpr long kStripe = 1000;
+  std::vector<std::map<long, long>> oracles(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) * 6271 + 29};
+      auto& oracle = oracles[t];
+      for (int i = 0; i < kOps; ++i) {
+        const long key =
+            t * kStripe + static_cast<long>(rng.next_below(kStripe / 2));
+        if (rng.next_below(3) != 0) {
+          const long value = static_cast<long>(rng.next());
+          stm::atomic([&](stm::Tx& tx) { list.put(tx, key, value); });
+          oracle[key] = value;
+        } else {
+          stm::atomic([&](stm::Tx& tx) { list.remove(tx, key); });
+          oracle.erase(key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::size_t expected = 0;
+  for (const auto& o : oracles) expected += o.size();
+  EXPECT_EQ(list.size_direct(), expected);
+  EXPECT_TRUE(list.sorted_direct());
+  EXPECT_TRUE(list.levels_consistent_direct());
+  stm::atomic([&](stm::Tx& tx) {
+    for (int t = 0; t < kThreads; ++t) {
+      for (const auto& [k, v] : oracles[t]) {
+        EXPECT_EQ(list.get(tx, k), v) << "key " << k;
+      }
+    }
+  });
+}
+
+TEST_P(SkipListTest, ConcurrentSharedKeysKeepInvariants) {
+  TxSkipList<long, long> list;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  constexpr long kKeySpace = 96;
+  std::vector<long> net(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng{static_cast<std::uint64_t>(t) + 211};
+      for (int i = 0; i < kOps; ++i) {
+        const long key = static_cast<long>(rng.next_below(kKeySpace));
+        if (rng.next_below(2) == 0) {
+          const bool added = stm::atomic(
+              [&](stm::Tx& tx) { return list.put(tx, key, key); });
+          if (added) ++net[t];
+        } else {
+          const bool removed =
+              stm::atomic([&](stm::Tx& tx) { return list.remove(tx, key); });
+          if (removed) --net[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  long total = 0;
+  for (const long n : net) total += n;
+  ASSERT_GE(total, 0);
+  EXPECT_EQ(list.size_direct(), static_cast<std::size_t>(total));
+  EXPECT_TRUE(list.sorted_direct());
+  EXPECT_TRUE(list.levels_consistent_direct());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, SkipListTest, test::AllAlgos(),
+                         test::algo_param_name);
+
+}  // namespace
+}  // namespace adtm::containers

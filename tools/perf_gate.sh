@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+# perf_gate.sh — regression gate over the committed perf trajectory.
+#
+# Compares a fresh quick run of the perf-tracked benches against the
+# committed snapshots in the repo root:
+#
+#   BENCH_oltp.json      oltp_ycsb + oltp_warehouse  (throughput ratio)
+#   BENCH_health.json    micro_health                (per-op time ratio)
+#   BENCH_crashsim.json  micro_crashsim              (p50 time ratio)
+#
+# Throughput entries (name ending /tput) fail when the fresh run achieves
+# less than (1 - ADTM_PERF_BAND) of the committed ops/ns — the default
+# band of 0.45 tolerates scheduler noise but a planted 2x slowdown (a 50%
+# throughput drop; try ADTM_OLTP_SPIN_NS=20000) lands outside it. Time
+# entries fail when fresh exceeds ADTM_PERF_BAND_TIME x committed (default
+# 4.0 — recovery and shed-path timings are noisy at micro scale). Only
+# names present in BOTH the committed snapshot and the fresh quick run are
+# compared; the committed file may hold more (full-matrix) entries. When a
+# committed file repeats a key, the last occurrence wins.
+#
+# A failing comparison re-measures once before judging — one bad
+# scheduling quantum should not fail a commit.
+#
+# Modes (ADTM_PERF_GATE): enforce (default) fails the gate on regression;
+# report prints the comparison but always exits 0 (what tools/ci.sh uses —
+# CI machines are not the machines the snapshots were taken on).
+# Missing snapshots or bench binaries exit 77 (ctest SKIP).
+#
+# Usage:
+#   tools/perf_gate.sh [build-dir]       # run the gate (default ./build)
+#   tools/perf_gate.sh --update [dir]    # refresh BENCH_oltp.json with the
+#                                        # full committed matrix, then exit
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${ADTM_PERF_GATE:-enforce}"
+BAND="${ADTM_PERF_BAND:-0.45}"
+BAND_TIME="${ADTM_PERF_BAND_TIME:-4.0}"
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+BUILD="${1:-$ROOT/build}"
+# measure() changes directory; the build path must survive that.
+case "$BUILD" in
+  /*) ;;
+  *) BUILD="$(cd "$BUILD" 2>/dev/null && pwd)" || {
+       echo "perf_gate: build dir not found — SKIP"; exit 77; } ;;
+esac
+
+YCSB="$BUILD/bench/oltp_ycsb"
+WH="$BUILD/bench/oltp_warehouse"
+HEALTH="$BUILD/bench/micro_health"
+CRASHSIM="$BUILD/bench/micro_crashsim"
+
+for bin in "$YCSB" "$WH" "$HEALTH" "$CRASHSIM"; do
+  if [ ! -x "$bin" ]; then
+    echo "perf_gate: missing bench binary $bin (build first) — SKIP"
+    exit 77
+  fi
+done
+
+# Full committed matrix: the trajectory the repo publishes. Refreshing is
+# deliberate (same machine, quiet load): tools/perf_gate.sh --update.
+if [ "$UPDATE" = 1 ]; then
+  echo "perf_gate: regenerating $ROOT/BENCH_oltp.json (full matrix)..."
+  rm -f "$ROOT/BENCH_oltp.json"
+  ADTM_BENCH_OUT="$ROOT/BENCH_oltp.json" ADTM_OLTP_CONTAINER=both \
+    "$YCSB" || exit 1
+  ADTM_BENCH_OUT="$ROOT/BENCH_oltp.json" "$WH" || exit 1
+  echo "perf_gate: snapshot refreshed"
+  exit 0
+fi
+
+for snap in BENCH_oltp.json BENCH_health.json BENCH_crashsim.json; do
+  if [ ! -f "$ROOT/$snap" ]; then
+    echo "perf_gate: no committed $snap — SKIP"
+    exit 77
+  fi
+done
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/adtm-perf-gate.XXXXXX")"
+trap 'rm -rf "$TMP"' EXIT
+
+# Emit "name|label|real_ns|iterations" per entry line of an adtm-bench/v1
+# file (BenchReport writes one entry per line, so line-wise parsing is
+# exact for these files).
+parse() {
+  awk -F'"' '/"name":/ {
+    real = $11; iters = $13
+    gsub(/[^0-9.eE+-]/, "", real)
+    gsub(/[^0-9]/, "", iters)
+    print $4 "|" $8 "|" real "|" iters
+  }' "$1"
+}
+
+# One quick measurement pass into $TMP. Short but same key space as the
+# committed matrix so per-op costs are comparable.
+measure() {
+  rm -f "$TMP/oltp.json" "$TMP/health.json" "$TMP/crashsim.json"
+  ADTM_BENCH_OUT="$TMP/oltp.json" ADTM_OLTP_THREADS="${ADTM_OLTP_THREADS:-2}" \
+    ADTM_OLTP_DURATION_MS="${ADTM_OLTP_DURATION_MS:-120}" \
+    ADTM_OLTP_CONTAINER=both "$YCSB" > /dev/null || return 1
+  ADTM_BENCH_OUT="$TMP/oltp.json" ADTM_OLTP_THREADS="${ADTM_OLTP_THREADS:-2}" \
+    ADTM_OLTP_DURATION_MS="${ADTM_OLTP_DURATION_MS:-120}" \
+    "$WH" > /dev/null || return 1
+  (cd "$TMP" && ADTM_BENCH_OUT="$TMP/health.json" "$HEALTH" > /dev/null) \
+    || return 1
+  (cd "$TMP" && ADTM_BENCH_OUT="$TMP/crashsim.json" "$CRASHSIM" > /dev/null) \
+    || return 1
+  return 0
+}
+
+# compare <committed> <fresh> <kind>
+#   kind=tput : name|label keys ending in /tput, fresh ops/ns must be
+#               >= (1-BAND) x committed
+#   kind=time : per-op fresh real_ns must be <= BAND_TIME x committed;
+#               crashsim keys include iterations (the record count) and
+#               only p50 labels are gated (p99 of 15 runs is pure noise)
+compare() {
+  local committed="$1" fresh="$2" kind="$3"
+  { parse "$committed" | sed 's/^/C|/'; parse "$fresh" | sed 's/^/F|/'; } |
+  awk -F'|' -v kind="$kind" -v band="$BAND" -v band_time="$BAND_TIME" '
+    function key(name, label, iters) {
+      return kind == "crashsim" ? name "|" label "|" iters : name "|" label
+    }
+    {
+      side = $1; name = $2; label = $3; real = $4; iters = $5
+      if (kind == "tput" && name !~ /\/tput$/) next
+      if (kind == "crashsim" && label != "p50") next
+      k = key(name, label, iters)
+      if (side == "C") { creal[k] = real; citer[k] = iters }  # last wins
+      else            { freal[k] = real; fiter[k] = iters }
+    }
+    END {
+      bad = 0; n = 0
+      for (k in freal) {
+        if (!(k in creal)) continue
+        n++
+        if (kind == "tput") {
+          ctput = citer[k] / creal[k]; ftput = fiter[k] / freal[k]
+          ratio = ftput / ctput
+          status = ratio >= 1 - band ? "ok  " : "FAIL"
+          if (status == "FAIL") bad++
+          printf("  %s %-28s committed %10.0f ops/s  fresh %10.0f ops/s  (x%.2f)\n",
+                 status, k, ctput * 1e9, ftput * 1e9, ratio)
+        } else {
+          cns = creal[k]; fns = freal[k]
+          ratio = cns > 0 ? fns / cns : 1
+          status = ratio <= band_time ? "ok  " : "FAIL"
+          if (status == "FAIL") bad++
+          printf("  %s %-34s committed %12.0f ns  fresh %12.0f ns  (x%.2f)\n",
+                 status, k, cns, fns, ratio)
+        }
+      }
+      if (n == 0) { print "  (no comparable entries)"; exit 2 }
+      exit bad > 0 ? 1 : 0
+    }'
+}
+
+run_compare() {
+  local rc=0
+  echo "perf_gate: throughput (band ${BAND}) vs BENCH_oltp.json"
+  compare "$ROOT/BENCH_oltp.json" "$TMP/oltp.json" tput || rc=1
+  echo "perf_gate: per-op time (band x${BAND_TIME}) vs BENCH_health.json"
+  compare "$ROOT/BENCH_health.json" "$TMP/health.json" health || rc=1
+  echo "perf_gate: recovery p50 (band x${BAND_TIME}) vs BENCH_crashsim.json"
+  compare "$ROOT/BENCH_crashsim.json" "$TMP/crashsim.json" crashsim || rc=1
+  return $rc
+}
+
+echo "perf_gate: quick measurement pass (mode: $MODE)"
+measure || { echo "perf_gate: bench run failed"; exit 1; }
+if ! run_compare; then
+  echo "perf_gate: regression detected — re-measuring once to rule out noise"
+  measure || { echo "perf_gate: bench run failed"; exit 1; }
+  if ! run_compare; then
+    if [ "$MODE" = "report" ]; then
+      echo "perf_gate: REGRESSION (report-only mode; not failing)"
+      exit 0
+    fi
+    echo "perf_gate: REGRESSION — fresh run outside the noise band."
+    echo "perf_gate: if intentional, refresh with tools/perf_gate.sh --update"
+    exit 1
+  fi
+fi
+echo "perf_gate: OK"
+exit 0
