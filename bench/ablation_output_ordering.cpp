@@ -53,7 +53,7 @@ double run_ticket_ordered(unsigned threads, std::uint64_t per_thread) {
 
 int main() {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   stm::init(cfg);
 
   const std::uint64_t per_thread = env_u64("ADTM_ORDERING_OPS", 2000);

@@ -27,7 +27,7 @@ using namespace adtm;  // NOLINT
 double writer_ops_per_sec(bool quiescence, std::uint64_t writer_ops,
                           std::size_t reader_footprint) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   cfg.quiescence = quiescence;
   stm::init(cfg);
   stats().reset();

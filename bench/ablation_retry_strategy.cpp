@@ -30,7 +30,7 @@ struct Result {
 
 Result run_one(bool retry_wait, unsigned threads, std::uint64_t total_ops) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   cfg.retry_wait = retry_wait;
   stm::init(cfg);
   stats().reset();

@@ -28,7 +28,7 @@ struct Result {
 Result run_one(std::uint32_t threshold, unsigned threads,
                std::uint64_t ops_per_thread) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   cfg.serialize_after = threshold;
   cfg.lock_spin_limit = 16;  // aggressive aborts to create CM pressure
   stm::init(cfg);

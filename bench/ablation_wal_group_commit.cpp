@@ -40,7 +40,7 @@ Result run_one(unsigned threads, std::uint64_t per_thread) {
 
 int main() {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   stm::init(cfg);
 
   const std::uint64_t per_thread = env_u64("ADTM_WAL_OPS", 1000);

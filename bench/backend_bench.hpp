@@ -1,0 +1,37 @@
+// Registry-driven backend selection for the google-benchmark binaries.
+// state.range(0) carries the backend's registry index (== obs_index), so
+// ->Apply(AllBackends) gives one run per registered backend and a newly
+// registered family joins every micro matrix with no per-bench edits.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "stm/api.hpp"
+#include "stm/backend.hpp"
+
+namespace adtm::bench {
+
+inline const stm::Backend* backend_of(const benchmark::State& state) {
+  return stm::backend_registry().at(
+      static_cast<std::size_t>(state.range(0)));
+}
+
+inline void init_backend(const benchmark::State& state) {
+  stm::Config cfg;
+  cfg.backend = backend_of(state)->id;
+  stm::init(cfg);
+}
+
+inline void set_backend_label(benchmark::State& state) {
+  state.SetLabel(backend_of(state)->name);
+}
+
+// BENCHMARK(...)->Apply(adtm::bench::AllBackends)
+inline void AllBackends(benchmark::internal::Benchmark* b) {
+  b->DenseRange(
+      0, static_cast<std::int64_t>(stm::backend_registry().size()) - 1);
+}
+
+}  // namespace adtm::bench

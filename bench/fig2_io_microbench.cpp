@@ -27,6 +27,7 @@
 #include "io/defer_file.hpp"
 #include "io/temp_dir.hpp"
 #include "stm/api.hpp"
+#include "stm/backend.hpp"
 
 namespace {
 
@@ -124,7 +125,7 @@ int main() {
   const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
 
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   stm::init(cfg);
 
   const std::vector<Section> sections = {
@@ -141,7 +142,7 @@ int main() {
   std::printf("fig2_io_microbench: %llu total ops per cell (ADTM_FIG2_OPS)\n",
               static_cast<unsigned long long>(total_ops));
   std::printf("STM algorithm: %s (the paper reports STM; HTM trends match)\n",
-              stm::algo_name(stm::config().algo));
+              stm::current_backend()->name);
 
   BenchReport report("fig2_io_microbench");
   for (const Section& section : sections) {

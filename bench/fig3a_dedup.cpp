@@ -30,13 +30,13 @@ using namespace adtm::bench;  // NOLINT
 struct Series {
   const char* name;
   dedup::SyncMode mode;
-  stm::Algo algo;  // ignored for Pthread
+  const char* backend;  // registry id; ignored for Pthread
 };
 
 double run_one(const std::string& input, const Series& series,
                unsigned workers) {
   stm::Config cfg;
-  cfg.algo = series.algo;
+  cfg.backend = series.backend;
   // TSX-like: small capacity so compress-in-tx overflows, 2 retries.
   cfg.htm_capacity = 64;
   cfg.htm_retries = 2;
@@ -62,13 +62,13 @@ int main() {
        .seed = 42});
 
   const std::vector<Series> series = {
-      {"STM", dedup::SyncMode::TmIrrevoc, stm::Algo::TL2},
-      {"HTM", dedup::SyncMode::TmIrrevoc, stm::Algo::HTMSim},
-      {"STM+DeferIO", dedup::SyncMode::TmDeferIO, stm::Algo::TL2},
-      {"HTM+DeferIO", dedup::SyncMode::TmDeferIO, stm::Algo::HTMSim},
-      {"STM+DeferAll", dedup::SyncMode::TmDeferAll, stm::Algo::TL2},
-      {"HTM+DeferAll", dedup::SyncMode::TmDeferAll, stm::Algo::HTMSim},
-      {"Pthread", dedup::SyncMode::Pthread, stm::Algo::TL2},
+      {"STM", dedup::SyncMode::TmIrrevoc, "tl2"},
+      {"HTM", dedup::SyncMode::TmIrrevoc, "htmsim"},
+      {"STM+DeferIO", dedup::SyncMode::TmDeferIO, "tl2"},
+      {"HTM+DeferIO", dedup::SyncMode::TmDeferIO, "htmsim"},
+      {"STM+DeferAll", dedup::SyncMode::TmDeferAll, "tl2"},
+      {"HTM+DeferAll", dedup::SyncMode::TmDeferAll, "htmsim"},
+      {"Pthread", dedup::SyncMode::Pthread, "tl2"},
   };
 
   std::printf("fig3a_dedup: input %llu MiB synthetic (ADTM_DEDUP_MB)\n",

@@ -21,13 +21,13 @@ using namespace adtm::bench;  // NOLINT
 struct Series {
   const char* name;
   dedup::SyncMode mode;
-  stm::Algo algo;
+  const char* backend;  // registry id
 };
 
 double run_one(const std::string& input, const Series& series,
                unsigned workers) {
   stm::Config cfg;
-  cfg.algo = series.algo;
+  cfg.backend = series.backend;
   cfg.htm_capacity = 64;
   cfg.htm_retries = 2;
   stm::init(cfg);
@@ -52,10 +52,10 @@ int main() {
        .seed = 1234});
 
   const std::vector<Series> series = {
-      {"HTM-Best", dedup::SyncMode::TmDeferAll, stm::Algo::HTMSim},
-      {"STM-Best", dedup::SyncMode::TmDeferAll, stm::Algo::TL2},
-      {"Pthread", dedup::SyncMode::Pthread, stm::Algo::TL2},
-      {"STM", dedup::SyncMode::TmIrrevoc, stm::Algo::TL2},
+      {"HTM-Best", dedup::SyncMode::TmDeferAll, "htmsim"},
+      {"STM-Best", dedup::SyncMode::TmDeferAll, "tl2"},
+      {"Pthread", dedup::SyncMode::Pthread, "tl2"},
+      {"STM", dedup::SyncMode::TmIrrevoc, "tl2"},
   };
 
   std::printf("fig3b_dedup_scale: input %llu MiB synthetic (ADTM_DEDUP_MB)\n",

@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 
+#include "bench/backend_bench.hpp"
 #include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "containers/btree.hpp"
@@ -21,14 +22,14 @@ namespace {
 
 using namespace adtm;  // NOLINT
 
+using adtm::bench::AllBackends;
+
 void init_algo(const benchmark::State& state) {
-  stm::Config cfg;
-  cfg.algo = static_cast<stm::Algo>(state.range(0));
-  stm::init(cfg);
+  adtm::bench::init_backend(state);
 }
 
 void set_label(benchmark::State& state) {
-  state.SetLabel(stm::algo_name(static_cast<stm::Algo>(state.range(0))));
+  adtm::bench::set_backend_label(state);
 }
 
 void BM_RbTreeInsertErase(benchmark::State& state) {
@@ -46,7 +47,7 @@ void BM_RbTreeInsertErase(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_RbTreeInsertErase)->DenseRange(0, 4);
+BENCHMARK(BM_RbTreeInsertErase)->Apply(AllBackends);
 
 void BM_RbTreeLookup(benchmark::State& state) {
   init_algo(state);
@@ -63,7 +64,7 @@ void BM_RbTreeLookup(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_RbTreeLookup)->DenseRange(0, 4);
+BENCHMARK(BM_RbTreeLookup)->Apply(AllBackends);
 
 void BM_StdMapMutexBaseline(benchmark::State& state) {
   std::map<long, long> tree;
@@ -91,7 +92,7 @@ void BM_HashMapPutGet(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_HashMapPutGet)->DenseRange(0, 4);
+BENCHMARK(BM_HashMapPutGet)->Apply(AllBackends);
 
 void BM_QueuePushPop(benchmark::State& state) {
   init_algo(state);
@@ -103,7 +104,7 @@ void BM_QueuePushPop(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_QueuePushPop)->DenseRange(0, 4);
+BENCHMARK(BM_QueuePushPop)->Apply(AllBackends);
 
 void BM_BTreeInsertErase(benchmark::State& state) {
   init_algo(state);
@@ -120,7 +121,7 @@ void BM_BTreeInsertErase(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_BTreeInsertErase)->DenseRange(0, 4);
+BENCHMARK(BM_BTreeInsertErase)->Apply(AllBackends);
 
 void BM_BTreeLookup(benchmark::State& state) {
   init_algo(state);
@@ -136,7 +137,7 @@ void BM_BTreeLookup(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_BTreeLookup)->DenseRange(0, 4);
+BENCHMARK(BM_BTreeLookup)->Apply(AllBackends);
 
 void BM_BTreeRangeScan(benchmark::State& state) {
   init_algo(state);
@@ -159,7 +160,7 @@ void BM_BTreeRangeScan(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_BTreeRangeScan)->DenseRange(0, 4);
+BENCHMARK(BM_BTreeRangeScan)->Apply(AllBackends);
 
 void BM_SkipListInsertErase(benchmark::State& state) {
   init_algo(state);
@@ -176,7 +177,7 @@ void BM_SkipListInsertErase(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_SkipListInsertErase)->DenseRange(0, 4);
+BENCHMARK(BM_SkipListInsertErase)->Apply(AllBackends);
 
 void BM_SkipListLookup(benchmark::State& state) {
   init_algo(state);
@@ -192,7 +193,7 @@ void BM_SkipListLookup(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_SkipListLookup)->DenseRange(0, 4);
+BENCHMARK(BM_SkipListLookup)->Apply(AllBackends);
 
 // Forwards console output unchanged while capturing every run for the
 // machine-readable bench record (same shape as micro_stm_ops).

@@ -66,7 +66,7 @@ BENCHMARK(BM_LzssDecompress);
 void BM_TbytesInstrumentedRead(benchmark::State& state) {
   // The instrumented-read cost model: reading a chunk through the
   // transactional path vs directly (the STM overhead on Compress).
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   const std::string chunk = sample_input().substr(0, 8192);
   stm::tbytes data{as_bytes(chunk)};
   for (auto _ : state) {

@@ -3,6 +3,7 @@
 // lock management that the paper measures in Figure 2(a).
 #include <benchmark/benchmark.h>
 
+#include "bench/backend_bench.hpp"
 #include "defer/atomic_defer.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
@@ -11,14 +12,14 @@ namespace {
 
 using namespace adtm;  // NOLINT
 
+using adtm::bench::AllBackends;
+
 void init_algo(const benchmark::State& state) {
-  stm::Config cfg;
-  cfg.algo = static_cast<stm::Algo>(state.range(0));
-  stm::init(cfg);
+  adtm::bench::init_backend(state);
 }
 
 void set_label(benchmark::State& state) {
-  state.SetLabel(stm::algo_name(static_cast<stm::Algo>(state.range(0))));
+  adtm::bench::set_backend_label(state);
 }
 
 void BM_PlainTx(benchmark::State& state) {
@@ -29,7 +30,7 @@ void BM_PlainTx(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_PlainTx)->DenseRange(0, 4);
+BENCHMARK(BM_PlainTx)->Apply(AllBackends);
 
 void BM_TxPlusNoopDefer(benchmark::State& state) {
   // The paper's "pass nil" variant: deferral machinery, no locks.
@@ -43,7 +44,7 @@ void BM_TxPlusNoopDefer(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_TxPlusNoopDefer)->DenseRange(0, 4);
+BENCHMARK(BM_TxPlusNoopDefer)->Apply(AllBackends);
 
 void BM_TxPlusDeferOneObject(benchmark::State& state) {
   init_algo(state);
@@ -57,7 +58,7 @@ void BM_TxPlusDeferOneObject(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_TxPlusDeferOneObject)->DenseRange(0, 4);
+BENCHMARK(BM_TxPlusDeferOneObject)->Apply(AllBackends);
 
 void BM_TxPlusDeferThreeObjects(benchmark::State& state) {
   init_algo(state);
@@ -71,7 +72,7 @@ void BM_TxPlusDeferThreeObjects(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_TxPlusDeferThreeObjects)->DenseRange(0, 4);
+BENCHMARK(BM_TxPlusDeferThreeObjects)->Apply(AllBackends);
 
 void BM_SubscribeGuardedAccess(benchmark::State& state) {
   // Cost of the per-accessor subscribe guard on a deferrable object.
@@ -87,7 +88,7 @@ void BM_SubscribeGuardedAccess(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_SubscribeGuardedAccess)->DenseRange(0, 4);
+BENCHMARK(BM_SubscribeGuardedAccess)->Apply(AllBackends);
 
 }  // namespace
 

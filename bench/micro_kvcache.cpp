@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/backend_bench.hpp"
 #include "common/rng.hpp"
 #include "io/temp_dir.hpp"
 #include "kvcache/tx_cache.hpp"
@@ -15,14 +16,14 @@ namespace {
 
 using namespace adtm;  // NOLINT
 
+using adtm::bench::AllBackends;
+
 void init_algo(const benchmark::State& state) {
-  stm::Config cfg;
-  cfg.algo = static_cast<stm::Algo>(state.range(0));
-  stm::init(cfg);
+  adtm::bench::init_backend(state);
 }
 
 void set_label(benchmark::State& state) {
-  state.SetLabel(stm::algo_name(static_cast<stm::Algo>(state.range(0))));
+  adtm::bench::set_backend_label(state);
 }
 
 std::vector<std::string> make_keys(std::size_t n) {
@@ -43,7 +44,7 @@ void BM_CacheGetHit(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_CacheGetHit)->DenseRange(0, 4);
+BENCHMARK(BM_CacheGetHit)->Apply(AllBackends);
 
 void BM_CacheSetFresh(benchmark::State& state) {
   // Bounded key space so chain lengths (and thus per-op cost) stay stable
@@ -56,7 +57,7 @@ void BM_CacheSetFresh(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_CacheSetFresh)->DenseRange(0, 4);
+BENCHMARK(BM_CacheSetFresh)->Apply(AllBackends);
 
 void BM_CacheSetWithEviction(benchmark::State& state) {
   init_algo(state);
@@ -67,7 +68,7 @@ void BM_CacheSetWithEviction(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_CacheSetWithEviction)->DenseRange(0, 4);
+BENCHMARK(BM_CacheSetWithEviction)->Apply(AllBackends);
 
 void BM_CacheSetWithEvictionAndDeferredLog(benchmark::State& state) {
   // The §5.1 configuration: each eviction logs a diagnostic record via
@@ -82,7 +83,7 @@ void BM_CacheSetWithEvictionAndDeferredLog(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_CacheSetWithEvictionAndDeferredLog)->DenseRange(0, 4);
+BENCHMARK(BM_CacheSetWithEvictionAndDeferredLog)->Apply(AllBackends);
 
 void BM_CacheIncr(benchmark::State& state) {
   init_algo(state);
@@ -93,7 +94,7 @@ void BM_CacheIncr(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_CacheIncr)->DenseRange(0, 4);
+BENCHMARK(BM_CacheIncr)->Apply(AllBackends);
 
 }  // namespace
 

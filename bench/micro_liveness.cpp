@@ -24,7 +24,7 @@ using namespace std::chrono_literals;
 
 void init_tl2() {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   stm::init(cfg);
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/backend_bench.hpp"
 #include "bench/bench_util.hpp"
 #include "obs/trace.hpp"
 #include "stm/api.hpp"
@@ -15,18 +16,14 @@ namespace {
 
 using namespace adtm;  // NOLINT
 
-stm::Algo algo_of(const benchmark::State& state) {
-  return static_cast<stm::Algo>(state.range(0));
-}
+using adtm::bench::AllBackends;
 
 void init_algo(const benchmark::State& state) {
-  stm::Config cfg;
-  cfg.algo = algo_of(state);
-  stm::init(cfg);
+  adtm::bench::init_backend(state);
 }
 
 void set_label(benchmark::State& state) {
-  state.SetLabel(stm::algo_name(algo_of(state)));
+  adtm::bench::set_backend_label(state);
 }
 
 void BM_EmptyTransaction(benchmark::State& state) {
@@ -36,7 +33,7 @@ void BM_EmptyTransaction(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_EmptyTransaction)->DenseRange(0, 4);
+BENCHMARK(BM_EmptyTransaction)->Apply(AllBackends);
 
 void BM_ReadOnlyTx(benchmark::State& state) {
   init_algo(state);
@@ -55,7 +52,7 @@ void BM_ReadOnlyTx(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_ReadOnlyTx)->DenseRange(0, 4);
+BENCHMARK(BM_ReadOnlyTx)->Apply(AllBackends);
 
 void BM_WriterTx(benchmark::State& state) {
   init_algo(state);
@@ -73,7 +70,7 @@ void BM_WriterTx(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_WriterTx)->DenseRange(0, 4);
+BENCHMARK(BM_WriterTx)->Apply(AllBackends);
 
 void BM_CounterIncrement(benchmark::State& state) {
   init_algo(state);
@@ -83,7 +80,7 @@ void BM_CounterIncrement(benchmark::State& state) {
   }
   set_label(state);
 }
-BENCHMARK(BM_CounterIncrement)->DenseRange(0, 4);
+BENCHMARK(BM_CounterIncrement)->Apply(AllBackends);
 
 void BM_UninstrumentedBaseline(benchmark::State& state) {
   // The cost floor: the same counter increment with no TM at all.
@@ -110,11 +107,23 @@ void BM_LargeReadFootprint(benchmark::State& state) {
     });
     benchmark::DoNotOptimize(sum);
   }
-  state.SetLabel(std::string(stm::algo_name(algo_of(state))) + "/" +
+  state.SetLabel(std::string(adtm::bench::backend_of(state)->name) + "/" +
                  std::to_string(count) + "vars");
 }
-BENCHMARK(BM_LargeReadFootprint)
-    ->ArgsProduct({{0, 1, 4}, {64, 512, 4096}});  // TL2, Eager, NOrec
+
+// Read-set scaling only makes sense for backends with per-read tracking
+// or validation cost: the redo/undo families plus the value-validating
+// and pessimistic ones — named here, resolved to registry indices.
+void ReadFootprintArgs(benchmark::internal::Benchmark* b) {
+  for (const char* id : {"tl2", "eager", "norec", "2pl"}) {
+    const adtm::stm::Backend* be = adtm::stm::find_backend(id);
+    if (be == nullptr) continue;
+    for (const std::int64_t vars : {64, 512, 4096}) {
+      b->Args({be->obs_index, vars});
+    }
+  }
+}
+BENCHMARK(BM_LargeReadFootprint)->Apply(ReadFootprintArgs);
 
 void BM_CounterIncrementTraced(benchmark::State& state) {
   // The tracing-overhead pair: BM_CounterIncrement runs with the gate
@@ -132,7 +141,7 @@ void BM_CounterIncrementTraced(benchmark::State& state) {
   obs::clear();
   set_label(state);
 }
-BENCHMARK(BM_CounterIncrementTraced)->DenseRange(0, 4);
+BENCHMARK(BM_CounterIncrementTraced)->Apply(AllBackends);
 
 // Forwards console output unchanged while capturing every run for the
 // machine-readable BENCH_stm.json record.

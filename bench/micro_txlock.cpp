@@ -13,7 +13,7 @@ using namespace adtm;  // NOLINT
 
 void init_tl2() {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   stm::init(cfg);
 }
 

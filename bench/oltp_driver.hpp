@@ -48,7 +48,10 @@ namespace adtm::oltp {
 enum class Dist { Uniform, Zipf };
 
 struct ScenarioConfig {
-  stm::Algo algo = stm::Algo::TL2;
+  // Backend registry id or display name ("tl2", "2PL", ...); "auto" runs
+  // the adaptive controller, so one scenario may commit under several
+  // backends (finish_scenario sums the taxonomy across all of them).
+  std::string backend = "tl2";
   Dist dist = Dist::Uniform;
   double theta = 0.99;          // zipfian skew
   unsigned threads = 1;
@@ -191,7 +194,7 @@ EngineOut run_engine(const ScenarioConfig& cfg, MakeWorker&& make_worker) {
 ScenarioResult finish_scenario(const ScenarioConfig& cfg,
                                const EngineOut& engine, bool oracle_ok);
 
-// Install cfg.algo and reset the obs window. Call before run_engine.
+// Install cfg.backend and reset the obs window. Call before run_engine.
 void begin_scenario(const ScenarioConfig& cfg);
 
 }  // namespace detail
@@ -210,7 +213,7 @@ class YcsbRunner {
   YcsbRunner(std::uint64_t key_space, std::uint64_t seed)
       : key_space_(key_space), seed_(seed) {
     stm::Config cgl;
-    cgl.algo = stm::Algo::CGL;
+    cgl.backend = "cgl";
     stm::init(cgl);
     constexpr std::uint64_t kBatch = 1024;
     for (std::uint64_t base = 0; base < key_space_; base += 2 * kBatch) {
@@ -307,7 +310,7 @@ class WarehouseRunner {
       : items_(items), seed_(seed), dir_("adtm-oltp-wh"),
         logger_(dir_.file("orders.log")) {
     stm::Config cgl;
-    cgl.algo = stm::Algo::CGL;
+    cgl.backend = "cgl";
     stm::init(cgl);
     constexpr std::uint64_t kBatch = 1024;
     for (std::uint64_t base = 0; base < items_; base += kBatch) {

@@ -5,14 +5,16 @@
 // exist in any real inventory), logs the order through the ordered
 // TxLogger (the deferral path doing real I/O-adjacent work inside the hot
 // loop), decrements stock rows in the B+ tree and inserts the order into
-// the skip list. Matrix: every algorithm x the thread list.
+// the skip list. Matrix: every registered backend (plus "auto") x the
+// thread list.
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "bench/oltp_driver.hpp"
-#include "stm/config.hpp"
+#include "stm/backend.hpp"
 
 int main() {
   using adtm::oltp::Dist;
@@ -26,15 +28,18 @@ int main() {
   const std::uint64_t items = std::min<std::uint64_t>(m.keys, 1u << 16);
   adtm::oltp::WarehouseRunner runner(items, /*seed=*/42);
 
-  constexpr adtm::stm::Algo kAlgos[] = {
-      adtm::stm::Algo::TL2, adtm::stm::Algo::Eager, adtm::stm::Algo::CGL,
-      adtm::stm::Algo::HTMSim, adtm::stm::Algo::NOrec};
+  // Every registered backend plus the adaptive controller.
+  std::vector<std::string> backends;
+  for (std::size_t i = 0; i < adtm::stm::backend_registry().size(); ++i) {
+    backends.emplace_back(adtm::stm::backend_registry().at(i)->name);
+  }
+  backends.emplace_back("auto");
 
   int failures = 0;
-  for (const auto algo : kAlgos) {
+  for (const std::string& backend : backends) {
     for (const unsigned threads : m.threads) {
       ScenarioConfig cfg;
-      cfg.algo = algo;
+      cfg.backend = backend;
       cfg.dist = Dist::Zipf;
       cfg.theta = m.theta;
       cfg.threads = threads;
@@ -44,9 +49,8 @@ int main() {
       cfg.spin_ns = m.spin_ns;
       const auto res = runner.run(cfg);
       const std::string scenario = "wh/t" + std::to_string(threads);
-      adtm::oltp::print_scenario(scenario, adtm::stm::algo_name(algo), res);
-      adtm::oltp::append_scenario(report, scenario,
-                                  adtm::stm::algo_name(algo), res);
+      adtm::oltp::print_scenario(scenario, backend, res);
+      adtm::oltp::append_scenario(report, scenario, backend, res);
       if (!res.oracle_ok) ++failures;
     }
   }

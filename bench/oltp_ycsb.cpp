@@ -1,6 +1,7 @@
 // YCSB-style OLTP benchmark over the transactional containers.
 //
-// Matrix: every STM algorithm x {uniform, zipfian} x the thread list,
+// Matrix: every registered backend (plus "auto") x {uniform, zipfian}
+// x the thread list,
 // over one container (ADTM_OLTP_CONTAINER=btree|skiplist|both). Each
 // scenario reuses the same preloaded container — the oracle tracks size
 // deltas, so carry-over between scenarios is fine and saves the (large)
@@ -16,7 +17,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bench/oltp_driver.hpp"
-#include "stm/config.hpp"
+#include "stm/backend.hpp"
 
 namespace {
 
@@ -24,20 +25,27 @@ using adtm::oltp::Dist;
 using adtm::oltp::MatrixConfig;
 using adtm::oltp::ScenarioConfig;
 
-constexpr adtm::stm::Algo kAlgos[] = {
-    adtm::stm::Algo::TL2, adtm::stm::Algo::Eager, adtm::stm::Algo::CGL,
-    adtm::stm::Algo::HTMSim, adtm::stm::Algo::NOrec};
+// Every registered backend plus the adaptive controller ("auto") — new
+// backends join the matrix by registering, no edit here.
+std::vector<std::string> matrix_backends() {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < adtm::stm::backend_registry().size(); ++i) {
+    out.emplace_back(adtm::stm::backend_registry().at(i)->name);
+  }
+  out.emplace_back("auto");
+  return out;
+}
 
 template <typename Container>
 int run_container(const char* tag, const MatrixConfig& m,
                   adtm::bench::BenchReport& report) {
   adtm::oltp::YcsbRunner<Container> runner(m.keys, /*seed=*/42);
   int failures = 0;
-  for (const auto algo : kAlgos) {
+  for (const std::string& backend : matrix_backends()) {
     for (const Dist dist : {Dist::Uniform, Dist::Zipf}) {
       for (const unsigned threads : m.threads) {
         ScenarioConfig cfg;
-        cfg.algo = algo;
+        cfg.backend = backend;
         cfg.dist = dist;
         cfg.theta = m.theta;
         cfg.threads = threads;
@@ -51,9 +59,8 @@ int run_container(const char* tag, const MatrixConfig& m,
         const std::string scenario = std::string("ycsb/") + tag + "/" +
                                      adtm::oltp::dist_tag(dist, m.theta) +
                                      "/t" + std::to_string(threads);
-        adtm::oltp::print_scenario(scenario, adtm::stm::algo_name(algo), res);
-        adtm::oltp::append_scenario(report, scenario,
-                                    adtm::stm::algo_name(algo), res);
+        adtm::oltp::print_scenario(scenario, backend, res);
+        adtm::oltp::append_scenario(report, scenario, backend, res);
         if (!res.oracle_ok) ++failures;
       }
     }

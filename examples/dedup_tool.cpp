@@ -2,7 +2,10 @@
 // PARSEC dedup workload as a usable utility.
 //
 //   ./dedup_tool compress <in> <out> [--mode pthread|tm|deferio|deferall]
-//                [--algo tl2|eager|cgl|htm] [--workers N]
+//                [--algo <backend>] [--workers N]
+//
+// --algo takes any backend registered with the STM (stm::backend_registry
+// ids or display names: tl2, eager, cgl, htmsim, norec, 2pl, ...).
 //   ./dedup_tool restore <in> <out>
 //   ./dedup_tool demo     (synthesizes input, round-trips all modes)
 #include <cstdio>
@@ -19,7 +22,7 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  dedup_tool compress <in> <out> [--mode "
-               "pthread|tm|deferio|deferall] [--algo tl2|eager|cgl|htm] "
+               "pthread|tm|deferio|deferall] [--algo BACKEND] "
                "[--workers N]\n"
                "  dedup_tool restore <in> <out>\n"
                "  dedup_tool verify <in>\n"
@@ -36,12 +39,18 @@ bool parse_mode(const std::string& s, dedup::SyncMode* out) {
   return true;
 }
 
-bool parse_algo(const std::string& s, stm::Algo* out) {
-  if (s == "tl2") *out = stm::Algo::TL2;
-  else if (s == "eager") *out = stm::Algo::Eager;
-  else if (s == "cgl") *out = stm::Algo::CGL;
-  else if (s == "htm") *out = stm::Algo::HTMSim;
-  else return false;
+bool parse_algo(const std::string& s, std::string* out) {
+  // Any registered backend by id or display name ("htm" kept as a
+  // convenience alias for the simulated-HTM family), or "auto" for the
+  // adaptive controller — which is a Config selector, not a registered
+  // backend, so it bypasses the lookup.
+  if (s == "auto") {
+    *out = s;
+    return true;
+  }
+  const stm::Backend* b = stm::find_backend(s == "htm" ? "htmsim" : s);
+  if (b == nullptr) return false;
+  *out = b->id;
   return true;
 }
 
@@ -65,11 +74,11 @@ int cmd_compress(int argc, char** argv) {
   if (argc < 4) return usage();
   dedup::Options opts;
   opts.mode = dedup::SyncMode::TmDeferAll;
-  stm::Algo algo = stm::Algo::TL2;
+  std::string backend = "tl2";
   for (int i = 4; i + 1 < argc; i += 2) {
     const std::string flag = argv[i], value = argv[i + 1];
     if (flag == "--mode" && parse_mode(value, &opts.mode)) continue;
-    if (flag == "--algo" && parse_algo(value, &algo)) continue;
+    if (flag == "--algo" && parse_algo(value, &backend)) continue;
     if (flag == "--workers") {
       opts.workers = static_cast<unsigned>(std::strtoul(value.c_str(),
                                                         nullptr, 10));
@@ -78,14 +87,15 @@ int cmd_compress(int argc, char** argv) {
     return usage();
   }
   stm::Config cfg;
-  cfg.algo = algo;
+  cfg.backend = backend;
   stm::init(cfg);
 
   const std::string input = io::read_file(argv[2]);
   const dedup::PipelineStats stats =
       dedup::dedup_stream(input, argv[3], opts);
+  // Under "auto" the active backend is whatever the controller picked.
   std::printf("mode=%s algo=%s ", sync_mode_name(opts.mode),
-              stm::algo_name(algo));
+              stm::current_backend()->name);
   report(stats);
   return 0;
 }
@@ -122,7 +132,7 @@ int cmd_demo() {
   for (const dedup::SyncMode mode :
        {dedup::SyncMode::Pthread, dedup::SyncMode::TmIrrevoc,
         dedup::SyncMode::TmDeferIO, dedup::SyncMode::TmDeferAll}) {
-    stm::init({.algo = stm::Algo::TL2});
+    stm::init({.backend = "tl2"});
     dedup::Options opts;
     opts.mode = mode;
     opts.workers = 4;

@@ -15,7 +15,7 @@
 using namespace adtm;  // NOLINT: example brevity
 
 int main() {
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   io::TempDir dir("durable-demo");
 
   durable::DurableFile journal(dir.file("journal"));

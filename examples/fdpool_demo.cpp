@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const unsigned threads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
   const unsigned appends = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 150;
 
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   stats().reset();
 
   io::TempDir dir("fdpool-demo");

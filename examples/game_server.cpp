@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   const unsigned players = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
   const unsigned actions = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 30000;
 
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
 
   World world;
   world.populate();

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   const unsigned workers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3;
   const long jobs = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 300;
 
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
 
   io::TempDir dir("scheduler-demo");
   txlog::TxLogger log(dir.file("completions.log"));

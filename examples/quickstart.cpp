@@ -39,7 +39,7 @@ int main() {
   // Pick a TM algorithm (TL2 software TM here; Eager, HTMSim, and the CGL
   // baseline are one enum away).
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   stm::init(cfg);
 
   Account checking, savings;

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const unsigned threads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
   const unsigned ops = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
 
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
 
   io::TempDir dir("txlog-demo");
   txlog::TxLogger logger(dir.file("audit.log"));

@@ -41,6 +41,7 @@
 
 // --- transactional memory --------------------------------------------------
 #include "stm/api.hpp"
+#include "stm/backend.hpp"
 #include "stm/config.hpp"
 #include "stm/tvar.hpp"
 

@@ -12,6 +12,7 @@
 #include <system_error>
 
 #include "crashsim/oracle.hpp"
+#include "stm/backend.hpp"
 #include "io/posix_file.hpp"
 #include "kvcache/recoverable.hpp"
 #include "wal/crc32.hpp"
@@ -136,7 +137,7 @@ const char* outcome_name(ChildOutcome o) noexcept {
 std::string TortureCase::name() const {
   std::string n = point;
   n += '/';
-  n += stm::algo_name(algo);
+  n += algo;
   switch (action) {
     case faultsim::CrashAction::Exit:
       break;
@@ -413,7 +414,7 @@ std::vector<TortureCase> quick_matrix(std::uint64_t seed) {
   for (const faultsim::CrashPointDesc& desc : faultsim::crash_points()) {
     TortureCase tc;
     tc.point = desc.name;
-    tc.algo = stm::Algo::TL2;
+    tc.algo = "TL2";
     tc.skip = desc.subsystem == "txlog" ? 7 : (desc.subsystem == "wal" ? 2 : 1);
     tc.seed = ++s;
     cases.push_back(tc);
@@ -424,8 +425,7 @@ std::vector<TortureCase> quick_matrix(std::uint64_t seed) {
       cases.push_back(torn);
     }
   }
-  for (const stm::Algo algo : {stm::Algo::Eager, stm::Algo::CGL,
-                               stm::Algo::HTMSim, stm::Algo::NOrec}) {
+  for (const char* algo : {"Eager", "CGL", "HTMSim", "NOrec", "2PL"}) {
     TortureCase wal_torn;
     wal_torn.point = "wal.commit.write";
     wal_torn.algo = algo;
@@ -450,11 +450,14 @@ std::vector<TortureCase> quick_matrix(std::uint64_t seed) {
 std::vector<TortureCase> full_matrix(std::uint64_t seed) {
   std::vector<TortureCase> cases;
   std::uint64_t s = seed * 7919;
-  const stm::Algo kAlgos[] = {stm::Algo::TL2, stm::Algo::Eager,
-                              stm::Algo::CGL, stm::Algo::HTMSim,
-                              stm::Algo::NOrec};
+  // Every registered backend: the full matrix picks up new families
+  // (e.g. 2PL) automatically.
+  std::vector<std::string> kAlgos;
+  for (std::size_t i = 0; i < stm::backend_registry().size(); ++i) {
+    kAlgos.emplace_back(stm::backend_registry().at(i)->name);
+  }
   for (const faultsim::CrashPointDesc& desc : faultsim::crash_points()) {
-    for (const stm::Algo algo : kAlgos) {
+    for (const std::string& algo : kAlgos) {
       TortureCase tc;
       tc.point = desc.name;
       tc.algo = algo;

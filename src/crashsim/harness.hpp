@@ -32,7 +32,7 @@ namespace adtm::crashsim {
 
 struct TortureCase {
   std::string point;  // crash point name (must be registered)
-  stm::Algo algo = stm::Algo::TL2;
+  std::string algo = "TL2";  // backend display name (stm::find_backend)
   faultsim::CrashAction action = faultsim::CrashAction::Exit;
   std::size_t persist_bytes = faultsim::CrashArm::kPersistNone;
   std::uint64_t skip = 2;  // batches let through before the crash

@@ -130,7 +130,7 @@ void worker(ChildState& st, unsigned tid) {
 
 void run_child_workload(const WorkloadOptions& options) {
   try {
-    stm::init({.algo = options.algo});
+    stm::init({.backend = options.algo});
     OracleWriter oracle(oracle_path(options.dir, options.phase));
     kvcache::RecoverableCache kv(4096, wal_path(options.dir));
     const auto& found = kv.recovery();

@@ -14,7 +14,7 @@
 namespace adtm::crashsim {
 
 struct WorkloadOptions {
-  stm::Algo algo = stm::Algo::TL2;
+  std::string algo = "TL2";  // backend display name (stm::find_backend)
   unsigned threads = 2;
   std::uint64_t ops_per_thread = 120;
   std::uint64_t flush_every = 16;  // wal flush + D ack cadence (per thread)

@@ -35,6 +35,7 @@ const char* event_name(EventType t) noexcept {
     case EventType::WalFlush: return "wal-flush";
     case EventType::HealthTransition: return "health-transition";
     case EventType::BreakerTransition: return "breaker-transition";
+    case EventType::BackendSwitch: return "backend-switch";
     case EventType::kCount: break;
   }
   return "?";
@@ -60,16 +61,22 @@ const char* abort_cause_name(AbortCause c) noexcept {
 
 namespace {
 
-// Keep in sync with stm::Algo (obs cannot depend on stm — the dependency
-// runs the other way). A static_assert in api.cpp guards the count.
-constexpr std::size_t kAlgoCount = 5;
-const char* const kAlgoNames[kAlgoCount] = {"TL2", "Eager", "CGL", "HTMSim",
-                                            "NOrec"};
+// Backend display names, published by the stm backend registry at
+// registration time (register_algo_label). The first five slots are
+// prefilled with the built-in algorithm names so the trace layer labels
+// correctly even in binaries that never touch the registry; a
+// static_assert in api.cpp pins the built-in ordering.
 constexpr std::size_t kCauseCount =
     static_cast<std::size_t>(AbortCause::kCount);
 
+std::atomic<const char*> g_algo_names[kMaxAlgos] = {
+    "TL2", "Eager", "CGL", "HTMSim", "NOrec",
+};
+
 const char* algo_label(std::uint8_t a) noexcept {
-  return a < kAlgoCount ? kAlgoNames[a] : "-";
+  if (a >= kMaxAlgos) return "-";
+  const char* name = g_algo_names[a].load(std::memory_order_acquire);
+  return name != nullptr ? name : "-";
 }
 
 std::size_t round_pow2(std::size_t n) noexcept {
@@ -110,7 +117,7 @@ struct Aggregates {
     LatencyHistogram tx;
     LatencyHistogram commit;
   };
-  PerAlgo algos[kAlgoCount];
+  PerAlgo algos[kMaxAlgos];
   std::atomic<std::uint64_t> epilogues{0};
   LatencyHistogram epilogue;
 
@@ -203,7 +210,7 @@ void record_aggregates(const TraceEvent& ev) noexcept {
   Aggregates& agg = state().agg;
   switch (ev.type) {
     case EventType::TxCommit:
-      if (ev.algo < kAlgoCount) {
+      if (ev.algo < kMaxAlgos) {
         auto& a = agg.algos[ev.algo];
         a.commits.fetch_add(1, std::memory_order_relaxed);
         a.tx.record(ev.arg0);
@@ -211,7 +218,7 @@ void record_aggregates(const TraceEvent& ev) noexcept {
       }
       break;
     case EventType::TxAbort:
-      if (ev.algo < kAlgoCount &&
+      if (ev.algo < kMaxAlgos &&
           static_cast<std::size_t>(ev.cause) < kCauseCount) {
         agg.algos[ev.algo].aborts[static_cast<std::size_t>(ev.cause)]
             .fetch_add(1, std::memory_order_relaxed);
@@ -233,6 +240,12 @@ void exit_writer() {
 }
 
 }  // namespace
+
+void register_algo_label(std::uint8_t idx, const char* name) noexcept {
+  if (idx < kMaxAlgos && name != nullptr) {
+    g_algo_names[idx].store(name, std::memory_order_release);
+  }
+}
 
 namespace detail {
 
@@ -455,10 +468,10 @@ RunSummary summary() {
     }
   }
   out.dropped = dropped_count();
-  for (std::size_t i = 0; i < kAlgoCount; ++i) {
+  for (std::size_t i = 0; i < kMaxAlgos; ++i) {
     const auto& a = s.agg.algos[i];
     AlgoSummary algo;
-    algo.algo = kAlgoNames[i];
+    algo.algo = algo_label(static_cast<std::uint8_t>(i));
     algo.commits = a.commits.load(std::memory_order_relaxed);
     for (std::size_t c = 0; c < kCauseCount; ++c) {
       algo.aborts[c] = a.aborts[c].load(std::memory_order_relaxed);

@@ -51,6 +51,7 @@ enum class EventType : std::uint8_t {
   WalFlush,       // arg0 = records flushed, arg1 = total fsync count
   HealthTransition,   // arg0 = from HealthState, arg1 = to HealthState
   BreakerTransition,  // arg0 = from BreakerState, arg1 = to BreakerState
+  BackendSwitch,      // algo = new backend, arg0 = old backend index
   kCount
 };
 
@@ -91,6 +92,18 @@ struct TraceEvent {
 static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay 32 bytes");
 
 inline constexpr std::uint8_t kNoAlgo = 0xFF;
+
+// Upper bound on registered TM backends the trace layer can label and
+// aggregate per-algorithm. The stm backend registry assigns each backend
+// a dense index < kMaxAlgos at registration and publishes its display
+// name here (obs cannot depend on stm — the dependency runs the other
+// way). Indices without a registered name render as "-".
+inline constexpr std::size_t kMaxAlgos = 16;
+
+// Publish the display label for backend index `idx`. `name` must have
+// process lifetime (the registry passes string literals). Called at
+// backend registration, before any event with that index is emitted.
+void register_algo_label(std::uint8_t idx, const char* name) noexcept;
 
 namespace detail {
 extern std::atomic<bool> g_trace_on;

@@ -1,0 +1,40 @@
+// Adaptive backend switching ("auto" mode).
+//
+// The controller watches the per-window abort taxonomy that the driver
+// feeds it and swaps the active backend at a quiescent point when the
+// workload's conflict profile says another algorithm family would do
+// better:
+//   * validation-heavy windows (ConflictValidation / ConflictNorecValue
+//     dominating) -> 2PL: pessimistic reads make validation aborts
+//     structurally impossible;
+//   * lock-busy-heavy windows -> TL2: commit-time locking shortens the
+//     lock hold window that encounter-time/pessimistic schemes suffer
+//     under;
+//   * low-conflict windows (abort rate under ~5%) -> NOrec: the global
+//     seqlock is the cheapest commit when nobody conflicts.
+// Hysteresis: decisions only happen when a window of at least
+// ADTM_ADAPT_WINDOW_MS has elapsed AND the sample is large enough, and a
+// fresh switch is pinned for ADTM_ADAPT_MIN_DWELL_MS so the controller
+// cannot thrash between families on noise.
+#pragma once
+
+#include "obs/trace.hpp"
+
+namespace adtm::stm::adaptive {
+
+// Arm/disarm the controller. Armed by init() when the resolved backend
+// selection is "auto"; resets the current window either way.
+void set_enabled(bool on) noexcept;
+bool enabled() noexcept;
+
+// Driver hooks (near-free when disarmed): taxonomy accounting for the
+// current window.
+void note_commit() noexcept;
+void note_abort(obs::AbortCause cause) noexcept;
+
+// Evaluate the window and possibly switch backends. Called by the driver
+// after a transaction fully finishes (outside any transaction, no
+// cross-transaction locks held). Never throws.
+void maybe_switch() noexcept;
+
+}  // namespace adtm::stm::adaptive

@@ -14,6 +14,8 @@
 #include "liveness/contention.hpp"
 #include "liveness/wait_graph.hpp"
 #include "obs/trace.hpp"
+#include "stm/adaptive.hpp"
+#include "stm/backend.hpp"
 #include "stm/control.hpp"
 #include "stm/orec.hpp"
 #include "stm/registry.hpp"
@@ -21,11 +23,14 @@
 
 namespace adtm::stm {
 
-// The obs layer keeps its own algorithm-name table (it cannot depend on
-// this library); pin the enum layout it assumes.
+// The built-ins register in enum order, so Backend::obs_index equals the
+// enum value and the obs default label table stays aligned; pin the
+// layout both rely on.
 static_assert(static_cast<int>(Algo::TL2) == 0 &&
                   static_cast<int>(Algo::NOrec) == 4,
-              "update the algo-name table in src/obs/trace.cpp");
+              "update BackendRegistry's built-in registration order "
+              "(src/stm/backend.cpp) and the default label table in "
+              "src/obs/trace.cpp");
 
 const char* algo_name(Algo a) noexcept {
   switch (a) {
@@ -37,12 +42,6 @@ const char* algo_name(Algo a) noexcept {
   }
   return "?";
 }
-
-namespace {
-inline std::uint8_t obs_algo(Algo a) noexcept {
-  return static_cast<std::uint8_t>(a);
-}
-}  // namespace
 
 namespace detail {
 
@@ -76,6 +75,13 @@ struct Driver {
   }
 
   static bool active(const Tx& tx) noexcept { return tx.in_tx_; }
+
+  // Obs label index of the backend this transaction is running (begin()
+  // may have re-resolved it after a switch at the serial gate).
+  static std::uint8_t obs_idx(const Tx& tx) noexcept {
+    return tx.backend_ != nullptr ? tx.backend_->obs_index : obs::kNoAlgo;
+  }
+  static const Backend* backend(const Tx& tx) noexcept { return tx.backend_; }
 
   static Tx::NestedCheckpoint nested_checkpoint(const Tx& tx) {
     return tx.nested_checkpoint();
@@ -185,14 +191,14 @@ struct Driver {
     const std::uint64_t t_park = traced ? now_ns() : 0;
     if (traced) {
       obs::emit(obs::EventType::RetryPark, obs::AbortCause::None,
-                obs_algo(tx.algo_));
+                obs_idx(tx));
     }
     Backoff bo;
     for (;;) {
       if (retry_wake_ready(tx)) {
         if (traced) {
           obs::emit(obs::EventType::RetryWake, obs::AbortCause::None,
-                    obs_algo(tx.algo_), now_ns() - t_park, 0);
+                    obs_idx(tx), now_ns() - t_park, 0);
         }
         return;
       }
@@ -200,10 +206,10 @@ struct Driver {
         stats().add(Counter::RetryTimeouts);
         if (traced) {
           obs::emit(obs::EventType::RetryWake, obs::AbortCause::None,
-                    obs_algo(tx.algo_), now_ns() - t_park, 1);
+                    obs_idx(tx), now_ns() - t_park, 1);
         }
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
-                  obs_algo(tx.algo_), 0, tx.attempt_);
+                  obs_idx(tx), 0, tx.attempt_);
         throw RetryTimeout("stm::retry deadline expired");
       }
       // A waiter with a checkable wait edge keeps scanning for wait
@@ -218,7 +224,7 @@ struct Driver {
           liveness::deadlock_check();
         } catch (liveness::DeadlockError&) {
           obs::emit(obs::EventType::TxAbort, obs::AbortCause::Deadlock,
-                    obs_algo(tx.algo_), 0, tx.attempt_);
+                    obs_idx(tx), 0, tx.attempt_);
           throw;
         }
       }
@@ -226,16 +232,17 @@ struct Driver {
     }
   }
 
-  static void run_serial(Tx& tx, FunctionRef<void(Tx&)> body, Algo algo) {
+  static void run_serial(Tx& tx, FunctionRef<void(Tx&)> body,
+                         const Backend* b) {
     Backoff retry_bo;
     for (;;) {
       acquire_serial_gate();
-      tx.begin(algo, Tx::Mode::Serial, tx.attempt_ + 1);
+      tx.begin(b, Tx::Mode::Serial, tx.attempt_ + 1);
       const bool traced = obs::enabled();
       const std::uint64_t t_attempt = traced ? now_ns() : 0;
       if (traced) {
         obs::emit(obs::EventType::SerialEnter, obs::AbortCause::None,
-                  obs_algo(algo), 0, tx.attempt_);
+                  b->obs_index, 0, tx.attempt_);
       }
       try {
         body(tx);
@@ -253,7 +260,7 @@ struct Driver {
         if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
           stats().add(Counter::RetryTimeouts);
           obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
-                    obs_algo(algo), 0, tx.attempt_);
+                    b->obs_index, 0, tx.attempt_);
           throw RetryTimeout("stm::retry deadline expired (serial mode)");
         }
         // No read set to watch in direct mode: back off and re-execute.
@@ -276,7 +283,7 @@ struct Driver {
         release_serial_gate();
         stats().add(Counter::TxAbortExplicit);
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::Explicit,
-                  obs_algo(algo), 0, tx.attempt_);
+                  b->obs_index, 0, tx.attempt_);
         return;
       } catch (...) {
         // Direct-mode effects are retained (GCC `synchronized` semantics);
@@ -289,7 +296,7 @@ struct Driver {
         stats().add(Counter::TxCommit);
         if (traced) {
           obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
-                    obs_algo(algo), now_ns() - t_attempt, 0);
+                    b->obs_index, now_ns() - t_attempt, 0);
         }
         run_epilogues(tx);
         throw;
@@ -302,25 +309,27 @@ struct Driver {
       if (traced) {
         const std::uint64_t t_end = now_ns();
         obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
-                  obs_algo(algo), t_end - t_attempt,
+                  b->obs_index, t_end - t_attempt,
                   static_cast<std::uint32_t>(t_end - t_commit));
       }
       liveness::contention().on_commit();
+      adaptive::note_commit();
       run_epilogues(tx);
+      adaptive::maybe_switch();
       return;
     }
   }
 
-  static void run_cgl(Tx& tx, FunctionRef<void(Tx&)> body) {
+  static void run_cgl(Tx& tx, FunctionRef<void(Tx&)> body, const Backend* b) {
     RuntimeState& rt = runtime();
     std::unique_lock<std::mutex> lk(rt.cgl_mutex);
     for (;;) {
-      tx.begin(Algo::CGL, Tx::Mode::CGL, tx.attempt_ + 1);
+      tx.begin(b, Tx::Mode::CGL, tx.attempt_ + 1);
       const bool traced = obs::enabled();
       const std::uint64_t t_attempt = traced ? now_ns() : 0;
       if (traced) {
         obs::emit(obs::EventType::TxBegin, obs::AbortCause::None,
-                  obs_algo(Algo::CGL), 0, tx.attempt_);
+                  b->obs_index, 0, tx.attempt_);
       }
       try {
         body(tx);
@@ -349,7 +358,7 @@ struct Driver {
           if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
             stats().add(Counter::RetryTimeouts);
             obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
-                      obs_algo(Algo::CGL), 0, tx.attempt_);
+                      b->obs_index, 0, tx.attempt_);
             throw RetryTimeout("stm::retry deadline expired (CGL)");
           }
           if (rt.cgl_cv.wait_for(lk, std::chrono::milliseconds(10), woken)) {
@@ -366,7 +375,7 @@ struct Driver {
         discard_direct_attempt(tx);
         stats().add(Counter::TxAbortExplicit);
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::Explicit,
-                  obs_algo(Algo::CGL), 0, tx.attempt_);
+                  b->obs_index, 0, tx.attempt_);
         return;
       } catch (...) {
         tx.commit();
@@ -376,7 +385,7 @@ struct Driver {
         stats().add(Counter::TxCommit);
         if (traced) {
           obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
-                    obs_algo(Algo::CGL), now_ns() - t_attempt, 0);
+                    b->obs_index, now_ns() - t_attempt, 0);
         }
         run_epilogues(tx);
         throw;
@@ -390,7 +399,7 @@ struct Driver {
       if (traced) {
         const std::uint64_t t_end = now_ns();
         obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
-                  obs_algo(Algo::CGL), t_end - t_attempt,
+                  b->obs_index, t_end - t_attempt,
                   static_cast<std::uint32_t>(t_end - t_commit));
       }
       run_epilogues(tx);
@@ -427,10 +436,7 @@ struct Driver {
   }
 
   static void run_speculative(Tx& tx, FunctionRef<void(Tx&)> body,
-                              const Config& cfg) {
-    const std::uint32_t budget = (cfg.algo == Algo::HTMSim)
-                                     ? cfg.htm_retries
-                                     : cfg.serialize_after;
+                              const Config& cfg, const Backend* b) {
     std::uint32_t attempt = 0;
     Backoff bo;
     // A thread that lost its conflicts across many *previous* transactions
@@ -439,27 +445,36 @@ struct Driver {
     if (starvation_wants_serial(cfg)) {
       liveness::contention().on_escalation();
       stats().add(Counter::CmEscalations);
-      run_serial(tx, body, cfg.algo);
+      run_serial(tx, body, b);
       return;
     }
     for (;;) {
+      // HTM-like backends exhaust a small hardware-retry budget before
+      // falling back to the serial gate; software backends serialize as
+      // contention management of last resort. Re-derived per attempt —
+      // an adaptive switch may have changed the backend mid-loop.
+      const std::uint32_t budget =
+          b->has(kBackendHtmLike) ? cfg.htm_retries : cfg.serialize_after;
       if (attempt >= budget) {
         // Contention management of last resort: serialize (paper §2).
         // Privilege is moot inside the serial gate — free the token so
         // another starved thread can use it.
         liveness::contention().release_priority();
-        stats().add(cfg.algo == Algo::HTMSim ? Counter::TxHtmFallback
-                                             : Counter::TxIrrevocable);
-        run_serial(tx, body, cfg.algo);
+        stats().add(b->has(kBackendHtmLike) ? Counter::TxHtmFallback
+                                            : Counter::TxIrrevocable);
+        run_serial(tx, body, b);
         return;
       }
       ++attempt;
       const bool traced = obs::enabled();
       const std::uint64_t t_attempt = traced ? now_ns() : 0;
-      tx.begin(cfg.algo, Tx::Mode::Speculative, attempt);
+      tx.begin(b, Tx::Mode::Speculative, attempt);
+      // begin() re-resolves the active backend after passing the serial
+      // gate; track what this attempt actually runs.
+      b = backend(tx);
       if (traced) {
         obs::emit(obs::EventType::TxBegin, obs::AbortCause::None,
-                  obs_algo(cfg.algo), 0, attempt);
+                  b->obs_index, 0, attempt);
       }
       try {
         body(tx);
@@ -468,19 +483,20 @@ struct Driver {
         if (traced) {
           const std::uint64_t t_end = now_ns();
           obs::emit(obs::EventType::TxCommit, obs::AbortCause::None,
-                    obs_algo(cfg.algo), t_end - t_attempt,
+                    b->obs_index, t_end - t_attempt,
                     static_cast<std::uint32_t>(t_end - t_commit));
         }
       } catch (ConflictAbort& ca) {
         tx.rollback();
         stats().add(Counter::TxAbortConflict);
-        obs::emit(obs::EventType::TxAbort, ca.cause, obs_algo(cfg.algo), 0,
+        obs::emit(obs::EventType::TxAbort, ca.cause, b->obs_index, 0,
                   attempt);
         liveness::contention().on_conflict_abort();
+        adaptive::note_abort(ca.cause);
         if (starvation_wants_serial(cfg)) {
           liveness::contention().on_escalation();
           stats().add(Counter::CmEscalations);
-          run_serial(tx, body, cfg.algo);
+          run_serial(tx, body, b);
           return;
         }
         bo.pause();
@@ -489,7 +505,8 @@ struct Driver {
         tx.rollback();
         stats().add(Counter::TxAbortCapacity);
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::Capacity,
-                  obs_algo(cfg.algo), 0, attempt);
+                  b->obs_index, 0, attempt);
+        adaptive::note_abort(obs::AbortCause::Capacity);
         continue;
       } catch (RetryRequest& rr) {
         tx.capture_watch();
@@ -504,7 +521,7 @@ struct Driver {
           if (rr.deadline_ns != 0 && now_ns() >= rr.deadline_ns) {
             stats().add(Counter::RetryTimeouts);
             obs::emit(obs::EventType::TxAbort, obs::AbortCause::Timeout,
-                      obs_algo(cfg.algo), 0, attempt);
+                      b->obs_index, 0, attempt);
             throw RetryTimeout("stm::retry deadline expired");
           }
           bo.pause();
@@ -515,29 +532,34 @@ struct Driver {
         tx.rollback();
         stats().add(Counter::TxIrrevocable);
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::SerialRestart,
-                  obs_algo(cfg.algo), 0, attempt);
-        run_serial(tx, body, cfg.algo);
+                  b->obs_index, 0, attempt);
+        run_serial(tx, body, b);
         return;
       } catch (UserAbort&) {
         tx.rollback();
         stats().add(Counter::TxAbortExplicit);
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::Explicit,
-                  obs_algo(cfg.algo), 0, attempt);
+                  b->obs_index, 0, attempt);
         return;
       } catch (liveness::DeadlockError&) {
         tx.rollback();
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::Deadlock,
-                  obs_algo(cfg.algo), 0, attempt);
+                  b->obs_index, 0, attempt);
         throw;
       } catch (...) {
         tx.rollback();
         obs::emit(obs::EventType::TxAbort, obs::AbortCause::Exception,
-                  obs_algo(cfg.algo), 0, attempt);
+                  b->obs_index, 0, attempt);
         throw;
       }
       stats().add(Counter::TxCommit);
       liveness::contention().on_commit();
+      adaptive::note_commit();
       run_epilogues(tx);
+      // Adaptive mode evaluates its window here: fully outside the
+      // transaction, epilogues done, no cross-transaction locks pinned by
+      // this thread unless a deferred op is still in flight (checked).
+      adaptive::maybe_switch();
       return;
     }
   }
@@ -599,10 +621,11 @@ void run_atomic(FunctionRef<void(Tx&)> body) {
   }
   ActivityScope scope;
   const Config cfg = runtime().config;
-  if (cfg.algo == Algo::CGL) {
-    Driver::run_cgl(tx, body);
+  const Backend* b = active_backend_or_default();
+  if (b->has(kBackendDirectMode)) {
+    Driver::run_cgl(tx, body, b);
   } else {
-    Driver::run_speculative(tx, body, cfg);
+    Driver::run_speculative(tx, body, cfg, b);
   }
 }
 
@@ -615,6 +638,10 @@ void init(const Config& cfg) {
   if (c.serialize_after == 0) c.serialize_after = 1;
   if (c.htm_retries == 0) c.htm_retries = 1;
   detail::runtime().config = c;
+  // Resolve and publish the backend selection (Config::backend name,
+  // ADTM_ALGO, or the deprecated enum; "auto" arms adaptive switching).
+  // Throws std::invalid_argument for an unknown name.
+  detail::install_backend(c);
   // ADTM_TRACE=1 turns tracing on at the first init. Never turns it off:
   // an explicit obs::enable() (or configure()) outranks the environment.
   if (runtime_config().trace && !obs::enabled()) obs::enable();

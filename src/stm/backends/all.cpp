@@ -1,0 +1,9 @@
+#include "stm/backends/backends.hpp"
+
+namespace adtm::stm::backends {
+
+void register_extension_backends(BackendRegistry& reg) {
+  register_twopl_backend(reg);
+}
+
+}  // namespace adtm::stm::backends

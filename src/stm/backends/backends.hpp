@@ -1,0 +1,29 @@
+// Extension-backend manifest.
+//
+// Backends implemented outside the core Tx translation units register
+// here. backend_registry() calls register_extension_backends() once,
+// right after registering the five built-ins — an explicit manifest
+// rather than per-TU static initializers, because adtm_stm is a static
+// library and the linker would drop an otherwise-unreferenced backend
+// translation unit together with its registration.
+#pragma once
+
+namespace adtm::stm {
+class BackendRegistry;
+}
+
+namespace adtm::stm::backends {
+
+// Called once during backend_registry() construction (which is why the
+// registry is passed explicitly — calling backend_registry() here would
+// recurse into the singleton's initialization). Implemented in all.cpp;
+// calls each backend's registrar below in a deterministic order
+// (registration order is enumeration order, which test parameterizations
+// and bench matrices rely on).
+void register_extension_backends(BackendRegistry& reg);
+
+// Distributed two-phase locking (2PLUndoDist lineage): undo-log in-place
+// writes, pessimistic reads through per-thread reader indicators.
+void register_twopl_backend(BackendRegistry& reg);
+
+}  // namespace adtm::stm::backends

@@ -15,6 +15,13 @@ namespace adtm::stm::detail {
 struct RuntimeState {
   Config config{};
 
+  // The backend new transactions run (stm/backend.hpp). Published by
+  // init() and switch_backend(); Tx::begin re-resolves it after passing
+  // the serial gate, so a switch completed while a transaction was parked
+  // at the gate takes effect before its first barrier. Null until the
+  // first init() (run_atomic lazily resolves the default then).
+  std::atomic<const Backend*> active_backend{nullptr};
+
   // CGL algorithm: the single global lock, plus a broadcast channel that
   // wakes retry() waiters on every CGL commit.
   std::mutex cgl_mutex;

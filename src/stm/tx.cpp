@@ -10,6 +10,7 @@
 #include "common/timing.hpp"
 #include "common/tsan.hpp"
 #include "liveness/activity.hpp"
+#include "stm/backend.hpp"
 #include "liveness/contention.hpp"
 #include "liveness/wait_graph.hpp"
 #include "stm/control.hpp"
@@ -45,10 +46,12 @@ std::uint64_t norec_snapshot() noexcept {
 
 }  // namespace
 
-void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
+void Tx::begin(const Backend* backend, Mode mode, std::uint32_t attempt) {
   ADTM_INVARIANT(!in_tx_, "begin() on an active transaction");
+  ADTM_INVARIANT(backend != nullptr, "begin() without a backend");
   mode_ = mode;
-  algo_ = algo;
+  backend_ = backend;
+  algo_ = backend->core;
   attempt_ = attempt;
   tid_ = thread_id();
   wrote_direct_ = false;
@@ -65,12 +68,20 @@ void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
     // the snapshot and the shield.
     priority_ = liveness::contention().has_priority();
     if (priority_) liveness::contention().set_priority_attempt(true);
-    const bool norec = (algo_ == Algo::NOrec);
-    start_ = norec ? norec_snapshot() : clock_now();
+    start_ = (algo_ == Algo::NOrec) ? norec_snapshot() : clock_now();
     detail::registry_enter(start_);
-    // registry_enter may have waited for a serial writer; refresh the
-    // snapshot so we do not start in the past relative to its effects.
-    start_ = norec ? norec_snapshot() : clock_now();
+    // registry_enter may have waited for a serial writer — which may have
+    // been switch_backend() swapping the active backend at the gate.
+    // Re-resolve so this attempt runs the post-switch algorithm, then
+    // refresh the snapshot so we do not start in the past relative to the
+    // writer's effects.
+    const Backend* cur =
+        detail::runtime().active_backend.load(std::memory_order_acquire);
+    if (cur != nullptr && cur != backend_) {
+      backend_ = cur;
+      algo_ = cur->core;
+    }
+    start_ = (algo_ == Algo::NOrec) ? norec_snapshot() : clock_now();
     detail::my_slot().active_since.store(start_, std::memory_order_seq_cst);
   } else {
     priority_ = false;
@@ -90,6 +101,11 @@ void Tx::begin(Algo algo, Mode mode, std::uint32_t attempt) {
   in_tx_ = true;
   stats().add(Counter::TxStart);
   tmsan::on_tx_begin(mode_ != Mode::Speculative);
+  // Extension backends reset their per-attempt state last, with all the
+  // common bookkeeping (registry slot, snapshot, liveness) in place.
+  if (mode_ == Mode::Speculative && backend_->ops != nullptr) {
+    backend_->ops->begin(*this);
+  }
 }
 
 void Tx::commit() {
@@ -104,6 +120,12 @@ void Tx::commit() {
               : clock_now());
     }
     in_tx_ = false;
+    return;
+  }
+  if (backend_->ops != nullptr) {
+    // Extension backends own their whole commit protocol (publication,
+    // tmsan filing, lock release, registry exit, quiescence).
+    backend_->ops->commit(*this);
     return;
   }
   if (algo_ == Algo::NOrec) {
@@ -279,6 +301,11 @@ void Tx::rollback() noexcept {
   // The attempt is over: drop the NOrec shield so rivals held back for
   // this privileged attempt do not stall while we park or back off.
   if (priority_) liveness::contention().set_priority_attempt(false);
+  // Extension-state cleanup (e.g. 2PL reader indicators) before the
+  // generic undo/lock unwinding below.
+  if (backend_ != nullptr && backend_->ops != nullptr) {
+    backend_->ops->rollback(*this);
+  }
   undo_.rollback();
   undo_.clear();
   locks_.restore_all();
@@ -321,6 +348,7 @@ std::uint64_t Tx::read_word(const detail::Word* addr) {
     tmsan::on_tx_read(addr, v);
     return v;
   }
+  if (backend_->ops != nullptr) return backend_->ops->read_word(*this, addr);
   if (algo_ == Algo::NOrec) return read_word_norec(addr);
   return read_word_speculative(addr);
 }
@@ -409,6 +437,10 @@ void Tx::write_word(detail::Word* addr, std::uint64_t value) {
     wrote_direct_ = true;
     addr->store(value, std::memory_order_relaxed);
     tmsan::on_tx_write(addr, value);
+    return;
+  }
+  if (backend_->ops != nullptr) {
+    backend_->ops->write_word(*this, addr, value);
     return;
   }
   if (algo_ == Algo::TL2 || algo_ == Algo::NOrec) {

@@ -14,6 +14,9 @@
 
 namespace adtm::stm {
 
+struct Backend;
+struct BackendSpi;
+
 namespace detail {
 struct Driver;
 }
@@ -64,13 +67,17 @@ class Tx {
 
  private:
   friend struct detail::Driver;
+  // Extension backends (stm/backends/*) reach Tx internals through the
+  // BackendSpi accessor struct instead of each being a friend.
+  friend struct BackendSpi;
   Tx() = default;
 
   enum class Mode : std::uint8_t { Speculative, Serial, CGL };
 
   // Per-attempt state.
   Mode mode_ = Mode::Speculative;
-  Algo algo_ = Algo::TL2;
+  Algo algo_ = Algo::TL2;           // backend_->core (inline-dispatch key)
+  const Backend* backend_ = nullptr;  // resolved descriptor for this attempt
   std::uint64_t start_ = 0;  // snapshot timestamp
   std::uint32_t attempt_ = 0;
   std::uint32_t tid_ = 0;  // cached small thread id
@@ -105,7 +112,7 @@ class Tx {
   std::uint64_t retry_exit_snap_ = 0;
 
   // --- algorithm steps (tx.cpp) ---
-  void begin(Algo algo, Mode mode, std::uint32_t attempt);
+  void begin(const Backend* backend, Mode mode, std::uint32_t attempt);
   void commit();                  // may throw ConflictAbort
   void rollback() noexcept;       // undo speculation, release locks, leave
   void capture_watch();           // snapshot read set for retry waiting

@@ -1,5 +1,5 @@
 // OLTP harness smoke matrix (label: oltp): a seconds-scale run of both
-// workloads over every algorithm, checking the things a bench binary
+// workloads over every registered backend, checking the things a bench binary
 // can only print — the container-size oracle, and that driver-counted
 // commits reconcile with the obs layer's taxonomy.
 #include "bench/oltp_driver.hpp"
@@ -13,13 +13,10 @@
 namespace adtm::oltp {
 namespace {
 
-constexpr stm::Algo kAlgos[] = {stm::Algo::TL2, stm::Algo::Eager,
-                                stm::Algo::CGL, stm::Algo::HTMSim,
-                                stm::Algo::NOrec};
-
-ScenarioConfig quick_config(stm::Algo algo, Dist dist, unsigned threads) {
+ScenarioConfig quick_config(const std::string& backend, Dist dist,
+                            unsigned threads) {
   ScenarioConfig cfg;
-  cfg.algo = algo;
+  cfg.backend = backend;
   cfg.dist = dist;
   cfg.threads = threads;
   cfg.duration_ms = 40;
@@ -42,10 +39,9 @@ class OltpSmokeTest : public ::testing::Test {
 TEST_F(OltpSmokeTest, YcsbBTreeCommitsReconcileWithObs) {
   YcsbRunner<containers::TxBTree<std::uint64_t, std::uint64_t>> runner(
       4096, 7);
-  for (const auto algo : kAlgos) {
+  for (const std::string& name : test::all_backend_names()) {
     for (const Dist dist : {Dist::Uniform, Dist::Zipf}) {
-      const auto res = runner.run(quick_config(algo, dist, 2));
-      const char* name = stm::algo_name(algo);
+      const auto res = runner.run(quick_config(name, dist, 2));
       EXPECT_GT(res.commits, 0u) << name;
       EXPECT_TRUE(res.oracle_ok) << name << ": size oracle mismatch";
       // YCSB ops are exactly one transaction each and nothing else runs
@@ -53,7 +49,7 @@ TEST_F(OltpSmokeTest, YcsbBTreeCommitsReconcileWithObs) {
       EXPECT_EQ(res.obs_commits, res.commits) << name;
       // The abort taxonomy must account for every abort it reports.
       EXPECT_EQ(taxonomy_total(res), res.obs_aborts) << name;
-      if (algo == stm::Algo::CGL) {
+      if (name == "CGL") {
         EXPECT_EQ(res.obs_aborts, 0u) << "CGL cannot abort";
       }
     }
@@ -63,9 +59,8 @@ TEST_F(OltpSmokeTest, YcsbBTreeCommitsReconcileWithObs) {
 TEST_F(OltpSmokeTest, YcsbSkipListCommitsReconcileWithObs) {
   YcsbRunner<containers::TxSkipList<std::uint64_t, std::uint64_t>> runner(
       4096, 7);
-  for (const auto algo : kAlgos) {
-    const auto res = runner.run(quick_config(algo, Dist::Zipf, 2));
-    const char* name = stm::algo_name(algo);
+  for (const std::string& name : test::all_backend_names()) {
+    const auto res = runner.run(quick_config(name, Dist::Zipf, 2));
     EXPECT_GT(res.commits, 0u) << name;
     EXPECT_TRUE(res.oracle_ok) << name << ": size oracle mismatch";
     EXPECT_EQ(res.obs_commits, res.commits) << name;
@@ -75,9 +70,8 @@ TEST_F(OltpSmokeTest, YcsbSkipListCommitsReconcileWithObs) {
 
 TEST_F(OltpSmokeTest, WarehouseOrderedLogReconciles) {
   WarehouseRunner runner(4096, 7);
-  for (const auto algo : kAlgos) {
-    const auto res = runner.run(quick_config(algo, Dist::Zipf, 2));
-    const char* name = stm::algo_name(algo);
+  for (const std::string& name : test::all_backend_names()) {
+    const auto res = runner.run(quick_config(name, Dist::Zipf, 2));
     EXPECT_GT(res.commits, 0u) << name;
     // oracle_ok covers both tables: one skip-list order row AND one
     // ordered txlog record per committed transaction (atomic deferral's
@@ -95,7 +89,7 @@ TEST_F(OltpSmokeTest, OpenLoopPacingBoundsThroughput) {
   // throttled down to roughly the requested rate.
   YcsbRunner<containers::TxBTree<std::uint64_t, std::uint64_t>> runner(
       4096, 7);
-  ScenarioConfig cfg = quick_config(stm::Algo::TL2, Dist::Uniform, 2);
+  ScenarioConfig cfg = quick_config("tl2", Dist::Uniform, 2);
   cfg.duration_ms = 100;
   cfg.rate = 20000;
   const auto res = runner.run(cfg);

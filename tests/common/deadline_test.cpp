@@ -27,7 +27,7 @@ class DeadlineApiTest : public ::testing::Test {
  protected:
   void SetUp() override {
     stm::Config cfg;
-    cfg.algo = stm::Algo::TL2;
+    cfg.backend = "tl2";
     stm::init(cfg);
   }
 };

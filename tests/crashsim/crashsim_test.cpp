@@ -10,6 +10,7 @@
 
 #include "faultsim/crashpoint.hpp"
 #include "io/temp_dir.hpp"
+#include "stm/backend.hpp"
 
 namespace adtm::crashsim {
 namespace {
@@ -61,7 +62,7 @@ TEST_F(CrashsimTest, RecoveryPathCrashSurvivesTorture) {
 TEST_F(CrashsimTest, SigkillFlavorSurvivesTorture) {
   TortureCase tc;
   tc.point = "durable.pre_fsync";
-  tc.algo = stm::Algo::NOrec;
+  tc.algo = "NOrec";
   tc.action = faultsim::CrashAction::Kill;
   // The checkpoint path reaches this point only twice in a 32-op
   // workload; a skip of 2 would let both through.
@@ -114,15 +115,14 @@ TEST_F(CrashsimTest, QuickMatrixCoversEveryRegisteredPoint) {
 TEST_F(CrashsimTest, FullMatrixCoversEveryPointUnderEveryAlgorithm) {
   const auto cases = full_matrix(1);
   for (const auto& desc : faultsim::crash_points()) {
-    for (const stm::Algo algo :
-         {stm::Algo::TL2, stm::Algo::Eager, stm::Algo::CGL,
-          stm::Algo::HTMSim, stm::Algo::NOrec}) {
+    for (std::size_t i = 0; i < stm::backend_registry().size(); ++i) {
+      const std::string algo = stm::backend_registry().at(i)->name;
       const bool covered =
           std::any_of(cases.begin(), cases.end(), [&](const TortureCase& tc) {
             return tc.point == desc.name && tc.algo == algo;
           });
       EXPECT_TRUE(covered) << "full matrix misses " << desc.name << "/"
-                           << stm::algo_name(algo);
+                           << algo;
     }
   }
   EXPECT_GT(cases.size(), quick_matrix(1).size());

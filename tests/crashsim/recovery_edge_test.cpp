@@ -27,7 +27,7 @@ using wal::WriteAheadLog;
 
 class RecoveryEdgeTest : public ::testing::Test {
  protected:
-  void SetUp() override { stm::init({.algo = stm::Algo::TL2}); }
+  void SetUp() override { stm::init({.backend = "tl2"}); }
 
   std::string log_path() const { return dir_.file("wal.log"); }
 

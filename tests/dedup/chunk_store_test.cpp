@@ -25,11 +25,11 @@ std::vector<std::byte> payload_of(int n) {
 }
 
 class ChunkStoreTest
-    : public ::testing::TestWithParam<std::tuple<SyncMode, stm::Algo>> {
+    : public ::testing::TestWithParam<std::tuple<SyncMode, std::string>> {
  protected:
   void SetUp() override {
     stm::Config cfg;
-    cfg.algo = std::get<1>(GetParam());
+    cfg.backend = std::get<1>(GetParam());
     stm::init(cfg);
     mode_ = std::get<0>(GetParam());
   }
@@ -149,18 +149,18 @@ TEST_P(ChunkStoreTest, BucketCollisionsChainCorrectly) {
 INSTANTIATE_TEST_SUITE_P(
     Modes, ChunkStoreTest,
     ::testing::Values(
-        std::tuple{SyncMode::Pthread, stm::Algo::TL2},
-        std::tuple{SyncMode::TmIrrevoc, stm::Algo::TL2},
-        std::tuple{SyncMode::TmIrrevoc, stm::Algo::Eager},
-        std::tuple{SyncMode::TmIrrevoc, stm::Algo::HTMSim},
-        std::tuple{SyncMode::TmDeferIO, stm::Algo::TL2},
-        std::tuple{SyncMode::TmDeferAll, stm::Algo::TL2},
-        std::tuple{SyncMode::TmDeferAll, stm::Algo::HTMSim},
-        std::tuple{SyncMode::TmIrrevoc, stm::Algo::NOrec},
-        std::tuple{SyncMode::TmDeferAll, stm::Algo::NOrec}),
+        std::tuple{SyncMode::Pthread, std::string("TL2")},
+        std::tuple{SyncMode::TmIrrevoc, std::string("TL2")},
+        std::tuple{SyncMode::TmIrrevoc, std::string("Eager")},
+        std::tuple{SyncMode::TmIrrevoc, std::string("HTMSim")},
+        std::tuple{SyncMode::TmDeferIO, std::string("TL2")},
+        std::tuple{SyncMode::TmDeferAll, std::string("TL2")},
+        std::tuple{SyncMode::TmDeferAll, std::string("HTMSim")},
+        std::tuple{SyncMode::TmIrrevoc, std::string("NOrec")},
+        std::tuple{SyncMode::TmDeferAll, std::string("NOrec")}),
     [](const auto& info) {
       std::string name = std::string(sync_mode_name(std::get<0>(info.param))) +
-                         "_" + stm::algo_name(std::get<1>(info.param));
+                         "_" + std::get<1>(info.param);
       std::erase_if(name, [](char c) {
         return !std::isalnum(static_cast<unsigned char>(c)) && c != '_';
       });

@@ -20,7 +20,7 @@ namespace adtm::dedup {
 namespace {
 
 std::string make_container(std::uint64_t seed) {
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   const std::string input = make_synthetic_input(
       {.total_bytes = 96 * 1024, .dup_fraction = 0.5, .seed = seed});
   io::TempDir dir("adtm-corrupt");

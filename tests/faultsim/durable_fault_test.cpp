@@ -21,7 +21,7 @@ namespace {
 class DurableFaultTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    stm::init({.algo = stm::Algo::TL2});
+    stm::init({.backend = "tl2"});
     faultsim::engine().disarm();
     stats().reset();
   }

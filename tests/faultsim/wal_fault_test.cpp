@@ -25,7 +25,7 @@ namespace {
 class WalFaultTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    stm::init({.algo = stm::Algo::TL2});
+    stm::init({.backend = "tl2"});
     faultsim::engine().disarm();
     stats().reset();
   }

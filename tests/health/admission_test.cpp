@@ -26,7 +26,7 @@ using namespace std::chrono_literals;
 class AdmissionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    stm::init({.algo = stm::Algo::TL2});
+    stm::init({.backend = "tl2"});
     stats().reset();
     monitor().reset();
     gate().set_enabled(true);

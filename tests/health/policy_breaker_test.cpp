@@ -27,7 +27,7 @@ namespace {
 class PolicyBreakerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    stm::init({.algo = stm::Algo::TL2});
+    stm::init({.backend = "tl2"});
     faultsim::engine().disarm();
     stats().reset();
     health::monitor().reset();

@@ -42,7 +42,7 @@ TEST(ContentionManager, DefaultThresholdComesFromConfig) {
 
 TEST(ContentionManager, PrimedStreakTakesPriorityTokenNotSerial) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   cfg.starvation_threshold = 8;
   stm::init(cfg);
   stats().reset();
@@ -79,7 +79,7 @@ TEST(ContentionManager, PrimedStreakTakesPriorityTokenNotSerial) {
 
 TEST(ContentionManager, ThresholdZeroNeverEscalates) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   cfg.starvation_threshold = 0;
   stm::init(cfg);
   stats().reset();

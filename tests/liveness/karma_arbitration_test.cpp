@@ -45,9 +45,9 @@ class KarmaArbitrationTest : public ::testing::Test {
     stm::init(stm::Config{});
   }
 
-  void init(stm::Algo algo, std::uint32_t threshold = 4) {
+  void init(const char* backend, std::uint32_t threshold = 4) {
     stm::Config cfg;
-    cfg.algo = algo;
+    cfg.backend = backend;
     cfg.starvation_threshold = threshold;
     stm::init(cfg);
   }
@@ -86,7 +86,7 @@ TEST_F(KarmaArbitrationTest, TokenSemantics) {
 // thread that pins a TxLock across transactions could never serialize, so
 // nothing ever arbitrated for it. Rung 1 must work exactly there.
 TEST_F(KarmaArbitrationTest, PinnedHolderPastThresholdTakesToken) {
-  init(stm::Algo::TL2);
+  init("tl2");
   auto& cm = liveness::contention();
   TxLock lock;
   lock.acquire();  // pinned across transactions: locker_depth() == 1
@@ -109,7 +109,7 @@ TEST_F(KarmaArbitrationTest, PinnedHolderPastThresholdTakesToken) {
 // a starved thread escalates to serial as before. The helper then dies
 // holding the token, and the thread-exit hook must reclaim it.
 TEST_F(KarmaArbitrationTest, TokenTakenFallsBackToSerialAndExitReclaims) {
-  init(stm::Algo::TL2);
+  init("tl2");
   auto& cm = liveness::contention();
   std::atomic<bool> token_held{false};
   std::atomic<bool> done{false};
@@ -142,7 +142,7 @@ TEST_F(KarmaArbitrationTest, TokenTakenFallsBackToSerialAndExitReclaims) {
 // streak (conflicts arbitration cannot veto, e.g. validation failures),
 // the holder hands the token on and serializes.
 TEST_F(KarmaArbitrationTest, PrivilegeBackstopReleasesTokenAndSerializes) {
-  init(stm::Algo::TL2);
+  init("tl2");
   auto& cm = liveness::contention();
   prime_streak(4);
   ASSERT_TRUE(cm.try_acquire_priority(4));
@@ -163,7 +163,7 @@ TEST_F(KarmaArbitrationTest, PrivilegeBackstopReleasesTokenAndSerializes) {
 // outwait it and commit with zero conflict aborts and no serial mode.
 // Fails on the pre-arbitration tree (the spin budget expires first).
 TEST_F(KarmaArbitrationTest, PrivilegedWriterOutwaitsEagerLockHolder) {
-  init(stm::Algo::Eager);
+  init("eager");
   stm::tvar<int> x{0};
   std::atomic<bool> rival_holds{false};
   std::thread rival([&] {
@@ -193,7 +193,7 @@ TEST_F(KarmaArbitrationTest, PrivilegedWriterOutwaitsEagerLockHolder) {
 // aside immediately (CmPriorityYields) instead of burning its spin budget
 // against the one thread arbitration favors.
 TEST_F(KarmaArbitrationTest, RivalYieldsToPriorityThreadsOrec) {
-  init(stm::Algo::Eager);
+  init("eager");
   auto& cm = liveness::contention();
   stm::tvar<int> x{0};
   prime_streak(4);
@@ -222,7 +222,7 @@ TEST_F(KarmaArbitrationTest, RivalYieldsToPriorityThreadsOrec) {
 // privileged body long enough to lose every race under a hammer still
 // validates and commits without serial mode.
 TEST_F(KarmaArbitrationTest, NorecRivalsHoldCommitBackForPriorityAttempt) {
-  init(stm::Algo::NOrec);
+  init("norec");
   auto& cm = liveness::contention();
   stm::tvar<std::uint64_t> x{0};
   std::atomic<bool> stop{false};

@@ -296,7 +296,7 @@ INSTANTIATE_TEST_SUITE_P(SpeculativeAlgos, TxLockLivenessTest,
 
 TEST(TxLockLivenessCgl, TimedAcquireAndPoisonWakeUnderCgl) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::CGL;
+  cfg.backend = "cgl";
   stm::init(cfg);
   stats().reset();
   TxLock lock;

@@ -35,9 +35,9 @@ std::uint64_t commits(const obs::RunSummary& s, const std::string& algo) {
 
 class AbortTaxonomyTest : public ::testing::Test {
  protected:
-  void init(stm::Algo algo, bool quiescence = true) {
+  void init(const char* backend, bool quiescence = true) {
     stm::Config cfg;
-    cfg.algo = algo;
+    cfg.backend = backend;
     // The seeded-conflict tests commit from a rival thread while the main
     // transaction is still open; with quiescence the rival would wait for
     // it (and the main thread is joining the rival). Irrelevant to abort
@@ -55,7 +55,7 @@ class AbortTaxonomyTest : public ::testing::Test {
 };
 
 TEST_F(AbortTaxonomyTest, CancelIsExactlyOneExplicitAbort) {
-  init(stm::Algo::TL2);
+  init("tl2");
   stm::tvar<int> x{0};
   stm::atomic([&](stm::Tx& tx) {
     x.get(tx);
@@ -73,7 +73,7 @@ TEST_F(AbortTaxonomyTest, CommitTimeInvalidationIsConflictValidation) {
   // Attempt 1: read x, let a rival commit a new x, write y — TL2's
   // commit-time read validation must fail with ConflictValidation (not
   // lock-busy: the rival is long gone by then). Attempt 2 commits.
-  init(stm::Algo::TL2, /*quiescence=*/false);
+  init("tl2", /*quiescence=*/false);
   stm::tvar<long> x{0};
   stm::tvar<long> y{0};
   int attempts = 0;
@@ -99,7 +99,7 @@ TEST_F(AbortTaxonomyTest, CommitTimeInvalidationIsConflictValidation) {
 TEST_F(AbortTaxonomyTest, NorecValueValidationHasItsOwnCause) {
   // The same seeded conflict under NOrec fails value-based validation:
   // the taxonomy distinguishes it from TL2's timestamp validation.
-  init(stm::Algo::NOrec, /*quiescence=*/false);
+  init("norec", /*quiescence=*/false);
   stm::tvar<long> x{0};
   stm::tvar<long> y{0};
   int attempts = 0;
@@ -123,7 +123,7 @@ TEST_F(AbortTaxonomyTest, NorecValueValidationHasItsOwnCause) {
 
 TEST_F(AbortTaxonomyTest, HtmFootprintOverflowIsCapacity) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::HTMSim;
+  cfg.backend = "htmsim";
   cfg.htm_capacity = 4;  // tiny budget: the write set below must overflow
   stm::init(cfg);
   obs::clear();
@@ -147,7 +147,7 @@ TEST_F(AbortTaxonomyTest, HtmFootprintOverflowIsCapacity) {
 }
 
 TEST_F(AbortTaxonomyTest, RetryDeadlineExpiryIsTimeout) {
-  init(stm::Algo::TL2);
+  init("tl2");
   stm::tvar<bool> flag{false};
   const Deadline deadline = Deadline::at(now_ns() + 20'000'000ull);  // 20 ms
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
@@ -161,7 +161,7 @@ TEST_F(AbortTaxonomyTest, RetryDeadlineExpiryIsTimeout) {
 }
 
 TEST_F(AbortTaxonomyTest, UserExceptionIsClassifiedAsException) {
-  init(stm::Algo::TL2);
+  init("tl2");
   stm::tvar<int> x{0};
   struct Boom {};
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {

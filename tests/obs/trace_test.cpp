@@ -24,7 +24,7 @@ class ObsTraceTest : public ::testing::Test {
  protected:
   void SetUp() override {
     stm::Config cfg;
-    cfg.algo = stm::Algo::TL2;
+    cfg.backend = "tl2";
     stm::init(cfg);
     obs::disable();
     obs::clear();

@@ -1,0 +1,194 @@
+// Adaptive backend switching (label: adaptive): the abort-taxonomy
+// controller behind Config::backend = "auto", and the serial-gate
+// switch_backend path exercised mid-load. The stress case runs with the
+// full tmsan checker set armed — a switch that tore a transaction's
+// algorithm choice would surface as a mixed-mode race or an opacity
+// violation there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/runtime_config.hpp"
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+#include "stm/api.hpp"
+#include "stm/backend.hpp"
+#include "stm/tvar.hpp"
+#include "tmsan/tmsan.hpp"
+
+namespace adtm {
+namespace {
+
+// Small decision windows and zero dwell so a storm is acted on within a
+// couple of windows; each test stops its workload once the controller
+// reaches the backend the workload demands, starving later windows below
+// the minimum sample size so the choice sticks.
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = runtime_config();
+    RuntimeConfig cfg = saved_;
+    cfg.adapt_window_ms = 20;
+    cfg.adapt_min_dwell_ms = 0;
+    configure(cfg);
+  }
+
+  void TearDown() override { configure(saved_); }
+
+ private:
+  RuntimeConfig saved_;
+};
+
+TEST_F(AdaptiveTest, AutoStartsOnTl2) {
+  stm::init({.backend = "auto"});
+  EXPECT_STREQ(stm::current_backend()->id, "tl2");
+}
+
+TEST_F(AdaptiveTest, ValidationStormSwitchesTo2pl) {
+  stm::init({.backend = "auto"});
+  stats().reset();
+
+  // Validation-heavy contention: every transaction reads the whole array,
+  // yields so a rival lands a commit inside the vulnerable window (on a
+  // single-core runner the threads otherwise never overlap), then writes
+  // one slot — so commit-time validation (TL2) or value revalidation
+  // (NOrec) aborts dominate the taxonomy. 2PL is the controller's fixed
+  // point for that signal: reachable directly, or via a low-abort first
+  // window that detours through NOrec before the storm registers.
+  constexpr int kVars = 8;
+  stm::tvar<long> vars[kVars];
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        stm::atomic([&](stm::Tx& tx) {
+          long sum = 0;
+          for (const auto& v : vars) sum += v.get(tx);
+          std::this_thread::yield();
+          vars[(t + i) % kVars].set(tx, sum + 1);
+        });
+        ++i;
+        if (std::strcmp(stm::current_backend()->id, "2pl") == 0) break;
+      }
+    });
+  }
+
+  // A couple of 20 ms windows is the contract; allow generous slack for
+  // loaded CI machines before declaring the controller broke.
+  const std::uint64_t deadline = now_ns() + 10'000'000'000ULL;
+  while (std::strcmp(stm::current_backend()->id, "2pl") != 0 &&
+         now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : pool) th.join();
+
+  EXPECT_GE(stats().total(Counter::BackendSwitches), 1u);
+  EXPECT_STREQ(stm::current_backend()->id, "2pl");
+  stm::init({.backend = "tl2"});
+}
+
+TEST_F(AdaptiveTest, LowConflictLoadSwitchesToNorec) {
+  stm::init({.backend = "auto"});
+  stats().reset();
+
+  // One thread, no contention: the abort rate is ~0, which the controller
+  // reads as "validation overhead wasted" and moves to NOrec.
+  stm::tvar<long> x{0};
+  const std::uint64_t deadline = now_ns() + 5'000'000'000ULL;
+  while (stats().total(Counter::BackendSwitches) == 0 &&
+         now_ns() < deadline) {
+    stm::atomic([&](stm::Tx& tx) { x.set(tx, x.get(tx) + 1); });
+  }
+
+  EXPECT_GE(stats().total(Counter::BackendSwitches), 1u);
+  EXPECT_STREQ(stm::current_backend()->id, "norec");
+  stm::init({.backend = "tl2"});
+}
+
+TEST(BackendSwitchStress, SeededFlippingMidLoadPreservesInvariants) {
+  stm::init({.backend = "tl2"});
+  stats().reset();
+  tmsan::reset();
+  tmsan::enable(tmsan::kCheckAll);
+
+  // Bank-transfer invariant across continuous switching: total balance is
+  // conserved by every backend, and every transition happens at the
+  // serial gate with all workers drained.
+  constexpr int kAccounts = 16;
+  constexpr long kInitial = 1000;
+  stm::tvar<long> accounts[kAccounts];
+  for (auto& a : accounts) {
+    stm::atomic([&](stm::Tx& tx) { a.set(tx, kInitial); });
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      std::uint64_t seed = 0x9e3779b97f4a7c15ULL * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int from = static_cast<int>((seed >> 33) % kAccounts);
+        const int to = static_cast<int>((seed >> 13) % kAccounts);
+        if (from == to) continue;
+        stm::atomic([&](stm::Tx& tx) {
+          const long amount = static_cast<long>(seed % 5) + 1;
+          accounts[from].set(tx, accounts[from].get(tx) - amount);
+          accounts[to].set(tx, accounts[to].get(tx) + amount);
+        });
+      }
+    });
+  }
+
+  // Cycle through every switchable backend while the transfers run.
+  const char* cycle[] = {"eager", "norec", "2pl", "htmsim", "tl2"};
+  for (int round = 0; round < 8; ++round) {
+    for (const char* id : cycle) {
+      stm::switch_backend(id);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : pool) th.join();
+
+  long total = 0;
+  for (auto& a : accounts) total += a.load_direct();
+  EXPECT_EQ(total, static_cast<long>(kAccounts) * kInitial);
+  EXPECT_GE(stats().total(Counter::BackendSwitches), 30u);
+  EXPECT_STREQ(stm::current_backend()->id, "tl2");
+  EXPECT_EQ(tmsan::violation_count(), 0u) << tmsan::report();
+  tmsan::disable();
+  tmsan::reset();
+}
+
+TEST(BackendSwitchStress, ParkedRetryersAdoptTheNewBackend) {
+  // A transaction blocked in stm::retry() across a switch must re-resolve
+  // the active backend when it wakes instead of running a torn choice.
+  stm::init({.backend = "tl2"});
+  stm::tvar<int> gate{0};
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    stm::atomic([&](stm::Tx& tx) {
+      if (gate.get(tx) == 0) stm::retry(tx);
+    });
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stm::switch_backend("2pl");
+  EXPECT_FALSE(woke.load());
+  stm::atomic([&](stm::Tx& tx) { gate.set(tx, 1); });
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_STREQ(stm::current_backend()->id, "2pl");
+  stm::init({.backend = "tl2"});
+}
+
+}  // namespace
+}  // namespace adtm

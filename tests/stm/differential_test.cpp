@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
 
 namespace adtm {
 namespace {
@@ -19,9 +21,9 @@ constexpr int kCells = 32;
 // flow, nested blocks, scoped cancels, and allocation churn; returns the
 // final cell values plus a running checksum of everything observed.
 std::pair<std::array<long, kCells>, std::uint64_t> run_workload(
-    stm::Algo algo, std::uint64_t seed) {
+    const std::string& backend, std::uint64_t seed) {
   stm::Config cfg;
-  cfg.algo = algo;
+  cfg.backend = backend;
   stm::init(cfg);
 
   std::array<stm::tvar<long>, kCells> cells;
@@ -89,15 +91,11 @@ std::pair<std::array<long, kCells>, std::uint64_t> run_workload(
 
 TEST(Differential, AllAlgorithmsAgreeWithCglOracle) {
   for (const std::uint64_t seed : {1ull, 42ull, 20260706ull}) {
-    const auto oracle = run_workload(stm::Algo::CGL, seed);
-    for (const stm::Algo algo :
-         {stm::Algo::TL2, stm::Algo::Eager, stm::Algo::HTMSim,
-          stm::Algo::NOrec}) {
-      const auto got = run_workload(algo, seed);
-      EXPECT_EQ(got.first, oracle.first)
-          << stm::algo_name(algo) << " seed " << seed;
-      EXPECT_EQ(got.second, oracle.second)
-          << stm::algo_name(algo) << " seed " << seed;
+    const auto oracle = run_workload("cgl", seed);
+    for (const std::string& backend : test::speculative_backend_names()) {
+      const auto got = run_workload(backend, seed);
+      EXPECT_EQ(got.first, oracle.first) << backend << " seed " << seed;
+      EXPECT_EQ(got.second, oracle.second) << backend << " seed " << seed;
     }
   }
 }

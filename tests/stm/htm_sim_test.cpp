@@ -17,7 +17,7 @@ namespace {
 
 void init_htm(std::size_t capacity, std::uint32_t retries = 2) {
   stm::Config cfg;
-  cfg.algo = stm::Algo::HTMSim;
+  cfg.backend = "htmsim";
   cfg.htm_capacity = capacity;
   cfg.htm_retries = retries;
   stm::init(cfg);

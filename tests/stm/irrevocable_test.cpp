@@ -87,7 +87,7 @@ INSTANTIATE_TEST_SUITE_P(Speculative, IrrevocableTest,
                          test::SpeculativeAlgos(), test::algo_param_name);
 
 TEST(IrrevocableCgl, BecomeIrrevocableIsNoOpUnderCgl) {
-  stm::init({.algo = stm::Algo::CGL});
+  stm::init({.backend = "cgl"});
   stm::atomic([&](stm::Tx& tx) {
     EXPECT_TRUE(tx.irrevocable());  // CGL is always direct
     stm::become_irrevocable(tx);    // must not throw or restart
@@ -98,7 +98,7 @@ TEST(Serialization, RepeatedConflictsEscalateToSerial) {
   // With serialize_after=3 a transaction that conflicts forever must
   // escalate and then complete.
   stm::Config cfg;
-  cfg.algo = stm::Algo::TL2;
+  cfg.backend = "tl2";
   cfg.serialize_after = 3;
   cfg.lock_spin_limit = 4;
   stm::init(cfg);
@@ -129,7 +129,7 @@ TEST(Serialization, GateSerializesUnrelatedTransactions) {
   // The paper's complaint about irrevocability: it delays transactions
   // from completely unrelated parts of the program. Verify observable
   // semantics: an unrelated transaction cannot commit during a serial one.
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   stm::tvar<int> unrelated{0};
   std::atomic<bool> in_serial{false};
 

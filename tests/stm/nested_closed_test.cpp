@@ -213,7 +213,7 @@ TEST(ClosedNestingControlFlow, RetryInScopeRestartsWholeTransaction) {
   // Condition synchronization cannot be scoped: retry() inside a nested
   // scope must abort and re-execute the WHOLE transaction (the condition
   // may depend on anything the transaction read).
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   stm::tvar<int> flag{0};
   stm::tvar<int> probe{0};
   std::atomic<int> outer_runs{0};
@@ -238,7 +238,7 @@ TEST(ClosedNestingControlFlow, RetryInScopeRestartsWholeTransaction) {
 }
 
 TEST(ClosedNestingControlFlow, SubscribeInScopeComposes) {
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   struct C : Deferrable {
     stm::tvar<int> v{0};
   } cell;
@@ -253,7 +253,7 @@ TEST(ClosedNestingControlFlow, SubscribeInScopeComposes) {
 }
 
 TEST(ClosedNestingCgl, FlattensUnderDirectModes) {
-  stm::init({.algo = stm::Algo::CGL});
+  stm::init({.backend = "cgl"});
   stm::tvar<int> x{0};
   stm::atomic([&](stm::Tx& tx) {
     stm::atomic_nested([&](stm::Tx& inner) { x.set(inner, 7); });

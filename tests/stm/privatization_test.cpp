@@ -73,7 +73,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgos, PrivatizationTest, test::AllAlgos(),
 TEST(Quiescence, WriterCommitWaitsForConcurrentReaders) {
   // Direct probe of quiesce_until: hard to observe without timing, so we
   // assert the documented counter moves under forced overlap.
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   stats().reset();
 
   stm::tvar<long> x{0};

@@ -126,11 +126,9 @@ INSTANTIATE_TEST_SUITE_P(AllAlgos, RetryTest, test::AllAlgos(),
 TEST(RetryStrategy, ImmediateModeStillSynchronizesCorrectly) {
   // The paper's abort-and-immediately-retry workaround (§4.2): costlier,
   // but semantically identical — verify the handoff works under it.
-  for (const stm::Algo algo :
-       {stm::Algo::TL2, stm::Algo::Eager, stm::Algo::HTMSim,
-        stm::Algo::NOrec}) {
+  for (const std::string& backend : test::speculative_backend_names()) {
     stm::Config cfg;
-    cfg.algo = algo;
+    cfg.backend = backend;
     cfg.retry_wait = false;
     stm::init(cfg);
 
@@ -156,18 +154,18 @@ TEST(RetryStrategy, ImmediateModeStillSynchronizesCorrectly) {
     });
     producer.join();
     consumer.join();
-    EXPECT_EQ(sum, 100 * 101 / 2) << stm::algo_name(algo);
+    EXPECT_EQ(sum, 100 * 101 / 2) << backend;
   }
 }
 
 TEST(RetryErrors, EmptyReadSetThrows) {
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) { stm::retry(tx); }),
                std::logic_error);
 }
 
 TEST(RetryErrors, RetryAfterWriteUnderCglThrows) {
-  stm::init({.algo = stm::Algo::CGL});
+  stm::init({.backend = "cgl"});
   stm::tvar<int> x{0};
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
                  x.set(tx, 1);

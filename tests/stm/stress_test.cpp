@@ -160,7 +160,7 @@ TEST(SerialGateRegression, SerialTxAcquiresLockHeldByDeferredOp) {
   // deferred operation holds. Without locker draining this deadlocks:
   // the deferred op's release transaction would block on the serial gate
   // while the serial transaction spins on the lock.
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
 
   struct Cell : Deferrable {
     stm::tvar<long> v{0};
@@ -192,7 +192,7 @@ TEST(SerialGateRegression, SerialTxAcquiresLockHeldByDeferredOp) {
 }
 
 TEST(SerialGateRegression, SerialTxWhileTxLockGuardHeldElsewhere) {
-  stm::init({.algo = stm::Algo::TL2});
+  stm::init({.backend = "tl2"});
   TxLock lock;
   std::atomic<bool> holding{false};
   std::atomic<bool> release{false};

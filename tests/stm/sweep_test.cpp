@@ -12,16 +12,17 @@
 #include "common/stats.hpp"
 #include "stm/api.hpp"
 #include "stm/tvar.hpp"
+#include "support/algo_param.hpp"
 
 namespace adtm {
 namespace {
 
 class SweepTest
-    : public ::testing::TestWithParam<std::tuple<stm::Algo, int>> {
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
  protected:
   void SetUp() override {
     stm::Config cfg;
-    cfg.algo = std::get<0>(GetParam());
+    cfg.backend = std::get<0>(GetParam());
     stm::init(cfg);
     stats().reset();
   }
@@ -109,16 +110,14 @@ TEST_P(SweepTest, RingTransferConservation) {
 }
 
 std::string sweep_name(
-    const ::testing::TestParamInfo<std::tuple<stm::Algo, int>>& info) {
-  return std::string(stm::algo_name(std::get<0>(info.param))) + "_" +
+    const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+  return std::get<0>(info.param) + "_" +
          std::to_string(std::get<1>(info.param)) + "threads";
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AlgoThreadMatrix, SweepTest,
-    ::testing::Combine(::testing::Values(stm::Algo::TL2, stm::Algo::Eager,
-                                         stm::Algo::CGL, stm::Algo::HTMSim,
-                                         stm::Algo::NOrec),
+    ::testing::Combine(::testing::ValuesIn(test::all_backend_names()),
                        ::testing::Values(1, 2, 4, 8)),
     sweep_name);
 

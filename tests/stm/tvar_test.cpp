@@ -168,7 +168,7 @@ INSTANTIATE_TEST_SUITE_P(Speculative, RollbackTest, test::SpeculativeAlgos(),
                          test::algo_param_name);
 
 TEST(TvarCgl, ExceptionKeepsEffectsUnderCgl) {
-  stm::init({.algo = stm::Algo::CGL});
+  stm::init({.backend = "cgl"});
   stm::tvar<int> x{1};
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
                  x.set(tx, 999);
@@ -180,7 +180,7 @@ TEST(TvarCgl, ExceptionKeepsEffectsUnderCgl) {
 }
 
 TEST(TvarCgl, CancelAfterWriteIsIllegalUnderCgl) {
-  stm::init({.algo = stm::Algo::CGL});
+  stm::init({.backend = "cgl"});
   stm::tvar<int> x{1};
   EXPECT_THROW(stm::atomic([&](stm::Tx& tx) {
                  x.set(tx, 2);
@@ -190,7 +190,7 @@ TEST(TvarCgl, CancelAfterWriteIsIllegalUnderCgl) {
 }
 
 TEST(TvarCgl, CancelBeforeWriteIsAllowedUnderCgl) {
-  stm::init({.algo = stm::Algo::CGL});
+  stm::init({.backend = "cgl"});
   stm::tvar<int> x{1};
   stm::atomic([&](stm::Tx& tx) {
     if (x.get(tx) == 1) stm::cancel(tx);

@@ -1,41 +1,64 @@
-// Shared gtest support: parameterization over STM algorithms.
+// Shared gtest support: parameterization over STM backends.
+//
+// Parameters are backend display names enumerated from the backend
+// registry, so every suite instantiated with AllAlgos()/SpeculativeAlgos()
+// picks up newly registered backends (e.g. "2PL") with no per-suite edits.
 #pragma once
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "stm/api.hpp"
+#include "stm/backend.hpp"
 
 namespace adtm::test {
 
-// Fixture that installs the parameterized algorithm before each test.
-class AlgoTest : public ::testing::TestWithParam<stm::Algo> {
+// Fixture that installs the parameterized backend before each test.
+class AlgoTest : public ::testing::TestWithParam<std::string> {
  protected:
   void SetUp() override {
     stm::Config cfg;
-    cfg.algo = GetParam();
+    cfg.backend = GetParam();
     stm::init(cfg);
     stats().reset();
   }
 };
 
 inline std::string algo_param_name(
-    const ::testing::TestParamInfo<stm::Algo>& info) {
-  return stm::algo_name(info.param);
+    const ::testing::TestParamInfo<std::string>& info) {
+  return info.param;  // display names are alphanumeric, valid as-is
 }
 
-// The speculative algorithms (support rollback of arbitrary bodies).
+// Display names of every backend supporting rollback of arbitrary bodies.
+inline std::vector<std::string> speculative_backend_names() {
+  std::vector<std::string> names;
+  auto& reg = stm::backend_registry();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const stm::Backend* b = reg.at(i);
+    if (b->has(stm::kBackendRollback)) names.emplace_back(b->name);
+  }
+  return names;
+}
+
+// Display names of every registered backend.
+inline std::vector<std::string> all_backend_names() {
+  std::vector<std::string> names;
+  auto& reg = stm::backend_registry();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    names.emplace_back(reg.at(i)->name);
+  }
+  return names;
+}
+
+// The speculative backends (support rollback of arbitrary bodies).
 inline auto SpeculativeAlgos() {
-  return ::testing::Values(stm::Algo::TL2, stm::Algo::Eager,
-                           stm::Algo::HTMSim, stm::Algo::NOrec);
+  return ::testing::ValuesIn(speculative_backend_names());
 }
 
-// Every algorithm, including the direct-mode CGL baseline.
-inline auto AllAlgos() {
-  return ::testing::Values(stm::Algo::TL2, stm::Algo::Eager, stm::Algo::CGL,
-                           stm::Algo::HTMSim, stm::Algo::NOrec);
-}
+// Every backend, including the direct-mode CGL baseline.
+inline auto AllAlgos() { return ::testing::ValuesIn(all_backend_names()); }
 
 }  // namespace adtm::test

@@ -47,7 +47,7 @@ class TmsanTest : public ::testing::Test {
  protected:
   void SetUp() override {
     stm::Config cfg;
-    cfg.algo = stm::Algo::TL2;
+    cfg.backend = "tl2";
     stm::init(cfg);
     tmsan::disable(tmsan::kCheckAll);
     tmsan::reset();

@@ -18,7 +18,7 @@ namespace {
 
 class WalFuzz : public ::testing::TestWithParam<int> {
  protected:
-  void SetUp() override { stm::init({.algo = stm::Algo::TL2}); }
+  void SetUp() override { stm::init({.backend = "tl2"}); }
 
   // Build a valid log with varied record sizes; returns its bytes.
   std::string build_log(const std::string& path, std::uint64_t seed) {

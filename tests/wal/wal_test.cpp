@@ -146,7 +146,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgos, WalTest, test::AllAlgos(),
 
 class WalRecoveryTest : public ::testing::Test {
  protected:
-  void SetUp() override { stm::init({.algo = stm::Algo::TL2}); }
+  void SetUp() override { stm::init({.backend = "tl2"}); }
   io::TempDir dir_{"adtm-wal-rec"};
   std::string log_path() const { return dir_.file("wal.log"); }
 

@@ -23,7 +23,7 @@
 
 #include "crashsim/harness.hpp"
 #include "faultsim/crashpoint.hpp"
-#include "stm/config.hpp"
+#include "stm/backend.hpp"
 
 namespace {
 
@@ -31,14 +31,11 @@ using adtm::crashsim::CaseResult;
 using adtm::crashsim::TortureCase;
 using adtm::crashsim::WorkloadOptions;
 
-bool parse_algo(const std::string& name, adtm::stm::Algo& out) {
-  for (const adtm::stm::Algo a :
-       {adtm::stm::Algo::TL2, adtm::stm::Algo::Eager, adtm::stm::Algo::CGL,
-        adtm::stm::Algo::HTMSim, adtm::stm::Algo::NOrec}) {
-    if (name == adtm::stm::algo_name(a)) {
-      out = a;
-      return true;
-    }
+bool parse_algo(const std::string& name, std::string& out) {
+  // Accept registry ids ("2pl") and display names ("2PL") alike.
+  if (const adtm::stm::Backend* b = adtm::stm::find_backend(name)) {
+    out = b->name;
+    return true;
   }
   return false;
 }
