@@ -52,8 +52,10 @@ void BM_TxPlusDeferOneObject(benchmark::State& state) {
   Deferrable obj;
   for (auto _ : state) {
     stm::atomic([&](stm::Tx& tx) {
-      x.set(tx, x.get(tx) + 1);
+      // Register (acquire obj's TxLock) before the tvar write: a contended
+      // acquire retries, which is only legal before writes.
       atomic_defer(tx, [] { benchmark::ClobberMemory(); }, obj);
+      x.set(tx, x.get(tx) + 1);
     });
   }
   set_label(state);
@@ -66,8 +68,9 @@ void BM_TxPlusDeferThreeObjects(benchmark::State& state) {
   Deferrable a, b, c;
   for (auto _ : state) {
     stm::atomic([&](stm::Tx& tx) {
-      x.set(tx, x.get(tx) + 1);
+      // Same ordering rule as above: acquire all three locks, then write.
       atomic_defer(tx, [] { benchmark::ClobberMemory(); }, a, b, c);
+      x.set(tx, x.get(tx) + 1);
     });
   }
   set_label(state);

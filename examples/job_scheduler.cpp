@@ -64,12 +64,15 @@ int main(int argc, char** argv) {
         const long output = slow_compute(claim.job.input);
 
         // Publish the result, decrement the counter, and defer the log
-        // write — one atomic unit as far as any observer can tell.
+        // write — one atomic unit as far as any observer can tell. The
+        // log registration comes first: acquiring the logger's ordered
+        // TxLock may retry when contended, and a retry is only legal
+        // before the transaction's first tvar write.
         stm::atomic([&](stm::Tx& tx) {
-          results.put(tx, claim.job.id, output);
-          remaining.set(tx, remaining.get(tx) - 1);
           log.log(tx, "job " + std::to_string(claim.job.id) + " -> " +
                           std::to_string(output));
+          results.put(tx, claim.job.id, output);
+          remaining.set(tx, remaining.get(tx) - 1);
         });
       }
     });

@@ -45,7 +45,13 @@ int main() {
   Account checking, savings;
 
   // 1. A plain transaction: atomic transfer between two accounts.
+  //    Subscribe both accounts up front: a contended subscribe waits by
+  //    retrying, and a retry is only legal before the transaction's first
+  //    write. Once subscribed, deposit's own subscribe is a reentrant
+  //    no-op, so the ordering below is safe.
   stm::atomic([&](stm::Tx& tx) {
+    checking.subscribe(tx);
+    savings.subscribe(tx);
     checking.deposit(tx, 1000);
     savings.deposit(tx, 500);
   });
@@ -56,6 +62,11 @@ int main() {
   //    The audit appears atomic with the transfer — a concurrent reader of
   //    `checking` waits (via subscribe) until the audit completes.
   stm::atomic([&](stm::Tx& tx) {
+    // Same rule as above: take both accounts' locks before writing, so the
+    // atomic_defer's acquire of `checking` below is reentrant and cannot
+    // block after the write set is non-empty.
+    checking.subscribe(tx);
+    savings.subscribe(tx);
     checking.deposit(tx, -200);
     savings.deposit(tx, 200);
     atomic_defer(

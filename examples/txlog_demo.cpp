@@ -37,12 +37,14 @@ int main(int argc, char** argv) {
         stm::atomic([&](stm::Tx& tx) {
           const int slot = static_cast<int>((t + i) % kSlots);
           const long v = table[slot].get(tx) + 1;
-          table[slot].set(tx, v);
           // The log line captures transactional state; the write happens
           // after commit, ordered on this descriptor, atomic with us.
+          // Register it before the tvar write — a contended registration
+          // retries, which is only legal while the write set is empty.
           logger.log(tx, "thread " + std::to_string(t) + " set slot " +
                              std::to_string(slot) + " to " +
                              std::to_string(v));
+          table[slot].set(tx, v);
         });
       }
     });

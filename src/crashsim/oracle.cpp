@@ -31,7 +31,10 @@ void OracleWriter::line(const std::string& s) {
   std::string buf = s;
   buf.push_back('\n');
   for (;;) {
-    const ssize_t rv = ::write(fd_, buf.data(), buf.size());
+    // Deliberate in-tx side channel: the oracle must see the intent even
+    // when the transaction later aborts; re-execution just re-appends the
+    // same idempotent line.
+    const ssize_t rv = ::write(fd_, buf.data(), buf.size());  // txsafety:allow(irrevocable-call-in-tx)
     if (rv >= 0) return;  // O_APPEND small writes do not go short
     if (errno == EINTR) continue;
     throw std::system_error(errno, std::generic_category(), "oracle write");

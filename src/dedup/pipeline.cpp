@@ -164,6 +164,11 @@ void emit_packet(PipelineCtx& ctx, Packet& pkt, bool do_sync) {
       // deferred operation is a one-line change that preserves fsync
       // ordering and error handling without serializing anyone.
       stm::atomic([&](stm::Tx& tx) {
+        // Subscribe the packet's lock before claim_write_in's tvar write:
+        // a contended acquire retries, and retrying after a write is
+        // illegal under direct-update modes. The atomic_defer below then
+        // re-acquires reentrantly and can no longer block.
+        pkt.subscribe(tx);
         const bool full = ctx.store.claim_write_in(tx, *pkt.entry);
         atomic_defer(
             tx,

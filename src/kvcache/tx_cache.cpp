@@ -93,26 +93,37 @@ void TxCache::remove_entry(stm::Tx& tx, Entry* e) {
   });
 }
 
-void TxCache::evict_one(stm::Tx& tx) {
-  Entry* victim = lru_tail_.get(tx);
-  if (victim == nullptr) return;
-  if (logger_ != nullptr) {
-    // Diagnostic logging from a critical section (paper §5.1): the record
-    // is formatted here, inside the transaction, and written after commit
-    // without serializing anything.
-    logger_->log(tx, "evict key=" + victim->key);
-  }
-  remove_entry(tx, victim);
-  tx.on_commit(
-      [this] { evictions_.fetch_add(1, std::memory_order_relaxed); });
-}
-
 void TxCache::set(stm::Tx& tx, const std::string& key,
                   const std::string& value) {
-  if (Entry* old = find_in_bucket(tx, key)) {
-    remove_entry(tx, old);
+  Entry* old = find_in_bucket(tx, key);
+
+  // Plan-then-write, in two phases. Phase 1 only reads: walk the LRU list
+  // from the tail to pick every victim this insert will evict, and
+  // register their ordered log records (paper §5.1 — formatted in the
+  // transaction, written after commit). A contended log registration
+  // waits by retrying, which is legal only while the write set is still
+  // empty, so every registration must precede the first tvar write below.
+  std::vector<Entry*> victims;
+  std::size_t items = items_.get(tx) - (old != nullptr ? 1 : 0);
+  for (Entry* cand = lru_tail_.get(tx);
+       items >= capacity_ && cand != nullptr;
+       cand = cand->lru_prev.get(tx)) {
+    if (cand == old) continue;  // removed below regardless
+    victims.push_back(cand);
+    --items;
   }
-  while (items_.get(tx) >= capacity_) evict_one(tx);
+  if (logger_ != nullptr) {
+    for (const Entry* v : victims) logger_->log(tx, "evict key=" + v->key);
+  }
+
+  // Phase 2 — the writes.
+  if (old != nullptr) remove_entry(tx, old);
+  for (Entry* v : victims) remove_entry(tx, v);
+  if (!victims.empty()) {
+    tx.on_commit([this, n = victims.size()] {
+      evictions_.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
 
   Entry* e = new Entry;
   e->key = key;

@@ -93,8 +93,6 @@ class TxCache {
   // Unlink from bucket + LRU and schedule reclamation.
   void remove_entry(stm::Tx& tx, Entry* e);
 
-  void evict_one(stm::Tx& tx);
-
   std::size_t capacity_;
   txlog::TxLogger* logger_;
   mutable std::vector<stm::tvar<Entry*>> buckets_;

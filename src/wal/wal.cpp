@@ -161,15 +161,18 @@ void WriteAheadLog::poison(const std::string& reason) noexcept {
     stm::atomic([&](stm::Tx& tx) { failed_.set(tx, true); });
   } catch (...) {
     // Last resort — waiters may then only observe failure via the direct
-    // checks in flush()/stage_and_flush().
-    failed_.store_direct(true);
+    // checks in flush()/stage_and_flush(). Raw store is deliberate: the
+    // transactional store above already failed.
+    failed_.store_direct(true);  // txsafety:allow(raw-tvar-access)
   }
 }
 
 void WriteAheadLog::throw_failed() const {
   std::string reason;
   {
-    std::lock_guard<std::mutex> lk(error_mutex_);
+    // Failure path only: the transaction dies by the throw below, so a
+    // short uncontended mutex hold cannot wedge a commit.
+    std::lock_guard<std::mutex> lk(error_mutex_);  // txsafety:allow(irrevocable-call-in-tx)
     reason = failure_reason_;
   }
   throw std::runtime_error("WriteAheadLog: log poisoned by I/O failure: " +

@@ -1,0 +1,10 @@
+// txsafety fixture (never compiled): backend selection through the
+// registry. Expect no findings.
+
+void pick_backend(stm::Config& cfg, bool fast) {
+  cfg.backend = fast ? "tl2" : "cgl";
+}
+
+bool have_backend(const std::string& name) {
+  return stm::find_backend(name) != nullptr;
+}

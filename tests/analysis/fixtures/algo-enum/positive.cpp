@@ -1,0 +1,6 @@
+// txsafety fixture (never compiled): stm::Algo enum dispatch outside the
+// STM core. Expect findings.
+
+void pick_backend(stm::Config& cfg, bool fast) {
+  cfg.algo = fast ? stm::Algo::TL2 : stm::Algo::CGL;  // FLAG (twice)
+}

@@ -1,0 +1,12 @@
+// txsafety fixture (never compiled): sanctioned waiting. Expect no
+// findings.
+
+bool grab(stm::Tx& tx, TxLock& lock, adtm::Deadline deadline) {
+  return lock.acquire(tx, deadline);  // Deadline overload, not _for/_until
+}
+
+// std::condition_variable waits take the lock first; they are OS waits,
+// not ours, and are exempt by shape.
+void wait_os(std::condition_variable& cv, std::unique_lock<std::mutex>& lk) {
+  cv.wait_for(lk, std::chrono::milliseconds(10));
+}

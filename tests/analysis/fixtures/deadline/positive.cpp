@@ -1,0 +1,10 @@
+// txsafety fixture (never compiled): deprecated _until/_for timed-wait
+// spellings. Expect findings.
+
+bool grab(stm::Tx& tx, TxLock& lock, std::chrono::milliseconds budget) {
+  return lock.acquire_for(tx, budget);  // FLAG: use adtm::Deadline
+}
+
+bool wait_slot(stm::Tx& tx, TxCondVar& cv, TimePoint deadline) {
+  return cv.wait_until(tx, deadline);  // FLAG
+}

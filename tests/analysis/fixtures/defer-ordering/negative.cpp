@@ -1,0 +1,25 @@
+// txsafety fixture (never compiled): well-ordered deferral use. Expect
+// no findings.
+
+// Registrations first, writes second.
+void record(stm::Tx& tx, Table& table, txlog::TxLogger& logger) {
+  logger.log(tx, "slot 1 <- 2");
+  table.set(tx, 1, 2);
+}
+
+// Pre-subscribed objects: TxLock::acquire is reentrant for the owning
+// transaction, so registrations on an already-subscribed object cannot
+// block and are legal after writes.
+void publish(stm::Tx& tx, Account& a, Account& b) {
+  a.subscribe(tx);
+  b.subscribe(tx);
+  a.set(tx, 1);
+  b.set(tx, 2);
+  atomic_defer(tx, [] {}, a, b);
+}
+
+// The pass-nil form acquires no locks and may go anywhere.
+void note(stm::Tx& tx, stm::tvar<int>& v) {
+  v.set(tx, 1);
+  atomic_defer(tx, [] {});
+}

@@ -1,0 +1,17 @@
+// txsafety fixture (never compiled): ordered deferral registrations
+// landing after the transaction's first tvar write — the PR-6 crashmat
+// lesson, replanted. Expect findings.
+
+// The exact ordered-logger misuse crashmat caught: the log record is
+// registered after the table write, so a contended registration would
+// retry with a non-empty write set.
+void record(stm::Tx& tx, Table& table, txlog::TxLogger& logger) {
+  table.set(tx, 1, 2);
+  logger.log(tx, "slot 1 <- 2");  // FLAG
+}
+
+// Same shape through atomic_defer's lock list.
+void publish(stm::Tx& tx, stm::tvar<int>& slot, Deferrable& obj) {
+  slot.set(tx, 7);
+  atomic_defer(tx, [] {}, obj);  // FLAG: acquire after write
+}

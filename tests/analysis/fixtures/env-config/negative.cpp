@@ -1,0 +1,14 @@
+// txsafety fixture (never compiled): configuration read the sanctioned
+// ways. Expect no findings.
+
+#include <cstdlib>
+
+int worker_threads() {
+  // ADTM_* knobs flow through the env helpers, which centralize defaults
+  // and validation.
+  return adtm::env::get_int("ADTM_THREADS", 4);
+}
+
+const char* home_dir() {
+  return std::getenv("HOME");  // non-ADTM variables are out of scope
+}

@@ -1,0 +1,9 @@
+// txsafety fixture (never compiled): ADTM_* knobs read outside the
+// RuntimeConfig layer. Expect findings.
+
+#include <cstdlib>
+
+int worker_threads() {
+  const char* raw = std::getenv("ADTM_THREADS");  // FLAG
+  return raw != nullptr ? atoi(raw) : 4;
+}

@@ -1,0 +1,14 @@
+// txsafety fixture (never compiled): well-behaved epilogues — plain
+// post-commit side effects, no STM re-entry. Expect no findings.
+
+void deferred_io(stm::tvar<int>& counter, Deferrable& obj, int fd) {
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(
+        tx,
+        [fd] {
+          ::write(fd, "x", 1);  // epilogues may block and do I/O
+        },
+        obj);
+    counter.set(tx, 1);
+  });
+}

@@ -1,0 +1,23 @@
+// txsafety fixture (never compiled): deferred epilogues touching the STM
+// runtime. Expect findings.
+
+void reenter(stm::tvar<int>& counter, Deferrable& obj) {
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(
+        tx,
+        [&counter] {
+          // FLAG: an epilogue runs post-commit; starting a transaction
+          // from it can deadlock against the commit machinery.
+          stm::atomic([&](stm::Tx& inner) { counter.set(inner, 2); });
+        },
+        obj);
+  });
+}
+
+void smuggle_handle(stm::tvar<int>& counter) {
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(tx, [&counter, &tx] {
+      counter.set(tx, 3);  // FLAG: tx is dead by the time this runs
+    });
+  });
+}

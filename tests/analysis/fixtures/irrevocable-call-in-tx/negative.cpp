@@ -1,0 +1,15 @@
+// txsafety fixture (never compiled): the sanctioned ways to do I/O from
+// transactional code. Expect no findings.
+
+// Deferred: the epilogue runs post-commit, where blocking is legal.
+void update(stm::Tx& tx, stm::tvar<int>& v, int fd) {
+  v.set(tx, v.get(tx) + 1);
+  atomic_defer(tx, [fd] { ::write(fd, "x", 1); });
+}
+
+// Irrevocable: the transaction can no longer abort, so in-place I/O is
+// safe from re-execution.
+void flush_now(stm::Tx& tx, int fd) {
+  stm::become_irrevocable(tx);
+  ::write(fd, "x", 1);
+}

@@ -1,0 +1,18 @@
+// txsafety fixture (never compiled): irrevocable operations reachable
+// from transactional code. Expect findings.
+
+void audit(int fd, const char* buf, int n) {
+  ::write(fd, buf, n);  // POSIX sink, two hops from the region below
+}
+
+void log_line(int fd) { audit(fd, "x", 1); }
+
+void update(stm::Tx& tx, stm::tvar<int>& v, int fd) {
+  v.set(tx, v.get(tx) + 1);
+  log_line(fd);  // FLAG: reaches ::write transitively
+}
+
+void nap(stm::Tx& tx, stm::tvar<int>& v) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // FLAG
+  v.set(tx, 1);
+}

@@ -1,0 +1,22 @@
+// txsafety fixture (never compiled): sanctioned raw tvar access. Expect
+// no findings.
+
+struct Holder {
+  // Ctors/dtors run before publication / after quiescence.
+  Holder() { v_.store_direct(0); }
+  ~Holder() { v_.store_direct(-1); }
+  // The _direct suffix marks a deliberately-raw accessor.
+  int value_direct() const { return v_.load_direct(); }
+  stm::tvar<int> v_;
+};
+
+// A raw load in a function with no transactional context is a point
+// snapshot (monitoring, post-join asserts); tmsan owns that race class.
+long snapshot(const stm::tvar<long>& v) { return v.load_direct(); }
+
+// tx.alloc init idiom: the object is invisible until the tx commits.
+void insert(stm::Tx& tx, stm::tvar<Node*>& head) {
+  Node* n = tx.alloc<Node>();
+  n->next.store_direct(head.get(tx));
+  head.set(tx, n);
+}

@@ -1,0 +1,16 @@
+// txsafety fixture (never compiled): raw tvar access from transactional
+// contexts. Expect findings.
+
+void poke(stm::Tx& tx, stm::tvar<int>& v) {
+  v.store_direct(42);  // FLAG: raw store beside a live transaction
+  v.set(tx, 1);
+}
+
+int peek_in_tx(stm::Tx& tx, stm::tvar<int>& v) {
+  (void)tx;
+  return v.load_direct();  // FLAG: raw load inside a transactional fn
+}
+
+void store_outside(stm::tvar<int>& v) {
+  v.store_direct(7);  // FLAG: raw stores are strict everywhere
+}

@@ -1,0 +1,19 @@
+// txsafety fixture (never compiled): deferred lambdas capturing what
+// they need by value, or naming objects that outlive the transaction.
+// Expect no findings.
+
+void by_value(stm::tvar<int>& v, Deferrable& obj) {
+  stm::atomic([&](stm::Tx& tx) {
+    int n = v.get(tx);
+    v.set(tx, n + 1);
+    atomic_defer(tx, [n] { publish(n); }, obj);
+  });
+}
+
+void outer_object(stm::tvar<int>& v, Deferrable& obj, Sink& sink) {
+  // sink outlives the transaction: referencing it is deliberate and fine.
+  stm::atomic([&](stm::Tx& tx) {
+    v.set(tx, 1);
+    atomic_defer(tx, [&sink] { sink.flush(); }, obj);
+  });
+}

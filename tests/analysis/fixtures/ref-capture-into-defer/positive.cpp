@@ -1,0 +1,20 @@
+// txsafety fixture (never compiled): by-reference captures of
+// transaction state into deferred lambdas. Expect findings.
+
+void blanket(stm::tvar<int>& v, Deferrable& obj) {
+  stm::atomic([&](stm::Tx& tx) {
+    int n = v.get(tx);
+    v.set(tx, n + 1);
+    atomic_defer(tx, [&] { publish(n); }, obj);  // FLAG: blanket [&]
+  });
+}
+
+void region_local(stm::tvar<int>& v, Deferrable& obj) {
+  stm::atomic([&](stm::Tx& tx) {
+    int n = v.get(tx);
+    v.set(tx, n + 1);
+    // FLAG: n is re-created on every retry; the epilogue would alias the
+    // last attempt's dead frame.
+    atomic_defer(tx, [&n] { publish(n); }, obj);
+  });
+}

@@ -1,0 +1,20 @@
+// txsafety fixture (never compiled): blocking where blocking is legal.
+// Expect no findings.
+
+// An atomic_defer epilogue is textually inside the stm::atomic argument
+// list but runs post-commit; it may block.
+void deferred_sleep(stm::tvar<int>& v, Deferrable& obj) {
+  stm::atomic([&](stm::Tx& tx) {
+    atomic_defer(
+        tx,
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); },
+        obj);
+    v.set(tx, 1);
+  });
+}
+
+// Outside any transaction, OS locks are nobody's business but yours.
+void plain(std::mutex& m, int& n) {
+  std::lock_guard<std::mutex> lk(m);
+  ++n;
+}

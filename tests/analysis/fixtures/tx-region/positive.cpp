@@ -1,0 +1,16 @@
+// txsafety fixture (never compiled): OS blocking primitives lexically
+// inside stm::atomic bodies. Expect findings.
+
+void blocked(stm::tvar<int>& v, std::mutex& m) {
+  stm::atomic([&](stm::Tx& tx) {
+    std::lock_guard<std::mutex> lk(m);  // FLAG: OS lock in a tx body
+    v.set(tx, 1);
+  });
+}
+
+void sleepy(stm::tvar<int>& v) {
+  stm::atomic([&](stm::Tx& tx) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));  // FLAG
+    v.set(tx, 2);
+  });
+}

@@ -27,8 +27,14 @@ stage "default tests (tier-1)"
 ctest --preset default -j "$JOBS"
 
 # --- static checks ----------------------------------------------------------
-stage "lint (adtmlint + clang-tidy if installed)"
+stage "lint (txsafety + clang-tidy if installed)"
 ctest --preset lint
+
+# Repo-wide enforce: every txsafety check over src/tests/bench/examples/
+# tools in one pass (the per-check ctest entries above split the same run
+# for attribution; this is the single gate a change must survive).
+stage "txsafety repo-wide enforce"
+build/tools/txsafety all --quiet
 
 # --- tmsan: the suite again with every runtime checker armed ----------------
 stage "tmsan-armed sanitize suite (ADTM_TMSAN=1 ADTM_TMSAN_OPACITY=1)"

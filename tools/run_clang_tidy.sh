@@ -24,8 +24,9 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 # First-party translation units only; tests inherit the header checks via
-# HeaderFilterRegex without paying a full per-test run.
-FILES=$(find src -name '*.cpp' | sort)
+# HeaderFilterRegex without paying a full per-test run. The txsafety
+# analyzer is first-party tooling and is held to the same profile.
+FILES=$(find src tools/txsafety -name '*.cpp' | sort)
 
 fail=0
 for f in $FILES; do

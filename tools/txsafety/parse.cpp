@@ -1,0 +1,385 @@
+#include "parse.hpp"
+
+#include <algorithm>
+
+namespace txsafety {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == Token::Kind::Punct && t.text == s;
+}
+bool is_ident(const Token& t) { return t.kind == Token::Kind::Ident; }
+
+// Tokens that may sit between a function's ')' and its '{' (cv/ref
+// qualifiers, noexcept, trailing return types, ctor init lists, ...).
+bool specifier_ish(const Token& t) {
+  if (is_ident(t) || t.kind == Token::Kind::Number) return true;
+  if (t.kind != Token::Kind::Punct) return false;
+  static const char* ok[] = {"::", "<", ">", "*", "&",  "&&",
+                             "->", ",", ":", "...", "=="};
+  for (const char* s : ok)
+    if (t.text == s) return true;
+  return false;
+}
+
+}  // namespace
+
+bool lambda_at(const SourceFile& f, std::size_t i, std::size_t& capture_close,
+               std::size_t& body_open, std::size_t& body_close) {
+  if (!is_punct(f.toks[i], "[")) return false;
+  if (i + 1 < f.toks.size() && is_punct(f.toks[i + 1], "[")) return false;
+  if (i > 0) {
+    const Token& prev = f.toks[i - 1];
+    if (is_ident(prev) && !is_control_keyword(prev.text) &&
+        prev.text != "return" && prev.text != "case" && prev.text != "in")
+      return false;  // subscript: arr[i]
+    if (is_punct(prev, ")") || is_punct(prev, "]")) return false;
+  }
+  if (f.match[i] < 0) return false;
+  capture_close = static_cast<std::size_t>(f.match[i]);
+  std::size_t k = capture_close + 1;
+  if (k < f.toks.size() && is_punct(f.toks[k], "(")) {
+    if (f.match[k] < 0) return false;
+    k = static_cast<std::size_t>(f.match[k]) + 1;
+  }
+  // Skip specifiers / trailing return type until the body brace.
+  for (int guard = 0; guard < 64 && k < f.toks.size(); ++guard, ++k) {
+    const Token& t = f.toks[k];
+    if (is_punct(t, "{")) {
+      if (f.match[k] < 0) return false;
+      body_open = k;
+      body_close = static_cast<std::size_t>(f.match[k]);
+      return true;
+    }
+    if (is_punct(t, "(") && f.match[k] >= 0) {
+      k = static_cast<std::size_t>(f.match[k]);
+      continue;
+    }
+    if (!specifier_ish(t)) return false;
+  }
+  return false;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const SourceFile& f, std::size_t open) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (open >= f.toks.size() || f.match[open] < 0) return out;
+  const std::size_t close = static_cast<std::size_t>(f.match[open]);
+  if (close == open + 1) return out;  // ()
+  std::size_t b = open + 1;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    const Token& t = f.toks[k];
+    if ((is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) &&
+        f.match[k] > static_cast<int>(k)) {
+      k = static_cast<std::size_t>(f.match[k]);
+      continue;
+    }
+    if (is_punct(t, ",")) {
+      out.emplace_back(b, k);
+      b = k + 1;
+    }
+  }
+  out.emplace_back(b, close);
+  return out;
+}
+
+bool arg_is_lambda(const SourceFile& f, std::size_t b, std::size_t e,
+                   std::size_t& body_open, std::size_t& body_close) {
+  if (b >= e) return false;
+  std::size_t cc = 0;
+  return is_punct(f.toks[b], "[") && lambda_at(f, b, cc, body_open, body_close);
+}
+
+std::string lambda_first_param(const SourceFile& f, std::size_t body_open) {
+  // Walk back over specifiers to the parameter list's ')'.
+  std::size_t k = body_open;
+  for (int guard = 0; guard < 64 && k > 0; ++guard) {
+    --k;
+    const Token& t = f.toks[k];
+    if (is_punct(t, ")") && f.match[k] >= 0) {
+      const std::size_t open = static_cast<std::size_t>(f.match[k]);
+      const auto args = split_args(f, open);
+      if (args.empty()) return "";
+      // Parameter name = last identifier of the first parameter.
+      for (std::size_t j = args[0].second; j > args[0].first;) {
+        --j;
+        if (is_ident(f.toks[j])) return f.toks[j].text;
+      }
+      return "";
+    }
+    if (is_punct(t, "]")) return "";  // capture list directly: no params
+    if (!specifier_ish(t)) return "";
+  }
+  return "";
+}
+
+std::vector<Fn> extract_functions(const SourceFile& f, int file_idx) {
+  std::vector<Fn> out;
+  struct Scope {
+    int kind;  // 0 namespace, 1 class, 2 function/other braces
+    std::string name;
+    std::size_t close;
+  };
+  std::vector<Scope> stack;
+
+  const auto& T = f.toks;
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    while (!stack.empty() && i > stack.back().close) stack.pop_back();
+    if (!is_punct(T[i], "{") || f.match[i] < 0) continue;
+    const std::size_t close = static_cast<std::size_t>(f.match[i]);
+
+    // Inside a function (or opaque) brace: never a definition we extract.
+    if (!stack.empty() && stack.back().kind == 2) {
+      stack.push_back({2, "", close});
+      continue;
+    }
+
+    // namespace X::Y { ... }  (also `namespace {`)
+    {
+      std::size_t k = i;
+      while (k > 0 && (is_ident(T[k - 1]) || is_punct(T[k - 1], "::"))) --k;
+      // k now sits on the first token of the identifier chain before '{'.
+      if (k < i && is_ident(T[k]) && T[k].text == "namespace") {
+        stack.push_back({0, "", close});
+        continue;
+      }
+    }
+
+    // class / struct / union NAME ... { — the keyword is the LAST
+    // class/struct/union in the declaration so `template <class K, ...>
+    // class X {` resolves to X, not a template parameter.
+    {
+      std::size_t b = i;
+      int guard = 0;
+      while (b > 0 && guard++ < 96) {
+        const Token& t = T[b - 1];
+        if (is_punct(t, ";") || is_punct(t, "}") || is_punct(t, "{")) break;
+        --b;
+      }
+      std::size_t kw = 0;
+      bool found = false;
+      for (std::size_t k = b; k < i; ++k) {
+        if (is_ident(T[k]) &&
+            (T[k].text == "class" || T[k].text == "struct" ||
+             T[k].text == "union") &&
+            (k == 0 || T[k - 1].text != "enum")) {
+          kw = k;
+          found = true;
+        }
+      }
+      if (found) {
+        // A '(' between the keyword and '{' means this is really a
+        // function (`template <class T> T f(T x) {`), except alignas(...).
+        bool has_paren = false;
+        for (std::size_t k = kw + 1; k < i; ++k) {
+          if (!is_punct(T[k], "(")) continue;
+          if (k > kw + 1 && is_ident(T[k - 1]) && T[k - 1].text == "alignas" &&
+              f.match[k] >= 0) {
+            k = static_cast<std::size_t>(f.match[k]);
+            continue;
+          }
+          has_paren = true;
+          break;
+        }
+        std::string cname;
+        if (!has_paren) {
+          for (std::size_t k = kw + 1; k < i; ++k) {
+            if (is_ident(T[k]) && T[k].text != "final" &&
+                T[k].text != "alignas") {
+              cname = T[k].text;
+              break;
+            }
+          }
+        }
+        if (!cname.empty()) {
+          stack.push_back({1, cname, close});
+          continue;
+        }
+      }
+    }
+
+    // Function definition: walk back over specifiers / ctor init lists to
+    // the parameter list's ')'.
+    bool extracted = false;
+    std::size_t k = i;
+    for (int guard = 0; guard < 256 && k > 0; ++guard) {
+      --k;
+      const Token& t = T[k];
+      if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "=")) break;
+      if ((is_punct(t, "}") || is_punct(t, "]")) && f.match[k] >= 0 &&
+          f.match[k] < static_cast<int>(k)) {
+        k = static_cast<std::size_t>(f.match[k]);
+        continue;
+      }
+      if (is_punct(t, ")") && f.match[k] >= 0) {
+        const std::size_t pclose = k;
+        const std::size_t popen = static_cast<std::size_t>(f.match[k]);
+        if (popen == 0) break;
+        std::size_t p = popen - 1;
+        if (!is_ident(T[p])) break;  // operator overloads, casts: skip
+        if (is_control_keyword(T[p].text) || T[p].text == "return") break;
+        // Name chain: [~] A :: B :: name
+        std::string name = T[p].text;
+        std::string cls;
+        std::size_t q = p;
+        while (q >= 2 && is_punct(T[q - 1], "::") && is_ident(T[q - 2])) {
+          cls = T[q - 2].text;
+          q -= 2;
+        }
+        bool dtor = false;
+        if (q >= 1 && is_punct(T[q - 1], "~")) {
+          dtor = true;
+          --q;
+        }
+        // Init-list item (`: member_(x)` / `, member_(x)`)? Keep walking.
+        if (q >= 1 && (is_punct(T[q - 1], ",") || is_punct(T[q - 1], ":")) &&
+            cls.empty()) {
+          // `public: Ctor() {` is not an init list; `: member_(x) {` is.
+          const bool access_label =
+              is_punct(T[q - 1], ":") && q >= 2 && is_ident(T[q - 2]) &&
+              (T[q - 2].text == "public" || T[q - 2].text == "private" ||
+               T[q - 2].text == "protected");
+          if (!access_label) {
+            k = q;  // resume the walk just before the init-list item
+            continue;
+          }
+        }
+        Fn fn;
+        fn.file = file_idx;
+        fn.name = name;
+        fn.cls = cls;
+        fn.line = T[p].line;
+        fn.params_open = popen;
+        fn.params_close = pclose;
+        fn.body_open = i;
+        fn.body_close = close;
+        // Enclosing class scope (in-class definition).
+        if (fn.cls.empty()) {
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->kind == 1) {
+              fn.cls = it->name;
+              break;
+            }
+          }
+        }
+        fn.ctor_dtor = dtor || (!fn.cls.empty() && fn.name == fn.cls);
+        const auto params = split_args(f, popen);
+        fn.max_args = static_cast<int>(params.size());
+        fn.min_args = fn.max_args;
+        for (const auto& pr : params) {
+          bool defaulted = false;
+          bool variadic = false;
+          for (std::size_t j = pr.first; j < pr.second; ++j) {
+            if (is_punct(T[j], "=")) defaulted = true;
+            // "..." lexes as three '.' puncts.
+            if (is_punct(T[j], ".") && j + 1 < pr.second &&
+                is_punct(T[j + 1], "."))
+              variadic = true;
+            if ((is_punct(T[j], "(") || is_punct(T[j], "{")) &&
+                f.match[j] > static_cast<int>(j))
+              j = static_cast<std::size_t>(f.match[j]);
+          }
+          if (defaulted) --fn.min_args;
+          if (variadic) fn.max_args = -1;
+          // stm::Tx& tx parameter?
+          for (std::size_t j = pr.first; j + 2 < pr.second; ++j) {
+            if (is_ident(T[j]) && T[j].text == "Tx" &&
+                (is_punct(T[j + 1], "&")) && is_ident(T[j + 2])) {
+              fn.tx_param = T[j + 2].text;
+            }
+          }
+        }
+        out.push_back(std::move(fn));
+        extracted = true;
+        break;
+      }
+      if (!specifier_ish(t) && !is_punct(t, "~")) break;
+    }
+    stack.push_back({2, "", close});
+    (void)extracted;
+  }
+  return out;
+}
+
+std::vector<CallSite> collect_calls(
+    const SourceFile& f, std::size_t begin, std::size_t end,
+    const std::vector<std::pair<std::size_t, std::size_t>>& excluded) {
+  std::vector<CallSite> out;
+  auto skipped = [&](std::size_t i) {
+    for (const auto& r : excluded)
+      if (i >= r.first && i <= r.second) return r.second;
+    return std::size_t{0};
+  };
+  const auto& T = f.toks;
+  for (std::size_t i = begin; i < end && i < T.size(); ++i) {
+    if (const std::size_t to = skipped(i)) {
+      i = to;
+      continue;
+    }
+    if (!is_ident(T[i]) || i + 1 >= T.size() || !is_punct(T[i + 1], "("))
+      continue;
+    if (is_control_keyword(T[i].text) || T[i].text == "return") continue;
+    if (i > 0 && is_ident(T[i - 1]) &&
+        (T[i - 1].text == "new" || T[i - 1].text == "delete"))
+      continue;
+    CallSite cs;
+    cs.tok = i;
+    cs.line = T[i].line;
+    cs.name = T[i].text;
+    if (i > 0 && (is_punct(T[i - 1], ".") || is_punct(T[i - 1], "->")))
+      cs.receiver = true;
+    if (i > 1 && is_punct(T[i - 1], "::")) {
+      // Collect the textual qualifier chain: a::b::name.
+      std::size_t q = i - 1;
+      std::vector<std::string> parts;
+      while (q >= 1 && is_punct(T[q], "::")) {
+        if (q >= 1 && is_ident(T[q - 1])) {
+          parts.push_back(T[q - 1].text);
+          if (q >= 2)
+            q -= 2;
+          else
+            break;
+        } else {
+          parts.push_back("");  // global-scope ::name
+          break;
+        }
+      }
+      std::string qual;
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        if (!qual.empty()) qual += "::";
+        qual += *it;
+      }
+      cs.qual = qual.empty() ? "::" : qual;
+    }
+    cs.argc = static_cast<int>(split_args(f, i + 1).size());
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+bool declared_in(const SourceFile& f, const std::string& name,
+                 std::size_t begin, std::size_t end) {
+  const auto& T = f.toks;
+  for (std::size_t i = begin + 1; i + 1 < end && i + 1 < T.size(); ++i) {
+    if (!is_ident(T[i]) || T[i].text != name) continue;
+    const Token& prev = T[i - 1];
+    const Token& next = T[i + 1];
+    const bool prev_ok =
+        (is_ident(prev) && !is_control_keyword(prev.text) &&
+         prev.text != "return") ||
+        is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&") ||
+        is_punct(prev, "&&");
+    if (!prev_ok) continue;
+    if (is_punct(prev, "&") && i >= 2 &&
+        (is_punct(T[i - 2], ".") || is_punct(T[i - 2], "->")))
+      continue;  // address-of a member, not a declaration
+    const bool next_ok = is_punct(next, "=") || is_punct(next, "{") ||
+                         is_punct(next, "(") || is_punct(next, ";") ||
+                         is_punct(next, ":");
+    if (next_ok) return true;
+  }
+  return false;
+}
+
+}  // namespace txsafety

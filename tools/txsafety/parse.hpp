@@ -1,0 +1,77 @@
+// txsafety parse layer: function extraction, lambda/region discovery and
+// call-site collection over the lexed token stream.
+//
+// The extractor is a scope-stack walk, not a real C++ parser: it
+// classifies every top-level `{` as namespace / class / function / other
+// by looking back at the tokens that introduced it. That is enough to
+// recover, for each function definition: its (qualified) name, parameter
+// list, whether it takes an `stm::Tx&` parameter (and the parameter's
+// name), and the token range of its body — the inputs every check needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace txsafety {
+
+struct Fn {
+  int file = -1;           // index into Corpus::files
+  std::string name;        // unqualified name ("set", "append", ...)
+  std::string cls;         // enclosing class or A:: qualifier, "" if free
+  int line = 0;            // line of the name token
+  std::size_t params_open = 0, params_close = 0;  // '(' ... ')'
+  std::size_t body_open = 0, body_close = 0;      // '{' ... '}'
+  int min_args = 0;        // arity window for overload filtering
+  int max_args = 0;        // -1 == variadic
+  std::string tx_param;    // name of the stm::Tx& parameter, "" if none
+  bool ctor_dtor = false;
+};
+
+// A function call site inside some region.
+struct CallSite {
+  std::size_t tok = 0;     // index of the callee name token
+  int line = 0;
+  std::string name;        // unqualified callee name
+  std::string qual;        // textual qualifier before the name ("" if none)
+  bool receiver = false;   // obj.name(...) / obj->name(...)
+  int argc = 0;            // top-level argument count
+};
+
+// Extract all function definitions in `f` (file index `file_idx`).
+std::vector<Fn> extract_functions(const SourceFile& f, int file_idx);
+
+// If toks[i] is a '[' that starts a lambda introducer, return true and set
+// body_open/body_close to the lambda's brace range ((0,0) if the lambda is
+// malformed/bodiless). capture_close is the matching ']'.
+bool lambda_at(const SourceFile& f, std::size_t i, std::size_t& capture_close,
+               std::size_t& body_open, std::size_t& body_close);
+
+// Split the argument list of a call whose '(' is at `open` into top-level
+// (begin, end) token ranges. Empty vector for `()`.
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const SourceFile& f, std::size_t open);
+
+// If argument range [b, e) starts with a lambda, return its body range.
+bool arg_is_lambda(const SourceFile& f, std::size_t b, std::size_t e,
+                   std::size_t& body_open, std::size_t& body_close);
+
+// Collect call sites in token range [begin, end), skipping any of the
+// `excluded` subranges (pairs of token indices).
+std::vector<CallSite> collect_calls(
+    const SourceFile& f, std::size_t begin, std::size_t end,
+    const std::vector<std::pair<std::size_t, std::size_t>>& excluded);
+
+// True if identifier `name` is declared as a local variable somewhere in
+// token range [begin, end) (coarse: `Type name =`, `Type name{`,
+// `Type name;`, `Type name(` shapes).
+bool declared_in(const SourceFile& f, const std::string& name,
+                 std::size_t begin, std::size_t end);
+
+// First parameter name of the lambda whose body starts at body_open
+// (looks back to the parameter list); "" if none.
+std::string lambda_first_param(const SourceFile& f, std::size_t body_open);
+
+}  // namespace txsafety
